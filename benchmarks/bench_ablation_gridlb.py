@@ -1,0 +1,85 @@
+"""Ablation: the paper's §6 Grid load balancer (GridCommLB).
+
+Starts the stencil from a pathological placement — every seam block
+(the WAN talkers) piled onto one PE per cluster — measures, asks
+GridCommLB for a plan from the *measured* load database, re-runs with
+the planned placement, and checks:
+
+* per-step time improves substantially;
+* the plan never moved a chare across the cluster boundary (the §6
+  defining constraint).
+"""
+
+from __future__ import annotations
+
+from repro.apps.stencil import StencilApp
+from repro.core.ids import ChareID
+from repro.core.loadbalance import GridCommLB
+from repro.core.mapping import ExplicitMapping, grid2d_split_mapping
+from repro.grid.presets import artificial_latency_env
+from repro.units import ms
+
+PES = 8
+OBJECTS = 64
+LATENCY = ms(2)
+MESH = (1024, 1024)
+STEPS = 10
+
+
+def skewed_mapping(topology):
+    """Paper-default split, then pile each cluster's seam column onto
+    its first PE."""
+    from repro.apps.stencil import BlockDecomposition
+    decomp = BlockDecomposition.regular(MESH, OBJECTS)
+    base = grid2d_split_mapping(decomp.brows, decomp.bcols,
+                                topology).assign(decomp.indices(), topology)
+    seam_left = decomp.bcols // 2 - 1
+    seam_right = decomp.bcols // 2
+    for (bi, bj), pe in list(base.items()):
+        if bj == seam_left:
+            base[(bi, bj)] = topology.cluster_pes(0)[0]
+        elif bj == seam_right:
+            base[(bi, bj)] = topology.cluster_pes(1)[0]
+    return base
+
+
+def run_with_mapping(mapping_table):
+    env = artificial_latency_env(PES, LATENCY)
+    app = StencilApp(env, mesh=MESH, objects=OBJECTS, payload="modeled",
+                     mapping=ExplicitMapping(mapping_table))
+    result = app.run(STEPS)
+    return env, result
+
+
+def test_gridlb_recovers_from_skew(benchmark):
+    def experiment():
+        env, skewed = run_with_mapping(skewed_mapping(
+            artificial_latency_env(PES, LATENCY).topology))
+
+        # Plan from the measured database of the skewed run.
+        plan = GridCommLB().plan(env.runtime.lb_db, env.topology,
+                                 env.runtime.current_mapping())
+        # Express the plan as a block-index mapping for a fresh run.
+        stencil_coll = max(cid.collection for cid in plan)
+        balanced_table = {cid.index: pe for cid, pe in plan.items()
+                          if cid.collection == stencil_coll}
+        _env2, balanced = run_with_mapping(balanced_table)
+        return env, skewed, balanced, plan, stencil_coll
+
+    env, skewed, balanced, plan, coll = benchmark.pedantic(
+        experiment, rounds=1, iterations=1)
+
+    print()
+    print("Ablation: GridCommLB vs pathological seam placement")
+    print(f"  skewed   : {skewed.time_per_step_ms:8.3f} ms/step")
+    print(f"  balanced : {balanced.time_per_step_ms:8.3f} ms/step")
+    ratio = skewed.time_per_step / balanced.time_per_step
+    print(f"  speedup  : {ratio:.2f}x")
+
+    assert balanced.time_per_step < 0.75 * skewed.time_per_step
+
+    # §6 invariant on the real measured plan: no cross-cluster moves.
+    before = env.runtime.current_mapping()
+    for cid, new_pe in plan.items():
+        assert env.topology.cluster_of(new_pe) == \
+            env.topology.cluster_of(before[cid])

@@ -1,0 +1,38 @@
+"""Ablation: degree of virtualization at fixed PEs and latency.
+
+Isolates the paper's central design choice — how many objects to cut
+the problem into.  Sweeping 1..64 objects/PE at a latency that a single
+object per PE cannot hide shows the characteristic U-shape: too few
+objects expose the WAN latency (nothing to overlap) and suffer the
+big-block cache penalty; too many pay per-object scheduling/messaging
+overhead (the 1024-object rows of Table 1).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import stencil_point
+
+
+def test_virtualization_sweep(benchmark):
+    pes, latency = 16, 4.0
+    objects = [16, 64, 256, 1024]
+
+    def sweep():
+        return {o: stencil_point("abl-virt", pes, o, latency)
+                for o in objects}
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    times = {o: p.time_per_step_ms for o, p in points.items()}
+    print()
+    print(f"Ablation: virtualization at {pes} PEs, {latency} ms latency")
+    for o in objects:
+        print(f"  {o:5d} objects ({o // pes:3d}/PE): "
+              f"{times[o]:8.3f} ms/step")
+
+    # 1 object/PE cannot overlap the latency: clearly worst.
+    assert times[16] > 1.3 * min(times.values())
+    # The sweet spot is an intermediate degree, as in Table 1.
+    best = min(times, key=times.get)
+    assert best in (64, 256)
+    # Max virtualization pays visible per-object overhead over the best.
+    assert times[1024] > times[best]

@@ -1,0 +1,30 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs a full simulation sweep exactly once
+(``benchmark.pedantic(..., rounds=1)``): the measured quantity of
+interest is *virtual* time inside the simulation — printed as
+paper-style tables/figures — while pytest-benchmark records the
+wall-clock cost of regenerating each artefact.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Execute *fn* exactly once under pytest-benchmark and return it."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+    def _run(fn):
+        return run_once(benchmark, fn)
+
+    return _run

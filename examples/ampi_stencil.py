@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""An unmodified MPI program made latency-tolerant by AMPI.
+
+The stencil below is written in plain MPI style (irecv/isend/waitall —
+see ``repro.apps.stencil.ampi_driver`` for the rank program).  Nothing
+in it knows about clusters or latency.  Running it with more ranks than
+processors lets the message-driven scheduler overlap the wide-area
+waits of some ranks with the compute of others — AMPI's promise from
+paper §2.1.
+
+Run:  python examples/ampi_stencil.py
+"""
+
+from repro.apps.stencil import AmpiStencilApp
+from repro.grid import artificial_latency_env
+from repro.units import ms
+
+
+def run(ranks: int, latency_ms: float) -> float:
+    env = artificial_latency_env(4, ms(latency_ms))
+    app = AmpiStencilApp(env, mesh=(1024, 1024), ranks=ranks,
+                         payload="modeled")
+    return app.run(steps=10).time_per_step_ms
+
+
+def main() -> None:
+    print("AMPI stencil, 4 PEs split across two clusters")
+    print(f"{'latency':>10} | {'4 ranks (1/PE)':>16} | "
+          f"{'64 ranks (16/PE)':>17}")
+    print("-" * 50)
+    for latency in (0.0, 4.0, 8.0):
+        print(f"{latency:>8.1f}ms | {run(4, latency):>13.2f} ms |"
+              f" {run(64, latency):>14.2f} ms")
+    print()
+    print("Same MPI source, same semantics -- over-decomposition alone")
+    print("recovers the latency the 1-rank-per-PE run exposes.")
+
+    # And the numerics stay exact: compare against the sequential kernel.
+    import numpy as np
+
+    from repro.apps.stencil import make_initial_mesh, run_reference
+
+    env = artificial_latency_env(4, ms(4))
+    app = AmpiStencilApp(env, mesh=(48, 48), ranks=16, payload="real")
+    res = app.run(steps=8)
+    ref = run_reference(make_initial_mesh(48, 48, 0), 8)
+    assert np.isclose(res.checksum, float(ref.sum()))
+    print("checksum vs sequential reference: exact")
+
+
+if __name__ == "__main__":
+    main()

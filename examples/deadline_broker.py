@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Faucets-style deadline brokering (paper §6, second scenario).
+
+A user submits a stencil job with a deadline.  Neither site alone can
+meet it — the broker rehearses the candidates on the simulator and
+co-allocates across both clusters, which only works because the job's
+virtualization masks the inter-cluster latency (the broker measures
+that, it doesn't assume it).
+
+Run:  python examples/deadline_broker.py
+"""
+
+from repro.grid import ClusterOffer, StencilJob, plan_allocation
+from repro.units import ms
+
+
+def main() -> None:
+    offers = [ClusterOffer("ncsa", 8), ClusterOffer("anl", 8)]
+    job = StencilJob(mesh=(2048, 2048), objects=256, steps=100,
+                     deadline=1.5)
+
+    print("Job: 2048x2048 stencil, 256 objects, 100 steps, "
+          f"deadline {job.deadline:.1f} s")
+    print("Offers: " + ", ".join(f"{o.name} ({o.free_pes} PEs free)"
+                                 for o in offers))
+    decision = plan_allocation(job, offers, wan_latency=ms(2))
+
+    print("\nrehearsed candidates:")
+    for alloc, t in decision.candidates:
+        verdict = "meets deadline" if t <= job.deadline else "too slow"
+        print(f"  {alloc.describe():28s} -> {t:6.2f} s   ({verdict})")
+
+    assert decision.meets_deadline and decision.allocation.co_allocated
+    print(f"\nbroker's choice: {decision.allocation.describe()} "
+          f"(predicted {decision.predicted_time:.2f} s)")
+    print("No single cluster sufficed; co-allocation met the deadline")
+    print("because the 2 ms inter-site latency hides behind 16 objects")
+    print("per processor -- the paper's thesis, applied to scheduling.")
+
+    # The same job with almost no virtualization cannot be rescued:
+    rigid = StencilJob(mesh=(2048, 2048), objects=16, steps=100,
+                       deadline=1.5)
+    d2 = plan_allocation(rigid, offers, wan_latency=ms(30))
+    print(f"\nSame job at 16 objects and 30 ms WAN: "
+          f"{'feasible' if d2.meets_deadline else 'infeasible'} "
+          f"(best {d2.predicted_time:.2f} s) -- nothing to mask with.")
+
+
+if __name__ == "__main__":
+    main()

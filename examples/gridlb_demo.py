@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""The §6 Grid load balancer in action.
+
+Measures a deliberately skewed stencil placement (all wide-area-talking
+blocks piled on one processor per cluster), lets GridCommLB plan from
+the runtime's measured load database, and re-runs with the planned
+placement — demonstrating both the speedup and the balancer's defining
+constraint: chares never migrate across the cluster boundary.
+
+Run:  python examples/gridlb_demo.py
+"""
+
+from repro.apps.stencil import BlockDecomposition, StencilApp
+from repro.core.loadbalance import GridCommLB
+from repro.core.mapping import ExplicitMapping, grid2d_split_mapping
+from repro.grid import artificial_latency_env
+from repro.units import ms
+
+PES, OBJECTS, MESH = 8, 64, (1024, 1024)
+
+
+def run(mapping_table):
+    env = artificial_latency_env(PES, ms(2))
+    app = StencilApp(env, mesh=MESH, objects=OBJECTS, payload="modeled",
+                     mapping=ExplicitMapping(mapping_table))
+    return env, app.run(steps=10)
+
+
+def main() -> None:
+    topo = artificial_latency_env(PES, ms(2)).topology
+    decomp = BlockDecomposition.regular(MESH, OBJECTS)
+    table = grid2d_split_mapping(decomp.brows, decomp.bcols, topo).assign(
+        decomp.indices(), topo)
+    # Skew: pile each cluster's seam column onto its first PE.
+    for (bi, bj) in decomp.indices():
+        if bj == decomp.bcols // 2 - 1:
+            table[(bi, bj)] = topo.cluster_pes(0)[0]
+        elif bj == decomp.bcols // 2:
+            table[(bi, bj)] = topo.cluster_pes(1)[0]
+
+    env, skewed = run(table)
+    print(f"skewed placement : {skewed.time_per_step_ms:7.2f} ms/step")
+
+    plan = GridCommLB().plan(env.runtime.lb_db, env.topology,
+                             env.runtime.current_mapping())
+    before = env.runtime.current_mapping()
+    crossings = sum(
+        1 for cid, pe in plan.items()
+        if env.topology.cluster_of(pe) != env.topology.cluster_of(
+            before[cid]))
+    coll = max(cid.collection for cid in plan)
+    balanced_table = {cid.index: pe for cid, pe in plan.items()
+                      if cid.collection == coll}
+    _env2, balanced = run(balanced_table)
+    print(f"GridCommLB plan  : {balanced.time_per_step_ms:7.2f} ms/step  "
+          f"({skewed.time_per_step / balanced.time_per_step:.2f}x faster)")
+    print(f"cross-cluster migrations in plan: {crossings} "
+          "(the balancer's invariant: always 0)")
+
+
+if __name__ == "__main__":
+    main()

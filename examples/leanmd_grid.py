@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""LeanMD co-allocated across a simulated NCSA/ANL TeraGrid pair.
+
+Runs real molecular dynamics (cutoff Lennard-Jones + Coulomb, 3x3x3
+cells here for speed; the paper's benchmark shape is 6x6x6 with 3,024
+pair objects) on the jittered, contended TeraGrid WAN model, prints
+per-step times and the energy ledger, then repeats on the paper's full
+216-cell system with modeled payloads to show the Figure-4 scale.
+
+Run:  python examples/leanmd_grid.py
+"""
+
+from repro.apps.leanmd import LeanMDApp, run_leanmd
+from repro.grid import artificial_latency_env, teragrid_env
+from repro.units import ms
+
+
+def main() -> None:
+    # -- real physics across the simulated TeraGrid ---------------------
+    env = teragrid_env(8, seed=1)
+    print(f"Environment: {env.describe()}")
+    app = LeanMDApp(env, cells=(3, 3, 3), atoms_per_cell=8,
+                    payload="real", seed=3)
+    res = app.run(steps=10)
+    print(f"27 cells / {27 + 27 * 26 // 2} pair objects, 216 atoms, "
+          f"real forces")
+    print(f"  time/step : {res.time_per_step * 1e3:8.2f} ms (virtual)")
+    total = res.total_energy
+    drift = abs(total[-1] - total[0]) / abs(total[0])
+    print(f"  energy    : {total[0]:+.4f} -> {total[-1]:+.4f} "
+          f"(drift {drift:.2%})")
+
+    # -- the paper's benchmark shape at Figure-4 scale ---------------------
+    print()
+    print("Paper-scale LeanMD (216 cells, 3,024 pairs, modeled payload):")
+    print(f"{'PEs':>5} {'1 ms':>10} {'32 ms':>10} {'256 ms':>10}")
+    for pes in (8, 32):
+        row = []
+        for lat in (1.0, 32.0, 256.0):
+            r = run_leanmd(artificial_latency_env(pes, ms(lat)), steps=5)
+            row.append(f"{r.time_per_step:9.3f}s")
+        print(f"{pes:>5} " + " ".join(row))
+    print()
+    print("As in Figure 4: tens of ms of latency disappear behind the")
+    print(">90 pair objects per processor; only extreme latencies bite.")
+
+
+if __name__ == "__main__":
+    main()

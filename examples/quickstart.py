@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Quickstart: message-driven objects masking Grid latency.
+
+Builds the paper's simulated Grid environment (two clusters joined by an
+artificial-latency delay device), runs the five-point stencil at two
+degrees of virtualization, and shows the headline effect: with enough
+objects per processor, multi-millisecond wide-area latency vanishes from
+the per-step time.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps.stencil import StencilApp
+from repro.grid import artificial_latency_env
+from repro.units import ms
+
+
+def time_per_step(pes: int, objects: int, latency_ms: float) -> float:
+    """One stencil run; returns steady-state ms/step."""
+    env = artificial_latency_env(pes, ms(latency_ms))
+    app = StencilApp(env, mesh=(1024, 1024), objects=objects,
+                     payload="modeled")
+    return app.run(steps=10).time_per_step_ms
+
+
+def main() -> None:
+    pes = 8
+    print(f"Five-point stencil on {pes} PEs split across two clusters")
+    print(f"{'latency':>10} | {'8 objects (1/PE)':>18} | "
+          f"{'128 objects (16/PE)':>20}")
+    print("-" * 56)
+    for latency in (0.0, 2.0, 4.0, 8.0):
+        low = time_per_step(pes, 8, latency)
+        high = time_per_step(pes, 128, latency)
+        print(f"{latency:>8.1f}ms | {low:>15.2f} ms | {high:>17.2f} ms")
+    print()
+    print("With one object per processor the injected latency lands")
+    print("directly on the per-step time; with 16 objects per processor")
+    print("the message-driven scheduler hides it behind other objects'")
+    print("work -- the paper's central result, no application changes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — reproduction of Koenig & Kalé, *Using Message-Driven Objects
+to Mask Latency in Grid Computing Applications* (IPPS 2005).
+
+The package provides:
+
+* :mod:`repro.core` — a Charm++-style message-driven object runtime
+  (chares, chare arrays, async entry methods, reductions, multicasts,
+  migration, measurement-based load balancing);
+* :mod:`repro.ampi` — an Adaptive-MPI layer (MPI programs as migratable
+  coroutine ranks on top of the runtime);
+* :mod:`repro.network` — a VMI-style layered messaging stack with the
+  paper's artificial-latency delay device;
+* :mod:`repro.sim` — the deterministic discrete-event substrate;
+* :mod:`repro.grid` — the paper's two experimental environments;
+* :mod:`repro.apps` — the five-point stencil and LeanMD applications;
+* :mod:`repro.bench` — harness, sweeps and report rendering for every
+  table and figure in the paper.
+
+Quickstart
+----------
+>>> from repro.grid import artificial_latency_env
+>>> from repro.apps.stencil import StencilApp
+>>> from repro.units import ms
+>>> env = artificial_latency_env(num_pes=8, latency=ms(4))
+>>> app = StencilApp(env, mesh=(256, 256), objects=16)
+>>> result = app.run(steps=20)
+>>> result.time_per_step_ms  # doctest: +SKIP
+"""
+
+from repro._version import __version__
+from repro.core import Chare, Runtime, RuntimeConfig, entry
+from repro.grid import (
+    GridEnvironment,
+    artificial_latency_env,
+    single_cluster_env,
+    teragrid_env,
+)
+
+__all__ = [
+    "__version__",
+    "Chare",
+    "entry",
+    "Runtime",
+    "RuntimeConfig",
+    "GridEnvironment",
+    "artificial_latency_env",
+    "teragrid_env",
+    "single_cluster_env",
+]

@@ -1,0 +1,37 @@
+"""Adaptive MPI: the MPI standard on message-driven objects (paper §2.1).
+
+Rank programs are generator functions receiving an
+:class:`~repro.ampi.api.MpiHandle`; blocking calls are ``yield``-ed.
+Because each rank is a chare, ranks outnumbering PEs gives the scheduler
+material to overlap WAN latency with — the same mechanism as raw
+Charm++ chares, behind an MPI-shaped API.
+
+>>> from repro.ampi import ampi_run
+>>> def program(mpi):
+...     right = (mpi.rank + 1) % mpi.size
+...     left = (mpi.rank - 1) % mpi.size
+...     token = yield mpi.sendrecv(mpi.rank, dest=right, source=left)
+...     total = yield mpi.allreduce(token, op="sum")
+...     return total
+>>> world = ampi_run(env, program, num_ranks=32)  # doctest: +SKIP
+"""
+
+from repro.ampi.api import MpiHandle
+from repro.ampi.communicator import AmpiConfig, Communicator
+from repro.ampi.datatypes import ANY_SOURCE, ANY_TAG, OPS
+from repro.ampi.request import Request
+from repro.ampi.threadchare import RankChare
+from repro.ampi.world import AmpiWorld, ampi_run
+
+__all__ = [
+    "ampi_run",
+    "AmpiWorld",
+    "MpiHandle",
+    "RankChare",
+    "Request",
+    "Communicator",
+    "AmpiConfig",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "OPS",
+]

@@ -1,0 +1,174 @@
+"""The MPI handle exposed to rank programs.
+
+A rank program is a generator function receiving an :class:`MpiHandle`:
+
+>>> def program(mpi):
+...     if mpi.rank == 0:
+...         mpi.send({"a": 7}, dest=1, tag=11)
+...     elif mpi.rank == 1:
+...         data = yield mpi.recv(source=0, tag=11)
+...     total = yield mpi.allreduce(mpi.rank, op="sum")
+...     return total
+
+Conventions follow mpi4py's lowercase API (see the domain guides):
+``send``/``recv`` for Python objects, ``isend``/``irecv`` returning
+request handles, and collectives named ``bcast``, ``reduce``,
+``allreduce``, ``gather``, ``scatter``, ``alltoall``, ``scan``.
+
+Blocking calls **return descriptors that must be yielded**; calls that
+cannot block (``send``, ``isend``, ``charge``) act immediately and
+return plain values.  Yielding is the AMPI context switch: while a rank
+waits, the message-driven scheduler runs other work on the PE.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.ampi.collectives import waiting_ranks
+from repro.ampi.datatypes import ANY_SOURCE, ANY_TAG, DEFAULT_TAG
+from repro.ampi.request import (
+    CollectiveWait,
+    NoWait,
+    RecvWait,
+    Request,
+    RequestWait,
+)
+from repro.ampi.threadchare import RankChare
+from repro.errors import RankError
+
+
+class MpiHandle:
+    """Per-rank MPI facade bound to a :class:`RankChare`."""
+
+    __slots__ = ("_chare",)
+
+    def __init__(self, chare: RankChare) -> None:
+        self._chare = chare
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """This process's rank in the world communicator."""
+        return self._chare.rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the world communicator."""
+        return self._chare.size
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (``MPI_Wtime`` analogue)."""
+        return self._chare.now
+
+    def charge(self, seconds: float) -> None:
+        """Account *seconds* of compute for the current execution burst."""
+        self._chare.charge(seconds)
+
+    # -- point-to-point --------------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = DEFAULT_TAG,
+             size: Optional[int] = None) -> None:
+        """Eager asynchronous send (returns immediately; do not yield)."""
+        self._chare.api_send(dest, tag, obj, size)
+
+    def isend(self, obj: Any, dest: int, tag: int = DEFAULT_TAG,
+              size: Optional[int] = None) -> Request:
+        """Nonblocking send; the returned request is already complete."""
+        self._chare.api_send(dest, tag, obj, size)
+        req = Request("send")
+        req.fulfill(None)
+        return req
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvWait:
+        """Blocking receive — ``data = yield mpi.recv(...)``."""
+        return RecvWait(source=source, tag=tag)
+
+    def recv_status(self, source: int = ANY_SOURCE,
+                    tag: int = ANY_TAG) -> RecvWait:
+        """Like :meth:`recv` but resumes with ``(source, tag, data)``."""
+        return RecvWait(source=source, tag=tag, with_status=True)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive; complete it with :meth:`wait`."""
+        return self._chare.api_post_irecv(source, tag)
+
+    def wait(self, request: Request) -> RequestWait:
+        """Block until *request* completes — ``data = yield mpi.wait(r)``."""
+        return RequestWait(requests=(request,), wait_all=True, single=True)
+
+    def waitall(self, requests: Sequence[Request]) -> RequestWait:
+        """Block until all *requests* complete; resumes with a tuple."""
+        return RequestWait(requests=tuple(requests), wait_all=True)
+
+    def waitany(self, requests: Sequence[Request]) -> RequestWait:
+        """Block until any request completes; resumes with ``(i, data)``."""
+        return RequestWait(requests=tuple(requests), wait_all=False)
+
+    def sendrecv(self, obj: Any, dest: int, sendtag: int = DEFAULT_TAG,
+                 source: int = ANY_SOURCE,
+                 recvtag: int = ANY_TAG) -> RecvWait:
+        """Send *obj* to *dest* and receive — the stencil workhorse."""
+        self._chare.api_send(dest, sendtag, obj, None)
+        return RecvWait(source=source, tag=recvtag)
+
+    # -- collectives --------------------------------------------------------------
+
+    def _collective(self, kind: str, op: Optional[str], root: int,
+                    value: Any):
+        seq = self._chare.api_contribute_collective(kind, op, root, value)
+        if self._chare.rank in waiting_ranks(kind, root, self._chare.size):
+            return CollectiveWait(seq)
+        return NoWait(None)
+
+    def barrier(self):
+        """``yield mpi.barrier()`` — all ranks synchronize."""
+        return self._collective("barrier", None, 0, None)
+
+    def bcast(self, obj: Any, root: int = 0):
+        """``value = yield mpi.bcast(obj, root)`` (obj ignored off-root)."""
+        self._check_root(root)
+        return self._collective("bcast", None, root, obj)
+
+    def reduce(self, value: Any, op: str = "sum", root: int = 0):
+        """Root resumes with the reduction; other ranks with ``None``."""
+        self._check_root(root)
+        return self._collective("reduce", op, root, value)
+
+    def allreduce(self, value: Any, op: str = "sum"):
+        """All ranks resume with the reduction result."""
+        return self._collective("allreduce", op, 0, value)
+
+    def gather(self, value: Any, root: int = 0):
+        """Root resumes with the rank-ordered list of values."""
+        self._check_root(root)
+        return self._collective("gather", None, root, value)
+
+    def allgather(self, value: Any):
+        """All ranks resume with the rank-ordered list of values."""
+        return self._collective("allgather", None, 0, value)
+
+    def scatter(self, values: Optional[Sequence] = None, root: int = 0):
+        """Root supplies one value per rank; each rank gets its own."""
+        self._check_root(root)
+        return self._collective("scatter", None, root,
+                                list(values) if values is not None else None)
+
+    def alltoall(self, values: Sequence):
+        """Every rank supplies one value per peer; receives one from each."""
+        return self._collective("alltoall", None, 0, list(values))
+
+    def scan(self, value: Any, op: str = "sum"):
+        """Inclusive prefix reduction over ranks."""
+        return self._collective("scan", op, 0, value)
+
+    # -- misc ---------------------------------------------------------------------
+
+    def _check_root(self, root: int) -> None:
+        if not (0 <= root < self._chare.size):
+            raise RankError(f"invalid root rank {root}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<mpi rank {self.rank}/{self.size}>"

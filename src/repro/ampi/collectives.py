@@ -1,0 +1,112 @@
+"""Pure collective-result computation.
+
+AMPI collectives ride the runtime's grid-aware reduction trees: every
+rank contributes ``(kind, value)`` to a ``concat`` reduction; the root
+callback folds the rank-ordered values with the functions here and sends
+each waiting rank its personal result.
+
+Keeping this module free of runtime state makes the MPI semantics
+(who waits, who gets what) directly unit-testable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.ampi.datatypes import get_op, reduce_values
+from repro.errors import CollectiveError
+
+#: Collective kinds and whether every rank blocks for a result.
+ALL_WAIT_KINDS = frozenset(
+    {"barrier", "bcast", "allreduce", "allgather", "alltoall", "scan"})
+ROOT_WAIT_KINDS = frozenset({"reduce", "gather"})
+#: Kinds where only the root blocks... plus scatter, where everyone but
+#: the root *receives* data, so everyone waits.
+SCATTER_KINDS = frozenset({"scatter"})
+
+VALID_KINDS = ALL_WAIT_KINDS | ROOT_WAIT_KINDS | SCATTER_KINDS
+
+
+def waiting_ranks(kind: str, root: int, size: int) -> List[int]:
+    """Which ranks yield a :class:`CollectiveWait` for this collective."""
+    if kind in ALL_WAIT_KINDS or kind in SCATTER_KINDS:
+        return list(range(size))
+    if kind in ROOT_WAIT_KINDS:
+        return [root]
+    raise CollectiveError(f"unknown collective kind {kind!r}")
+
+
+def compute_results(kind: str, op: Optional[str], root: int,
+                    values_by_rank: List[Any]) -> Dict[int, Any]:
+    """Per-rank results of one completed collective.
+
+    Parameters
+    ----------
+    values_by_rank:
+        Every rank's contributed value, index = rank.  ``barrier``
+        contributions are ignored; ``scatter``/``alltoall`` expect lists.
+    """
+    size = len(values_by_rank)
+    if kind == "barrier":
+        return {r: None for r in range(size)}
+
+    if kind == "bcast":
+        return {r: values_by_rank[root] for r in range(size)}
+
+    if kind == "reduce":
+        return {root: reduce_values(op or "sum", values_by_rank)}
+
+    if kind == "allreduce":
+        result = reduce_values(op or "sum", values_by_rank)
+        return {r: result for r in range(size)}
+
+    if kind == "gather":
+        return {root: list(values_by_rank)}
+
+    if kind == "allgather":
+        gathered = list(values_by_rank)
+        return {r: list(gathered) for r in range(size)}
+
+    if kind == "scatter":
+        chunks = values_by_rank[root]
+        if not isinstance(chunks, (list, tuple)) or len(chunks) != size:
+            raise CollectiveError(
+                f"scatter root must provide a list of exactly {size} "
+                f"items, got {type(chunks).__name__} of length "
+                f"{len(chunks) if hasattr(chunks, '__len__') else '?'}")
+        return {r: chunks[r] for r in range(size)}
+
+    if kind == "alltoall":
+        for r, v in enumerate(values_by_rank):
+            if not isinstance(v, (list, tuple)) or len(v) != size:
+                raise CollectiveError(
+                    f"alltoall rank {r} must provide a list of exactly "
+                    f"{size} items")
+        return {r: [values_by_rank[s][r] for s in range(size)]
+                for r in range(size)}
+
+    if kind == "scan":
+        fn = get_op(op or "sum")
+        out: Dict[int, Any] = {}
+        acc = None
+        for r, v in enumerate(values_by_rank):
+            acc = v if acc is None else fn(acc, v)
+            out[r] = acc
+        return out
+
+    raise CollectiveError(f"unknown collective kind {kind!r}")
+
+
+def check_uniform(kind: str, op: Optional[str], root: int,
+                  seen: List[tuple]) -> None:
+    """Every rank must have called the *same* collective.
+
+    *seen* is the list of ``(kind, op, root)`` triples the ranks
+    contributed; any mismatch is a classic MPI deadlock-in-waiting and
+    is surfaced loudly instead.
+    """
+    for i, triple in enumerate(seen):
+        if triple != (kind, op, root):
+            raise CollectiveError(
+                f"collective mismatch: rank {i} called {triple}, "
+                f"rank 0 called {(kind, op, root)}")

@@ -1,0 +1,69 @@
+"""Communicator metadata and AMPI layer configuration.
+
+Only the world communicator exists (the paper's applications need no
+splits); :class:`Communicator` owns the rank ↔ chare-array addressing so
+the world object stays focused on lifecycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.core.proxy import ArrayProxy, ChareProxy
+from repro.errors import ConfigurationError, RankError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.rts import Runtime
+
+
+@dataclass(frozen=True)
+class AmpiConfig:
+    """Cost constants of the AMPI layer (virtual seconds).
+
+    ``op_overhead`` is charged per MPI call and per message handled —
+    the user-level-thread scheduling cost AMPI adds over raw Charm++.
+    """
+
+    op_overhead: float = 1e-6
+    startup_overhead: float = 5e-6
+
+    def __post_init__(self) -> None:
+        if self.op_overhead < 0 or self.startup_overhead < 0:
+            raise ConfigurationError("AMPI overheads must be >= 0")
+
+
+class Communicator:
+    """Rank-indexed view of the rank-chare array (COMM_WORLD)."""
+
+    def __init__(self, rts: "Runtime", proxy: ArrayProxy,
+                 num_ranks: int) -> None:
+        if num_ranks <= 0:
+            raise ConfigurationError(
+                f"need at least one rank, got {num_ranks}")
+        self._rts = rts
+        self._proxy = proxy
+        self._num_ranks = num_ranks
+
+    @property
+    def size(self) -> int:
+        return self._num_ranks
+
+    @property
+    def proxy(self) -> ArrayProxy:
+        return self._proxy
+
+    def element(self, rank: int) -> ChareProxy:
+        """Proxy to the chare hosting *rank*."""
+        if not (0 <= rank < self._num_ranks):
+            raise RankError(f"rank {rank} out of range 0..{self._num_ranks - 1}")
+        return self._proxy[rank]
+
+    def pe_of_rank(self, rank: int) -> int:
+        """The PE currently hosting *rank* (changes under migration)."""
+        return self._rts.pe_of(self.element(rank).chare_id)
+
+    def ranks_on_pe(self, pe: int) -> List[int]:
+        """All ranks currently hosted by *pe*."""
+        return [r for r in range(self._num_ranks)
+                if self.pe_of_rank(r) == pe]

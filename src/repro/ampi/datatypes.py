@@ -1,0 +1,86 @@
+"""AMPI constants and reduction operations.
+
+Follows the mpi4py conventions from the domain guides: lowercase methods
+communicate pickled Python objects / NumPy arrays, wildcard constants
+are ``ANY_SOURCE`` / ``ANY_TAG``, and reduce operations are named like
+their MPI counterparts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+import numpy as np
+
+from repro.errors import CollectiveError
+
+#: Match a receive against any sending rank.
+ANY_SOURCE: int = -1
+#: Match a receive against any tag.
+ANY_TAG: int = -1
+
+#: Default tag for sends that do not specify one.
+DEFAULT_TAG: int = 0
+
+
+def _op_sum(a: Any, b: Any) -> Any:
+    return a + b
+
+
+def _op_prod(a: Any, b: Any) -> Any:
+    return a * b
+
+
+def _op_max(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.maximum(a, b)
+    return max(a, b)
+
+
+def _op_min(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.minimum(a, b)
+    return min(a, b)
+
+
+def _op_land(a: Any, b: Any) -> Any:
+    return bool(a) and bool(b)
+
+
+def _op_lor(a: Any, b: Any) -> Any:
+    return bool(a) or bool(b)
+
+
+#: Named reduce operations available to ``reduce``/``allreduce``/``scan``.
+OPS: Dict[str, Callable[[Any, Any], Any]] = {
+    "sum": _op_sum,
+    "prod": _op_prod,
+    "max": _op_max,
+    "min": _op_min,
+    "land": _op_land,
+    "lor": _op_lor,
+}
+
+
+def get_op(name: str) -> Callable[[Any, Any], Any]:
+    """Look up a reduce operation by name."""
+    try:
+        return OPS[name]
+    except KeyError:
+        raise CollectiveError(
+            f"unknown reduce op {name!r}; have {sorted(OPS)}") from None
+
+
+def reduce_values(op_name: str, values: list) -> Any:
+    """Left-fold *values* (rank order) with the named operation.
+
+    Rank-ordered folding keeps floating-point results identical across
+    runs and mappings — the determinism guarantee the tests rely on.
+    """
+    if not values:
+        raise CollectiveError("reduce over zero values")
+    op = get_op(op_name)
+    acc = values[0]
+    for v in values[1:]:
+        acc = op(acc, v)
+    return acc

@@ -1,0 +1,94 @@
+"""Requests and wait descriptors for nonblocking AMPI operations.
+
+AMPI rank programs are coroutines: a *blocking* operation is expressed by
+``yield``-ing a descriptor; the hosting
+:class:`~repro.ampi.threadchare.RankChare` parks the coroutine until the
+descriptor is satisfiable and resumes it with the result — meanwhile the
+PE's message-driven scheduler runs other ranks and chares, which is
+precisely how AMPI masks latency (paper §2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+from repro.errors import AmpiError
+
+
+class Request:
+    """Handle for a nonblocking operation (isend/irecv).
+
+    Mirrors mpi4py's ``Request``: ``test()`` polls, and waiting happens
+    by yielding ``mpi.wait(req)`` / ``mpi.waitall(reqs)`` from the rank
+    program.
+    """
+
+    __slots__ = ("kind", "source", "tag", "complete", "value", "_consumed")
+
+    def __init__(self, kind: str, source: int = -1, tag: int = -1) -> None:
+        self.kind = kind          # "send" | "recv"
+        self.source = source
+        self.tag = tag
+        self.complete = False
+        self.value: Any = None
+        self._consumed = False
+
+    def test(self) -> bool:
+        """Nonblocking completion check."""
+        return self.complete
+
+    def fulfill(self, value: Any) -> None:
+        if self.complete:
+            raise AmpiError("request fulfilled twice")
+        self.complete = True
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.complete else "pending"
+        return f"<Request {self.kind} src={self.source} tag={self.tag} {state}>"
+
+
+# -- wait descriptors (the values rank coroutines yield) ---------------------
+
+
+@dataclass(frozen=True)
+class RecvWait:
+    """Block until a matching point-to-point message is available."""
+
+    source: int
+    tag: int
+    #: Return the full (source, tag, data) status triple instead of data.
+    with_status: bool = False
+
+
+@dataclass(frozen=True)
+class RequestWait:
+    """Block until one or all of the given requests complete."""
+
+    requests: tuple
+    wait_all: bool = True
+    #: ``mpi.wait(one_request)`` resumes with the bare value rather than
+    #: a one-element tuple.
+    single: bool = False
+
+
+@dataclass(frozen=True)
+class CollectiveWait:
+    """Block until the collective with this sequence number delivers."""
+
+    seq: int
+
+
+@dataclass(frozen=True)
+class NoWait:
+    """Resume immediately with ``value`` (uniformity helper).
+
+    Lets API methods that *sometimes* block (e.g. ``reduce`` on non-root
+    ranks) always return a yieldable object.
+    """
+
+    value: Any = None
+
+
+WaitDescriptor = (RecvWait, RequestWait, CollectiveWait, NoWait)

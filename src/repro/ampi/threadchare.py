@@ -1,0 +1,260 @@
+"""The rank chare: an MPI process as a migratable coroutine.
+
+AMPI (paper §2.1) "implements the MPI standard by encapsulating each MPI
+process within a user-level migratable thread.  By embedding each thread
+within a Charm++ object, AMPI programs can automatically take advantage
+of the features of the Charm++ runtime system."
+
+Here the user-level thread is a Python generator: the rank program is a
+generator function ``program(mpi, *args)`` that ``yield``-s wait
+descriptors at blocking MPI calls.  :class:`RankChare` hosts the
+generator, drives it forward inside entry-method executions, and parks
+it when a descriptor cannot complete — freeing the PE for other ranks
+and chares, which is exactly the latency-masking behaviour under test.
+
+Point-to-point ordering: MPI guarantees non-overtaking between a pair of
+ranks.  The underlying network may reorder (jittered WAN), so each sender
+numbers its messages per destination and the receiver releases them in
+sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.ampi.request import (
+    CollectiveWait,
+    NoWait,
+    RecvWait,
+    Request,
+    RequestWait,
+)
+from repro.core.chare import Chare
+from repro.core.method import entry
+from repro.ampi.datatypes import ANY_SOURCE, ANY_TAG
+from repro.errors import AmpiError, RankError
+
+
+def _matches(source: int, tag: int, want_source: int, want_tag: int) -> bool:
+    """Does an arrived (source, tag) satisfy a receive pattern?"""
+    return ((want_source == ANY_SOURCE or want_source == source)
+            and (want_tag == ANY_TAG or want_tag == tag))
+
+
+class RankChare(Chare):
+    """One MPI rank, hosted as a message-driven object.
+
+    Applications never instantiate this directly; use
+    :func:`repro.ampi.world.ampi_run`.
+    """
+
+    def __init__(self, rank: int, world) -> None:
+        super().__init__()
+        self.rank = rank
+        self.world = world
+        self._gen = None
+        self._parked: Optional[Any] = None
+        self._finished = False
+        self.return_value: Any = None
+
+        # Point-to-point machinery.
+        self._mailbox: List[Tuple[int, int, Any]] = []   # (source, tag, data)
+        self._posted: List[Request] = []                 # pending irecvs
+        self._send_seq: Dict[int, int] = {}              # per-dest counters
+        self._expected_seq: Dict[int, int] = {}          # per-source counters
+        self._stash: Dict[int, Dict[int, Tuple[int, Any]]] = {}
+
+        # Collective machinery.
+        self.coll_seq = 0                                # program-order count
+        self._coll_results: Dict[int, Any] = {}
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self.world.num_ranks
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    # -- entry methods ---------------------------------------------------------
+
+    @entry
+    def start(self) -> None:
+        """Boot the rank program (broadcast by the world at launch)."""
+        if self._gen is not None:
+            raise AmpiError(f"rank {self.rank} started twice")
+        self.charge(self.world.config.startup_overhead)
+        self._gen = self.world.make_program(self)
+        self._advance(None)
+
+    @entry
+    def p2p(self, src_rank: int, seq: int, tag: int, data: Any) -> None:
+        """A point-to-point payload arrived from *src_rank*."""
+        self.charge(self.world.config.op_overhead)
+        expected = self._expected_seq.get(src_rank, 0)
+        if seq != expected:
+            # Out-of-order (jittered WAN): stash until the gap fills.
+            self._stash.setdefault(src_rank, {})[seq] = (tag, data)
+            return
+        self._admit(src_rank, tag, data)
+        self._expected_seq[src_rank] = expected + 1
+        # Release any consecutive stashed successors.
+        stash = self._stash.get(src_rank, {})
+        nxt = expected + 1
+        while nxt in stash:
+            t, d = stash.pop(nxt)
+            self._admit(src_rank, t, d)
+            nxt += 1
+        self._expected_seq[src_rank] = nxt
+
+    @entry
+    def coll_result(self, seq: int, value: Any) -> None:
+        """This rank's share of collective #*seq* completed."""
+        self.charge(self.world.config.op_overhead)
+        if seq in self._coll_results:
+            raise AmpiError(
+                f"rank {self.rank}: duplicate collective result #{seq}")
+        self._coll_results[seq] = value
+        parked = self._parked
+        if isinstance(parked, CollectiveWait) and parked.seq == seq:
+            self._parked = None
+            self._advance(self._coll_results.pop(seq))
+
+    # -- p2p internals -------------------------------------------------------------
+
+    def _admit(self, source: int, tag: int, data: Any) -> None:
+        """An in-sequence message becomes visible to receives."""
+        # MPI matching order: posted (nonblocking) receives first.
+        for req in self._posted:
+            if not req.complete and _matches(source, tag,
+                                             req.source, req.tag):
+                req.fulfill((source, tag, data))
+                self._maybe_resume_requests()
+                return
+        self._mailbox.append((source, tag, data))
+        parked = self._parked
+        if isinstance(parked, RecvWait) and _matches(
+                source, tag, parked.source, parked.tag):
+            self._mailbox.pop()
+            self._parked = None
+            self._advance(self._recv_value(parked, source, tag, data))
+
+    @staticmethod
+    def _recv_value(desc: RecvWait, source: int, tag: int, data: Any) -> Any:
+        return (source, tag, data) if desc.with_status else data
+
+    def _try_mailbox(self, desc: RecvWait) -> Optional[Tuple[Any]]:
+        """Pop the first mailbox entry matching *desc*, if any."""
+        for i, (source, tag, data) in enumerate(self._mailbox):
+            if _matches(source, tag, desc.source, desc.tag):
+                del self._mailbox[i]
+                return (self._recv_value(desc, source, tag, data),)
+        return None
+
+    def _maybe_resume_requests(self) -> None:
+        parked = self._parked
+        if not isinstance(parked, RequestWait):
+            return
+        ready = self._requests_ready(parked)
+        if ready is not None:
+            self._parked = None
+            self._advance(ready[0])
+
+    def _requests_ready(self, desc: RequestWait) -> Optional[Tuple[Any]]:
+        reqs = desc.requests
+        if desc.wait_all:
+            if all(r.complete for r in reqs):
+                values = tuple(self._consume(r) for r in reqs)
+                return (values[0],) if desc.single else (values,)
+            return None
+        for i, r in enumerate(reqs):
+            if r.complete:
+                return ((i, self._consume(r)),)
+        return None
+
+    def _consume(self, req: Request) -> Any:
+        if req in self._posted:
+            self._posted.remove(req)
+        if req.kind == "recv":
+            source, tag, data = req.value
+            return data
+        return None
+
+    # -- API-facing helpers (called by MpiHandle between yields) --------------------
+
+    def api_send(self, dest: int, tag: int, data: Any,
+                 size: Optional[int]) -> None:
+        if not (0 <= dest < self.size):
+            raise RankError(f"send to invalid rank {dest}")
+        seq = self._send_seq.get(dest, 0)
+        self._send_seq[dest] = seq + 1
+        self.charge(self.world.config.op_overhead)
+        self.world.rank_element(dest).p2p(
+            self.rank, seq, tag, data, _size=size, _tag=f"mpi:p2p t{tag}")
+
+    def api_post_irecv(self, source: int, tag: int) -> Request:
+        req = Request("recv", source=source, tag=tag)
+        # Match against already-arrived messages first.
+        for i, (src, t, data) in enumerate(self._mailbox):
+            if _matches(src, t, source, tag):
+                del self._mailbox[i]
+                req.fulfill((src, t, data))
+                return req
+        self._posted.append(req)
+        return req
+
+    def api_contribute_collective(self, kind: str, op: Optional[str],
+                                  root: int, value: Any) -> int:
+        """Join the next collective; returns its sequence number."""
+        seq = self.coll_seq
+        self.coll_seq += 1
+        self.charge(self.world.config.op_overhead)
+        self.contribute(((kind, op, root), value), "concat",
+                        self.world.collective_target(seq))
+        return seq
+
+    # -- the coroutine driver ------------------------------------------------------------
+
+    def _advance(self, send_value: Any) -> None:
+        """Resume the rank program until it parks or finishes."""
+        if self._gen is None:
+            raise AmpiError(f"rank {self.rank} not started")
+        if self._finished:
+            raise AmpiError(f"rank {self.rank} resumed after finishing")
+        value = send_value
+        while True:
+            try:
+                desc = self._gen.send(value)
+            except StopIteration as stop:
+                self._finished = True
+                self.return_value = stop.value
+                self.world.rank_done(self.rank, stop.value)
+                return
+            ready = self._poll(desc)
+            if ready is None:
+                self._parked = desc
+                return
+            value = ready[0]
+
+    def _poll(self, desc: Any) -> Optional[Tuple[Any]]:
+        """Try to satisfy *desc* now; None means 'must park'."""
+        if isinstance(desc, NoWait):
+            return (desc.value,)
+        if isinstance(desc, RecvWait):
+            return self._try_mailbox(desc)
+        if isinstance(desc, RequestWait):
+            return self._requests_ready(desc)
+        if isinstance(desc, CollectiveWait):
+            if desc.seq in self._coll_results:
+                return (self._coll_results.pop(desc.seq),)
+            return None
+        raise AmpiError(
+            f"rank program yielded {desc!r}; yield only objects produced "
+            "by the mpi handle (recv, wait, barrier, ...)")
+
+    def pack_size(self) -> int:
+        """Rank state on the wire: mailbox plus a nominal stack."""
+        from repro.core.method import payload_bytes
+        return 1024 + sum(payload_bytes(d) for (_s, _t, d) in self._mailbox)

@@ -1,0 +1,149 @@
+"""AMPI world lifecycle: boot ranks, run, collect results.
+
+:func:`ampi_run` is the mpiexec of the simulated grid:
+
+>>> world = ampi_run(env, program, num_ranks=8)
+>>> world.results[0]          # each rank's return value
+>>> world.finished_at         # virtual completion time (seconds)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.ampi.api import MpiHandle
+from repro.ampi.collectives import check_uniform, compute_results, waiting_ranks
+from repro.ampi.communicator import AmpiConfig, Communicator
+from repro.ampi.threadchare import RankChare
+from repro.core.mapping import BlockMapping
+from repro.core.method import payload_bytes
+from repro.errors import AmpiError, CollectiveError
+from repro.grid.environment import GridEnvironment
+
+
+class AmpiWorld:
+    """All host-side state of one AMPI job on one environment."""
+
+    def __init__(self, env: GridEnvironment, program: Callable,
+                 num_ranks: int, mapping=None,
+                 program_args: tuple = (),
+                 config: Optional[AmpiConfig] = None) -> None:
+        self.env = env
+        self.rts = env.runtime
+        self.program = program
+        self.program_args = program_args
+        self.num_ranks = num_ranks
+        self.config = config or AmpiConfig()
+
+        self.results: Dict[int, Any] = {}
+        self.finished_at: Optional[float] = None
+        self._done_count = 0
+
+        proxy = self.rts.create_array(
+            RankChare, list(range(num_ranks)),
+            mapping if mapping is not None else BlockMapping(),
+            args_of=lambda idx: ((idx[0], self), {}))
+        self.comm = Communicator(self.rts, proxy, num_ranks)
+        self._launched = False
+
+    # -- wiring used by RankChare --------------------------------------------
+
+    def make_program(self, chare: RankChare):
+        """Instantiate the rank program generator for *chare*."""
+        gen = self.program(MpiHandle(chare), *self.program_args)
+        if not hasattr(gen, "send"):
+            raise AmpiError(
+                "the rank program must be a generator function "
+                "(use `yield mpi.recv(...)` style blocking calls)")
+        return gen
+
+    def rank_element(self, rank: int):
+        return self.comm.element(rank)
+
+    def collective_target(self, seq: int) -> Callable:
+        """Reduction callback finishing collective #*seq*.
+
+        Receives the rank-ordered ``[(index, ((kind, op, root), value))]``
+        pairs from the runtime's concat reduction, validates uniformity,
+        computes per-rank results and messages the waiting ranks.
+        """
+
+        def finish_collective(pairs: List) -> None:
+            if len(pairs) != self.num_ranks:
+                raise CollectiveError(
+                    f"collective #{seq}: {len(pairs)} contributions for "
+                    f"{self.num_ranks} ranks")
+            triples = [p[1][0] for p in pairs]
+            kind, op, root = triples[0]
+            check_uniform(kind, op, root, triples)
+            values = [p[1][1] for p in pairs]
+            results = compute_results(kind, op, root, values)
+            for rank in waiting_ranks(kind, root, self.num_ranks):
+                value = results.get(rank)
+                self.rank_element(rank).coll_result(
+                    seq, value,
+                    _size=64 + payload_bytes(value),
+                    _tag=f"mpi:{kind}#{seq}")
+
+        finish_collective.__name__ = f"collective_{seq}"
+        return finish_collective
+
+    def rank_done(self, rank: int, value: Any) -> None:
+        if rank in self.results:
+            raise AmpiError(f"rank {rank} finished twice")
+        self.results[rank] = value
+        self._done_count += 1
+        if self._done_count == self.num_ranks:
+            self.finished_at = self.rts.now
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def launch(self) -> None:
+        """Broadcast ``start`` to every rank (idempotence-guarded)."""
+        if self._launched:
+            raise AmpiError("world already launched")
+        self._launched = True
+        self.comm.proxy.start()
+
+    def run(self, until: Optional[float] = None) -> "AmpiWorld":
+        """Launch if needed and drain the simulation."""
+        if not self._launched:
+            self.launch()
+        self.env.run(until)
+        return self
+
+    @property
+    def all_finished(self) -> bool:
+        return self._done_count == self.num_ranks
+
+    def results_in_rank_order(self) -> List[Any]:
+        """Rank return values as a list (raises if any rank is unfinished)."""
+        if not self.all_finished:
+            missing = [r for r in range(self.num_ranks)
+                       if r not in self.results]
+            raise AmpiError(f"ranks {missing} never finished "
+                            "(deadlock in the rank program?)")
+        return [self.results[r] for r in range(self.num_ranks)]
+
+
+def ampi_run(env: GridEnvironment, program: Callable,
+             num_ranks: Optional[int] = None, mapping=None,
+             program_args: tuple = (),
+             config: Optional[AmpiConfig] = None) -> AmpiWorld:
+    """Run an AMPI program to completion on *env*; returns the world.
+
+    Parameters
+    ----------
+    program:
+        Generator function ``program(mpi, *program_args)``.
+    num_ranks:
+        Defaults to one rank per PE; pass more for virtualization —
+        AMPI's whole point is that ranks may (and should) outnumber PEs.
+    mapping:
+        Rank placement; defaults to block mapping, which puts the first
+        half of the ranks on the first cluster, matching the paper.
+    """
+    ranks = num_ranks if num_ranks is not None else env.topology.num_pes
+    world = AmpiWorld(env, program, ranks, mapping=mapping,
+                      program_args=program_args, config=config)
+    return world.run()

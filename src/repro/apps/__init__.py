@@ -1,0 +1,1 @@
+"""Applications: the paper's two experimental workloads."""

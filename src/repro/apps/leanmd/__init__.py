@@ -1,0 +1,62 @@
+"""LeanMD: classical molecular dynamics on message-driven objects
+(paper §4, §5.3).
+
+216 cells, 3,024 cell-pair objects, coordinate multicasts and force
+returns — the paper's "more representative of realistic scientific
+codes" workload.
+"""
+
+from repro.apps.leanmd.cell import Cell, LeanMDRunConfig
+from repro.apps.leanmd.cellpair import CellPair
+from repro.apps.leanmd.costs import DEFAULT_LEANMD_COSTS, LeanMDCostModel
+from repro.apps.leanmd.driver import LeanMDApp, LeanMDResult, run_leanmd
+from repro.apps.leanmd.forces import (
+    interaction_count,
+    pair_forces,
+    self_forces,
+)
+from repro.apps.leanmd.geometry import (
+    NEIGHBOR_OFFSETS,
+    CellGrid,
+    pair_index,
+    split_pair,
+)
+from repro.apps.leanmd.integrator import integrate, kinetic_energy
+from repro.apps.leanmd.reference import (
+    ReferenceTrajectory,
+    run_reference,
+    total_forces,
+)
+from repro.apps.leanmd.system import (
+    CellState,
+    MdParams,
+    MdSystem,
+    build_system,
+)
+
+__all__ = [
+    "LeanMDApp",
+    "LeanMDResult",
+    "run_leanmd",
+    "Cell",
+    "CellPair",
+    "LeanMDRunConfig",
+    "LeanMDCostModel",
+    "DEFAULT_LEANMD_COSTS",
+    "CellGrid",
+    "pair_index",
+    "split_pair",
+    "NEIGHBOR_OFFSETS",
+    "MdParams",
+    "MdSystem",
+    "CellState",
+    "build_system",
+    "pair_forces",
+    "self_forces",
+    "interaction_count",
+    "integrate",
+    "kinetic_energy",
+    "run_reference",
+    "total_forces",
+    "ReferenceTrajectory",
+]

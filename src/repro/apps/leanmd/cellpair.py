@@ -1,0 +1,108 @@
+"""The CellPair chare: computes one pair of cells' interactions.
+
+Paper §4: "Each cell pair calculates forces on the two sets of atoms it
+receives, and sends them back to the two cells ... the computations in
+each cell pair depend on messages from at most two other objects,
+possibly on two different processors."
+
+A neighbour pair waits for both cells' coordinates for the step; a
+self-pair needs only its own cell's.  Pairs whose two cells live on
+different clusters are the paper's "subset B" — their inputs cross the
+WAN, and their waits are what the scheduler overlaps with subset-A work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.apps.leanmd.cell import LeanMDRunConfig
+from repro.apps.leanmd.forces import interaction_count, pair_forces, self_forces
+from repro.apps.leanmd.geometry import CellIndex, PairIndex, split_pair
+from repro.apps.leanmd.system import MdParams
+from repro.core.chare import Chare
+from repro.core.method import entry
+from repro.errors import ConfigurationError
+
+
+class CellPair(Chare):
+    """One cell-pair interaction object."""
+
+    def __init__(self, pidx: PairIndex, params: MdParams,
+                 config: LeanMDRunConfig, cells_proxy,
+                 box: np.ndarray,
+                 charges_a: Optional[np.ndarray],
+                 charges_b: Optional[np.ndarray]) -> None:
+        super().__init__()
+        self.pidx = pidx
+        self.cell_a, self.cell_b = split_pair(pidx)
+        self.is_self = self.cell_a == self.cell_b
+        self.params = params
+        self.config = config
+        self.cells_proxy = cells_proxy
+        self.box = box
+        self.charges_a = charges_a
+        self.charges_b = charges_b
+        self._coords_buf: Dict[int, Dict[CellIndex, Any]] = {}
+
+    @property
+    def expected_inputs(self) -> int:
+        return 1 if self.is_self else 2
+
+    # -- entry methods ----------------------------------------------------------
+
+    @entry
+    def coords(self, step: int, cell_idx: tuple, positions: Any) -> None:
+        """A member cell published its coordinates for *step*."""
+        cell_idx = tuple(cell_idx)
+        if cell_idx not in (self.cell_a, self.cell_b):
+            raise ConfigurationError(
+                f"pair {self.pidx} got coords from non-member {cell_idx}")
+        buf = self._coords_buf.setdefault(step, {})
+        if cell_idx in buf:
+            raise ConfigurationError(
+                f"pair {self.pidx} got duplicate coords from {cell_idx} "
+                f"at step {step}")
+        buf[cell_idx] = positions
+        self.charge(self.config.costs.coords_recv_cost())
+        if len(buf) == self.expected_inputs:
+            self._compute(step)
+
+    # -- force computation ----------------------------------------------------------
+
+    def _compute(self, step: int) -> None:
+        cfg = self.config
+        buf = self._coords_buf.pop(step)
+        n = cfg.atoms_per_cell
+        self.charge(cfg.costs.pair_compute_cost(
+            interaction_count(n, n, self.is_self)))
+
+        size = n * 24 + 64
+        if cfg.payload != "real":
+            self.cells_proxy[self.cell_a].forces_from(
+                step, self.pidx, None, 0.0, _size=size, _tag="forces")
+            if not self.is_self:
+                self.cells_proxy[self.cell_b].forces_from(
+                    step, self.pidx, None, 0.0, _size=size, _tag="forces")
+            return
+
+        if self.is_self:
+            forces, potential = self_forces(
+                buf[self.cell_a], self.charges_a, self.box, self.params)
+            self.cells_proxy[self.cell_a].forces_from(
+                step, self.pidx, forces, potential, _size=size,
+                _tag="forces")
+        else:
+            f_a, f_b, potential = pair_forces(
+                buf[self.cell_a], buf[self.cell_b],
+                self.charges_a, self.charges_b, self.box, self.params)
+            # Potential travels with cell_a's share only (no double count).
+            self.cells_proxy[self.cell_a].forces_from(
+                step, self.pidx, f_a, potential, _size=size, _tag="forces")
+            self.cells_proxy[self.cell_b].forces_from(
+                step, self.pidx, f_b, 0.0, _size=size, _tag="forces")
+
+    def pack_size(self) -> int:
+        n = self.config.atoms_per_cell
+        return 512 + (0 if self.charges_a is None else 2 * n * 8)

@@ -1,0 +1,69 @@
+"""Calibrated cost model for LeanMD on the paper's hardware.
+
+Anchor (paper §5.3): "Each computation step is about 8 second[s] on a
+single processor" for 216 cells / 3,024 cell-pair objects.  With the
+default 64 atoms/cell the step performs ~11.9 M pairwise distance
+evaluations (2,808 neighbour pairs x 64x64 + 216 self-pairs x C(64,2)),
+giving ~650 ns per evaluation on the 1.5 GHz Itanium-2 — plausible for
+an unoptimized kernel with sqrt and several divisions per interaction.
+
+Message-handling constants are the same era-scale values as the stencil
+model (~10-20 us per message through the runtime + VMI stack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CalibrationError
+
+
+@dataclass(frozen=True)
+class LeanMDCostModel:
+    """Virtual-time costs of LeanMD entry methods."""
+
+    #: Seconds per pairwise distance evaluation in a cell-pair object.
+    per_interaction: float = 650e-9
+    #: Fixed cost of one cell-pair force computation (setup, buffers).
+    pair_fixed: float = 20e-6
+    #: Seconds per atom to fold one arriving force contribution.
+    force_fold_per_atom: float = 40e-9
+    #: Fixed cost of handling one arriving message (coords or forces).
+    msg_fixed: float = 10e-6
+    #: Seconds per atom for the integrate (kick-drift) update.
+    integrate_per_atom: float = 600e-9
+    #: Fixed integrate cost.
+    integrate_fixed: float = 15e-6
+    #: Packing cost per destination PE of a coordinate multicast.
+    multicast_per_target: float = 8e-6
+
+    def __post_init__(self) -> None:
+        for name in ("per_interaction", "pair_fixed", "force_fold_per_atom",
+                     "msg_fixed", "integrate_per_atom", "integrate_fixed",
+                     "multicast_per_target"):
+            if getattr(self, name) < 0:
+                raise CalibrationError(f"{name} must be >= 0")
+
+    def pair_compute_cost(self, interactions: int) -> float:
+        """One cell-pair force evaluation over *interactions* atom pairs."""
+        return self.pair_fixed + self.per_interaction * interactions
+
+    def coords_recv_cost(self) -> float:
+        """A cell-pair receiving one cell's coordinates."""
+        return self.msg_fixed
+
+    def force_recv_cost(self, natoms: int) -> float:
+        """A cell folding one pair's force contribution."""
+        return self.msg_fixed + self.force_fold_per_atom * natoms
+
+    def integrate_cost(self, natoms: int) -> float:
+        """A cell integrating its atoms after all forces arrived."""
+        return self.integrate_fixed + self.integrate_per_atom * natoms
+
+    def multicast_cost(self, num_target_pes: int) -> float:
+        """A cell packing its coordinate multicast."""
+        return self.multicast_per_target * max(num_target_pes, 1)
+
+
+#: Calibration used by the paper-reproduction benchmarks.
+DEFAULT_LEANMD_COSTS = LeanMDCostModel()

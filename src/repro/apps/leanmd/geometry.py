@@ -1,0 +1,129 @@
+"""Cell-grid geometry for LeanMD.
+
+Paper §4: atoms are partitioned into a grid of cells; "electrostatic (and
+van der Waal's) interactions between every pair of neighboring cells are
+computed by a separate cell-pair object ... it then multicasts its atom's
+coordinates to the 26 cell-pairs that depend on it ... in the benchmark
+used in this paper, there are 216 cells and 3,024 cell pairs."
+
+216 = 6x6x6 cells; 3,024 = 2,808 distinct 26-neighbour pairs (periodic)
+plus 216 self-pairs (intra-cell interactions).  This module reproduces
+that object graph for any grid shape:
+
+* cell indices are ``(x, y, z)`` tuples;
+* pair indices are 6-tuples ``cell_a + cell_b`` with ``cell_a <= cell_b``
+  lexicographically (self-pairs have ``cell_a == cell_b``);
+* wrapping duplicates in small grids are deduplicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+
+CellIndex = Tuple[int, int, int]
+PairIndex = Tuple[int, int, int, int, int, int]
+
+#: The 26 neighbour offsets of a cell (3x3x3 cube minus the centre).
+NEIGHBOR_OFFSETS: Tuple[CellIndex, ...] = tuple(
+    off for off in product((-1, 0, 1), repeat=3) if off != (0, 0, 0))
+
+
+def pair_index(cell_a: CellIndex, cell_b: CellIndex) -> PairIndex:
+    """Canonical (ordered) pair index of two cells."""
+    lo, hi = (cell_a, cell_b) if cell_a <= cell_b else (cell_b, cell_a)
+    return lo + hi
+
+
+def split_pair(pair: PairIndex) -> Tuple[CellIndex, CellIndex]:
+    """Inverse of :func:`pair_index`."""
+    return pair[:3], pair[3:]
+
+
+@dataclass(frozen=True)
+class CellGrid:
+    """A periodic grid of interaction cells.
+
+    Parameters
+    ----------
+    shape:
+        Cells along each axis; the paper's benchmark is ``(6, 6, 6)``.
+    """
+
+    shape: CellIndex
+
+    def __post_init__(self) -> None:
+        if len(self.shape) != 3 or any(s <= 0 for s in self.shape):
+            raise ConfigurationError(f"bad cell-grid shape {self.shape!r}")
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def num_cells(self) -> int:
+        sx, sy, sz = self.shape
+        return sx * sy * sz
+
+    def cells(self) -> List[CellIndex]:
+        """All cell indices, lexicographically ordered."""
+        sx, sy, sz = self.shape
+        return [(x, y, z) for x in range(sx) for y in range(sy)
+                for z in range(sz)]
+
+    def wrap(self, raw: CellIndex) -> CellIndex:
+        """Periodic wrap of a possibly out-of-range index."""
+        return (raw[0] % self.shape[0], raw[1] % self.shape[1],
+                raw[2] % self.shape[2])
+
+    def neighbors(self, cell: CellIndex) -> List[CellIndex]:
+        """Distinct neighbouring cells (excluding *cell* itself).
+
+        On grids narrower than 3 along an axis, several offsets wrap to
+        the same neighbour; duplicates (and wraps back onto *cell*) are
+        removed, keeping the pair graph simple.
+        """
+        self._check(cell)
+        seen = set()
+        for off in NEIGHBOR_OFFSETS:
+            nbr = self.wrap((cell[0] + off[0], cell[1] + off[1],
+                             cell[2] + off[2]))
+            if nbr != cell:
+                seen.add(nbr)
+        return sorted(seen)
+
+    # -- the pair graph ------------------------------------------------------
+
+    def pairs(self) -> List[PairIndex]:
+        """All cell-pair object indices (neighbour pairs + self-pairs)."""
+        out = set()
+        for cell in self.cells():
+            out.add(pair_index(cell, cell))
+            for nbr in self.neighbors(cell):
+                out.add(pair_index(cell, nbr))
+        return sorted(out)
+
+    def pairs_of_cell(self, cell: CellIndex) -> List[PairIndex]:
+        """The pair objects depending on *cell* (its multicast section)."""
+        self._check(cell)
+        out = {pair_index(cell, cell)}
+        for nbr in self.neighbors(cell):
+            out.add(pair_index(cell, nbr))
+        return sorted(out)
+
+    def pair_counts(self) -> Dict[str, int]:
+        """Summary counts (used by tests against the paper's numbers)."""
+        pairs = self.pairs()
+        self_pairs = sum(1 for p in pairs if p[:3] == p[3:])
+        return {
+            "cells": self.num_cells,
+            "pairs": len(pairs),
+            "self_pairs": self_pairs,
+            "neighbor_pairs": len(pairs) - self_pairs,
+        }
+
+    def _check(self, cell: CellIndex) -> None:
+        if self.wrap(cell) != cell:
+            raise ConfigurationError(
+                f"cell {cell} outside grid {self.shape}")

@@ -1,0 +1,39 @@
+"""Time integration for LeanMD cells.
+
+Paper §4: "In each time-step, each cell 'integrates' all forces on its
+atoms, and changes their positions based on new acceleration and
+velocities calculated."  That is a kick-then-drift (symplectic Euler /
+leapfrog) step, which we implement verbatim; positions are wrapped back
+into the periodic box.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.apps.leanmd.system import MdParams
+
+
+def integrate(positions: np.ndarray, velocities: np.ndarray,
+              forces: np.ndarray, box: np.ndarray, params: MdParams
+              ) -> Tuple[np.ndarray, np.ndarray]:
+    """One kick-drift step; returns new ``(positions, velocities)``.
+
+    Inputs are not modified (cells keep the previous step's state until
+    every force contribution has been folded in).
+    """
+    if positions.shape != velocities.shape or positions.shape != forces.shape:
+        raise ValueError(
+            f"shape mismatch: pos {positions.shape}, vel "
+            f"{velocities.shape}, f {forces.shape}")
+    new_v = velocities + (params.dt / params.mass) * forces
+    new_x = positions + params.dt * new_v
+    new_x = np.mod(new_x, box)   # periodic wrap
+    return new_x, new_v
+
+
+def kinetic_energy(velocities: np.ndarray, params: MdParams) -> float:
+    """Total kinetic energy of one cell's atoms."""
+    return 0.5 * params.mass * float(np.sum(velocities * velocities))

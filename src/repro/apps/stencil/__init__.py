@@ -1,0 +1,56 @@
+"""Five-point stencil application (paper §4, §5.2).
+
+A 2048x2048 Jacobi relaxation decomposed into 4-1024 chares (or AMPI
+ranks), the paper's vehicle for sweeping the degree of virtualization
+against injected wide-area latency.
+"""
+
+from repro.apps.stencil.ampi_driver import AmpiStencilApp, stencil_rank_program
+from repro.apps.stencil.chares import StencilBlock, StencilRunConfig
+from repro.apps.stencil.deep_ghost import (
+    DeepGhostConfig,
+    DeepGhostStencilApp,
+    DeepStencilBlock,
+    deep_jacobi_phase,
+    redundant_cells,
+)
+from repro.apps.stencil.costs import DEFAULT_STENCIL_COSTS, StencilCostModel
+from repro.apps.stencil.decomposition import (
+    DIRECTIONS,
+    OPPOSITE,
+    BlockDecomposition,
+    factor_grid,
+)
+from repro.apps.stencil.driver import StencilApp, StencilResult, run_stencil
+from repro.apps.stencil.kernel import (
+    jacobi_step,
+    make_initial_mesh,
+    residual,
+)
+from repro.apps.stencil.reference import checksum, run_reference
+
+__all__ = [
+    "DeepGhostStencilApp",
+    "DeepGhostConfig",
+    "DeepStencilBlock",
+    "deep_jacobi_phase",
+    "redundant_cells",
+    "StencilApp",
+    "StencilResult",
+    "run_stencil",
+    "AmpiStencilApp",
+    "stencil_rank_program",
+    "StencilBlock",
+    "StencilRunConfig",
+    "StencilCostModel",
+    "DEFAULT_STENCIL_COSTS",
+    "BlockDecomposition",
+    "factor_grid",
+    "DIRECTIONS",
+    "OPPOSITE",
+    "jacobi_step",
+    "residual",
+    "make_initial_mesh",
+    "run_reference",
+    "checksum",
+]

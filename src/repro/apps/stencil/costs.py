@@ -1,0 +1,71 @@
+"""Calibrated cost model for the stencil application.
+
+Targets the paper's 1.5 GHz Itanium-2 nodes.  The calibration anchors
+(derived in :mod:`repro.bench.calibration`, summarized here):
+
+* Table 1, 2 PEs / 16 objects: 75.05 ms/step with 2 M cells/PE and the
+  512x512 working set (~2 MiB x 2 arrays) partially in L3
+  -> ~35 ns/cell effective base rate.
+* Table 1, 2 PEs / 4 objects: 85.77 ms/step — the same cells with an
+  8 MiB x 2 working set spilling L3 -> ~16% DRAM penalty (the §5.2
+  "improved cache performance because of smaller grainsize" anomaly).
+* Per-ghost handling of a few microseconds plus ~2 ns/byte copy, the
+  scale of a memcpy plus scheduler dispatch on that hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.costs import CacheHierarchy
+from repro.errors import CalibrationError
+
+
+@dataclass(frozen=True)
+class StencilCostModel:
+    """Virtual-time costs of the stencil entry methods.
+
+    Parameters
+    ----------
+    per_cell:
+        Base seconds per cell update with a cache-resident working set.
+    cache:
+        Cache model supplying the working-set multiplier.
+    ghost_fixed:
+        Fixed seconds to unpack/copy one arriving ghost vector.
+    ghost_per_byte:
+        Additional per-byte copy cost of a ghost vector.
+    send_fixed:
+        Per-message packing cost charged when posting a ghost send.
+    """
+
+    per_cell: float = 35e-9
+    cache: CacheHierarchy = field(default_factory=CacheHierarchy)
+    ghost_fixed: float = 12e-6
+    ghost_per_byte: float = 2e-9
+    send_fixed: float = 8e-6
+
+    def __post_init__(self) -> None:
+        if self.per_cell <= 0:
+            raise CalibrationError("per_cell must be positive")
+        for name in ("ghost_fixed", "ghost_per_byte", "send_fixed"):
+            if getattr(self, name) < 0:
+                raise CalibrationError(f"{name} must be >= 0")
+
+    def compute_cost(self, block_rows: int, block_cols: int) -> float:
+        """One Jacobi update of a ``rows x cols`` block."""
+        cells = block_rows * block_cols
+        working_set = 2 * (block_rows + 2) * (block_cols + 2) * 8
+        return self.per_cell * self.cache.factor(working_set) * cells
+
+    def ghost_cost(self, ghost_bytes: int) -> float:
+        """Receiving + copying one ghost vector into the halo."""
+        return self.ghost_fixed + self.ghost_per_byte * ghost_bytes
+
+    def send_cost(self, num_neighbors: int) -> float:
+        """Packing ghost vectors for all neighbors after an update."""
+        return self.send_fixed * num_neighbors
+
+
+#: The calibration used by the paper-reproduction benchmarks.
+DEFAULT_STENCIL_COSTS = StencilCostModel()

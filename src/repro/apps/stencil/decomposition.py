@@ -1,0 +1,154 @@
+"""Block decomposition of the stencil mesh onto chares.
+
+Paper §4: "The problem is decomposed using virtualization by dividing
+the cells within the mesh evenly among a specified number of objects.
+For example, for a 2048x2048 mesh divided among 64 objects, 8 objects
+are mapped along each axis of the mesh.  Accordingly, each object has a
+256x256 square section of the mesh to operate upon.  During each time
+step, each object communicates values for a 256x1 vector of cells to its
+appropriate neighbor."
+
+:class:`BlockDecomposition` is pure geometry: block shapes, index
+arithmetic, neighbor relationships, ghost-vector sizes.  Both the chare
+and AMPI stencil implementations build on it, as do the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+
+#: The four stencil directions and their inverses.
+DIRECTIONS = ("north", "south", "west", "east")
+OPPOSITE: Dict[str, str] = {
+    "north": "south", "south": "north", "west": "east", "east": "west",
+}
+
+
+def factor_grid(objects: int) -> Tuple[int, int]:
+    """Factor an object count into the most-square ``(rows, cols)`` grid.
+
+    Perfect squares (the paper's 4, 16, 64, 256, 1024) factor as
+    ``(sqrt, sqrt)``; other counts get the balanced factor pair closest
+    to square, e.g. 32 -> (4, 8).
+    """
+    if objects <= 0:
+        raise ConfigurationError(f"need a positive object count: {objects}")
+    best = (1, objects)
+    for rows in range(1, int(math.isqrt(objects)) + 1):
+        if objects % rows == 0:
+            best = (rows, objects // rows)
+    return best
+
+
+@dataclass(frozen=True)
+class BlockDecomposition:
+    """Geometry of an ``ny x nx`` mesh split into ``brows x bcols`` blocks.
+
+    Indices are ``(bi, bj)`` — block row, block column.  The mesh must
+    divide evenly (the paper's mesh/object combinations all do).
+    """
+
+    mesh_rows: int
+    mesh_cols: int
+    brows: int
+    bcols: int
+
+    @classmethod
+    def regular(cls, mesh: Tuple[int, int], objects: int
+                ) -> "BlockDecomposition":
+        """Decompose *mesh* into *objects* equal blocks (paper style)."""
+        rows, cols = mesh
+        brows, bcols = factor_grid(objects)
+        return cls(rows, cols, brows, bcols)
+
+    def __post_init__(self) -> None:
+        if self.mesh_rows <= 0 or self.mesh_cols <= 0:
+            raise ConfigurationError(
+                f"bad mesh {self.mesh_rows}x{self.mesh_cols}")
+        if self.brows <= 0 or self.bcols <= 0:
+            raise ConfigurationError(
+                f"bad block grid {self.brows}x{self.bcols}")
+        if self.mesh_rows % self.brows or self.mesh_cols % self.bcols:
+            raise ConfigurationError(
+                f"mesh {self.mesh_rows}x{self.mesh_cols} does not divide "
+                f"into a {self.brows}x{self.bcols} block grid")
+
+    # -- shapes ------------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return self.brows * self.bcols
+
+    @property
+    def block_rows(self) -> int:
+        """Interior rows per block."""
+        return self.mesh_rows // self.brows
+
+    @property
+    def block_cols(self) -> int:
+        """Interior columns per block."""
+        return self.mesh_cols // self.bcols
+
+    @property
+    def cells_per_block(self) -> int:
+        return self.block_rows * self.block_cols
+
+    def ghost_bytes(self, direction: str) -> int:
+        """Wire size of one ghost vector (float64 cells)."""
+        if direction in ("north", "south"):
+            return self.block_cols * 8
+        if direction in ("west", "east"):
+            return self.block_rows * 8
+        raise ConfigurationError(f"unknown direction {direction!r}")
+
+    def working_set_bytes(self) -> int:
+        """Bytes one block touches per update (two padded float64 arrays)."""
+        padded = (self.block_rows + 2) * (self.block_cols + 2)
+        return 2 * padded * 8
+
+    # -- index arithmetic --------------------------------------------------------
+
+    def indices(self) -> List[Tuple[int, int]]:
+        """All block indices in row-major order."""
+        return [(bi, bj) for bi in range(self.brows)
+                for bj in range(self.bcols)]
+
+    def interior_slices(self, bi: int, bj: int) -> Tuple[slice, slice]:
+        """Mesh slices covered by block ``(bi, bj)``."""
+        self._check_block(bi, bj)
+        r0 = bi * self.block_rows
+        c0 = bj * self.block_cols
+        return (slice(r0, r0 + self.block_rows),
+                slice(c0, c0 + self.block_cols))
+
+    def neighbors(self, bi: int, bj: int) -> Dict[str, Tuple[int, int]]:
+        """Existing neighbors of a block, keyed by direction.
+
+        The global mesh boundary is fixed (Dirichlet), so edge blocks
+        simply have fewer neighbors — and fewer messages, like the paper.
+        """
+        self._check_block(bi, bj)
+        out: Dict[str, Tuple[int, int]] = {}
+        if bi > 0:
+            out["north"] = (bi - 1, bj)
+        if bi < self.brows - 1:
+            out["south"] = (bi + 1, bj)
+        if bj > 0:
+            out["west"] = (bi, bj - 1)
+        if bj < self.bcols - 1:
+            out["east"] = (bi, bj + 1)
+        return out
+
+    def _check_block(self, bi: int, bj: int) -> None:
+        if not (0 <= bi < self.brows and 0 <= bj < self.bcols):
+            raise ConfigurationError(
+                f"block ({bi}, {bj}) outside {self.brows}x{self.bcols}")
+
+    def describe(self) -> str:
+        return (f"{self.mesh_rows}x{self.mesh_cols} mesh as "
+                f"{self.brows}x{self.bcols} blocks of "
+                f"{self.block_rows}x{self.block_cols}")

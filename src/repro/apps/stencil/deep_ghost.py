@@ -1,0 +1,430 @@
+"""Ghost-zone expansion: the algorithm-level alternative (paper §3).
+
+The paper contrasts its runtime-level latency masking with Ding & He's
+*ghost cell expansion* [6]: widen each block's halo to ``depth`` cells,
+exchange every ``depth`` steps, and compute the intermediate steps
+locally on a shrinking valid region.  Fewer, larger messages trade
+redundant computation for latency amortization — a pattern-specific
+technique (it "is not applicable to all problems such as ... LeanMD"),
+which is exactly why it makes the right ablation baseline for the
+runtime-level approach.
+
+The exchange is two-phase, eliminating diagonal messages as in [6]:
+
+1. north/south strips of the block's top/bottom ``depth`` interior rows;
+2. after both arrive, west/east strips of the *full padded height* —
+   the freshly installed north/south halo rows ride along, which is
+   what covers the corner dependencies without eight-neighbour traffic.
+
+Numerics remain **bit-identical** to the plain stencil and the
+sequential reference (the tests pin this), because every cell still
+sees exactly the five-point update on exactly the same values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.stencil.costs import DEFAULT_STENCIL_COSTS, StencilCostModel
+from repro.apps.stencil.decomposition import BlockDecomposition
+from repro.apps.stencil.driver import StencilResult
+from repro.apps.stencil.kernel import make_initial_mesh
+from repro.core.chare import Chare
+from repro.core.mapping import grid2d_split_mapping
+from repro.core.method import entry
+from repro.errors import ConfigurationError
+from repro.grid.environment import GridEnvironment
+
+
+def deep_jacobi_phase(padded: np.ndarray, depth: int,
+                      apply_fixed) -> None:
+    """Advance the padded block ``depth`` steps in place.
+
+    Sub-step ``k`` updates the window that still has valid neighbours —
+    one ring narrower each time — so after ``depth`` sub-steps the
+    centre interior holds exactly the plain-stencil result.
+    ``apply_fixed()`` re-pins the global Dirichlet boundary after every
+    sub-step.
+    """
+    for k in range(depth):
+        src = padded[k:padded.shape[0] - k, k:padded.shape[1] - k]
+        new = 0.25 * (src[:-2, 1:-1] + src[2:, 1:-1]
+                      + src[1:-1, :-2] + src[1:-1, 2:])
+        padded[k + 1:padded.shape[0] - k - 1,
+               k + 1:padded.shape[1] - k - 1] = new
+        apply_fixed()
+
+
+def redundant_cells(block_rows: int, block_cols: int, depth: int) -> int:
+    """Extra cell-updates one phase performs beyond depth x interior.
+
+    The cost of the technique: sub-step k updates a
+    ``(rows + 2(depth-1-k)) x (cols + 2(depth-1-k))`` window.
+    """
+    total = 0
+    for k in range(depth):
+        ring = depth - 1 - k
+        total += ((block_rows + 2 * ring) * (block_cols + 2 * ring)
+                  - block_rows * block_cols)
+    return total
+
+
+@dataclass(frozen=True)
+class DeepGhostConfig:
+    """Run settings shared by all deep-halo blocks."""
+
+    steps: int
+    depth: int
+    payload: str = "real"
+    costs: StencilCostModel = field(
+        default_factory=lambda: DEFAULT_STENCIL_COSTS)
+    gather_mesh: bool = False
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ConfigurationError(f"depth must be >= 1: {self.depth}")
+        if self.steps < 0 or self.steps % self.depth != 0:
+            raise ConfigurationError(
+                f"steps ({self.steps}) must be a non-negative multiple "
+                f"of depth ({self.depth})")
+        if self.payload not in ("real", "modeled"):
+            raise ConfigurationError(f"bad payload {self.payload!r}")
+
+    @property
+    def phases(self) -> int:
+        return self.steps // self.depth
+
+
+class DeepStencilBlock(Chare):
+    """A stencil block with a ``depth``-cell halo, exchanging per phase."""
+
+    def __init__(self, bi: int, bj: int, decomp: BlockDecomposition,
+                 config: DeepGhostConfig, initial: Optional[np.ndarray],
+                 done_targets: Tuple[Any, Any, Any]) -> None:
+        super().__init__()
+        self.bi = bi
+        self.bj = bj
+        self.decomp = decomp
+        self.config = config
+        self.neighbors = decomp.neighbors(bi, bj)
+        self.done_targets = done_targets
+
+        d = config.depth
+        h, w = decomp.block_rows, decomp.block_cols
+        if h < d or w < d:
+            raise ConfigurationError(
+                f"depth {d} exceeds block {h}x{w}")
+        if config.payload == "real":
+            if initial is None or initial.shape != (h, w):
+                raise ConfigurationError(
+                    f"block ({bi},{bj}) expects a {h}x{w} initial array")
+            self.u = np.zeros((h + 2 * d, w + 2 * d), dtype=np.float64)
+            self.u[d:d + h, d:d + w] = initial
+            self._fixed = self._capture_fixed(initial)
+        else:
+            self.u = None
+            self._fixed = {}
+
+        self.phase = 0
+        self._started = False
+        self._finished = False
+        #: (phase, side) -> strip; "ns-done" gates phase 2 of a phase.
+        self._strips: Dict[Tuple[int, str], Any] = {}
+        self.completed_at: List[float] = []
+
+    # -- fixed global boundary --------------------------------------------
+    #
+    # For a block on the mesh edge, the *entire padded row/column* at the
+    # boundary's offset lies on the global Dirichlet boundary: its halo
+    # portion holds copies of the same-edge neighbours' boundary cells,
+    # which must stay pinned during local sub-stepping just like the
+    # block's own boundary cells (otherwise, at depth >= 3, corrupted
+    # halo copies propagate into the interior).  The pinned values are
+    # re-snapshotted after each phase's strips install, since the halo
+    # portions refresh every exchange.
+
+    def _capture_fixed(self, interior: np.ndarray) -> Dict[str, int]:
+        d = self.config.depth
+        h, w = self.decomp.block_rows, self.decomp.block_cols
+        fixed: Dict[str, int] = {}
+        if self.bi == 0:
+            fixed["row0"] = d
+        if self.bi == self.decomp.brows - 1:
+            fixed["row1"] = d + h - 1
+        if self.bj == 0:
+            fixed["col0"] = d
+        if self.bj == self.decomp.bcols - 1:
+            fixed["col1"] = d + w - 1
+        return fixed
+
+    def _snapshot_fixed(self) -> Dict[str, np.ndarray]:
+        snap = {}
+        for key, idx in self._fixed.items():
+            if key.startswith("row"):
+                snap[key] = self.u[idx, :].copy()
+            else:
+                snap[key] = self.u[:, idx].copy()
+        return snap
+
+    def _make_fixed_applier(self):
+        snap = self._snapshot_fixed()
+
+        def apply_fixed() -> None:
+            for key, values in snap.items():
+                idx = self._fixed[key]
+                if key.startswith("row"):
+                    self.u[idx, :] = values
+                else:
+                    self.u[:, idx] = values
+
+        return apply_fixed
+
+    # -- wire sizes -------------------------------------------------------------
+
+    def _ns_bytes(self) -> int:
+        return self.config.depth * self.decomp.block_cols * 8 + 64
+
+    def _we_bytes(self) -> int:
+        d = self.config.depth
+        return d * (self.decomp.block_rows + 2 * d) * 8 + 64
+
+    # -- entry methods -------------------------------------------------------------
+
+    @entry
+    def start(self) -> None:
+        self._started = True
+        if self.config.phases == 0:
+            self._finish()
+            return
+        self._send_ns()
+        self._maybe_advance()
+
+    @entry
+    def strip(self, phase: int, side: str, data: Any) -> None:
+        """A halo strip arrived (phase 1: north/south; phase 2: west/east)."""
+        key = (phase, side)
+        if key in self._strips:
+            raise ConfigurationError(
+                f"block ({self.bi},{self.bj}) duplicate strip {key}")
+        self._strips[key] = data
+        size = self._ns_bytes() if side in ("north", "south") \
+            else self._we_bytes()
+        self.charge(self.config.costs.ghost_cost(size))
+        self._maybe_advance()
+
+    # -- the two-phase exchange engine ------------------------------------------------
+
+    def _ns_sides(self) -> List[str]:
+        return [s for s in ("north", "south") if s in self.neighbors]
+
+    def _we_sides(self) -> List[str]:
+        return [s for s in ("west", "east") if s in self.neighbors]
+
+    def _maybe_advance(self) -> None:
+        if not self._started or self._finished:
+            return
+        progressed = True
+        while progressed:
+            progressed = False
+            p = self.phase
+            ns_ready = all((p, s) in self._strips for s in self._ns_sides())
+            we_ready = all((p, s) in self._strips for s in self._we_sides())
+            ns_installed = (p, "__ns_installed__") in self._strips
+            if ns_ready and not ns_installed:
+                self._install_ns(p)
+                self._strips[(p, "__ns_installed__")] = True
+                self._send_we()
+                progressed = True
+                continue
+            if ns_installed and we_ready:
+                self._install_we(p)
+                self._compute_phase()
+                progressed = not self._finished
+
+    def _send_ns(self) -> None:
+        d = self.config.depth
+        h, w = self.decomp.block_rows, self.decomp.block_cols
+        self.charge(self.config.costs.send_cost(len(self._ns_sides())))
+        for side in self._ns_sides():
+            if self.config.payload == "real":
+                if side == "north":
+                    data = self.u[d:2 * d, d:d + w].copy()
+                else:
+                    data = self.u[h:d + h, d:d + w].copy()
+            else:
+                data = None
+            opposite = "south" if side == "north" else "north"
+            self.thisProxy[self.neighbors[side]].strip(
+                self.phase, opposite, data, _size=self._ns_bytes(),
+                _tag=f"deep-ns p{self.phase}")
+
+    def _install_ns(self, phase: int) -> None:
+        d = self.config.depth
+        h, w = self.decomp.block_rows, self.decomp.block_cols
+        for side in self._ns_sides():
+            data = self._strips.pop((phase, side))
+            if self.config.payload != "real":
+                continue
+            if side == "north":
+                self.u[0:d, d:d + w] = data
+            else:
+                self.u[d + h:2 * d + h, d:d + w] = data
+
+    def _send_we(self) -> None:
+        """Phase 2: full-height strips (fresh N/S halo rows included)."""
+        d = self.config.depth
+        w = self.decomp.block_cols
+        self.charge(self.config.costs.send_cost(len(self._we_sides())))
+        for side in self._we_sides():
+            if self.config.payload == "real":
+                if side == "west":
+                    data = self.u[:, d:2 * d].copy()
+                else:
+                    data = self.u[:, w:d + w].copy()
+            else:
+                data = None
+            opposite = "east" if side == "west" else "west"
+            self.thisProxy[self.neighbors[side]].strip(
+                self.phase, opposite, data, _size=self._we_bytes(),
+                _tag=f"deep-we p{self.phase}")
+
+    def _install_we(self, phase: int) -> None:
+        d = self.config.depth
+        w = self.decomp.block_cols
+        for side in self._we_sides():
+            data = self._strips.pop((phase, side))
+            if self.config.payload != "real":
+                continue
+            if side == "west":
+                self.u[:, 0:d] = data
+            else:
+                self.u[:, d + w:2 * d + w] = data
+        self._strips.pop((phase, "__ns_installed__"), None)
+
+    def _compute_phase(self) -> None:
+        cfg = self.config
+        d = cfg.depth
+        h, w = self.decomp.block_rows, self.decomp.block_cols
+        if cfg.payload == "real":
+            deep_jacobi_phase(self.u, d, self._make_fixed_applier())
+        cells = d * h * w + redundant_cells(h, w, d)
+        # One cache factor for the whole phase: the padded working set.
+        per_cell = (cfg.costs.per_cell
+                    * cfg.costs.cache.factor(
+                        2 * (h + 2 * d) * (w + 2 * d) * 8))
+        self.charge(per_cell * cells)
+
+        self.phase += 1
+        now = self.now
+        self.completed_at.extend([now] * d)   # d steps land together
+        if self.phase >= cfg.phases:
+            self._finish()
+        else:
+            self._send_ns()
+
+    def _finish(self) -> None:
+        self._finished = True
+        times_cb, checksum_cb, mesh_cb = self.done_targets
+        self.contribute(np.array(self.completed_at, dtype=np.float64),
+                        "max", times_cb)
+        d = self.config.depth
+        h, w = self.decomp.block_rows, self.decomp.block_cols
+        if self.config.payload == "real":
+            self.contribute(float(self.u[d:d + h, d:d + w].sum()), "sum",
+                            checksum_cb)
+        else:
+            self.contribute(0.0, "sum", checksum_cb)
+        if self.config.gather_mesh:
+            payload = (self.u[d:d + h, d:d + w].copy()
+                       if self.config.payload == "real" else None)
+            self.contribute(payload, "concat", mesh_cb)
+
+    def pack_size(self) -> int:
+        return 512 if self.u is None else int(self.u.nbytes) + 512
+
+
+class DeepGhostStencilApp:
+    """Driver for the ghost-zone-expansion stencil (ablation baseline)."""
+
+    def __init__(self, env: GridEnvironment,
+                 mesh: Tuple[int, int] = (2048, 2048), objects: int = 64,
+                 depth: int = 2, payload: str = "real",
+                 costs: Optional[StencilCostModel] = None,
+                 mapping=None, seed: int = 0,
+                 gather_mesh: bool = False) -> None:
+        self.env = env
+        self.decomp = BlockDecomposition.regular(mesh, objects)
+        self.depth = depth
+        self.payload = payload
+        self.costs = costs
+        self.mapping = mapping
+        self.seed = seed
+        self.gather_mesh = gather_mesh
+        self._results: Dict[str, object] = {}
+
+    def _on_times(self, times) -> None:
+        self._results["times"] = times
+
+    def _on_checksum(self, value) -> None:
+        self._results["checksum"] = value
+
+    def _on_mesh(self, pairs) -> None:
+        self._results["mesh_pairs"] = pairs
+
+    def run(self, steps: int, warmup: Optional[int] = None) -> StencilResult:
+        if warmup is None:
+            # Steps complete d at a time, so step_times is a staircase;
+            # the steady-state window must start exactly at a phase
+            # boundary or the slope is biased.  Skip the first phase
+            # entirely when at least three phases exist.
+            phases = steps // max(self.depth, 1)
+            warmup = (2 * self.depth - 1) if phases >= 3 \
+                else max(self.depth - 1, 0)
+        cfg_kwargs = {"steps": steps, "depth": self.depth,
+                      "payload": self.payload,
+                      "gather_mesh": self.gather_mesh}
+        if self.costs is not None:
+            cfg_kwargs["costs"] = self.costs
+        config = DeepGhostConfig(**cfg_kwargs)
+
+        decomp = self.decomp
+        initial = (make_initial_mesh(decomp.mesh_rows, decomp.mesh_cols,
+                                     self.seed)
+                   if self.payload == "real" else None)
+        targets = (self._on_times, self._on_checksum, self._on_mesh)
+
+        def args_of(idx):
+            bi, bj = idx
+            block_init = None
+            if initial is not None:
+                rs, cs = decomp.interior_slices(bi, bj)
+                block_init = initial[rs, cs].copy()
+            return ((bi, bj, decomp, config, block_init, targets), {})
+
+        mapping = self.mapping or grid2d_split_mapping(
+            decomp.brows, decomp.bcols, self.env.topology)
+        blocks = self.env.runtime.create_array(
+            DeepStencilBlock, decomp.indices(), mapping, args_of=args_of)
+
+        t0 = self.env.now
+        blocks.start()
+        self.env.run()
+        if "times" not in self._results:
+            raise ConfigurationError("deep-ghost run never completed")
+        times = np.asarray(self._results["times"]) - t0
+
+        final_mesh = None
+        if self.gather_mesh and self.payload == "real":
+            final_mesh = np.zeros((decomp.mesh_rows, decomp.mesh_cols))
+            for (bi, bj), block in self._results.get("mesh_pairs", []):
+                rs, cs = decomp.interior_slices(bi, bj)
+                final_mesh[rs, cs] = block
+
+        return StencilResult(
+            step_times=times,
+            checksum=float(self._results.get("checksum", 0.0)),
+            final_mesh=final_mesh, makespan=self.env.now - t0,
+            warmup=warmup)

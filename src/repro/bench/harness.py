@@ -1,0 +1,89 @@
+"""Single-experiment harness.
+
+One function per (application x environment) combination, each returning
+an :class:`~repro.bench.records.ExperimentPoint`.  Benchmarks and sweeps
+compose these; nothing here knows about pytest.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.apps.leanmd import LeanMDApp
+from repro.apps.stencil import AmpiStencilApp, StencilApp
+from repro.bench.records import ExperimentPoint
+from repro.grid.presets import artificial_latency_env, teragrid_env
+from repro.units import ms, to_ms
+
+#: Default measurement length: long enough for a steady-state window,
+#: short enough that full sweeps finish in minutes.
+DEFAULT_STEPS = 10
+
+#: The paper's measured one-way NCSA-ANL latency, used when artificial
+#: experiments want to mirror the real grid (Tables 1 and 2).
+TERAGRID_ONE_WAY_MS = 1.725
+
+
+def stencil_point(experiment: str, pes: int, objects: int,
+                  latency_ms_value: float, *,
+                  mesh: Tuple[int, int] = (2048, 2048),
+                  steps: int = DEFAULT_STEPS, payload: str = "modeled",
+                  environment: str = "artificial",
+                  seed: int = 0) -> ExperimentPoint:
+    """Run one stencil configuration and record the result."""
+    if environment == "artificial":
+        env = artificial_latency_env(pes, ms(latency_ms_value), seed=seed)
+    elif environment == "teragrid":
+        env = teragrid_env(pes, seed=seed)
+    else:
+        raise ValueError(f"unknown environment {environment!r}")
+    app = StencilApp(env, mesh=mesh, objects=objects, payload=payload)
+    result = app.run(steps)
+    return ExperimentPoint(
+        experiment=experiment, app="stencil", environment=environment,
+        pes=pes, objects=objects, latency_ms=latency_ms_value,
+        time_per_step=result.time_per_step, steps=steps,
+        extra={"makespan": result.makespan,
+               "mesh": list(mesh), "payload": payload})
+
+
+def stencil_ampi_point(experiment: str, pes: int, ranks: int,
+                       latency_ms_value: float, *,
+                       mesh: Tuple[int, int] = (2048, 2048),
+                       steps: int = DEFAULT_STEPS,
+                       payload: str = "modeled",
+                       seed: int = 0) -> ExperimentPoint:
+    """Run the AMPI stencil variant (ranks are the virtualization)."""
+    env = artificial_latency_env(pes, ms(latency_ms_value), seed=seed)
+    app = AmpiStencilApp(env, mesh=mesh, ranks=ranks, payload=payload)
+    result = app.run(steps)
+    return ExperimentPoint(
+        experiment=experiment, app="stencil-ampi", environment="artificial",
+        pes=pes, objects=ranks, latency_ms=latency_ms_value,
+        time_per_step=result.time_per_step, steps=steps,
+        extra={"makespan": result.makespan, "payload": payload})
+
+
+def leanmd_point(experiment: str, pes: int, latency_ms_value: float, *,
+                 cells: Tuple[int, int, int] = (6, 6, 6),
+                 atoms_per_cell: int = 64,
+                 steps: int = DEFAULT_STEPS, payload: str = "modeled",
+                 environment: str = "artificial",
+                 seed: int = 0) -> ExperimentPoint:
+    """Run one LeanMD configuration and record the result."""
+    if environment == "artificial":
+        env = artificial_latency_env(pes, ms(latency_ms_value), seed=seed)
+    elif environment == "teragrid":
+        env = teragrid_env(pes, seed=seed)
+    else:
+        raise ValueError(f"unknown environment {environment!r}")
+    app = LeanMDApp(env, cells=cells, atoms_per_cell=atoms_per_cell,
+                    payload=payload)
+    result = app.run(steps)
+    grid_cells = cells[0] * cells[1] * cells[2]
+    return ExperimentPoint(
+        experiment=experiment, app="leanmd", environment=environment,
+        pes=pes, objects=grid_cells, latency_ms=latency_ms_value,
+        time_per_step=result.time_per_step, steps=steps,
+        extra={"makespan": result.makespan, "cells": list(cells),
+               "atoms_per_cell": atoms_per_cell, "payload": payload})

@@ -1,0 +1,71 @@
+"""Result records and serialization for the benchmark harness.
+
+Every experiment produces :class:`ExperimentPoint` rows; a sweep is a
+list of points; tables/figures are renderings of those lists.  Records
+serialize to plain dicts (JSON-friendly) so benchmark output can be
+saved and diffed across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.units import to_ms
+
+
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """One (configuration -> measurement) row of an experiment."""
+
+    experiment: str              # "fig3", "table1", "fig4", "table2", ...
+    app: str                     # "stencil" | "leanmd"
+    environment: str             # "artificial" | "teragrid" | "single"
+    pes: int
+    objects: int                 # virtualization degree (ranks for AMPI)
+    latency_ms: float            # injected one-way latency (artificial)
+    time_per_step: float         # seconds
+    steps: int
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def time_per_step_ms(self) -> float:
+        return to_ms(self.time_per_step)
+
+    def to_dict(self) -> Dict[str, Any]:
+        d = asdict(self)
+        d["time_per_step_ms"] = self.time_per_step_ms
+        return d
+
+
+@dataclass
+class Series:
+    """One plotted line: a label plus (x, y) points."""
+
+    label: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+
+    def append(self, x: float, y: float) -> None:
+        self.x.append(x)
+        self.y.append(y)
+
+
+def group_series(points: List[ExperimentPoint], by: str = "objects",
+                 x: str = "latency_ms", y: str = "time_per_step_ms"
+                 ) -> List[Series]:
+    """Group experiment points into plot series.
+
+    Parameters
+    ----------
+    by:
+        Attribute distinguishing lines (e.g. virtualization degree).
+    x, y:
+        Attributes (or properties) providing coordinates.
+    """
+    buckets: Dict[Any, Series] = {}
+    for p in points:
+        key = getattr(p, by)
+        series = buckets.setdefault(key, Series(label=f"{by}={key}"))
+        series.append(float(getattr(p, x)), float(getattr(p, y)))
+    return [buckets[k] for k in sorted(buckets)]

@@ -1,0 +1,105 @@
+"""Parameter sweeps reproducing each figure/table of the paper.
+
+Each function returns the list of :class:`ExperimentPoint` rows that the
+corresponding rendering in :mod:`repro.bench.tables` /
+:mod:`repro.bench.figures` consumes.  The configurations mirror the
+paper exactly:
+
+* Figure 3: 2048x2048 stencil, PEs in {2,...,64}, per-panel object
+  counts, one-way latency swept 0-32 ms;
+* Table 1: the 18 (PEs, objects) rows at the TeraGrid latency, both
+  environments;
+* Figure 4: LeanMD, latency 1-256 ms, PEs in {2,...,64};
+* Table 2: LeanMD, both environments, PEs in {2,...,64}.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import (
+    TERAGRID_ONE_WAY_MS,
+    leanmd_point,
+    stencil_point,
+)
+from repro.bench.records import ExperimentPoint
+
+#: Paper Figure 3: which virtualization degrees appear in which panel.
+FIG3_PANEL_OBJECTS: Dict[int, Tuple[int, ...]] = {
+    2: (4, 16, 64),
+    4: (4, 16, 64),
+    8: (16, 64, 256),
+    16: (16, 64, 256),
+    32: (64, 256, 1024),
+    64: (64, 256, 1024),
+}
+
+#: Latency grid for Figure 3 (one-way, ms): 0-32 as in the paper.
+FIG3_LATENCIES_MS: Tuple[float, ...] = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+#: Paper Table 1's row set: (PEs, objects).
+TABLE1_ROWS: Tuple[Tuple[int, int], ...] = (
+    (2, 4), (2, 16), (2, 64),
+    (4, 4), (4, 16), (4, 64),
+    (8, 16), (8, 64), (8, 256),
+    (16, 16), (16, 64), (16, 256),
+    (32, 64), (32, 256), (32, 1024),
+    (64, 64), (64, 256), (64, 1024),
+)
+
+#: Figure 4's latency grid (one-way, ms): 1-256, powers of two.
+FIG4_LATENCIES_MS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0,
+                                        64.0, 128.0, 256.0)
+
+#: Processor counts common to all experiments.
+PE_COUNTS: Tuple[int, ...] = (2, 4, 8, 16, 32, 64)
+
+
+def sweep_fig3(panels: Optional[Sequence[int]] = None,
+               latencies_ms: Sequence[float] = FIG3_LATENCIES_MS,
+               steps: int = 10) -> List[ExperimentPoint]:
+    """All points of Figure 3 (optionally a subset of panels)."""
+    out: List[ExperimentPoint] = []
+    for pes in (panels if panels is not None else PE_COUNTS):
+        for objects in FIG3_PANEL_OBJECTS[pes]:
+            for lat in latencies_ms:
+                out.append(stencil_point("fig3", pes, objects, lat,
+                                         steps=steps))
+    return out
+
+
+def sweep_table1(rows: Sequence[Tuple[int, int]] = TABLE1_ROWS,
+                 steps: int = 10, seed: int = 0) -> List[ExperimentPoint]:
+    """Table 1: artificial latency vs the TeraGrid model, row by row."""
+    out: List[ExperimentPoint] = []
+    for pes, objects in rows:
+        out.append(stencil_point("table1", pes, objects,
+                                 TERAGRID_ONE_WAY_MS, steps=steps))
+        out.append(stencil_point("table1", pes, objects,
+                                 TERAGRID_ONE_WAY_MS, steps=steps,
+                                 environment="teragrid", seed=seed))
+    return out
+
+
+def sweep_fig4(pe_counts: Sequence[int] = PE_COUNTS,
+               latencies_ms: Sequence[float] = FIG4_LATENCIES_MS,
+               steps: int = 8) -> List[ExperimentPoint]:
+    """All points of Figure 4 (LeanMD latency sweep)."""
+    out: List[ExperimentPoint] = []
+    for pes in pe_counts:
+        for lat in latencies_ms:
+            out.append(leanmd_point("fig4", pes, lat, steps=steps))
+    return out
+
+
+def sweep_table2(pe_counts: Sequence[int] = PE_COUNTS,
+                 steps: int = 8, seed: int = 0) -> List[ExperimentPoint]:
+    """Table 2: LeanMD, artificial vs TeraGrid, per PE count."""
+    out: List[ExperimentPoint] = []
+    for pes in pe_counts:
+        out.append(leanmd_point("table2", pes, TERAGRID_ONE_WAY_MS,
+                                steps=steps))
+        out.append(leanmd_point("table2", pes, TERAGRID_ONE_WAY_MS,
+                                steps=steps, environment="teragrid",
+                                seed=seed))
+    return out

@@ -1,0 +1,153 @@
+"""Command-line interface: regenerate the paper's artefacts.
+
+Usage (any artefact, directly from a shell)::
+
+    python -m repro table1 [--steps N] [--rows 2x16 4x64 ...]
+    python -m repro table2 [--steps N] [--pes 2 4 ...]
+    python -m repro fig3   [--pes 16 ...] [--latencies 0 4 32] [--steps N]
+    python -m repro fig4   [--pes 2 32] [--latencies 1 32 256] [--steps N]
+    python -m repro demo
+
+The full default sweeps take a few minutes; the subsetting flags let
+you reproduce a single panel or row in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bench.figures import render_fig3_panel, render_fig4
+from repro.bench.sweep import (
+    FIG3_LATENCIES_MS,
+    FIG3_PANEL_OBJECTS,
+    FIG4_LATENCIES_MS,
+    PE_COUNTS,
+    TABLE1_ROWS,
+    sweep_fig3,
+    sweep_fig4,
+    sweep_table1,
+    sweep_table2,
+)
+from repro.bench.tables import render_table1, render_table2
+
+
+def _parse_rows(values: Sequence[str]) -> Tuple[Tuple[int, int], ...]:
+    rows = []
+    for v in values:
+        try:
+            pes, objs = v.lower().split("x")
+            rows.append((int(pes), int(objs)))
+        except ValueError:
+            raise SystemExit(
+                f"row {v!r} is not of the form PESxOBJECTS (e.g. 8x64)")
+    return tuple(rows)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce Koenig & Kale (IPPS 2005): message-driven "
+                    "objects masking Grid latency.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t1 = sub.add_parser("table1", help="stencil: artificial vs real grid")
+    t1.add_argument("--steps", type=int, default=10)
+    t1.add_argument("--rows", nargs="+", default=None, metavar="PESxOBJS",
+                    help="subset of rows, e.g. --rows 2x16 8x64")
+
+    t2 = sub.add_parser("table2", help="LeanMD: artificial vs real grid")
+    t2.add_argument("--steps", type=int, default=8)
+    t2.add_argument("--pes", nargs="+", type=int, default=None)
+
+    f3 = sub.add_parser("fig3", help="stencil time/step vs latency")
+    f3.add_argument("--pes", nargs="+", type=int, default=None,
+                    help="which panels (default: all of 2..64)")
+    f3.add_argument("--latencies", nargs="+", type=float, default=None,
+                    help="one-way latencies in ms")
+    f3.add_argument("--steps", type=int, default=10)
+
+    f4 = sub.add_parser("fig4", help="LeanMD time/step vs latency")
+    f4.add_argument("--pes", nargs="+", type=int, default=None)
+    f4.add_argument("--latencies", nargs="+", type=float, default=None)
+    f4.add_argument("--steps", type=int, default=8)
+
+    sub.add_parser("demo", help="30-second latency-masking demonstration")
+    return parser
+
+
+def cmd_table1(args, out) -> None:
+    rows = _parse_rows(args.rows) if args.rows else TABLE1_ROWS
+    for pes, objs in rows:
+        if (pes, objs) not in TABLE1_ROWS:
+            raise SystemExit(f"({pes}, {objs}) is not a Table-1 row; "
+                             f"valid: {TABLE1_ROWS}")
+    points = sweep_table1(rows=rows, steps=args.steps)
+    print(render_table1(points), file=out)
+
+
+def cmd_table2(args, out) -> None:
+    pes = tuple(args.pes) if args.pes else PE_COUNTS
+    points = sweep_table2(pe_counts=pes, steps=args.steps)
+    print(render_table2(points), file=out)
+
+
+def cmd_fig3(args, out) -> None:
+    panels = args.pes if args.pes else list(PE_COUNTS)
+    for p in panels:
+        if p not in FIG3_PANEL_OBJECTS:
+            raise SystemExit(
+                f"no Figure-3 panel for {p} PEs; valid: {sorted(FIG3_PANEL_OBJECTS)}")
+    latencies = args.latencies if args.latencies else FIG3_LATENCIES_MS
+    points = sweep_fig3(panels=panels, latencies_ms=latencies,
+                        steps=args.steps)
+    for p in panels:
+        print(render_fig3_panel(points, p), file=out)
+        print(file=out)
+
+
+def cmd_fig4(args, out) -> None:
+    pes = args.pes if args.pes else list(PE_COUNTS)
+    latencies = args.latencies if args.latencies else FIG4_LATENCIES_MS
+    points = sweep_fig4(pe_counts=pes, latencies_ms=latencies,
+                        steps=args.steps)
+    print(render_fig4(points), file=out)
+
+
+def cmd_demo(args, out) -> None:
+    from repro.apps.stencil import StencilApp
+    from repro.grid import artificial_latency_env
+    from repro.units import ms
+
+    print("Latency masking in 4 runs (stencil, 8 PEs over two clusters):",
+          file=out)
+    for objects in (8, 128):
+        for latency in (0.0, 8.0):
+            env = artificial_latency_env(8, ms(latency))
+            app = StencilApp(env, mesh=(1024, 1024), objects=objects,
+                             payload="modeled")
+            tps = app.run(10).time_per_step_ms
+            print(f"  {objects:4d} objects, {latency:4.0f} ms latency -> "
+                  f"{tps:7.2f} ms/step", file=out)
+    print("8 ms of wide-area latency: exposed at 1 object/PE, hidden at "
+          "16/PE.", file=out)
+
+
+COMMANDS = {
+    "table1": cmd_table1,
+    "table2": cmd_table2,
+    "fig3": cmd_fig3,
+    "fig4": cmd_fig4,
+    "demo": cmd_demo,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    args = build_parser().parse_args(argv)
+    COMMANDS[args.command](args, out if out is not None else sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,117 @@
+"""Broadcasts and section multicasts.
+
+Paper §2.1: "Messages may be sent to individual chares within a chare
+array or to the entire chare array simultaneously", and LeanMD (§4)
+relies on each cell *multicasting* its coordinates to the 26 cell-pairs
+that depend on it.
+
+Both collectives are implemented with **per-PE bundling**: the payload is
+sent once to each destination PE (as a :class:`~repro.core.records.Bundle`)
+and fanned out locally.  This matters for the Grid setting — a cell with
+pair objects on a remote cluster sends its coordinates across the WAN
+once per remote PE, not once per remote object.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.core.ids import ChareID, Index
+from repro.core.method import ENVELOPE_BYTES, invocation_bytes
+from repro.core.records import Bundle, Invocation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.rts import Runtime
+
+#: Extra bytes per additional local fan-out target inside one bundle
+#: (the per-element header; the payload itself is carried once).
+PER_TARGET_BYTES = 16
+
+
+def bundle_size(args: tuple, kwargs: dict, num_targets: int) -> int:
+    """Wire size of a bundle carrying *args*/*kwargs* to *num_targets*."""
+    return (invocation_bytes(args, kwargs)
+            + max(num_targets - 1, 0) * PER_TARGET_BYTES)
+
+
+def group_targets_by_pe(rts: "Runtime", collection: int,
+                        indices: Sequence[Index]) -> Dict[int, List[Index]]:
+    """Group element indices by their current host PE (sorted, stable)."""
+    groups: Dict[int, List[Index]] = {}
+    for idx in indices:
+        pe = rts.pe_of(ChareID(collection, idx))
+        groups.setdefault(pe, []).append(idx)
+    for lst in groups.values():
+        lst.sort()
+    return groups
+
+
+def send_bundled(rts: "Runtime", collection: int, entry: str,
+                 indices: Sequence[Index], args: tuple, kwargs: dict,
+                 size: Optional[int], priority: Optional[int],
+                 tag: Optional[str]) -> None:
+    """Send one bundle per destination PE covering *indices*."""
+    groups = group_targets_by_pe(rts, collection, indices)
+    for pe in sorted(groups):
+        targets = groups[pe]
+        invocations = [Invocation(ChareID(collection, idx), entry,
+                                  args, dict(kwargs))
+                       for idx in targets]
+        wire = size if size is not None else bundle_size(
+            args, kwargs, len(targets))
+        rts._dispatch_payload(
+            dst_pe=pe, payload=Bundle(invocations), size=wire,
+            priority=priority, tag=tag or entry, entry_hint=entry,
+            collection_hint=collection)
+
+
+class SectionEntry:
+    """Bound entry method of a section proxy; calling it multicasts."""
+
+    __slots__ = ("_rts", "_collection", "_indices", "_entry")
+
+    def __init__(self, rts: "Runtime", collection: int,
+                 indices: List[Index], entry: str) -> None:
+        self._rts = rts
+        self._collection = collection
+        self._indices = indices
+        self._entry = entry
+
+    def __call__(self, *args: Any, _size: Optional[int] = None,
+                 _priority: Optional[int] = None, _tag: Optional[str] = None,
+                 **kwargs: Any) -> None:
+        send_bundled(self._rts, self._collection, self._entry,
+                     self._indices, args, kwargs, _size, _priority, _tag)
+
+
+class SectionProxy:
+    """A fixed subset of a chare array, multicast-addressable.
+
+    Created via :meth:`repro.core.proxy.ArrayProxy.section`.  The member
+    list is frozen at creation; PE destinations are re-resolved at every
+    multicast, so sections stay correct across migrations.
+    """
+
+    __slots__ = ("_rts", "_collection", "_indices")
+
+    def __init__(self, rts: "Runtime", collection: int,
+                 indices: List[Index]) -> None:
+        self._rts = rts
+        self._collection = collection
+        self._indices = list(indices)
+
+    @property
+    def indices(self) -> List[Index]:
+        return list(self._indices)
+
+    def __len__(self) -> int:
+        return len(self._indices)
+
+    def __getattr__(self, name: str) -> SectionEntry:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return SectionEntry(self._rts, self._collection, self._indices, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<section of c{self._collection}, "
+                f"{len(self._indices)} elements>")

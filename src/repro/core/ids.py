@@ -1,0 +1,52 @@
+"""Identifiers for chares, collections and entry methods.
+
+A chare is addressed by a :class:`ChareID` — the pair of its collection
+number and its index within the collection.  Singleton chares live in
+their own one-element collection with the empty index ``()``.
+
+Indices are tuples of ints so the same machinery serves 1-D arrays
+(``(i,)``), the stencil's 2-D arrays (``(i, j)``), and LeanMD's 3-D cell
+grid (``(x, y, z)``) and 6-D cell-pair space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+Index = Tuple[int, ...]
+
+
+def normalize_index(index) -> Index:
+    """Coerce user-facing index spellings to the canonical tuple form.
+
+    ``arr[3]`` and ``arr[(3,)]`` address the same element; likewise
+    ``arr[1, 2]`` and ``arr[(1, 2)]``.
+    """
+    if isinstance(index, tuple):
+        return tuple(int(i) for i in index)
+    return (int(index),)
+
+
+@dataclass(frozen=True, order=True)
+class ChareID:
+    """Globally unique chare address: (collection, index)."""
+
+    collection: int
+    index: Index
+
+    def __str__(self) -> str:
+        if not self.index:
+            return f"c{self.collection}"
+        return f"c{self.collection}[{','.join(map(str, self.index))}]"
+
+
+@dataclass(frozen=True)
+class EntryRef:
+    """A bound (chare, entry-method) pair — the unit reductions target."""
+
+    chare: ChareID
+    entry: str
+
+    def __str__(self) -> str:
+        return f"{self.chare}.{self.entry}"

@@ -1,0 +1,58 @@
+"""Load-balancing strategy interface and shared helpers.
+
+A strategy is a pure function from measurements to a migration plan:
+``plan(db, topology, mapping) -> {chare_id: new_pe}``.  The runtime
+applies the plan (issuing migrations) and resets the database.  Keeping
+strategies pure makes them trivially testable against synthetic
+databases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Protocol, Tuple
+
+from repro.core.ids import ChareID
+from repro.core.loadbalance.metrics import LBDatabase
+from repro.errors import LoadBalanceError
+from repro.network.topology import GridTopology
+
+
+class LBStrategy(Protocol):
+    """Strategy interface implemented by every load balancer."""
+
+    def plan(self, db: LBDatabase, topology: GridTopology,
+             mapping: Dict[ChareID, int]) -> Dict[ChareID, int]:
+        """Return the chares to move and their destinations.
+
+        Chares absent from the result stay where they are.  Returning a
+        chare's current PE is allowed and means "no move".
+        """
+        ...
+
+
+def pe_loads(db: LBDatabase, topology: GridTopology,
+             mapping: Dict[ChareID, int]) -> List[float]:
+    """Current per-PE load implied by the database and mapping."""
+    loads = [0.0] * topology.num_pes
+    for chare, pe in mapping.items():
+        if not (0 <= pe < topology.num_pes):
+            raise LoadBalanceError(f"{chare} mapped to invalid PE {pe}")
+        loads[pe] += db.load_of(chare)
+    return loads
+
+
+def imbalance(loads: List[float]) -> float:
+    """Max/mean load ratio; 1.0 is perfect balance, 0.0 if no load."""
+    total = sum(loads)
+    if total <= 0.0 or not loads:
+        return 0.0
+    mean = total / len(loads)
+    return max(loads) / mean
+
+
+def validate_plan(plan: Dict[ChareID, int], topology: GridTopology) -> None:
+    """Raise if the plan names PEs outside the topology."""
+    for chare, pe in plan.items():
+        if not (0 <= pe < topology.num_pes):
+            raise LoadBalanceError(
+                f"plan moves {chare} to invalid PE {pe}")

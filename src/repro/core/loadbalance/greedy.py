@@ -1,0 +1,35 @@
+"""GreedyLB: heaviest chare to least-loaded processor.
+
+The classic Charm++ ``GreedyLB``: ignore current placement entirely,
+sort chares by measured load (descending), and repeatedly assign the
+next-heaviest chare to the currently least-loaded PE.  Produces excellent
+balance at the price of potentially migrating almost everything.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict
+
+from repro.core.ids import ChareID
+from repro.core.loadbalance.base import validate_plan
+from repro.core.loadbalance.metrics import LBDatabase
+from repro.network.topology import GridTopology
+
+
+class GreedyLB:
+    """Global greedy rebalancing (the Charm++ GreedyLB strategy)."""
+
+    def plan(self, db: LBDatabase, topology: GridTopology,
+             mapping: Dict[ChareID, int]) -> Dict[ChareID, int]:
+        chares = sorted(mapping, key=lambda c: (-db.load_of(c), c))
+        # Min-heap of (load, pe); ties broken by PE index for determinism.
+        heap = [(0.0, pe) for pe in topology.pes()]
+        heapq.heapify(heap)
+        plan: Dict[ChareID, int] = {}
+        for chare in chares:
+            load, pe = heapq.heappop(heap)
+            plan[chare] = pe
+            heapq.heappush(heap, (load + db.load_of(chare), pe))
+        validate_plan(plan, topology)
+        return plan

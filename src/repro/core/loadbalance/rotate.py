@@ -1,0 +1,24 @@
+"""RotateLB: a degenerate strategy for exercising migration machinery.
+
+Moves every chare to ``(current_pe + 1) mod P``.  Useless for balance by
+design — Charm++ ships the same strategy for testing that applications
+survive arbitrary migrations — and our integration tests use it the same
+way (numerics must be identical before/after rotation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.ids import ChareID
+from repro.core.loadbalance.metrics import LBDatabase
+from repro.network.topology import GridTopology
+
+
+class RotateLB:
+    """Shift every chare one PE to the right (wrapping)."""
+
+    def plan(self, db: LBDatabase, topology: GridTopology,
+             mapping: Dict[ChareID, int]) -> Dict[ChareID, int]:
+        p = topology.num_pes
+        return {chare: (pe + 1) % p for chare, pe in sorted(mapping.items())}

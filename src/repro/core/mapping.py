@@ -1,0 +1,164 @@
+"""Initial chare-array placement strategies.
+
+The runtime maps virtual processors (chares) onto physical processors;
+these classes decide the *initial* assignment (load balancers may revise
+it later).  All strategies are deterministic functions of the index set
+and the topology.
+
+The Grid-aware strategies mirror the paper's setup: the problem is split
+across the two clusters along one dimension, so that the cross-cluster
+seam is a single layer of object-object edges, and each cluster's half is
+then block- or round-robin-distributed over its own PEs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Protocol, Sequence
+
+from repro.core.ids import Index
+from repro.errors import ConfigurationError
+from repro.network.topology import GridTopology
+
+
+class Mapping(Protocol):
+    """Strategy interface: index set + topology → PE assignment."""
+
+    def assign(self, indices: Sequence[Index],
+               topology: GridTopology) -> Dict[Index, int]:
+        """Return a total mapping of every index to a PE."""
+        ...
+
+
+class BlockMapping:
+    """Contiguous slabs of the (sorted) index list per PE.
+
+    Adjacent indices land on the same PE, which preserves locality for
+    1-D decompositions.
+    """
+
+    def assign(self, indices: Sequence[Index],
+               topology: GridTopology) -> Dict[Index, int]:
+        order = sorted(indices)
+        n, p = len(order), topology.num_pes
+        out: Dict[Index, int] = {}
+        for k, idx in enumerate(order):
+            # Balanced blocks: first (n % p) PEs get one extra element.
+            out[idx] = min(k * p // max(n, 1), p - 1)
+        return out
+
+
+class RoundRobinMapping:
+    """Index k → PE (k mod P) over the sorted index list."""
+
+    def assign(self, indices: Sequence[Index],
+               topology: GridTopology) -> Dict[Index, int]:
+        order = sorted(indices)
+        p = topology.num_pes
+        return {idx: k % p for k, idx in enumerate(order)}
+
+
+class ExplicitMapping:
+    """A user-supplied index → PE table (validated against topology)."""
+
+    def __init__(self, table: Dict[Index, int]) -> None:
+        self.table = dict(table)
+
+    def assign(self, indices: Sequence[Index],
+               topology: GridTopology) -> Dict[Index, int]:
+        out: Dict[Index, int] = {}
+        for idx in indices:
+            try:
+                pe = self.table[idx]
+            except KeyError:
+                raise ConfigurationError(
+                    f"ExplicitMapping has no entry for index {idx}") from None
+            if not (0 <= pe < topology.num_pes):
+                raise ConfigurationError(
+                    f"index {idx} mapped to invalid PE {pe}")
+            out[idx] = pe
+        return out
+
+
+class ClusterSplitMapping:
+    """Split indices between clusters, then distribute within each.
+
+    Parameters
+    ----------
+    cluster_of:
+        Function mapping an index to a cluster number.  The paper's
+        experiments split the stencil mesh (and the MD cell grid) along
+        one axis so half the objects live on each cluster.
+    within:
+        How to spread a cluster's indices over that cluster's PEs:
+        ``"block"`` (contiguous runs) or ``"roundrobin"``.
+    """
+
+    def __init__(self, cluster_of: Callable[[Index], int],
+                 within: str = "block") -> None:
+        if within not in ("block", "roundrobin"):
+            raise ConfigurationError(f"unknown within policy {within!r}")
+        self.cluster_of = cluster_of
+        self.within = within
+
+    def assign(self, indices: Sequence[Index],
+               topology: GridTopology) -> Dict[Index, int]:
+        buckets: List[List[Index]] = [[] for _ in range(topology.num_clusters)]
+        for idx in sorted(indices):
+            c = self.cluster_of(idx)
+            if not (0 <= c < topology.num_clusters):
+                raise ConfigurationError(
+                    f"index {idx} assigned to invalid cluster {c}")
+            buckets[c].append(idx)
+        out: Dict[Index, int] = {}
+        for c, bucket in enumerate(buckets):
+            pes = topology.cluster_pes(c)
+            if bucket and not pes:
+                raise ConfigurationError(f"cluster {c} has no PEs")
+            n, p = len(bucket), len(pes)
+            for k, idx in enumerate(bucket):
+                if self.within == "block":
+                    out[idx] = pes[min(k * p // max(n, 1), p - 1)]
+                else:
+                    out[idx] = pes[k % p]
+        return out
+
+
+def grid2d_split_mapping(nx: int, ny: int, topology: GridTopology,
+                         within: str = "block") -> Mapping:
+    """The paper's stencil mapping for an ``nx x ny`` object grid.
+
+    Splits object *columns* evenly among the clusters (for two clusters:
+    left half / right half, a single seam of cross-cluster edges), then
+    distributes each cluster's columns over its PEs.
+
+    For a single-cluster topology this degrades gracefully to a plain
+    block mapping of the whole grid.
+    """
+    num_clusters = topology.num_clusters
+
+    def cluster_of(idx: Index) -> int:
+        # idx = (i, j); split along j (columns).
+        j = idx[1] if len(idx) > 1 else idx[0]
+        return min(j * num_clusters // max(ny, 1), num_clusters - 1)
+
+    return ClusterSplitMapping(cluster_of, within=within)
+
+
+def grid3d_split_mapping(nx: int, topology: GridTopology,
+                         axis: int = 0,
+                         within: str = "roundrobin") -> Mapping:
+    """Cluster-split mapping for 3-D (and higher) index grids.
+
+    Splits along coordinate *axis* with *nx* cells in that dimension —
+    used by LeanMD to put half the cell grid on each cluster.  Pair
+    objects (6-tuples ``(x1,y1,z1,x2,y2,z2)``) are split by their first
+    cell's coordinate, so a pair lives in the cluster of one of its
+    cells — matching how Charm++'s default map would co-locate them.
+    """
+    num_clusters = topology.num_clusters
+
+    def cluster_of(idx: Index) -> int:
+        coord = idx[axis]
+        return min(coord * num_clusters // max(nx, 1), num_clusters - 1)
+
+    return ClusterSplitMapping(cluster_of, within=within)

@@ -1,0 +1,58 @@
+"""Per-processor scheduler state.
+
+Each physical processor in the simulation owns a :class:`PeState`: its
+message queue, a busy/idle flag, and accumulated statistics.  The
+scheduling *logic* lives in :mod:`repro.core.scheduler`; this module is
+pure state so it can be inspected cheaply by tests and load balancers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.queue import MessageQueue
+
+
+@dataclass
+class PeStats:
+    """Execution statistics for one PE."""
+
+    executions: int = 0
+    busy_time: float = 0.0
+    messages_received: int = 0
+    messages_sent: int = 0
+    #: Virtual time at which this PE last became idle.
+    last_idle_at: float = 0.0
+
+    def utilization(self, makespan: float) -> float:
+        """Busy fraction of *makespan* (0 when makespan is 0)."""
+        if makespan <= 0:
+            return 0.0
+        return self.busy_time / makespan
+
+
+class PeState:
+    """Scheduler-visible state of one processor.
+
+    Parameters
+    ----------
+    pe:
+        Global PE index.
+    prioritized:
+        Queue discipline (see :class:`~repro.core.queue.MessageQueue`).
+    """
+
+    def __init__(self, pe: int, prioritized: bool = False) -> None:
+        self.pe = pe
+        self.queue = MessageQueue(prioritized=prioritized)
+        self.busy = False
+        self.stats = PeStats()
+
+    @property
+    def idle(self) -> bool:
+        """Is the PE free to dequeue its next message?"""
+        return not self.busy
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "busy" if self.busy else "idle"
+        return f"<PE {self.pe} {state}, queued={len(self.queue)}>"

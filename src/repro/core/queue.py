@@ -1,0 +1,81 @@
+"""Per-PE message queues.
+
+Paper §4: "As messages arrive at a physical processor, they are enqueued
+in a message queue in either FIFO or priority order.  When a physical
+processor becomes idle, its message scheduler dequeues the next waiting
+message and delivers it."
+
+:class:`MessageQueue` implements both disciplines behind one interface.
+In priority mode, messages are ordered by ``(priority, arrival_seq)`` —
+smaller priority first, FIFO among equals — so FIFO is literally the
+special case where every priority ties.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional
+
+from repro.network.message import Message
+
+
+class MessageQueue:
+    """A scheduler queue for one PE.
+
+    Parameters
+    ----------
+    prioritized:
+        When ``False`` (default, matching the paper's main experiments)
+        the queue is pure FIFO and message priorities are ignored.  When
+        ``True``, smaller :attr:`Message.priority` values dequeue first —
+        the §6 "prioritized message delivery" extension.
+    """
+
+    def __init__(self, prioritized: bool = False) -> None:
+        self.prioritized = prioritized
+        self._heap: List[tuple] = []
+        self._arrival = itertools.count()
+        self._size = 0
+
+    def push(self, msg: Message) -> None:
+        """Enqueue an arrived message."""
+        seq = next(self._arrival)
+        key = (msg.priority if self.prioritized else 0, seq)
+        heapq.heappush(self._heap, (key, msg))
+        self._size += 1
+
+    def pop(self) -> Message:
+        """Dequeue the next message to execute.
+
+        Raises
+        ------
+        IndexError
+            If the queue is empty.
+        """
+        _key, msg = heapq.heappop(self._heap)
+        self._size -= 1
+        return msg
+
+    def peek(self) -> Optional[Message]:
+        """The message :meth:`pop` would return, or ``None`` if empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][1]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def drain(self) -> List[Message]:
+        """Remove and return all queued messages in dequeue order.
+
+        Used when migrating a chare with pending messages and when
+        tearing down a runtime between benchmark repetitions.
+        """
+        out = []
+        while self:
+            out.append(self.pop())
+        return out

@@ -1,0 +1,90 @@
+"""Wire-payload record types used inside the runtime.
+
+Every :class:`~repro.network.message.Message` the runtime sends carries
+one of these records as its payload; the scheduler dispatches on the
+record type at execution time.  Applications never construct them
+directly — proxies, reductions and migration do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.core.ids import ChareID
+
+
+@dataclass
+class Invocation:
+    """One entry-method invocation on one chare."""
+
+    target: ChareID
+    entry: str
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+
+
+@dataclass
+class Bundle:
+    """Several invocations delivered to one PE in a single message.
+
+    Produced by broadcasts and section multicasts: the payload data is
+    carried once per destination PE and fanned out locally, which is the
+    optimization that keeps collective traffic off the WAN critical path.
+    At delivery the bundle is expanded into individual queue entries.
+    """
+
+    invocations: List[Invocation]
+
+
+@dataclass
+class ReductionMsg:
+    """A combined partial travelling up the reduction spanning tree."""
+
+    collection: int
+    red_num: int
+    op: str
+    value: Any
+    #: PE that combined and sent this partial (a tree child).
+    from_pe: int
+    #: Where the final value goes (EntryRef / callable), carried along.
+    target: Any
+
+
+@dataclass
+class MigrationMsg:
+    """A chare's packed state in flight to its new home PE."""
+
+    chare_id: ChareID
+    chare: Any
+    old_pe: int
+    new_pe: int
+
+
+@dataclass
+class ForwardedMsg:
+    """A message that reached a PE its target had already left.
+
+    Wraps the original payload; the scheduler re-sends it to the target's
+    current location, charging another network hop — the forwarding cost
+    real migration incurs.
+    """
+
+    original_payload: Any
+    original_size: int
+    original_priority: int
+    original_tag: str
+
+
+@dataclass
+class DriverCall:
+    """A host-level callback scheduled to run on a PE at a virtual time.
+
+    Produced when a reduction targets a plain Python callable (driver
+    code): the call is wrapped as a zero-cost message to the root PE so
+    it executes at the reduction's true completion time and shows up in
+    traces like everything else.
+    """
+
+    fn: Any
+    args: Tuple[Any, ...] = ()

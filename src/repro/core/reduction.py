@@ -1,0 +1,297 @@
+"""Reductions over chare arrays.
+
+Charm++ applications synchronize loosely through *reductions*: every
+element of an array calls ``contribute(value, op, target)`` exactly once
+per reduction, partial results are combined up a spanning tree of PEs,
+and the final value is delivered to the target (an entry method or, here,
+optionally a driver callback).
+
+The tree is **grid-aware**: within each cluster, hosting PEs form a
+binomial-style tree rooted at the cluster's lowest hosting PE; cluster
+roots then feed the global root.  A reduction therefore crosses the
+wide-area link exactly ``num_clusters - 1`` times — the same optimization
+Charm++'s grid-topology reduction implementations use, and the reason
+reductions stay cheap in the paper's co-allocated runs.
+
+Reductions are numbered per collection; element contributions to
+reduction *k+1* may arrive while *k* is still combining (pipelined
+steps), and the manager keeps the states separate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.ids import ChareID, EntryRef
+from repro.errors import ReductionError
+from repro.network.topology import GridTopology
+
+# -- reducers ----------------------------------------------------------------
+
+
+def _red_sum(acc: Any, value: Any) -> Any:
+    return value if acc is None else acc + value
+
+
+def _red_max(acc: Any, value: Any) -> Any:
+    if acc is None:
+        return value
+    return np.maximum(acc, value) if isinstance(acc, np.ndarray) else max(acc, value)
+
+
+def _red_min(acc: Any, value: Any) -> Any:
+    if acc is None:
+        return value
+    return np.minimum(acc, value) if isinstance(acc, np.ndarray) else min(acc, value)
+
+
+def _red_concat(acc: Any, value: Any) -> Any:
+    out = [] if acc is None else acc
+    out.extend(value)
+    return out
+
+
+def _red_nop(acc: Any, value: Any) -> Any:
+    return None
+
+
+REDUCERS: Dict[str, Callable[[Any, Any], Any]] = {
+    "sum": _red_sum,
+    "max": _red_max,
+    "min": _red_min,
+    "concat": _red_concat,
+    "nop": _red_nop,
+}
+
+
+def combine(op: str, acc: Any, value: Any) -> Any:
+    """Fold *value* into the running partial *acc* using reducer *op*."""
+    try:
+        fn = REDUCERS[op]
+    except KeyError:
+        raise ReductionError(f"unknown reducer {op!r}") from None
+    return fn(acc, value)
+
+
+def wrap_contribution(op: str, chare_id: ChareID, value: Any) -> Any:
+    """Shape an element's raw value for the reducer.
+
+    ``concat`` contributions become ``[(index, value)]`` so the final
+    result identifies who contributed what, deterministically sortable.
+    """
+    if op == "concat":
+        return [(chare_id.index, value)]
+    return value
+
+
+def finalize(op: str, acc: Any) -> Any:
+    """Post-process the root's accumulated value before delivery."""
+    if op == "concat" and acc is not None:
+        return sorted(acc, key=lambda pair: pair[0])
+    return acc
+
+
+# -- spanning tree -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReductionTree:
+    """Parent/children structure over the PEs hosting a collection."""
+
+    root: int
+    parent: Dict[int, Optional[int]]
+    children: Dict[int, Tuple[int, ...]]
+
+    def expected_children(self, pe: int) -> int:
+        return len(self.children.get(pe, ()))
+
+
+def build_tree(hosting_pes: List[int], topology: GridTopology,
+               arity: int = 4) -> ReductionTree:
+    """Build the grid-aware reduction tree.
+
+    Within each cluster the hosting PEs form an *arity*-ary tree rooted
+    at the cluster's lowest hosting PE; every cluster root except the
+    global root parents to the global root (one WAN hop each).
+    """
+    if not hosting_pes:
+        raise ReductionError("cannot build a reduction tree over zero PEs")
+    by_cluster: Dict[int, List[int]] = {}
+    for pe in sorted(set(hosting_pes)):
+        by_cluster.setdefault(topology.cluster_of(pe), []).append(pe)
+
+    parent: Dict[int, Optional[int]] = {}
+    children: Dict[int, List[int]] = {}
+    cluster_roots: List[int] = []
+    for _cluster, pes in sorted(by_cluster.items()):
+        root = pes[0]
+        cluster_roots.append(root)
+        for rank, pe in enumerate(pes):
+            if rank == 0:
+                continue
+            par = pes[(rank - 1) // arity]
+            parent[pe] = par
+            children.setdefault(par, []).append(pe)
+
+    global_root = cluster_roots[0]
+    parent[global_root] = None
+    for croot in cluster_roots[1:]:
+        parent[croot] = global_root
+        children.setdefault(global_root, []).append(croot)
+
+    return ReductionTree(
+        root=global_root,
+        parent=parent,
+        children={pe: tuple(kids) for pe, kids in children.items()},
+    )
+
+
+# -- per-reduction state ----------------------------------------------------------
+
+
+@dataclass
+class _PeRedState:
+    """One PE's progress in one reduction."""
+
+    acc: Any = None
+    local_contribs: int = 0
+    child_partials: int = 0
+    sent_up: bool = False
+
+
+@dataclass
+class _RedState:
+    """Global bookkeeping for one (collection, red_num) reduction."""
+
+    op: Optional[str] = None
+    target: Any = None
+    tree: Optional[ReductionTree] = None
+    local_expected: Dict[int, int] = field(default_factory=dict)
+    per_pe: Dict[int, _PeRedState] = field(default_factory=dict)
+    done: bool = False
+
+
+class ReductionManager:
+    """Coordinates all in-flight reductions for a runtime.
+
+    The runtime forwards three kinds of events here:
+
+    * :meth:`contribute` — an element contributed locally;
+    * :meth:`on_partial` — a combined partial arrived from a child PE;
+    * :meth:`snapshot_for` — (internal) lazily freezes the hosting-PE
+      tree and per-PE expected counts at the reduction's first event.
+
+    Migration of a collection's elements while one of its reductions is
+    open is rejected (:class:`~repro.errors.ReductionError`): the paper's
+    applications only balance load at quiescent points, and allowing it
+    would make the expected-count bookkeeping silently wrong.
+    """
+
+    def __init__(self, rts) -> None:
+        self._rts = rts
+        self._states: Dict[Tuple[int, int], _RedState] = {}
+        self._next_red: Dict[ChareID, int] = {}
+
+    # -- queries ---------------------------------------------------------
+
+    def open_reductions(self, collection: int) -> List[int]:
+        """Reduction numbers still combining for *collection*."""
+        return sorted(red for (coll, red), st in self._states.items()
+                      if coll == collection and not st.done)
+
+    # -- events ----------------------------------------------------------
+
+    def contribute(self, chare_id: ChareID, value: Any, op: str,
+                   target: Any) -> None:
+        red_num = self._next_red.get(chare_id, 0)
+        self._next_red[chare_id] = red_num + 1
+        state = self._state_for(chare_id.collection, red_num)
+        self._check_consistent(state, op, target, chare_id.collection, red_num)
+
+        pe = self._rts.pe_of(chare_id)
+        ps = state.per_pe.setdefault(pe, _PeRedState())
+        ps.acc = combine(op, ps.acc, wrap_contribution(op, chare_id, value))
+        ps.local_contribs += 1
+        self._maybe_send_up(chare_id.collection, red_num, state, pe)
+
+    def on_partial(self, pe: int, msg) -> None:
+        """Handle a :class:`~repro.core.records.ReductionMsg` arriving at *pe*."""
+        state = self._state_for(msg.collection, msg.red_num)
+        self._check_consistent(state, msg.op, msg.target,
+                               msg.collection, msg.red_num)
+        ps = state.per_pe.setdefault(pe, _PeRedState())
+        ps.acc = combine(msg.op, ps.acc, msg.value)
+        ps.child_partials += 1
+        self._maybe_send_up(msg.collection, msg.red_num, state, pe)
+
+    # -- internals ------------------------------------------------------------
+
+    def _state_for(self, collection: int, red_num: int) -> _RedState:
+        key = (collection, red_num)
+        state = self._states.get(key)
+        if state is None:
+            state = _RedState()
+            self._snapshot(collection, state)
+            self._states[key] = state
+        return state
+
+    def _snapshot(self, collection: int, state: _RedState) -> None:
+        mapping = self._rts.collection_mapping(collection)
+        if not mapping:
+            raise ReductionError(
+                f"reduction over empty collection c{collection}")
+        hosting: Dict[int, int] = {}
+        for _idx, pe in mapping.items():
+            hosting[pe] = hosting.get(pe, 0) + 1
+        state.local_expected = hosting
+        state.tree = build_tree(sorted(hosting), self._rts.topology)
+
+    @staticmethod
+    def _check_consistent(state: _RedState, op: str, target: Any,
+                          collection: int, red_num: int) -> None:
+        if state.op is None:
+            state.op = op
+            state.target = target
+        elif state.op != op:
+            raise ReductionError(
+                f"reduction {red_num} on c{collection}: mixed reducers "
+                f"{state.op!r} vs {op!r}")
+
+    def _maybe_send_up(self, collection: int, red_num: int,
+                       state: _RedState, pe: int) -> None:
+        assert state.tree is not None
+        ps = state.per_pe.setdefault(pe, _PeRedState())
+        if ps.sent_up:
+            raise ReductionError(
+                f"PE {pe} received reduction traffic for c{collection}#"
+                f"{red_num} after sending its partial (migration during "
+                "an open reduction?)")
+        expected_local = state.local_expected.get(pe, 0)
+        expected_children = state.tree.expected_children(pe)
+        if (ps.local_contribs < expected_local
+                or ps.child_partials < expected_children):
+            return
+        ps.sent_up = True
+        parent = state.tree.parent.get(pe)
+        if parent is None:
+            state.done = True
+            self._rts._deliver_reduction_result(
+                root_pe=pe, collection=collection, red_num=red_num,
+                op=state.op, value=finalize(state.op, ps.acc),
+                target=state.target)
+        else:
+            self._rts._send_reduction_partial(
+                from_pe=pe, to_pe=parent, collection=collection,
+                red_num=red_num, op=state.op, value=ps.acc,
+                target=state.target)
+
+    def assert_no_open_reduction(self, collection: int) -> None:
+        """Guard used by migration: no reduction may be in flight."""
+        open_reds = self.open_reductions(collection)
+        if open_reds:
+            raise ReductionError(
+                f"collection c{collection} has open reductions "
+                f"{open_reds}; migrate only at quiescent points")

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SimulationError(ReproError):
+    """Raised for inconsistencies inside the discrete-event engine."""
+
+
+class SchedulingError(SimulationError):
+    """Raised when an event is scheduled in the past or after shutdown."""
+
+
+class NetworkError(ReproError):
+    """Base class for messaging/transport failures."""
+
+
+class RoutingError(NetworkError):
+    """Raised when no device in a chain claims a (source, destination) pair."""
+
+
+class TopologyError(NetworkError):
+    """Raised for malformed grid/cluster/node/processor topologies."""
+
+
+class RuntimeSystemError(ReproError):
+    """Base class for message-driven runtime failures."""
+
+
+class UnknownChareError(RuntimeSystemError):
+    """Raised when a message targets a chare ID that was never registered."""
+
+
+class EntryMethodError(RuntimeSystemError):
+    """Raised when an entry-method invocation is malformed."""
+
+
+class MigrationError(RuntimeSystemError):
+    """Raised when a chare migration cannot be carried out."""
+
+
+class ReductionError(RuntimeSystemError):
+    """Raised for inconsistent reduction contributions."""
+
+
+class LoadBalanceError(RuntimeSystemError):
+    """Raised when a load-balancing strategy produces an invalid plan."""
+
+
+class AmpiError(ReproError):
+    """Base class for Adaptive-MPI layer failures."""
+
+
+class RankError(AmpiError):
+    """Raised when an operation names an out-of-range or finished rank."""
+
+
+class CollectiveError(AmpiError):
+    """Raised when a collective is used inconsistently across ranks."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid experiment or environment configuration."""
+
+
+class CalibrationError(ConfigurationError):
+    """Raised when cost-model calibration constants are out of range."""

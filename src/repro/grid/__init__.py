@@ -1,0 +1,30 @@
+"""Grid environment configuration (the paper's two testbeds)."""
+
+from repro.grid.environment import GridEnvironment
+from repro.grid.faucets import (
+    Allocation,
+    ClusterOffer,
+    Decision,
+    StencilJob,
+    plan_allocation,
+)
+from repro.grid.presets import (
+    artificial_latency_env,
+    single_cluster_env,
+    teragrid_env,
+)
+from repro.grid.teragrid import DEFAULT_TERAGRID, TeraGridWanModel
+
+__all__ = [
+    "GridEnvironment",
+    "ClusterOffer",
+    "StencilJob",
+    "Allocation",
+    "Decision",
+    "plan_allocation",
+    "artificial_latency_env",
+    "teragrid_env",
+    "single_cluster_env",
+    "TeraGridWanModel",
+    "DEFAULT_TERAGRID",
+]

@@ -1,0 +1,99 @@
+"""The paper's two experimental environments, ready-made.
+
+* :func:`artificial_latency_env` — §5.1's "simulated Grid environment":
+  one real cluster partitioned in two halves, with a VMI **delay
+  device** injecting a chosen latency between the halves.  Fully
+  deterministic.
+* :func:`teragrid_env` — the "true Grid computing environment" of
+  co-allocated NCSA + ANL TeraGrid nodes: a real WAN link model with
+  jitter and contention (seeded, reproducible).
+* :func:`single_cluster_env` — a conventional one-cluster machine, used
+  by baselines and unit tests.
+
+All three build the same VMI chain shape the paper describes: loopback
+and shared-memory first, then the intra-cluster network driver, then
+(for grid environments) the delay device and/or wide-area driver.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.rts import RuntimeConfig
+from repro.errors import ConfigurationError
+from repro.grid.environment import GridEnvironment
+from repro.grid.teragrid import DEFAULT_TERAGRID, TeraGridWanModel
+from repro.network.chain import DeviceChain
+from repro.network.delay import DelayDevice
+from repro.network.devices import LanDevice, LoopbackDevice, ShmemDevice, WanDevice
+from repro.network.links import LinkModel, myrinet_like, shared_memory
+from repro.network.topology import GridTopology
+
+#: Self-delivery: scheduling a message to yourself is nearly free.
+_LOOPBACK_LINK = LinkModel(name="loopback", latency=0.5e-6, bandwidth=0.0,
+                           per_message_overhead=0.5e-6)
+
+
+def _base_devices():
+    """Loopback -> shmem -> LAN: the intra-cluster part of every chain."""
+    return [
+        LoopbackDevice(_LOOPBACK_LINK),
+        ShmemDevice(shared_memory()),
+        LanDevice(myrinet_like()),
+    ]
+
+
+def single_cluster_env(num_pes: int, *, seed: int = 0,
+                       config: Optional[RuntimeConfig] = None,
+                       trace: bool = False,
+                       max_events: Optional[int] = None) -> GridEnvironment:
+    """A conventional cluster: no wide area anywhere."""
+    topo = GridTopology.single_cluster(num_pes)
+    chain = DeviceChain(_base_devices())
+    return GridEnvironment(topo, chain, seed=seed, config=config,
+                           trace=trace, max_events=max_events)
+
+
+def artificial_latency_env(num_pes: int, latency: float, *, seed: int = 0,
+                           config: Optional[RuntimeConfig] = None,
+                           trace: bool = False,
+                           max_events: Optional[int] = None
+                           ) -> GridEnvironment:
+    """The paper's simulated Grid: delay device between two halves.
+
+    Parameters
+    ----------
+    num_pes:
+        Total processors, split evenly (must be even; the paper uses
+        2, 4, 8, 16, 32, 64).
+    latency:
+        Injected one-way cross-"cluster" latency in **seconds** (the
+        paper sweeps 0-32 ms for the stencil, 1-256 ms for LeanMD).
+
+    The "wide-area" transport is the same Myrinet-class link as the
+    LAN — exactly the paper's setup, where both halves live in one real
+    cluster and only the delay device differentiates them.
+    """
+    if latency < 0:
+        raise ConfigurationError(f"negative artificial latency {latency}")
+    topo = GridTopology.two_cluster(num_pes)
+    devices = _base_devices()
+    devices.append(DelayDevice(latency))
+    devices.append(WanDevice(myrinet_like(name="wan-artificial")))
+    chain = DeviceChain(devices)
+    return GridEnvironment(topo, chain, seed=seed, config=config,
+                           trace=trace, max_events=max_events)
+
+
+def teragrid_env(num_pes: int, *, seed: int = 0,
+                 model: TeraGridWanModel = DEFAULT_TERAGRID,
+                 config: Optional[RuntimeConfig] = None,
+                 trace: bool = False,
+                 max_events: Optional[int] = None) -> GridEnvironment:
+    """The real co-allocated NCSA+ANL environment (jitter + contention)."""
+    topo = GridTopology.two_cluster(num_pes, names=("ncsa", "anl"))
+    devices = _base_devices()
+    devices.append(model.device())
+    chain = DeviceChain(devices)
+    return GridEnvironment(topo, chain, seed=seed, config=config,
+                           trace=trace, max_events=max_events)

@@ -1,0 +1,71 @@
+"""VMI-style messaging substrate.
+
+Models the paper's communication stack: a grid/cluster/node/PE topology
+(:mod:`~repro.network.topology`), alpha-beta link models
+(:mod:`~repro.network.links`), VMI device-driver send chains with
+transport, delay, compression and encryption devices
+(:mod:`~repro.network.devices`, :mod:`~repro.network.delay`,
+:mod:`~repro.network.transform`, :mod:`~repro.network.chain`), WAN
+contention (:mod:`~repro.network.contention`), and the
+:class:`~repro.network.fabric.NetworkFabric` that executes message
+transits on the simulation engine.
+"""
+
+from repro.network.chain import DeviceChain, Route
+from repro.network.contention import PipePair, SharedPipe
+from repro.network.delay import DelayDevice, PairwiseDelayDevice, cross_cluster_pairs
+from repro.network.devices import (
+    ChainDevice,
+    LanDevice,
+    LoopbackDevice,
+    ProcessResult,
+    ShmemDevice,
+    TransportDevice,
+    WanDevice,
+)
+from repro.network.fabric import FabricStats, NetworkFabric
+from repro.network.links import (
+    LinkModel,
+    LognormalJitter,
+    NoJitter,
+    myrinet_like,
+    shared_memory,
+    wan_tcp,
+)
+from repro.network.message import DEFAULT_PRIORITY, WAN_EXPEDITED, Message
+from repro.network.topology import Cluster, GridTopology, Node, Processor
+from repro.network.transform import CompressionDevice, EncryptionDevice
+
+__all__ = [
+    "Message",
+    "DEFAULT_PRIORITY",
+    "WAN_EXPEDITED",
+    "GridTopology",
+    "Cluster",
+    "Node",
+    "Processor",
+    "LinkModel",
+    "NoJitter",
+    "LognormalJitter",
+    "myrinet_like",
+    "shared_memory",
+    "wan_tcp",
+    "ChainDevice",
+    "TransportDevice",
+    "ShmemDevice",
+    "LanDevice",
+    "WanDevice",
+    "LoopbackDevice",
+    "ProcessResult",
+    "DelayDevice",
+    "PairwiseDelayDevice",
+    "cross_cluster_pairs",
+    "CompressionDevice",
+    "EncryptionDevice",
+    "DeviceChain",
+    "Route",
+    "SharedPipe",
+    "PipePair",
+    "NetworkFabric",
+    "FabricStats",
+]

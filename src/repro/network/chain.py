@@ -1,0 +1,109 @@
+"""Send-chain assembly and dispatch.
+
+A :class:`DeviceChain` is an ordered list of chain devices.  Resolving a
+message walks the chain in order, accumulating filter-device delays and
+transformations, until a transport device claims the message — the VMI
+dispatch rule from paper §2.2 ("each driver on the chain examines the
+message to determine whether that driver should deliver the message or
+whether it should simply send the message to the next device").
+
+Chains are built once per environment; see :mod:`repro.grid.presets` for
+the two configurations used in the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.network.devices import ChainDevice, TransportDevice
+from repro.network.message import Message
+from repro.network.topology import GridTopology
+
+
+@dataclass
+class Route:
+    """The outcome of resolving one message against a chain."""
+
+    #: Message as transformed by filter devices (wire size may differ).
+    message: Message
+    #: The transport device that claimed the message.
+    transport: TransportDevice
+    #: Total delay added by filter devices before transport starts.
+    pre_transport_delay: float
+
+
+class DeviceChain:
+    """An ordered VMI send chain.
+
+    Parameters
+    ----------
+    devices:
+        Chain devices in dispatch order.  At least one must be a
+        transport device or resolution will fail for every pair.
+    """
+
+    def __init__(self, devices: Sequence[ChainDevice]) -> None:
+        self._devices: List[ChainDevice] = list(devices)
+        if not self._devices:
+            raise RoutingError("empty device chain")
+
+    @property
+    def devices(self) -> List[ChainDevice]:
+        return list(self._devices)
+
+    def insert_before_transport(self, device: ChainDevice) -> None:
+        """Insert a filter device immediately before the first transport.
+
+        This is how the paper wires its delay device: "send and receive
+        chains that consist of two network drivers with a 'delay device
+        driver' in between".
+        """
+        for i, dev in enumerate(self._devices):
+            if isinstance(dev, TransportDevice):
+                self._devices.insert(i, device)
+                return
+        self._devices.append(device)
+
+    def resolve(self, msg: Message, topo: GridTopology,
+                rng: Optional[np.random.Generator] = None) -> Route:
+        """Walk the chain until a transport claims *msg*.
+
+        Raises
+        ------
+        RoutingError
+            If no device claims the message (misconfigured chain).
+        """
+        delay = 0.0
+        current = msg
+        for dev in self._devices:
+            result = dev.process(current, topo, rng)
+            delay += result.added_delay
+            current = result.message
+            if result.claimed:
+                if not isinstance(dev, TransportDevice):
+                    raise RoutingError(
+                        f"device {dev.name!r} claimed a message but is not "
+                        "a transport device")
+                return Route(message=current, transport=dev,
+                             pre_transport_delay=delay)
+        raise RoutingError(
+            f"no device in chain claims PE {msg.src_pe} -> PE {msg.dst_pe} "
+            f"(devices: {[d.name for d in self._devices]})")
+
+    def transports(self) -> List[TransportDevice]:
+        """All transport devices in the chain, in order."""
+        return [d for d in self._devices if isinstance(d, TransportDevice)]
+
+    def reset_stats(self) -> None:
+        """Clear statistics on every device that keeps them."""
+        for dev in self._devices:
+            reset = getattr(dev, "reset_stats", None)
+            if reset is not None:
+                reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "DeviceChain(" + " -> ".join(d.name for d in self._devices) + ")"

@@ -1,0 +1,91 @@
+"""Shared-pipe contention model.
+
+The paper's Table 2 shows the artificial-latency prediction diverging from
+the real two-cluster measurement at 64 processors, which the authors
+attribute to "increased contention in the network" when many processors
+push data over the same wide-area path in a short window.
+
+:class:`SharedPipe` models exactly that: a FIFO resource representing the
+bytes-on-the-wire capacity of one link direction.  Each message occupies
+the pipe for its *serialization time* (size / bandwidth); if the pipe is
+busy, the message queues.  Propagation latency is **not** serialized — two
+messages' bits can be in flight simultaneously — matching how real links
+pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass
+class SharedPipe:
+    """One direction of a contended link.
+
+    Parameters
+    ----------
+    name:
+        Label for statistics.
+    """
+
+    name: str = "pipe"
+    _next_free: float = 0.0
+    #: Total seconds messages spent queueing behind earlier traffic.
+    queue_delay_total: float = 0.0
+    #: Number of reservations made.
+    reservations: int = 0
+
+    def reserve(self, now: float, duration: float) -> float:
+        """Reserve the pipe for *duration* seconds starting at/after *now*.
+
+        Returns the actual start time (``>= now``); the pipe is then busy
+        until ``start + duration``.
+        """
+        if duration < 0:
+            raise ValueError(f"negative serialization time {duration}")
+        start = max(now, self._next_free)
+        self._next_free = start + duration
+        self.queue_delay_total += start - now
+        self.reservations += 1
+        return start
+
+    @property
+    def next_free(self) -> float:
+        """Virtual time at which the pipe becomes idle."""
+        return self._next_free
+
+    def reset(self) -> None:
+        """Forget all reservations (between benchmark repetitions)."""
+        self._next_free = 0.0
+        self.queue_delay_total = 0.0
+        self.reservations = 0
+
+
+class PipePair:
+    """A full-duplex contended link: one :class:`SharedPipe` per direction.
+
+    Directions are keyed by ``(src_cluster, dst_cluster)`` so a single
+    object can serve the whole inter-cluster path of a two-cluster grid.
+    """
+
+    def __init__(self, name: str = "wan") -> None:
+        self.name = name
+        self._pipes: Dict[Tuple[int, int], SharedPipe] = {}
+
+    def direction(self, src_cluster: int, dst_cluster: int) -> SharedPipe:
+        """The pipe carrying traffic from *src_cluster* to *dst_cluster*."""
+        key = (src_cluster, dst_cluster)
+        pipe = self._pipes.get(key)
+        if pipe is None:
+            pipe = SharedPipe(name=f"{self.name}[{src_cluster}->{dst_cluster}]")
+            self._pipes[key] = pipe
+        return pipe
+
+    def total_queue_delay(self) -> float:
+        """Aggregate queueing delay over both directions."""
+        return sum(p.queue_delay_total for p in self._pipes.values())
+
+    def reset(self) -> None:
+        for pipe in self._pipes.values():
+            pipe.reset()

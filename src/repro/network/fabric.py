@@ -1,0 +1,131 @@
+"""The network fabric: couples chains to the event engine.
+
+:class:`NetworkFabric` is the single entry point the runtime uses to move
+a message between processors.  It resolves the message against the VMI
+send chain, charges filter + transport time (including any contention
+queueing), and posts a delivery event on the simulation engine.
+
+Delivery invokes a callback rather than touching PE queues directly so the
+network layer stays ignorant of the runtime layer above it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.network.chain import DeviceChain
+from repro.network.message import Message
+from repro.network.topology import GridTopology
+from repro.sim.engine import Engine
+from repro.sim.trace import Tracer
+
+DeliverFn = Callable[[Message], None]
+
+
+@dataclass
+class FabricStats:
+    """Aggregate traffic statistics, grouped by transport device name."""
+
+    messages: Dict[str, int] = field(default_factory=dict)
+    bytes: Dict[str, int] = field(default_factory=dict)
+    #: Seconds of artificial/filter delay charged in total.
+    filter_delay_total: float = 0.0
+
+    def record(self, transport_name: str, size: int, filter_delay: float) -> None:
+        self.messages[transport_name] = self.messages.get(transport_name, 0) + 1
+        self.bytes[transport_name] = self.bytes.get(transport_name, 0) + size
+        self.filter_delay_total += filter_delay
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes.values())
+
+
+class NetworkFabric:
+    """Routes messages through a device chain on a simulation engine.
+
+    Parameters
+    ----------
+    engine:
+        The discrete-event engine providing the clock.
+    topology:
+        Machine layout used for chain dispatch.
+    chain:
+        VMI send chain (shared by all PEs; per-PE chains are not needed
+        for the paper's experiments).
+    rng:
+        Optional RNG consulted by jittered links; omit for fully
+        deterministic artificial-latency runs.
+    tracer:
+        Optional tracer receiving send/deliver events.
+    """
+
+    def __init__(self, engine: Engine, topology: GridTopology,
+                 chain: DeviceChain,
+                 rng: Optional[np.random.Generator] = None,
+                 tracer: Optional[Tracer] = None) -> None:
+        self.engine = engine
+        self.topology = topology
+        self.chain = chain
+        self.rng = rng
+        self.tracer = tracer
+        self.stats = FabricStats()
+
+    def send(self, msg: Message, deliver: DeliverFn) -> float:
+        """Dispatch *msg*; *deliver* runs at the computed arrival time.
+
+        Returns the absolute virtual arrival time (useful for tests).
+        """
+        now = self.engine.now
+        msg.sent_at = now
+        msg.crossed_wan = self.topology.crosses_wan(msg.src_pe, msg.dst_pe)
+
+        route = self.chain.resolve(msg, self.topology, self.rng)
+        wire_msg = route.message
+        transport_start = now + route.pre_transport_delay
+        transit = route.transport.transit(
+            wire_msg, self.topology, transport_start, self.rng)
+        arrival = transport_start + transit
+
+        self.stats.record(route.transport.name, wire_msg.size_bytes,
+                          route.pre_transport_delay)
+        if self.tracer is not None:
+            self.tracer.message_sent(now, msg.src_pe, msg.dst_pe,
+                                     wire_msg.size_bytes, msg.tag,
+                                     msg.crossed_wan)
+
+            def _deliver(m: Message = msg, t: float = arrival) -> None:
+                self.tracer.message_delivered(t, m.src_pe, m.dst_pe,
+                                              wire_msg.size_bytes, m.tag,
+                                              m.crossed_wan)
+                deliver(m)
+        else:
+            def _deliver(m: Message = msg) -> None:
+                deliver(m)
+
+        self.engine.post(arrival, _deliver)
+        return arrival
+
+    def one_way_time(self, src_pe: int, dst_pe: int, size_bytes: int) -> float:
+        """Model-only query: transit time for a hypothetical message.
+
+        Does not consume contention capacity, does not draw jitter, does
+        not count in statistics.  Used by analytic sanity checks and by
+        load balancers estimating communication cost.
+        """
+        probe = Message(src_pe=src_pe, dst_pe=dst_pe, size_bytes=size_bytes)
+        route = self.chain.resolve(probe, self.topology, None)
+        return (route.pre_transport_delay
+                + route.transport.link.transit_time(route.message.size_bytes))
+
+    def reset_stats(self) -> None:
+        """Clear fabric and device statistics (between benchmark reps)."""
+        self.stats = FabricStats()
+        self.chain.reset_stats()

@@ -1,0 +1,140 @@
+"""Link performance models.
+
+A :class:`LinkModel` answers one question: *how long does a message of S
+bytes take on this link?*  The answer is the classic alpha-beta model —
+fixed one-way latency plus a bandwidth term — optionally perturbed by a
+jitter model (used only by the "real TeraGrid" environment; artificial
+latency experiments are jitter-free, matching the paper's delay device).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import transfer_time
+
+
+class JitterModel(Protocol):
+    """Draws a non-negative extra delay for a single message."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Return an additional delay in seconds (>= 0)."""
+        ...
+
+
+@dataclass(frozen=True)
+class NoJitter:
+    """The degenerate jitter model: always zero."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class LognormalJitter:
+    """Heavy-tailed WAN jitter.
+
+    Wide-area RTT distributions are well approximated by a lognormal body;
+    ``median`` sets the scale (seconds), ``sigma`` the spread in log-space.
+    The sample is the lognormal draw minus its median so that *typical*
+    messages see ~0 extra delay and the tail sees spikes, keeping the base
+    link latency meaningful.
+    """
+
+    median: float
+    sigma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.median < 0 or self.sigma < 0:
+            raise ConfigurationError(
+                f"invalid jitter parameters median={self.median}, "
+                f"sigma={self.sigma}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        draw = self.median * float(np.exp(self.sigma * rng.standard_normal()))
+        return max(draw - self.median, 0.0)
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Alpha-beta performance model of one link class.
+
+    Parameters
+    ----------
+    name:
+        Label used in traces and statistics ("shmem", "lan", "wan").
+    latency:
+        One-way latency in seconds (the alpha term).
+    bandwidth:
+        Bytes per second (the beta term); ``0`` means infinitely fast
+        (pure-latency link).
+    per_message_overhead:
+        Fixed software send/receive cost charged per message, in seconds
+        (protocol processing, independent of size).
+    jitter:
+        Optional stochastic extra delay.
+    """
+
+    name: str
+    latency: float
+    bandwidth: float = 0.0
+    per_message_overhead: float = 0.0
+    jitter: Optional[JitterModel] = None
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ConfigurationError(f"negative latency on link {self.name!r}")
+        if self.bandwidth < 0:
+            raise ConfigurationError(f"negative bandwidth on link {self.name!r}")
+        if self.per_message_overhead < 0:
+            raise ConfigurationError(
+                f"negative overhead on link {self.name!r}")
+
+    def transit_time(self, size_bytes: int,
+                     rng: Optional[np.random.Generator] = None) -> float:
+        """One-way transit time for *size_bytes* on this link.
+
+        The jitter model is only consulted when an *rng* is supplied; this
+        keeps pure-model code paths (tests, analytic checks) deterministic
+        without having to thread a generator everywhere.
+        """
+        t = (self.latency + self.per_message_overhead
+             + transfer_time(size_bytes, self.bandwidth))
+        if self.jitter is not None and rng is not None:
+            t += self.jitter.sample(rng)
+        return t
+
+    def serialization_time(self, size_bytes: int) -> float:
+        """Time the link itself is *occupied* by this message.
+
+        Used by the contention model: while one message's bytes are on the
+        wire, the next message queues.  Latency does not occupy the pipe
+        (it is propagation, which pipelines), only the bandwidth term does.
+        """
+        return transfer_time(size_bytes, self.bandwidth)
+
+
+# Ready-made link classes used across the presets -------------------------
+
+def myrinet_like(name: str = "lan") -> LinkModel:
+    """Intra-cluster interconnect of the paper's era (Myrinet-class)."""
+    return LinkModel(name=name, latency=10e-6, bandwidth=250e6,
+                     per_message_overhead=5e-6)
+
+
+def shared_memory(name: str = "shmem") -> LinkModel:
+    """Same-node communication through shared memory."""
+    return LinkModel(name=name, latency=1e-6, bandwidth=1e9,
+                     per_message_overhead=1e-6)
+
+
+def wan_tcp(latency: float, bandwidth: float = 100e6,
+            jitter: Optional[JitterModel] = None,
+            name: str = "wan") -> LinkModel:
+    """Wide-area TCP path with configurable one-way latency."""
+    return LinkModel(name=name, latency=latency, bandwidth=bandwidth,
+                     per_message_overhead=20e-6, jitter=jitter)

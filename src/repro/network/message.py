@@ -1,0 +1,82 @@
+"""Message envelope shared by the network and runtime layers.
+
+A :class:`Message` is what travels between processors.  The runtime layer
+fills in chare/entry identifiers in :attr:`Message.payload`; the network
+layer only looks at the envelope fields (source, destination, size,
+priority).
+
+Priorities follow the Charm++ convention: **smaller value = more urgent**.
+``DEFAULT_PRIORITY`` is 0; the prioritized-WAN-message extension (paper
+§6, third item) tags cross-cluster messages with ``WAN_EXPEDITED``
+(negative, i.e. served first).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Priority assigned when the sender does not specify one.
+DEFAULT_PRIORITY: int = 0
+#: Priority used by the "expedite WAN messages" scheduler extension.
+WAN_EXPEDITED: int = -10
+
+_seq_counter = itertools.count()
+
+
+@dataclass
+class Message:
+    """A single asynchronous message between two processors.
+
+    Parameters
+    ----------
+    src_pe, dst_pe:
+        Global processor indices of the sender and the receiver.
+    size_bytes:
+        Envelope + payload size used for bandwidth/transfer modelling.
+        This is *declared*, not measured — application code states how
+        large its ghost vector / coordinate block would be on the wire.
+    payload:
+        Opaque runtime-level content (entry-method invocation record).
+    priority:
+        Scheduling priority at the destination queue (smaller = sooner).
+    tag:
+        Human-readable label for traces ("ghost", "coords", "forces"...).
+    """
+
+    src_pe: int
+    dst_pe: int
+    size_bytes: int
+    payload: Any = None
+    priority: int = DEFAULT_PRIORITY
+    tag: str = ""
+    #: Filled by the fabric: did this message cross the wide-area link?
+    crossed_wan: bool = False
+    #: Filled by the fabric: virtual time the message was handed to it.
+    sent_at: Optional[float] = None
+    #: Monotonic sequence number: FIFO tiebreak inside equal priorities.
+    seq: int = field(default_factory=lambda: next(_seq_counter))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"negative message size {self.size_bytes}")
+
+    def with_size(self, new_size: int) -> "Message":
+        """Return a shallow copy with a different wire size.
+
+        Used by transform devices (compression) which change the number of
+        bytes on the wire without touching the logical payload.
+        """
+        clone = Message(
+            src_pe=self.src_pe,
+            dst_pe=self.dst_pe,
+            size_bytes=new_size,
+            payload=self.payload,
+            priority=self.priority,
+            tag=self.tag,
+        )
+        clone.crossed_wan = self.crossed_wan
+        clone.sent_at = self.sent_at
+        clone.seq = self.seq
+        return clone

@@ -1,0 +1,29 @@
+"""Discrete-event simulation substrate.
+
+This package provides the deterministic foundation everything else runs
+on: a virtual clock with an event queue (:mod:`repro.sim.engine`), named
+reproducible RNG streams (:mod:`repro.sim.rand`), and Projections-style
+tracing (:mod:`repro.sim.trace`).
+"""
+
+from repro.sim.engine import Engine, EventHandle
+from repro.sim.rand import RandomStreams, stable_name_key
+from repro.sim.trace import (
+    EntryProfile,
+    ExecInterval,
+    MessageEvent,
+    PeUsage,
+    Tracer,
+)
+
+__all__ = [
+    "Engine",
+    "EventHandle",
+    "RandomStreams",
+    "stable_name_key",
+    "Tracer",
+    "ExecInterval",
+    "MessageEvent",
+    "PeUsage",
+    "EntryProfile",
+]

@@ -1,0 +1,262 @@
+"""Projections-style execution tracing.
+
+Charm++ ships with a performance-analysis tool called *Projections* that
+records, per processor, intervals of entry-method execution and message
+send/receive events.  This module provides the same facility for the
+simulated runtime: the scheduler calls :meth:`Tracer.begin_execute` /
+:meth:`Tracer.end_execute` and the network fabric calls
+:meth:`Tracer.message_sent` / :meth:`Tracer.message_delivered`.
+
+The trace is the raw material for
+
+* the Figure-2 style timeline example (``examples/timeline_fig2.py``),
+* PE utilization / overlap statistics used in tests to *prove* that
+  latency masking actually happened (rather than inferring it from
+  end-to-end times alone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ExecInterval:
+    """One entry-method execution on one PE."""
+
+    pe: int
+    start: float
+    end: float
+    chare: str
+    entry: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class MessageEvent:
+    """One message lifecycle milestone."""
+
+    kind: str          # "send" | "deliver"
+    time: float
+    src_pe: int
+    dst_pe: int
+    size: int
+    tag: str
+    crossed_wan: bool
+
+
+@dataclass
+class PeUsage:
+    """Aggregated busy/idle statistics for one PE."""
+
+    pe: int
+    busy: float = 0.0
+    executions: int = 0
+
+    def utilization(self, makespan: float) -> float:
+        """Fraction of *makespan* this PE spent executing entry methods."""
+        if makespan <= 0.0:
+            return 0.0
+        return self.busy / makespan
+
+
+class Tracer:
+    """Collects execution intervals and message events.
+
+    Tracing is off by default in benchmark sweeps (it costs memory per
+    event); the harness enables it for timeline/overlap experiments.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` every recording call is a cheap no-op; statistics
+        queries raise ``ValueError`` (the caller asked for data that was
+        never collected, which is a bug worth surfacing).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.intervals: List[ExecInterval] = []
+        self.messages: List[MessageEvent] = []
+        self._open: Dict[int, Tuple[float, str, str]] = {}
+
+    # -- recording -------------------------------------------------------
+
+    def begin_execute(self, pe: int, now: float, chare: str, entry: str) -> None:
+        """Mark the start of an entry-method execution on *pe*."""
+        if not self.enabled:
+            return
+        if pe in self._open:
+            raise ValueError(f"PE {pe} already executing {self._open[pe]!r}")
+        self._open[pe] = (now, chare, entry)
+
+    def end_execute(self, pe: int, now: float) -> None:
+        """Mark the end of the currently open execution on *pe*."""
+        if not self.enabled:
+            return
+        try:
+            start, chare, entry = self._open.pop(pe)
+        except KeyError:
+            raise ValueError(f"PE {pe} has no open execution interval")
+        self.intervals.append(ExecInterval(pe, start, now, chare, entry))
+
+    def message_sent(self, now: float, src_pe: int, dst_pe: int, size: int,
+                     tag: str, crossed_wan: bool) -> None:
+        """Record a message leaving its source PE."""
+        if not self.enabled:
+            return
+        self.messages.append(MessageEvent(
+            "send", now, src_pe, dst_pe, size, tag, crossed_wan))
+
+    def message_delivered(self, now: float, src_pe: int, dst_pe: int,
+                          size: int, tag: str, crossed_wan: bool) -> None:
+        """Record a message arriving at its destination PE's queue."""
+        if not self.enabled:
+            return
+        self.messages.append(MessageEvent(
+            "deliver", now, src_pe, dst_pe, size, tag, crossed_wan))
+
+    # -- analysis --------------------------------------------------------
+
+    def _require_data(self) -> None:
+        if not self.enabled:
+            raise ValueError("tracer was disabled; no data collected")
+
+    def makespan(self) -> float:
+        """Virtual time spanned by the recorded intervals."""
+        self._require_data()
+        if not self.intervals:
+            return 0.0
+        start = min(iv.start for iv in self.intervals)
+        end = max(iv.end for iv in self.intervals)
+        return end - start
+
+    def pe_usage(self) -> Dict[int, PeUsage]:
+        """Per-PE busy time and execution counts."""
+        self._require_data()
+        usage: Dict[int, PeUsage] = {}
+        for iv in self.intervals:
+            u = usage.setdefault(iv.pe, PeUsage(iv.pe))
+            u.busy += iv.duration
+            u.executions += 1
+        return usage
+
+    def busy_during(self, pe: int, start: float, end: float) -> float:
+        """Total time *pe* spent executing within the window [start, end].
+
+        This is the workhorse of the overlap tests: after identifying a
+        WAN message's in-flight window from the message events, the tests
+        assert the destination PE was busy during it — i.e. the latency
+        was *masked* by other objects' work, which is the paper's thesis.
+        """
+        self._require_data()
+        total = 0.0
+        for iv in self.intervals:
+            if iv.pe != pe:
+                continue
+            lo = max(iv.start, start)
+            hi = min(iv.end, end)
+            if hi > lo:
+                total += hi - lo
+        return total
+
+    def wan_flight_windows(self) -> List[Tuple[float, float, int, int]]:
+        """Return ``(send_time, deliver_time, src_pe, dst_pe)`` for every
+        message that crossed the wide-area link, pairing sends to delivers
+        in FIFO order per (src, dst) pair."""
+        self._require_data()
+        pending: Dict[Tuple[int, int], List[float]] = {}
+        windows: List[Tuple[float, float, int, int]] = []
+        for ev in self.messages:
+            if not ev.crossed_wan:
+                continue
+            key = (ev.src_pe, ev.dst_pe)
+            if ev.kind == "send":
+                pending.setdefault(key, []).append(ev.time)
+            else:
+                queue = pending.get(key)
+                if queue:
+                    windows.append((queue.pop(0), ev.time,
+                                    ev.src_pe, ev.dst_pe))
+        return windows
+
+    def timeline(self, pes: Optional[Iterable[int]] = None
+                 ) -> Dict[int, List[ExecInterval]]:
+        """Per-PE chronologically sorted execution intervals."""
+        self._require_data()
+        wanted = set(pes) if pes is not None else None
+        out: Dict[int, List[ExecInterval]] = {}
+        for iv in self.intervals:
+            if wanted is not None and iv.pe not in wanted:
+                continue
+            out.setdefault(iv.pe, []).append(iv)
+        for lst in out.values():
+            lst.sort(key=lambda iv: iv.start)
+        return out
+
+    def render_timeline(self, width: int = 72,
+                        pes: Optional[Iterable[int]] = None) -> str:
+        """ASCII rendering of per-PE busy intervals (Figure-2 style).
+
+        Each PE gets a row of *width* characters; ``#`` marks busy time,
+        ``.`` idle time.  Intended for examples and debugging, not parsing.
+        """
+        tl = self.timeline(pes)
+        if not tl:
+            return "(empty trace)"
+        start = min(iv.start for ivs in tl.values() for iv in ivs)
+        end = max(iv.end for ivs in tl.values() for iv in ivs)
+        span = max(end - start, 1e-12)
+        lines = []
+        for pe in sorted(tl):
+            row = ["."] * width
+            for iv in tl[pe]:
+                lo = int((iv.start - start) / span * (width - 1))
+                hi = int((iv.end - start) / span * (width - 1))
+                for i in range(lo, hi + 1):
+                    row[i] = "#"
+            lines.append(f"PE{pe:>3} |" + "".join(row) + "|")
+        return "\n".join(lines)
+
+
+    def profile_by_entry(self) -> Dict[Tuple[str, str], "EntryProfile"]:
+        """Projections-style usage profile: time per (chare, entry) kind."""
+        self._require_data()
+        out: Dict[Tuple[str, str], EntryProfile] = {}
+        for iv in self.intervals:
+            key = (iv.chare, iv.entry)
+            prof = out.setdefault(key, EntryProfile(iv.chare, iv.entry))
+            prof.calls += 1
+            prof.total_time += iv.duration
+        return out
+
+    def render_profile(self, top: int = 10) -> str:
+        """Human-readable top-N entry-method usage table."""
+        profs = sorted(self.profile_by_entry().values(),
+                       key=lambda p: -p.total_time)[:top]
+        total = sum(p.total_time for p in self.profile_by_entry().values())
+        lines = [f"{'chare.entry':36s} {'calls':>8} {'time(s)':>10} "
+                 f"{'share':>7}"]
+        for p in profs:
+            share = p.total_time / total if total > 0 else 0.0
+            lines.append(f"{p.chare + '.' + p.entry:36s} {p.calls:>8} "
+                         f"{p.total_time:>10.4f} {share:>6.1%}")
+        return "\n".join(lines)
+
+
+@dataclass
+class EntryProfile:
+    """Aggregate execution statistics for one (chare type, entry) pair."""
+
+    chare: str
+    entry: str
+    calls: int = 0
+    total_time: float = 0.0
+
+    @property
+    def mean_time(self) -> float:
+        return self.total_time / self.calls if self.calls else 0.0

@@ -1,0 +1,100 @@
+"""Unit helpers.
+
+All simulated time inside the library is a ``float`` number of **seconds**
+and all message sizes are an ``int`` number of **bytes**.  These helpers
+exist so configuration code reads like the paper ("32 ms latency",
+"250 MB/s bandwidth") instead of bare magic numbers.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# time
+# --------------------------------------------------------------------------
+
+#: One second, the base time unit.
+SECOND: float = 1.0
+#: One millisecond in seconds.
+MILLISECOND: float = 1e-3
+#: One microsecond in seconds.
+MICROSECOND: float = 1e-6
+#: One nanosecond in seconds.
+NANOSECOND: float = 1e-9
+
+
+def seconds(value: float) -> float:
+    """Return *value* seconds (identity; for symmetry with the others)."""
+    return float(value)
+
+
+def ms(value: float) -> float:
+    """Convert *value* milliseconds to seconds."""
+    return float(value) * MILLISECOND
+
+
+def us(value: float) -> float:
+    """Convert *value* microseconds to seconds."""
+    return float(value) * MICROSECOND
+
+
+def ns(value: float) -> float:
+    """Convert *value* nanoseconds to seconds."""
+    return float(value) * NANOSECOND
+
+
+def to_ms(value_seconds: float) -> float:
+    """Convert a time in seconds to milliseconds (for reporting)."""
+    return float(value_seconds) / MILLISECOND
+
+
+def to_us(value_seconds: float) -> float:
+    """Convert a time in seconds to microseconds (for reporting)."""
+    return float(value_seconds) / MICROSECOND
+
+
+# --------------------------------------------------------------------------
+# sizes
+# --------------------------------------------------------------------------
+
+#: One kibibyte in bytes.
+KiB: int = 1024
+#: One mebibyte in bytes.
+MiB: int = 1024 * 1024
+#: One gibibyte in bytes.
+GiB: int = 1024 * 1024 * 1024
+
+
+def kib(value: float) -> int:
+    """Convert *value* KiB to bytes (rounded to an integer byte count)."""
+    return int(value * KiB)
+
+
+def mib(value: float) -> int:
+    """Convert *value* MiB to bytes (rounded to an integer byte count)."""
+    return int(value * MiB)
+
+
+# --------------------------------------------------------------------------
+# rates
+# --------------------------------------------------------------------------
+
+
+def mb_per_s(value: float) -> float:
+    """Convert a bandwidth in decimal megabytes/second to bytes/second."""
+    return float(value) * 1e6
+
+
+def gb_per_s(value: float) -> float:
+    """Convert a bandwidth in decimal gigabytes/second to bytes/second."""
+    return float(value) * 1e9
+
+
+def transfer_time(size_bytes: int, bandwidth_bytes_per_s: float) -> float:
+    """Time in seconds to push *size_bytes* through a link.
+
+    A non-positive bandwidth means "infinitely fast" (pure latency link),
+    which is how zero-cost control messages are modelled.
+    """
+    if bandwidth_bytes_per_s <= 0.0:
+        return 0.0
+    return size_bytes / bandwidth_bytes_per_s

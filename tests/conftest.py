@@ -1,0 +1,54 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chare import Chare
+from repro.core.method import entry
+from repro.grid.presets import (
+    artificial_latency_env,
+    single_cluster_env,
+    teragrid_env,
+)
+from repro.units import ms
+
+
+@pytest.fixture
+def env4():
+    """A 4-PE two-cluster environment with 2 ms artificial latency."""
+    return artificial_latency_env(4, ms(2))
+
+
+@pytest.fixture
+def env1():
+    """A single-PE, single-cluster environment."""
+    return single_cluster_env(1)
+
+
+class Recorder(Chare):
+    """A chare that records every invocation (used across tests)."""
+
+    def __init__(self):
+        super().__init__()
+        self.calls = []
+
+    @entry
+    def note(self, *args):
+        self.calls.append((self.now, args))
+
+    @entry
+    def note_and_charge(self, cost, *args):
+        self.calls.append((self.now, args))
+        self.charge(cost)
+
+    @entry
+    def boom(self):
+        raise RuntimeError("entry method exploded")
+
+
+def make_recorder(env, pe=0):
+    """Create a Recorder on *pe*; returns (proxy, instance)."""
+    rts = env.runtime
+    proxy = rts.create_chare(Recorder, pe=pe)
+    return proxy, rts.chare_object(proxy.chare_id)

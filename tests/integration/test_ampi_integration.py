@@ -1,0 +1,260 @@
+"""Integration tests for the AMPI layer on the simulated grid."""
+
+import numpy as np
+import pytest
+
+from repro.ampi import ANY_SOURCE, ANY_TAG, AmpiWorld, ampi_run
+from repro.ampi.request import NoWait
+from repro.core.mapping import RoundRobinMapping
+from repro.errors import AmpiError
+from repro.grid.presets import artificial_latency_env, single_cluster_env, teragrid_env
+from repro.units import ms
+
+
+def test_send_recv_pair(env4):
+    def program(mpi):
+        if mpi.rank == 0:
+            mpi.send({"a": 7, "b": 3.14}, dest=1, tag=11)
+            return "sent"
+        data = yield mpi.recv(source=0, tag=11)
+        return data
+
+    world = ampi_run(env4, program, num_ranks=2)
+    assert world.results_in_rank_order() == ["sent", {"a": 7, "b": 3.14}]
+
+
+def test_recv_blocks_until_message(env4):
+    times = {}
+
+    def program(mpi):
+        if mpi.rank == 0:
+            mpi.charge(0.05)
+            mpi.send("late", dest=1)
+        else:
+            data = yield mpi.recv(source=0)
+            times["recv_done"] = mpi.now
+            assert data == "late"
+
+    ampi_run(env4, program, num_ranks=2)
+    assert times["recv_done"] >= 0.05
+
+
+def test_wildcard_source_and_tag(env4):
+    def program(mpi):
+        if mpi.rank == 0:
+            out = []
+            for _ in range(2):
+                src, tag, data = yield mpi.recv_status(source=ANY_SOURCE,
+                                                       tag=ANY_TAG)
+                out.append((src, tag, data))
+            return sorted(out)
+        mpi.send(f"from-{mpi.rank}", dest=0, tag=mpi.rank * 10)
+
+    world = ampi_run(env4, program, num_ranks=3)
+    assert world.results[0] == [(1, 10, "from-1"), (2, 20, "from-2")]
+
+
+def test_pair_ordering_preserved_under_jitter():
+    """MPI non-overtaking must survive a jittered WAN."""
+    env = teragrid_env(2, seed=11)
+
+    def program(mpi):
+        if mpi.rank == 0:
+            for i in range(20):
+                mpi.send(i, dest=1, tag=0)
+        else:
+            out = []
+            for _ in range(20):
+                out.append((yield mpi.recv(source=0, tag=0)))
+            return out
+
+    world = ampi_run(env, program, num_ranks=2)
+    assert world.results[1] == list(range(20))
+
+
+def test_isend_irecv_waitall(env4):
+    def program(mpi):
+        right = (mpi.rank + 1) % mpi.size
+        left = (mpi.rank - 1) % mpi.size
+        reqs = [mpi.irecv(source=left, tag=1)]
+        mpi.isend(mpi.rank * 2, dest=right, tag=1)
+        values = yield mpi.waitall(reqs)
+        return values[0]
+
+    world = ampi_run(env4, program, num_ranks=4)
+    assert world.results_in_rank_order() == [6, 0, 2, 4]
+
+
+def test_waitany(env4):
+    def program(mpi):
+        if mpi.rank == 0:
+            r1 = mpi.irecv(source=1, tag=1)
+            r2 = mpi.irecv(source=2, tag=2)
+            idx, data = yield mpi.waitany([r1, r2])
+            return (idx, data)
+        if mpi.rank == 1:
+            mpi.charge(0.5)   # rank 1 is slow
+            mpi.send("slow", dest=0, tag=1)
+        else:
+            mpi.send("fast", dest=0, tag=2)
+
+    world = ampi_run(env4, program, num_ranks=3)
+    assert world.results[0] == (1, "fast")
+
+
+def test_posted_receive_matches_before_mailbox(env4):
+    def program(mpi):
+        if mpi.rank == 0:
+            req = mpi.irecv(source=1, tag=5)
+            data = yield mpi.wait(req)
+            return data
+        mpi.send("posted", dest=1 - mpi.rank, tag=5)
+
+    world = ampi_run(env4, program, num_ranks=2)
+    assert world.results[0] == "posted"
+
+
+def test_sendrecv_ring(env4):
+    def program(mpi):
+        right = (mpi.rank + 1) % mpi.size
+        left = (mpi.rank - 1) % mpi.size
+        got = yield mpi.sendrecv(mpi.rank, dest=right, source=left)
+        return got
+
+    world = ampi_run(env4, program, num_ranks=8)
+    assert world.results_in_rank_order() == [7, 0, 1, 2, 3, 4, 5, 6]
+
+
+def test_collectives_suite(env4):
+    def program(mpi):
+        total = yield mpi.allreduce(mpi.rank + 1, op="sum")
+        biggest = yield mpi.allreduce(mpi.rank, op="max")
+        rooted = yield mpi.reduce(mpi.rank, op="sum", root=2)
+        bval = yield mpi.bcast("hello" if mpi.rank == 1 else None, root=1)
+        gathered = yield mpi.gather(mpi.rank * 10, root=0)
+        ag = yield mpi.allgather(mpi.rank)
+        scattered = yield mpi.scatter(
+            [f"part{r}" for r in range(mpi.size)] if mpi.rank == 0 else None,
+            root=0)
+        prefix = yield mpi.scan(1, op="sum")
+        yield mpi.barrier()
+        return (total, biggest, rooted, bval, gathered, ag, scattered,
+                prefix)
+
+    world = ampi_run(env4, program, num_ranks=4)
+    r = world.results_in_rank_order()
+    assert all(x[0] == 10 for x in r)
+    assert all(x[1] == 3 for x in r)
+    assert [x[2] for x in r] == [None, None, 6, None]
+    assert all(x[3] == "hello" for x in r)
+    assert r[0][4] == [0, 10, 20, 30]
+    assert all(x[4] is None for x in r[1:])
+    assert all(x[5] == [0, 1, 2, 3] for x in r)
+    assert [x[6] for x in r] == ["part0", "part1", "part2", "part3"]
+    assert [x[7] for x in r] == [1, 2, 3, 4]
+
+
+def test_alltoall(env4):
+    def program(mpi):
+        out = yield mpi.alltoall(
+            [f"{mpi.rank}->{d}" for d in range(mpi.size)])
+        return out
+
+    world = ampi_run(env4, program, num_ranks=3)
+    assert world.results[1] == ["0->1", "1->1", "2->1"]
+
+
+def test_allreduce_numpy_arrays(env4):
+    def program(mpi):
+        arr = np.full(3, float(mpi.rank))
+        total = yield mpi.allreduce(arr, op="sum")
+        return total
+
+    world = ampi_run(env4, program, num_ranks=4)
+    assert np.array_equal(world.results[0], [6.0, 6.0, 6.0])
+
+
+def test_virtualization_ranks_exceed_pes(env4):
+    """More ranks than PEs: the core AMPI virtualization claim."""
+    def program(mpi):
+        right = (mpi.rank + 1) % mpi.size
+        left = (mpi.rank - 1) % mpi.size
+        token = yield mpi.sendrecv(mpi.rank, dest=right, source=left)
+        total = yield mpi.allreduce(token, op="sum")
+        return total
+
+    world = ampi_run(env4, program, num_ranks=32)
+    expected = sum(range(32))
+    assert all(v == expected for v in world.results.values())
+
+
+def test_rank_program_must_be_generator(env4):
+    def not_a_generator(mpi):
+        return 42
+
+    with pytest.raises(AmpiError):
+        ampi_run(env4, not_a_generator, num_ranks=2)
+
+
+def test_yielding_garbage_rejected(env4):
+    def program(mpi):
+        yield "not-a-descriptor"
+
+    with pytest.raises(AmpiError):
+        ampi_run(env4, program, num_ranks=1)
+
+
+def test_deadlock_detection_via_unfinished_ranks(env4):
+    def program(mpi):
+        if mpi.rank == 0:
+            yield mpi.recv(source=1, tag=9)  # never sent
+        return None
+
+    world = AmpiWorld(env4, program, num_ranks=2)
+    world.run()
+    assert not world.all_finished
+    with pytest.raises(AmpiError):
+        world.results_in_rank_order()
+
+
+def test_send_to_invalid_rank(env4):
+    from repro.errors import RankError
+
+    def program(mpi):
+        mpi.send("x", dest=99)
+        yield mpi.barrier()
+
+    with pytest.raises(RankError):
+        ampi_run(env4, program, num_ranks=2)
+
+
+def test_program_args_passed(env4):
+    def program(mpi, factor, offset):
+        value = yield mpi.allreduce(mpi.rank * factor + offset)
+        return value
+
+    world = ampi_run(env4, program, num_ranks=2, program_args=(10, 1))
+    assert world.results[0] == 12
+
+
+def test_custom_rank_mapping(env4):
+    def program(mpi):
+        if False:
+            yield
+        return None
+
+    world = AmpiWorld(env4, program, num_ranks=4,
+                      mapping=RoundRobinMapping())
+    world.run()
+    assert [world.comm.pe_of_rank(r) for r in range(4)] == [0, 1, 2, 3]
+    assert world.comm.ranks_on_pe(2) == [2]
+
+
+def test_finished_at_recorded(env4):
+    def program(mpi):
+        mpi.charge(0.1)
+        yield mpi.barrier()
+
+    world = ampi_run(env4, program, num_ranks=4)
+    assert world.finished_at is not None
+    assert world.finished_at >= 0.1

@@ -1,0 +1,76 @@
+"""Tests for the benchmark harness entry points."""
+
+import pytest
+
+from repro.bench.harness import (
+    TERAGRID_ONE_WAY_MS,
+    leanmd_point,
+    stencil_ampi_point,
+    stencil_point,
+)
+from repro.bench.sweep import sweep_fig3, sweep_table2
+
+
+def test_stencil_point_fields():
+    p = stencil_point("t", pes=4, objects=16, latency_ms_value=2.0,
+                      mesh=(128, 128), steps=5)
+    assert p.app == "stencil"
+    assert p.environment == "artificial"
+    assert (p.pes, p.objects, p.latency_ms) == (4, 16, 2.0)
+    assert p.time_per_step > 0
+    assert p.extra["mesh"] == [128, 128]
+    assert p.extra["payload"] == "modeled"
+
+
+def test_stencil_point_teragrid_env():
+    p = stencil_point("t", pes=4, objects=16,
+                      latency_ms_value=TERAGRID_ONE_WAY_MS,
+                      mesh=(128, 128), steps=5, environment="teragrid")
+    assert p.environment == "teragrid"
+    assert p.time_per_step > 0
+
+
+def test_stencil_point_rejects_unknown_env():
+    with pytest.raises(ValueError):
+        stencil_point("t", 2, 4, 0.0, environment="cloud")
+
+
+def test_leanmd_point_fields():
+    p = leanmd_point("t", pes=4, latency_ms_value=2.0, cells=(2, 2, 2),
+                     atoms_per_cell=4, steps=4)
+    assert p.app == "leanmd"
+    assert p.objects == 8          # cells in the grid
+    assert p.extra["atoms_per_cell"] == 4
+    assert p.time_per_step > 0
+
+
+def test_leanmd_point_rejects_unknown_env():
+    with pytest.raises(ValueError):
+        leanmd_point("t", 2, 0.0, environment="cloud")
+
+
+def test_stencil_ampi_point():
+    p = stencil_ampi_point("t", pes=2, ranks=4, latency_ms_value=1.0,
+                           mesh=(64, 64), steps=4)
+    assert p.app == "stencil-ampi"
+    assert p.objects == 4
+    assert p.time_per_step > 0
+
+
+def test_sweep_fig3_single_panel_structure():
+    points = sweep_fig3(panels=[2], latencies_ms=[0.0, 4.0], steps=4)
+    assert len(points) == 3 * 2            # 3 virtualizations x 2 latencies
+    assert {p.pes for p in points} == {2}
+    assert {p.experiment for p in points} == {"fig3"}
+
+
+def test_sweep_table2_structure():
+    points = sweep_table2(pe_counts=[2], steps=4)
+    envs = sorted(p.environment for p in points)
+    assert envs == ["artificial", "teragrid"]
+
+
+def test_points_are_deterministic():
+    a = stencil_point("t", 4, 16, 3.0, mesh=(128, 128), steps=5)
+    b = stencil_point("t", 4, 16, 3.0, mesh=(128, 128), steps=5)
+    assert a.time_per_step == b.time_per_step

@@ -1,0 +1,185 @@
+"""Tests for checkpoint/restore (paper §2.1 fault-tolerance support)."""
+
+import numpy as np
+import pytest
+
+from repro.core.chare import Chare
+from repro.core.checkpoint import (
+    Checkpoint,
+    restore_checkpoint,
+    take_checkpoint,
+)
+from repro.core.ids import ChareID
+from repro.core.mapping import RoundRobinMapping
+from repro.core.method import entry
+from repro.errors import RuntimeSystemError
+from repro.grid.presets import artificial_latency_env
+from repro.units import ms
+
+
+class Accumulator(Chare):
+    def __init__(self, seed):
+        super().__init__()
+        self.state = np.full(4, float(seed))
+        self.log = []
+
+    @entry
+    def bump(self, x):
+        self.state += x
+        self.log.append(x)
+        self.charge(1e-4)
+
+    @entry
+    def spread(self, rounds):
+        """Message the next element, chaining work across the array."""
+        self.state *= 1.0001
+        if rounds > 0:
+            nxt = (self.thisIndex[0] + 1) % 6
+            self.thisProxy[nxt].spread(rounds - 1)
+
+
+def build(env):
+    rts = env.runtime
+    arr = rts.create_array(Accumulator, range(6), RoundRobinMapping(),
+                           args_of=lambda idx: ((idx[0],), {}))
+    return rts, arr
+
+
+def states(rts, arr):
+    return [rts.chare_object(ChareID(arr.collection, (i,))).state.copy()
+            for i in range(6)]
+
+
+def test_checkpoint_requires_quiescence(env4):
+    rts, arr = build(env4)
+    arr.bump(1.0)
+    with pytest.raises(RuntimeSystemError):
+        take_checkpoint(rts)   # broadcast still in flight
+    env4.run()
+    take_checkpoint(rts)       # quiescent now
+
+
+def test_checkpoint_counts_and_bytes(env4):
+    rts, arr = build(env4)
+    env4.run()
+    ckpt = take_checkpoint(rts)
+    assert ckpt.num_chares == 6
+    assert ckpt.total_bytes > 6 * 32   # at least the numpy payloads
+    assert ckpt.taken_at == rts.now
+
+
+def test_restore_reproduces_state_and_placement(env4):
+    rts, arr = build(env4)
+    arr.bump(2.5)
+    arr[3].spread(10)
+    env4.run()
+    ckpt = take_checkpoint(rts)
+    before = states(rts, arr)
+    placement = [rts.pe_of(ChareID(arr.collection, (i,)))
+                 for i in range(6)]
+
+    env2 = artificial_latency_env(4, ms(2))
+    restore_checkpoint(env2.runtime, ckpt)
+    arr2 = env2.runtime.collection_proxy(arr.collection)
+    after = states(env2.runtime, arr2)
+    for b, a in zip(before, after):
+        assert np.array_equal(b, a)
+    assert [env2.runtime.pe_of(ChareID(arr2.collection, (i,)))
+            for i in range(6)] == placement
+
+
+def test_restore_then_continue_equals_continue():
+    """The fault-tolerance contract: a restart is invisible."""
+    # Path A: run phase 1 + phase 2 without interruption.
+    envA = artificial_latency_env(4, ms(2))
+    rtsA, arrA = build(envA)
+    arrA.bump(1.0)
+    envA.run()
+    arrA.bump(3.0)
+    arrA[0].spread(7)
+    envA.run()
+    expected = states(rtsA, arrA)
+
+    # Path B: checkpoint after phase 1, restore elsewhere, run phase 2.
+    envB1 = artificial_latency_env(4, ms(2))
+    rtsB1, arrB1 = build(envB1)
+    arrB1.bump(1.0)
+    envB1.run()
+    ckpt = take_checkpoint(rtsB1)
+
+    envB2 = artificial_latency_env(4, ms(2))
+    restore_checkpoint(envB2.runtime, ckpt)
+    arrB2 = envB2.runtime.collection_proxy(arrB1.collection)
+    arrB2.bump(3.0)
+    arrB2[0].spread(7)
+    envB2.run()
+    got = states(envB2.runtime, arrB2)
+
+    for e, g in zip(expected, got):
+        assert np.array_equal(e, g)
+
+
+def test_restored_chares_are_independent_copies(env4):
+    rts, arr = build(env4)
+    env4.run()
+    ckpt = take_checkpoint(rts)
+    # Mutate the original after the snapshot...
+    arr.bump(100.0)
+    env4.run()
+    # ...the checkpoint must still hold the old values.
+    env2 = artificial_latency_env(4, ms(2))
+    restore_checkpoint(env2.runtime, ckpt)
+    obj = env2.runtime.chare_object(ChareID(arr.collection, (0,)))
+    assert obj.state[0] == pytest.approx(0.0)
+
+
+def test_restore_into_dirty_runtime_rejected(env4):
+    rts, arr = build(env4)
+    env4.run()
+    ckpt = take_checkpoint(rts)
+    with pytest.raises(RuntimeSystemError):
+        restore_checkpoint(rts, ckpt)    # same (non-empty) runtime
+
+
+def test_restore_into_smaller_machine_rejected():
+    env = artificial_latency_env(8, ms(1))
+    rts, arr = build(env)
+    env.run()
+    ckpt = take_checkpoint(rts)
+    env_small = artificial_latency_env(4, ms(1))
+    with pytest.raises(RuntimeSystemError):
+        restore_checkpoint(env_small.runtime, ckpt)
+
+
+def test_checkpoint_rejects_mid_migration(env4):
+    rts, arr = build(env4)
+    env4.run()
+    rts.migrate(ChareID(arr.collection, (0,)), 3)
+    with pytest.raises(RuntimeSystemError):
+        take_checkpoint(rts)   # migration message still pending
+
+
+def test_restore_into_larger_machine_expands():
+    """§2.1: the runtime can 'shrink and expand the set of processors';
+    restore-into-more-PEs is the expand direction (chares keep their
+    old homes and a later load balance can spread them)."""
+    env = artificial_latency_env(4, ms(1))
+    rts, arr = build(env)
+    arr.bump(1.0)
+    env.run()
+    ckpt = take_checkpoint(rts)
+
+    env_big = artificial_latency_env(8, ms(1))
+    restore_checkpoint(env_big.runtime, ckpt)
+    arr2 = env_big.runtime.collection_proxy(arr.collection)
+    arr2.bump(1.0)
+    env_big.run()
+
+    from repro.core.loadbalance import GreedyLB
+    applied = env_big.runtime.load_balance(GreedyLB())
+    env_big.run()
+    pes_used = {env_big.runtime.pe_of(ChareID(arr2.collection, (i,)))
+                for i in range(6)}
+    assert len(pes_used) == 6          # spread over the larger machine
+    got = states(env_big.runtime, arr2)
+    assert all(s[0] == pytest.approx(i + 2.0) for i, s in enumerate(got))

@@ -1,0 +1,74 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_table1_subset():
+    code, text = run_cli(["table1", "--rows", "2x16", "--steps", "4"])
+    assert code == 0
+    assert "Table 1" in text
+    assert "75.050" in text       # the paper column is present
+
+
+def test_table1_rejects_unknown_row():
+    with pytest.raises(SystemExit):
+        run_cli(["table1", "--rows", "3x17"])
+
+
+def test_table1_rejects_malformed_row():
+    with pytest.raises(SystemExit):
+        run_cli(["table1", "--rows", "oops"])
+
+
+def test_table2_subset():
+    code, text = run_cli(["table2", "--pes", "2", "--steps", "4"])
+    assert code == 0
+    assert "Table 2" in text
+    assert "3.924" in text
+
+
+def test_fig3_single_panel():
+    code, text = run_cli(["fig3", "--pes", "4", "--latencies", "0", "4",
+                          "--steps", "4"])
+    assert code == 0
+    assert "Figure 3 (4 PEs)" in text
+    assert "objects=4" in text
+
+
+def test_fig3_rejects_unknown_panel():
+    with pytest.raises(SystemExit):
+        run_cli(["fig3", "--pes", "7"])
+
+
+def test_fig4_subset():
+    code, text = run_cli(["fig4", "--pes", "4", "--latencies", "1", "64",
+                          "--steps", "4"])
+    assert code == 0
+    assert "Figure 4" in text
+    assert "pes=4" in text
+
+
+def test_demo_runs():
+    code, text = run_cli(["demo"])
+    assert code == 0
+    assert "ms/step" in text
+    assert "hidden" in text
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_module_entry_point_importable():
+    import repro.__main__  # noqa: F401  (must not execute main on import)

@@ -1,0 +1,199 @@
+"""Edge-path tests for the fabric, scheduler and proxies."""
+
+import pytest
+
+from repro.core.chare import Chare
+from repro.core.ids import ChareID
+from repro.core.mapping import RoundRobinMapping
+from repro.core.method import entry
+from repro.grid.presets import artificial_latency_env, single_cluster_env
+from repro.network.message import Message
+from repro.units import ms
+
+from tests.conftest import Recorder
+
+
+class Echo(Chare):
+    def __init__(self):
+        super().__init__()
+        self.got = []
+
+    @entry
+    def take(self, x):
+        self.got.append((self.now, x))
+        self.charge(1e-3)
+
+
+# -- fabric ---------------------------------------------------------------
+
+def test_fabric_one_way_time_matches_actual_send(env4):
+    rts = env4.runtime
+    proxy = rts.create_chare(Echo, pe=3)
+    predicted = env4.fabric.one_way_time(0, 3, 164)  # 100B payload + env.
+    proxy.take(b"x" * 100)
+    env4.run()
+    obj = rts.chare_object(proxy.chare_id)
+    assert obj.got[0][0] == pytest.approx(predicted, rel=0.01)
+
+
+def test_fabric_stats_accumulate(env4):
+    rts = env4.runtime
+    local = rts.create_chare(Echo, pe=1)
+    remote = rts.create_chare(Echo, pe=2)
+    local.take(1)
+    remote.take(2)
+    env4.run()
+    stats = env4.fabric.stats
+    assert stats.total_messages == 2
+    # PE 0 -> 1 share a dual-CPU node: shmem claims before the LAN.
+    assert stats.messages.get("shmem") == 1
+    assert stats.messages.get("wan-artificial") == 1
+    assert stats.filter_delay_total == pytest.approx(ms(2))
+    env4.fabric.reset_stats()
+    assert env4.fabric.stats.total_messages == 0
+
+
+def test_fabric_self_send_uses_loopback(env4):
+    rts = env4.runtime
+
+    class SelfTalker(Chare):
+        def __init__(self):
+            super().__init__()
+            self.count = 0
+
+        @entry
+        def go(self, n):
+            self.count += 1
+            if n > 0:
+                self.self_proxy.go(n - 1)
+
+    proxy = rts.create_chare(SelfTalker, pe=2)
+    proxy.go(4)   # driver message travels to PE 2 first
+    env4.run()
+    assert rts.chare_object(proxy.chare_id).count == 5
+    assert env4.fabric.stats.messages.get("loopback") == 4
+
+
+def test_message_sent_at_recorded(env4):
+    rts = env4.runtime
+    proxy = rts.create_chare(Echo, pe=0)
+    captured = []
+    original = env4.fabric.send
+
+    def spy(msg, deliver):
+        captured.append(msg)
+        return original(msg, deliver)
+
+    env4.fabric.send = spy
+    proxy.take(5)
+    env4.run()
+    assert captured[0].sent_at == 0.0
+    assert captured[0].crossed_wan is False
+
+
+# -- scheduler ---------------------------------------------------------------
+
+def test_pe_executes_one_message_at_a_time(env4):
+    rts = env4.runtime
+    proxy = rts.create_chare(Echo, pe=0)
+    for i in range(3):
+        proxy.take(i)
+    env4.run()
+    times = [t for t, _x in rts.chare_object(proxy.chare_id).got]
+    # each execution charges 1 ms: arrivals serialize at >= 1 ms apart
+    assert times[1] - times[0] >= 1e-3
+    assert times[2] - times[1] >= 1e-3
+
+
+def test_pe_stats_track_executions(env4):
+    rts = env4.runtime
+    proxy = rts.create_chare(Echo, pe=1)
+    for i in range(4):
+        proxy.take(i)
+    env4.run()
+    ps = rts.scheduler.pe_state(1)
+    assert ps.stats.executions == 4
+    assert ps.stats.busy_time >= 4e-3
+    assert ps.stats.messages_received == 4
+    assert ps.idle
+
+
+def test_forwarding_after_migration_counts_hop(env4):
+    """A message racing a migration is forwarded with an extra hop."""
+    rts = env4.runtime
+    arr = rts.create_array(Echo, range(2), RoundRobinMapping())
+    cid = ChareID(arr.collection, (0,))
+
+    class Sender(Chare):
+        @entry
+        def fire(self):
+            arr[0].take("racer")
+
+    sender = rts.create_chare(Sender, pe=3)
+    sender.fire()              # in flight toward PE 0...
+    rts.migrate(cid, 2)        # ...while the chare moves to PE 2
+    env4.run()
+    obj = rts.chare_object(cid)
+    assert [x for _t, x in obj.got] == ["racer"]
+
+
+def test_broadcast_respects_explicit_size(env4):
+    rts = env4.runtime
+    arr = rts.create_array(Echo, range(4), RoundRobinMapping())
+    arr.take(0, _size=10_000_000)   # 10 MB broadcast: bandwidth matters
+    env4.run()
+    # 10 MB to the remote cluster crosses the 250 MB/s "WAN" link:
+    # >= 40 ms of transfer for the elements on PEs 2 and 3; the PE-0
+    # element rides the pure-latency loopback and arrives immediately.
+    t = {i: rts.chare_object(ChareID(arr.collection, (i,))).got[0][0]
+         for i in range(4)}
+    assert t[2] >= 0.040 and t[3] >= 0.040
+    assert t[0] < 0.001
+
+
+def test_entry_default_priority_used():
+    from repro.core.rts import RuntimeConfig
+
+    env = single_cluster_env(1, config=RuntimeConfig(
+        prioritized_queues=True))
+    rts = env.runtime
+    order = []
+
+    class Prio(Chare):
+        @entry
+        def slow(self):
+            self.charge(1e-3)   # keeps the PE busy while others queue
+
+        @entry(priority=5)
+        def low(self):
+            order.append("low")
+
+        @entry(priority=-5)
+        def high(self):
+            order.append("high")
+
+    proxy = rts.create_chare(Prio, pe=0)
+    proxy.slow()
+    proxy.low()
+    proxy.high()   # queued behind `low` but must run first
+    env.run()
+    assert order == ["high", "low"]
+
+
+def test_exceptions_inside_entry_propagate(env4):
+    rts = env4.runtime
+    proxy = rts.create_chare(Recorder, pe=0)
+    proxy.boom()
+    with pytest.raises(RuntimeError, match="exploded"):
+        env4.run()
+
+
+def test_grid_environment_run_until(env4):
+    rts = env4.runtime
+    proxy = rts.create_chare(Echo, pe=3)
+    proxy.take(1)                   # arrives after ~2 ms
+    t = env4.run(until=ms(1))
+    assert t == pytest.approx(ms(1))
+    assert rts.chare_object(proxy.chare_id).got == []
+    env4.run()
+    assert len(rts.chare_object(proxy.chare_id).got) == 1

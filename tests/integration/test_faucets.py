@@ -1,0 +1,122 @@
+"""Tests for the Faucets-style deadline co-allocator (paper §6)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.grid.faucets import (
+    Allocation,
+    ClusterOffer,
+    Decision,
+    StencilJob,
+    build_environment,
+    enumerate_candidates,
+    plan_allocation,
+    rehearse,
+)
+from repro.units import ms
+
+JOB = StencilJob(mesh=(1024, 1024), objects=64, steps=100, deadline=1.0)
+
+
+def test_offer_and_job_validation():
+    with pytest.raises(ConfigurationError):
+        ClusterOffer("x", -1)
+    with pytest.raises(ConfigurationError):
+        StencilJob(mesh=(64, 64), objects=4, steps=0, deadline=1.0)
+    with pytest.raises(ConfigurationError):
+        plan_allocation(JOB, [], ms(2))
+
+
+def test_enumerate_candidates_shapes():
+    offers = [ClusterOffer("a", 4), ClusterOffer("b", 8),
+              ClusterOffer("c", 0)]
+    cands = enumerate_candidates(JOB, offers, ms(2))
+    singles = [c for c in cands if not c.co_allocated]
+    pairs = [c for c in cands if c.co_allocated]
+    assert {c.offers[0] for c in singles} == {("a", 4), ("b", 8)}
+    assert len(pairs) == 1                       # only a+b (c is empty)
+    assert pairs[0].offers == (("a", 4), ("b", 4))
+    assert pairs[0].total_pes == 8
+
+
+def test_candidates_capped_by_object_count():
+    job = StencilJob(mesh=(64, 64), objects=4, steps=10, deadline=10.0)
+    offers = [ClusterOffer("big", 64)]
+    cands = enumerate_candidates(job, offers, ms(2))
+    assert cands[0].offers == (("big", 4),)      # >4 PEs cannot help
+
+
+def test_build_environment_single_and_dual():
+    single = build_environment(Allocation((("a", 4),), 0.0))
+    assert single.topology.num_clusters == 1
+    dual = build_environment(Allocation((("a", 2), ("b", 2)), ms(5)))
+    assert dual.topology.num_clusters == 2
+    lan = dual.fabric.one_way_time(0, 1, 0)
+    wan = dual.fabric.one_way_time(0, 2, 0)
+    assert wan - lan == pytest.approx(ms(5), rel=0.01)
+
+
+def test_rehearsal_predicts_scaling():
+    small = rehearse(JOB, Allocation((("a", 2),), 0.0))
+    large = rehearse(JOB, Allocation((("a", 8),), 0.0))
+    assert large < small
+
+
+def test_single_cluster_chosen_when_sufficient():
+    offers = [ClusterOffer("ncsa", 16), ClusterOffer("anl", 16)]
+    job = StencilJob(mesh=(1024, 1024), objects=64, steps=100,
+                     deadline=1.0)   # ~0.35 s on 16 PEs: easy
+    decision = plan_allocation(job, offers, ms(2))
+    assert decision.meets_deadline
+    assert not decision.allocation.co_allocated
+    assert decision.predicted_time <= job.deadline
+
+
+def test_co_allocation_when_no_single_cluster_suffices():
+    """The paper's scenario: neither site alone meets the deadline."""
+    offers = [ClusterOffer("ncsa", 8), ClusterOffer("anl", 8)]
+    # Either site alone: ~2.1 s; 16 PEs co-allocated: ~1.1 s.
+    job = StencilJob(mesh=(2048, 2048), objects=256, steps=100,
+                     deadline=1.5)
+    decision = plan_allocation(job, offers, ms(2))
+    assert decision.meets_deadline
+    assert decision.allocation.co_allocated
+    assert decision.allocation.total_pes == 16
+    # The rehearsal proves both singles were infeasible.
+    singles = [t for a, t in decision.candidates if not a.co_allocated]
+    assert all(t > job.deadline for t in singles)
+
+
+def test_co_allocation_fails_when_latency_unmaskable():
+    """High WAN latency + low virtualization: the broker must notice
+    that co-allocation does not actually deliver the speedup."""
+    offers = [ClusterOffer("ncsa", 8), ClusterOffer("anl", 8)]
+    job = StencilJob(mesh=(2048, 2048), objects=16, steps=100,
+                     deadline=3.5)   # 16 objects: 1/PE co-allocated
+    decision = plan_allocation(job, offers, wan_latency=ms(30))
+    # With 30 ms unmaskable latency the pair predicts > 3 s... the
+    # broker either found a feasible single or reports infeasibility —
+    # but it must never pick a co-allocation that misses the deadline.
+    if decision.meets_deadline:
+        assert decision.predicted_time <= job.deadline
+    for alloc, t in decision.candidates:
+        if alloc.co_allocated:
+            assert t > min(tt for a, tt in decision.candidates
+                           if not a.co_allocated) * 0.5
+
+
+def test_infeasible_reports_best_effort():
+    offers = [ClusterOffer("tiny", 2)]
+    job = StencilJob(mesh=(2048, 2048), objects=16, steps=1000,
+                     deadline=0.5)
+    decision = plan_allocation(job, offers, ms(2))
+    assert not decision.meets_deadline
+    assert decision.allocation is not None
+    assert decision.predicted_time > job.deadline
+
+
+def test_allocation_describe():
+    a = Allocation((("ncsa", 8), ("anl", 8)), ms(2))
+    assert "ncsa:8+anl:8" in a.describe()
+    assert "2 ms WAN" in a.describe()
+    assert Allocation((("x", 4),), 0.0).describe() == "x:4"

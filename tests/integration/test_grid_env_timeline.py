@@ -1,0 +1,154 @@
+"""Tests for environment presets and the Figure-2 style timeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.chare import Chare
+from repro.core.method import entry
+from repro.errors import ConfigurationError
+from repro.grid.presets import (
+    artificial_latency_env,
+    single_cluster_env,
+    teragrid_env,
+)
+from repro.grid.teragrid import DEFAULT_TERAGRID, TeraGridWanModel
+from repro.units import ms, us
+
+
+# -- presets -------------------------------------------------------------------
+
+def test_single_cluster_has_no_wan():
+    env = single_cluster_env(4)
+    names = [d.name for d in env.chain.transports()]
+    assert "wan-artificial" not in names
+    assert not env.topology.crosses_wan(0, 3)
+
+
+def test_artificial_env_delay_applies_only_across():
+    env = artificial_latency_env(4, ms(10))
+    fast = env.fabric.one_way_time(0, 1, 0)
+    slow = env.fabric.one_way_time(0, 2, 0)
+    assert slow - fast == pytest.approx(ms(10), rel=0.01)
+
+
+def test_artificial_env_zero_latency_valid():
+    env = artificial_latency_env(2, 0.0)
+    assert env.fabric.one_way_time(0, 1, 0) < ms(1)
+
+
+def test_artificial_env_negative_latency_rejected():
+    with pytest.raises(ConfigurationError):
+        artificial_latency_env(2, -1.0)
+
+
+def test_teragrid_latency_matches_paper():
+    env = teragrid_env(4)
+    t = env.fabric.one_way_time(0, 2, 0)
+    # model query without jitter: latency + stack overhead = ping-pong
+    assert t == pytest.approx(1.920e-3, rel=0.01)
+
+
+def test_teragrid_custom_model():
+    model = TeraGridWanModel(one_way_latency=ms(29.37))  # NCSA<->SDSC, §6
+    env = teragrid_env(4, model=model)
+    assert env.fabric.one_way_time(0, 2, 0) >= ms(29.37)
+
+
+def test_env_describe():
+    env = artificial_latency_env(4, ms(1))
+    text = env.describe()
+    assert "siteA:2" in text and "delay" in text
+
+
+def test_env_seed_controls_streams():
+    a = artificial_latency_env(2, 0.0, seed=5).streams.get("x").random(3)
+    b = artificial_latency_env(2, 0.0, seed=5).streams.get("x").random(3)
+    assert np.array_equal(a, b)
+
+
+def test_max_events_passthrough():
+    from repro.errors import SimulationError
+
+    class Looper(Chare):
+        @entry
+        def spin(self):
+            self.self_proxy.spin()
+
+    env = single_cluster_env(1, max_events=500)
+    proxy = env.runtime.create_chare(Looper, pe=0)
+    proxy.spin()
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+# -- the Figure 2 timeline, reproduced ----------------------------------------------
+
+class FigureTwoB(Chare):
+    """Processor B's object: works with A while a request is out to C."""
+
+    def __init__(self, a=None, c=None):
+        super().__init__()
+        self.a = a
+        self.c = c
+        self.c_reply_at = None
+
+    @entry
+    def begin(self):
+        self.c.request()            # long-haul message to cluster 2
+        self.a.ping(0)              # meanwhile, chat with local A
+        self.charge(1e-3)
+
+    @entry
+    def pong(self, i):
+        self.charge(1e-3)
+        if i < 3:
+            self.a.ping(i + 1)
+
+    @entry
+    def c_reply(self):
+        self.c_reply_at = self.now
+        self.charge(1e-3)
+
+
+class FigureTwoA(Chare):
+    def __init__(self, b_proxy_holder):
+        super().__init__()
+        self.holder = b_proxy_holder
+
+    @entry
+    def ping(self, i):
+        self.charge(1e-3)
+        self.holder["b"].pong(i)
+
+
+class FigureTwoC(Chare):
+    def __init__(self, b_proxy_holder):
+        super().__init__()
+        self.holder = b_proxy_holder
+
+    @entry
+    def request(self):
+        self.charge(2e-3)
+        self.holder["b"].c_reply()
+
+
+def test_figure2_timeline_overlap():
+    """While B's request crosses to C and back (>=16 ms), B completes
+    several exchanges with A — the hypothetical timeline of Figure 2."""
+    env = artificial_latency_env(4, ms(8), trace=True)
+    rts = env.runtime
+    holder = {}
+    a = rts.create_chare(FigureTwoA, pe=1, args=(holder,))
+    c = rts.create_chare(FigureTwoC, pe=2, args=(holder,))   # remote cluster
+    b = rts.create_chare(FigureTwoB, pe=0, args=(a, c))
+    holder["b"] = b
+    b.begin()
+    env.run()
+
+    b_obj = rts.chare_object(b.chare_id)
+    assert b_obj.c_reply_at >= ms(16)          # round trip crossed WAN twice
+    # B executed its A-exchanges strictly inside the WAN window.
+    busy = env.tracer.busy_during(0, ms(1), b_obj.c_reply_at - ms(1))
+    assert busy >= 3e-3                         # several 1 ms executions
+    art = env.tracer.render_timeline(width=40)
+    assert art.count("#") > 5

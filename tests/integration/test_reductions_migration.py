@@ -1,0 +1,266 @@
+"""Integration tests: reductions, migration, load balancing, quiescence."""
+
+import numpy as np
+import pytest
+
+from repro.core.chare import Chare
+from repro.core.ids import ChareID, EntryRef
+from repro.core.loadbalance import GridCommLB, GreedyLB, RotateLB
+from repro.core.mapping import BlockMapping, RoundRobinMapping
+from repro.core.method import entry
+from repro.errors import MigrationError, ReductionError, RuntimeSystemError
+from repro.grid.presets import artificial_latency_env, single_cluster_env
+from repro.units import ms
+
+
+class Worker(Chare):
+    def __init__(self, value=0.0):
+        super().__init__()
+        self.value = value
+        self.result = None
+        self.migrated_log = []
+
+    @entry
+    def contribute_value(self, op, target):
+        self.contribute(self.value, op, target)
+
+    @entry
+    def contribute_array(self, target):
+        self.contribute(np.array([self.value, -self.value]), "sum", target)
+
+    @entry
+    def take_result(self, value):
+        self.result = value
+
+    @entry
+    def work(self, cost):
+        self.charge(cost)
+
+    @entry
+    def hop(self, pe):
+        self.migrate(pe)
+
+    def on_migrated(self, old_pe, new_pe):
+        self.migrated_log.append((old_pe, new_pe))
+
+
+def build(env, n=8, mapping=None, values=None):
+    rts = env.runtime
+    values = values or [float(i) for i in range(n)]
+    arr = rts.create_array(
+        Worker, range(n), mapping or RoundRobinMapping(),
+        args_of=lambda idx: ((values[idx[0]],), {}))
+    return rts, arr
+
+
+# -- reductions ----------------------------------------------------------------
+
+def test_sum_reduction_to_callback(env4):
+    rts, arr = build(env4)
+    got = []
+    arr.contribute_value("sum", got.append)
+    env4.run()
+    assert got == [sum(range(8))]
+
+
+def test_max_min_reductions(env4):
+    rts, arr = build(env4)
+    got = {}
+    arr.contribute_value("max", lambda v: got.setdefault("max", v))
+    arr.contribute_value("min", lambda v: got.setdefault("min", v))
+    env4.run()
+    assert got == {"max": 7.0, "min": 0.0}
+
+
+def test_array_valued_reduction(env4):
+    rts, arr = build(env4)
+    got = []
+    arr.contribute_array(got.append)
+    env4.run()
+    assert np.array_equal(got[0], [28.0, -28.0])
+
+
+def test_concat_reduction_sorted_by_index(env4):
+    rts, arr = build(env4)
+    got = []
+    arr.contribute_value("concat", got.append)
+    env4.run()
+    assert got[0] == [((i,), float(i)) for i in range(8)]
+
+
+def test_reduction_to_entry_ref(env4):
+    rts, arr = build(env4)
+    sink = rts.create_chare(Worker, pe=1)
+    arr.contribute_value("sum", EntryRef(sink.chare_id, "take_result"))
+    env4.run()
+    assert rts.chare_object(sink.chare_id).result == 28.0
+
+
+def test_reduction_to_proxy_entry_tuple(env4):
+    rts, arr = build(env4)
+    sink = rts.create_chare(Worker, pe=3)
+    arr.contribute_value("sum", (sink, "take_result"))
+    env4.run()
+    assert rts.chare_object(sink.chare_id).result == 28.0
+
+
+def test_reduction_result_independent_of_mapping():
+    results = []
+    for mapping in (RoundRobinMapping(), BlockMapping()):
+        env = artificial_latency_env(4, ms(5))
+        rts, arr = build(env, mapping=mapping,
+                         values=[1, 2, 4, 8, 16, 32, 64, 128])
+        got = []
+        arr.contribute_value("sum", got.append)
+        env.run()
+        results.append(got[0])
+    assert results[0] == results[1] == 255
+
+
+def test_pipelined_reductions_stay_separate(env4):
+    rts, arr = build(env4, n=4)
+    got = []
+    arr.contribute_value("sum", got.append)
+    arr.contribute_value("max", got.append)
+    env4.run()
+    assert got == [6.0, 3.0]
+
+
+def test_mixed_reducers_in_one_reduction_rejected(env4):
+    rts, arr = build(env4, n=2)
+    arr[0].contribute_value("sum", lambda v: None)
+    arr[1].contribute_value("max", lambda v: None)
+    with pytest.raises(ReductionError):
+        env4.run()
+
+
+def test_bad_reduction_target_rejected(env4):
+    rts, arr = build(env4, n=2)
+    arr.contribute_value("sum", "not-a-target")
+    with pytest.raises(RuntimeSystemError):
+        env4.run()
+
+
+def test_reduction_crosses_wan_once():
+    """The grid-aware tree sends exactly one WAN message per reduction."""
+    env = artificial_latency_env(4, ms(2), trace=True)
+    rts, arr = build(env)
+    got = []
+    arr.contribute_value("sum", got.append)
+    env.run()
+    wan_red_sends = [m for m in env.tracer.messages
+                     if m.kind == "send" and m.crossed_wan
+                     and m.tag.startswith("red:")]
+    assert got and len(wan_red_sends) == 1
+
+
+# -- migration ------------------------------------------------------------------
+
+def test_driver_migration_moves_state(env4):
+    rts, arr = build(env4, n=2)
+    cid = ChareID(arr.collection, (0,))
+    assert rts.pe_of(cid) == 0
+    rts.migrate(cid, 3)
+    env4.run()
+    assert rts.pe_of(cid) == 3
+    obj = rts.chare_object(cid)
+    assert obj.value == 0.0
+    assert obj.migrated_log == [(0, 3)]
+    assert rts.migrations_done == 1
+
+
+def test_self_migration_from_entry(env4):
+    rts, arr = build(env4, n=2)
+    arr[1].hop(2)
+    env4.run()
+    assert rts.pe_of(ChareID(arr.collection, (1,))) == 2
+
+
+def test_migrate_to_same_pe_is_noop(env4):
+    rts, arr = build(env4, n=2)
+    rts.migrate(ChareID(arr.collection, (0,)), 0)
+    env4.run()
+    assert rts.migrations_done == 0
+
+
+def test_messages_after_migration_reach_new_home(env4):
+    rts, arr = build(env4, n=2)
+    cid = ChareID(arr.collection, (0,))
+    rts.migrate(cid, 3)
+    arr[0].take_result("hello")   # sent while migration is in flight
+    env4.run()
+    assert rts.chare_object(cid).result == "hello"
+
+
+def test_double_migration_rejected_while_in_flight(env4):
+    rts, arr = build(env4, n=2)
+    cid = ChareID(arr.collection, (0,))
+    rts.migrate(cid, 3)
+    with pytest.raises(MigrationError):
+        rts.migrate(cid, 2)
+
+
+def test_migration_during_open_reduction_rejected(env4):
+    rts, arr = build(env4, n=4)
+    arr[0].contribute_value("sum", lambda v: None)  # opens reduction
+    env4.engine.run()   # drains: but only 1 of 4 contributed -> still open
+    with pytest.raises(ReductionError):
+        rts.migrate(ChareID(arr.collection, (1,)), 3)
+
+
+# -- load balancing live -------------------------------------------------------------
+
+def test_rotate_lb_preserves_behaviour(env4):
+    rts, arr = build(env4)
+    arr.work(0.001)
+    env4.run()
+    before = {idx: rts.pe_of(ChareID(arr.collection, idx))
+              for idx in arr.indices()}
+    applied = rts.load_balance(RotateLB())
+    env4.run()
+    assert len(applied) == 8
+    for idx in arr.indices():
+        assert rts.pe_of(ChareID(arr.collection, idx)) == \
+            (before[idx] + 1) % 4
+    # still functional after migration
+    got = []
+    arr.contribute_value("sum", got.append)
+    env4.run()
+    assert got == [28.0]
+
+
+def test_greedy_lb_balances_measured_load():
+    env = single_cluster_env(4)
+    rts, arr = build(env, n=8, mapping={(i,): 0 for i in range(8)})
+    arr.work(0.01)   # all work lands on PE 0
+    env.run()
+    rts.load_balance(GreedyLB())
+    env.run()
+    pes = {rts.pe_of(ChareID(arr.collection, idx)) for idx in arr.indices()}
+    assert pes == {0, 1, 2, 3}
+
+
+def test_gridlb_live_never_crosses_clusters(env4):
+    rts, arr = build(env4)
+    # Generate WAN traffic: each worker messages its +4 neighbor.
+    for i in range(4):
+        arr[i].take_result("x")
+    arr.work(0.002)
+    env4.run()
+    before = {idx: env4.topology.cluster_of(
+        rts.pe_of(ChareID(arr.collection, idx))) for idx in arr.indices()}
+    rts.load_balance(GridCommLB())
+    env4.run()
+    for idx in arr.indices():
+        after = env4.topology.cluster_of(
+            rts.pe_of(ChareID(arr.collection, idx)))
+        assert after == before[idx]
+
+
+def test_lb_database_resets_after_balance(env4):
+    rts, arr = build(env4)
+    arr.work(0.001)
+    env4.run()
+    assert rts.lb_db.total_load() > 0
+    rts.load_balance(GreedyLB())
+    assert rts.lb_db.total_load() == 0.0

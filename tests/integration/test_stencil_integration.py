@@ -1,0 +1,147 @@
+"""Integration tests for the stencil application (chare + AMPI)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil import (
+    AmpiStencilApp,
+    StencilApp,
+    checksum,
+    make_initial_mesh,
+    run_reference,
+    run_stencil,
+)
+from repro.core.mapping import RoundRobinMapping
+from repro.grid.presets import artificial_latency_env, single_cluster_env, teragrid_env
+from repro.units import ms
+
+MESH = (48, 48)
+STEPS = 9
+
+
+def reference_mesh(steps=STEPS, seed=0):
+    return run_reference(make_initial_mesh(*MESH, seed), steps)
+
+
+def test_matches_reference_single_cluster():
+    env = single_cluster_env(2)
+    app = StencilApp(env, mesh=MESH, objects=16, payload="real",
+                     gather_mesh=True)
+    res = app.run(STEPS)
+    assert np.array_equal(res.final_mesh, reference_mesh())
+
+
+@pytest.mark.parametrize("objects", [1, 4, 9, 16, 144])
+def test_matches_reference_any_decomposition(objects):
+    env = artificial_latency_env(4, ms(3))
+    app = StencilApp(env, mesh=MESH, objects=objects, payload="real",
+                     gather_mesh=True)
+    res = app.run(STEPS)
+    assert np.array_equal(res.final_mesh, reference_mesh())
+
+
+@pytest.mark.parametrize("latency_ms", [0.0, 1.0, 50.0])
+def test_latency_never_changes_numerics(latency_ms):
+    env = artificial_latency_env(4, ms(latency_ms))
+    app = StencilApp(env, mesh=MESH, objects=16, payload="real",
+                     gather_mesh=True)
+    res = app.run(STEPS)
+    assert np.array_equal(res.final_mesh, reference_mesh())
+
+
+def test_mapping_never_changes_numerics():
+    env = artificial_latency_env(8, ms(2))
+    app = StencilApp(env, mesh=MESH, objects=16, payload="real",
+                     gather_mesh=True, mapping=RoundRobinMapping())
+    res = app.run(STEPS)
+    assert np.array_equal(res.final_mesh, reference_mesh())
+
+
+def test_teragrid_env_never_changes_numerics():
+    env = teragrid_env(4, seed=3)
+    app = StencilApp(env, mesh=MESH, objects=16, payload="real",
+                     gather_mesh=True)
+    res = app.run(STEPS)
+    assert np.array_equal(res.final_mesh, reference_mesh())
+
+
+def test_checksum_matches_reference_sum():
+    env = artificial_latency_env(2, ms(1))
+    app = StencilApp(env, mesh=MESH, objects=4, payload="real")
+    res = app.run(STEPS)
+    ref = reference_mesh()
+    assert res.checksum == pytest.approx(float(ref.sum()))
+
+
+def test_modeled_payload_same_timing_as_real():
+    """The modeled event flow must be time-identical to the real one."""
+    times = []
+    for payload in ("real", "modeled"):
+        env = artificial_latency_env(4, ms(4))
+        app = StencilApp(env, mesh=MESH, objects=16, payload=payload)
+        res = app.run(STEPS)
+        times.append(res.step_times)
+    assert np.allclose(times[0], times[1], rtol=0, atol=1e-12)
+
+
+def test_deterministic_across_runs():
+    def once():
+        env = artificial_latency_env(8, ms(8))
+        return run_stencil(env, MESH, 16, steps=STEPS, payload="modeled")
+
+    a, b = once(), once()
+    assert np.array_equal(a.step_times, b.step_times)
+
+
+def test_step_times_monotone():
+    env = artificial_latency_env(4, ms(4))
+    res = run_stencil(env, MESH, 16, steps=STEPS)
+    assert np.all(np.diff(res.step_times) > 0)
+    assert res.makespan >= res.step_times[-1]
+
+
+def test_result_properties():
+    env = artificial_latency_env(2, ms(1))
+    res = run_stencil(env, MESH, 4, steps=STEPS)
+    assert res.steps == STEPS
+    assert res.time_per_step > 0
+    assert res.time_per_step_ms == pytest.approx(res.time_per_step * 1e3)
+
+
+def test_bad_run_parameters():
+    from repro.errors import ConfigurationError
+    env = artificial_latency_env(2, ms(1))
+    app = StencilApp(env, mesh=MESH, objects=4)
+    with pytest.raises(ConfigurationError):
+        app.run(0)
+    with pytest.raises(ConfigurationError):
+        app.run(3, warmup=3)
+
+
+# -- AMPI variant ------------------------------------------------------------------
+
+def test_ampi_stencil_matches_reference():
+    env = artificial_latency_env(4, ms(3))
+    app = AmpiStencilApp(env, mesh=MESH, ranks=16, payload="real")
+    res = app.run(STEPS)
+    ref = reference_mesh()
+    assert res.checksum == pytest.approx(float(ref.sum()))
+
+
+def test_ampi_stencil_virtualization_works():
+    """16 ranks on 2 PEs: pure-MPI code, masked by virtualization."""
+    env = artificial_latency_env(2, ms(2))
+    app = AmpiStencilApp(env, mesh=MESH, ranks=16, payload="modeled")
+    res = app.run(STEPS)
+    assert res.time_per_step > 0
+    assert len(res.step_times) == STEPS
+
+
+def test_ampi_and_chare_stencils_agree_numerically():
+    env1 = artificial_latency_env(4, ms(1))
+    chare_res = StencilApp(env1, mesh=MESH, objects=16,
+                           payload="real").run(STEPS)
+    env2 = artificial_latency_env(4, ms(1))
+    ampi_res = AmpiStencilApp(env2, mesh=MESH, ranks=16,
+                              payload="real").run(STEPS)
+    assert chare_res.checksum == pytest.approx(ampi_res.checksum)

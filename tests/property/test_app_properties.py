@@ -1,0 +1,107 @@
+"""Hypothesis property tests on the applications and AMPI layer.
+
+These run whole simulations per example, so example counts are kept
+deliberately small; each case still covers a distinct random
+configuration of decomposition, latency, and placement.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ampi import ampi_run
+from repro.apps.leanmd import MdParams, pair_forces
+from repro.apps.stencil import (
+    StencilApp,
+    make_initial_mesh,
+    run_reference,
+)
+from repro.grid.presets import artificial_latency_env
+from repro.units import ms
+
+APP_SETTINGS = dict(max_examples=12, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(
+    objects=st.sampled_from([1, 4, 9, 16, 36]),
+    latency_ms=st.floats(min_value=0.0, max_value=20.0),
+    pes=st.sampled_from([2, 4, 6]),
+    steps=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=10),
+)
+@settings(**APP_SETTINGS)
+def test_stencil_always_matches_reference(objects, latency_ms, pes, steps,
+                                          seed):
+    """The library's core correctness invariant: any decomposition, any
+    latency, any PE count -> bit-identical numerics to the sequential
+    reference."""
+    env = artificial_latency_env(pes, ms(latency_ms))
+    app = StencilApp(env, mesh=(36, 36), objects=objects, payload="real",
+                     gather_mesh=True, seed=seed)
+    res = app.run(steps, warmup=0 if steps == 1 else None)
+    ref = run_reference(make_initial_mesh(36, 36, seed), steps)
+    assert np.array_equal(res.final_mesh, ref)
+
+
+@given(
+    na=st.integers(min_value=1, max_value=8),
+    nb=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_leanmd_newton_third_law_random(na, nb, seed):
+    rng = np.random.default_rng(seed)
+    box = np.array([3.0, 3.0, 3.0])
+    pos_a = rng.random((na, 3)) * 3.0
+    pos_b = rng.random((nb, 3)) * 3.0
+    q_a = rng.choice([-1.0, 1.0], size=na)
+    q_b = rng.choice([-1.0, 1.0], size=nb)
+    f_a, f_b, _pot = pair_forces(pos_a, pos_b, q_a, q_b, box, MdParams())
+    scale = max(np.abs(f_a).max(), np.abs(f_b).max(), 1.0)
+    assert np.allclose(f_a.sum(axis=0) + f_b.sum(axis=0), 0.0,
+                       atol=1e-12 * scale)
+    assert np.all(np.isfinite(f_a)) and np.all(np.isfinite(f_b))
+
+
+@given(
+    ranks=st.integers(min_value=2, max_value=12),
+    values=st.lists(st.integers(min_value=-100, max_value=100),
+                    min_size=12, max_size=12),
+    op=st.sampled_from(["sum", "max", "min"]),
+)
+@settings(**APP_SETTINGS)
+def test_ampi_allreduce_always_correct(ranks, values, op):
+    def program(mpi, vals):
+        result = yield mpi.allreduce(vals[mpi.rank], op=op)
+        return result
+
+    env = artificial_latency_env(2, ms(1))
+    world = ampi_run(env, program, num_ranks=ranks,
+                     program_args=(values,))
+    expected = {"sum": sum, "max": max, "min": min}[op](values[:ranks])
+    assert all(v == expected for v in world.results.values())
+
+
+@given(
+    ranks=st.integers(min_value=2, max_value=10),
+    token_count=st.integers(min_value=1, max_value=5),
+)
+@settings(**APP_SETTINGS)
+def test_ampi_ring_delivers_everything_in_order(ranks, token_count):
+    def program(mpi, n):
+        right = (mpi.rank + 1) % mpi.size
+        left = (mpi.rank - 1) % mpi.size
+        for i in range(n):
+            mpi.send((mpi.rank, i), dest=right, tag=7)
+        got = []
+        for _ in range(n):
+            got.append((yield mpi.recv(source=left, tag=7)))
+        return got
+
+    env = artificial_latency_env(2, ms(2))
+    world = ampi_run(env, program, num_ranks=ranks,
+                     program_args=(token_count,))
+    for rank, got in world.results.items():
+        left = (rank - 1) % ranks
+        assert got == [(left, i) for i in range(token_count)]

@@ -1,0 +1,158 @@
+"""Unit tests for AMPI datatypes, requests, and collective semantics."""
+
+import numpy as np
+import pytest
+
+from repro.ampi.collectives import (
+    check_uniform,
+    compute_results,
+    waiting_ranks,
+)
+from repro.ampi.datatypes import ANY_SOURCE, ANY_TAG, get_op, reduce_values
+from repro.ampi.request import (
+    CollectiveWait,
+    NoWait,
+    RecvWait,
+    Request,
+    RequestWait,
+)
+from repro.errors import AmpiError, CollectiveError
+
+
+# -- datatypes / ops ---------------------------------------------------------
+
+def test_ops_table():
+    assert get_op("sum")(2, 3) == 5
+    assert get_op("prod")(2, 3) == 6
+    assert get_op("max")(2, 3) == 3
+    assert get_op("min")(2, 3) == 2
+    assert get_op("land")(True, False) is False
+    assert get_op("lor")(True, False) is True
+
+
+def test_ops_numpy_maxmin():
+    assert np.array_equal(get_op("max")(np.array([1, 5]), np.array([3, 2])),
+                          [3, 5])
+
+
+def test_unknown_op():
+    with pytest.raises(CollectiveError):
+        get_op("median")
+
+
+def test_reduce_values_rank_order():
+    # String concat is order-sensitive: proves left-fold in rank order.
+    assert reduce_values("sum", ["a", "b", "c"]) == "abc"
+
+
+def test_reduce_values_empty():
+    with pytest.raises(CollectiveError):
+        reduce_values("sum", [])
+
+
+# -- requests -----------------------------------------------------------------
+
+def test_request_lifecycle():
+    req = Request("recv", source=1, tag=2)
+    assert not req.test()
+    req.fulfill((1, 2, "data"))
+    assert req.test()
+    assert req.value == (1, 2, "data")
+
+
+def test_request_double_fulfill_rejected():
+    req = Request("recv")
+    req.fulfill("x")
+    with pytest.raises(AmpiError):
+        req.fulfill("y")
+
+
+def test_wait_descriptors_frozen():
+    w = RecvWait(source=ANY_SOURCE, tag=ANY_TAG)
+    assert w.source == ANY_SOURCE and w.tag == ANY_TAG
+    assert NoWait(5).value == 5
+    assert CollectiveWait(3).seq == 3
+    assert RequestWait(requests=(Request("send"),)).wait_all
+
+
+# -- collective result computation ------------------------------------------------
+
+def test_barrier_results():
+    assert compute_results("barrier", None, 0, [None, None]) == \
+        {0: None, 1: None}
+
+
+def test_bcast_results():
+    assert compute_results("bcast", None, 1, ["ignored", "root-val"]) == \
+        {0: "root-val", 1: "root-val"}
+
+
+def test_reduce_results_root_only():
+    out = compute_results("reduce", "sum", 1, [1, 2, 3])
+    assert out == {1: 6}
+
+
+def test_allreduce_results():
+    out = compute_results("allreduce", "max", 0, [4, 9, 2])
+    assert out == {0: 9, 1: 9, 2: 9}
+
+
+def test_gather_results():
+    out = compute_results("gather", None, 0, ["a", "b"])
+    assert out == {0: ["a", "b"]}
+
+
+def test_allgather_results():
+    out = compute_results("allgather", None, 0, ["a", "b"])
+    assert out == {0: ["a", "b"], 1: ["a", "b"]}
+
+
+def test_scatter_results():
+    out = compute_results("scatter", None, 0, [["x", "y"], None])
+    assert out == {0: "x", 1: "y"}
+
+
+def test_scatter_wrong_length_rejected():
+    with pytest.raises(CollectiveError):
+        compute_results("scatter", None, 0, [["only-one"], None])
+
+
+def test_alltoall_results():
+    values = [[f"{s}->{d}" for d in range(3)] for s in range(3)]
+    out = compute_results("alltoall", None, 0, values)
+    assert out[1] == ["0->1", "1->1", "2->1"]
+
+
+def test_alltoall_validation():
+    with pytest.raises(CollectiveError):
+        compute_results("alltoall", None, 0, [["a"], ["b", "c"]])
+
+
+def test_scan_results():
+    out = compute_results("scan", "sum", 0, [1, 2, 3])
+    assert out == {0: 1, 1: 3, 2: 6}
+
+
+def test_unknown_kind():
+    with pytest.raises(CollectiveError):
+        compute_results("shuffle", None, 0, [1])
+    with pytest.raises(CollectiveError):
+        waiting_ranks("shuffle", 0, 2)
+
+
+def test_waiting_ranks():
+    assert waiting_ranks("barrier", 0, 3) == [0, 1, 2]
+    assert waiting_ranks("allreduce", 0, 3) == [0, 1, 2]
+    assert waiting_ranks("reduce", 1, 3) == [1]
+    assert waiting_ranks("gather", 2, 3) == [2]
+    assert waiting_ranks("scatter", 0, 3) == [0, 1, 2]
+
+
+def test_check_uniform_accepts_matching():
+    check_uniform("bcast", None, 0, [("bcast", None, 0)] * 3)
+
+
+def test_check_uniform_rejects_mismatch():
+    with pytest.raises(CollectiveError):
+        check_uniform("bcast", None, 0,
+                      [("bcast", None, 0), ("barrier", None, 0)])

@@ -1,0 +1,136 @@
+"""Unit tests for benchmark records, rendering and trend metrics."""
+
+import pytest
+
+from repro.bench.figures import knee_latency_ms, render_series
+from repro.bench.records import ExperimentPoint, Series, group_series
+from repro.bench.sweep import FIG3_PANEL_OBJECTS, TABLE1_ROWS
+from repro.bench.tables import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    render_table1,
+    render_table2,
+    trend_agreement,
+)
+
+
+def point(pes=2, objects=16, latency=1.0, tps=0.01, env="artificial",
+          experiment="fig3"):
+    return ExperimentPoint(
+        experiment=experiment, app="stencil", environment=env, pes=pes,
+        objects=objects, latency_ms=latency, time_per_step=tps, steps=10)
+
+
+# -- records --------------------------------------------------------------
+
+def test_point_ms_property_and_dict():
+    p = point(tps=0.025)
+    assert p.time_per_step_ms == pytest.approx(25.0)
+    d = p.to_dict()
+    assert d["pes"] == 2 and d["time_per_step_ms"] == pytest.approx(25.0)
+
+
+def test_group_series_by_objects():
+    points = [point(objects=o, latency=l, tps=o * l * 1e-3)
+              for o in (4, 16) for l in (1.0, 2.0)]
+    series = group_series(points)
+    assert [s.label for s in series] == ["objects=4", "objects=16"]
+    assert series[0].x == [1.0, 2.0]
+    assert series[0].y == pytest.approx([4.0, 8.0])
+
+
+def test_series_append():
+    s = Series("x")
+    s.append(1.0, 2.0)
+    assert s.x == [1.0] and s.y == [2.0]
+
+
+# -- figure rendering ------------------------------------------------------------
+
+def test_render_series_contains_data_marks():
+    s = Series("objects=4", x=[0.0, 1.0, 2.0], y=[1.0, 2.0, 3.0])
+    art = render_series([s], "title", width=30, height=8)
+    assert "title" in art
+    assert "o" in art
+    assert "objects=4" in art
+
+
+def test_render_series_empty():
+    assert "(no data)" in render_series([], "t")
+
+
+def test_render_series_flat_line():
+    s = Series("flat", x=[0.0, 1.0], y=[5.0, 5.0])
+    art = render_series([s], "t")
+    assert "o" in art  # constant y must not crash on zero range
+
+
+def test_knee_latency():
+    s = Series("k", x=[0, 1, 2, 4, 8, 16], y=[10, 10, 10, 11, 20, 40])
+    assert knee_latency_ms(s, tolerance=1.3) == 4
+    assert knee_latency_ms(Series("e")) == 0.0
+
+
+def test_knee_latency_all_flat():
+    s = Series("k", x=[0, 16], y=[10, 10.1])
+    assert knee_latency_ms(s) == 16
+
+
+# -- table rendering ----------------------------------------------------------------
+
+def test_render_table1_rows_align_with_paper():
+    points = []
+    for pes, objs in TABLE1_ROWS:
+        points.append(point(pes=pes, objects=objs, tps=0.01,
+                            experiment="table1"))
+        points.append(point(pes=pes, objects=objs, tps=0.011,
+                            env="teragrid", experiment="table1"))
+    text = render_table1(points)
+    assert "Table 1" in text
+    assert text.count("\n") >= len(PAPER_TABLE1) + 2
+    assert "85.774" in text  # paper value present for comparison
+
+
+def test_render_table2():
+    points = []
+    for pes in PAPER_TABLE2:
+        points.append(ExperimentPoint(
+            experiment="table2", app="leanmd", environment="artificial",
+            pes=pes, objects=216, latency_ms=1.725, time_per_step=8.0 / pes,
+            steps=8))
+    text = render_table2(points)
+    assert "Table 2" in text
+    assert "3.924" in text
+
+
+def test_render_tables_tolerate_missing_rows():
+    assert "Table 1" in render_table1([])
+    assert "Table 2" in render_table2([])
+
+
+# -- trend agreement -----------------------------------------------------------------
+
+def test_trend_agreement_perfect():
+    paper = {(2, 4): (10.0, 0), (2, 16): (5.0, 0), (4, 4): (2.0, 0)}
+    points = [point(pes=p, objects=o, tps=paper[(p, o)][0] / 1000)
+              for (p, o) in paper]
+    score = trend_agreement(points, paper, lambda p: (p.pes, p.objects))
+    assert score == 1.0
+
+
+def test_trend_agreement_inverted():
+    paper = {(2, 4): (10.0, 0), (2, 16): (5.0, 0)}
+    points = [point(pes=2, objects=4, tps=0.001),
+              point(pes=2, objects=16, tps=0.002)]
+    score = trend_agreement(points, paper, lambda p: (p.pes, p.objects))
+    assert score == 0.0
+
+
+def test_trend_agreement_no_overlap():
+    assert trend_agreement([], {}, lambda p: p.pes) == 1.0
+
+
+def test_fig3_panel_objects_match_paper_layout():
+    assert FIG3_PANEL_OBJECTS[2] == (4, 16, 64)
+    assert FIG3_PANEL_OBJECTS[64] == (64, 256, 1024)
+    assert set(FIG3_PANEL_OBJECTS) == {2, 4, 8, 16, 32, 64}

@@ -1,0 +1,214 @@
+"""Unit tests for ids, entry metadata, payload sizing, queues, PEs."""
+
+import numpy as np
+import pytest
+
+from repro.core.chare import Chare
+from repro.core.ids import ChareID, EntryRef, normalize_index
+from repro.core.method import (
+    ENVELOPE_BYTES,
+    entry,
+    entry_info,
+    invocation_bytes,
+    is_entry,
+    payload_bytes,
+)
+from repro.core.pe import PeState
+from repro.core.queue import MessageQueue
+from repro.network.message import Message
+
+
+# -- ids -------------------------------------------------------------------
+
+def test_normalize_index_scalar():
+    assert normalize_index(3) == (3,)
+
+
+def test_normalize_index_tuple():
+    assert normalize_index((1, 2)) == (1, 2)
+
+
+def test_normalize_index_numpy_ints():
+    assert normalize_index((np.int64(1), np.int64(2))) == (1, 2)
+    assert all(isinstance(i, int) for i in normalize_index((np.int64(1),)))
+
+
+def test_chare_id_ordering_and_str():
+    a = ChareID(0, (1, 2))
+    b = ChareID(0, (1, 3))
+    assert a < b
+    assert str(a) == "c0[1,2]"
+    assert str(ChareID(5, ())) == "c5"
+
+
+def test_entry_ref_str():
+    assert str(EntryRef(ChareID(1, (0,)), "go")) == "c1[0].go"
+
+
+# -- entry metadata -------------------------------------------------------------
+
+def test_entry_bare_decorator():
+    class C(Chare):
+        @entry
+        def handler(self):
+            pass
+
+    info = entry_info(C.handler)
+    assert info is not None and info.name == "handler"
+    assert is_entry(C.handler)
+
+
+def test_entry_with_options():
+    class C(Chare):
+        @entry(cost=lambda self, n: n * 1e-6, priority=-5)
+        def handler(self, n):
+            pass
+
+    info = entry_info(C.handler)
+    assert info.priority == -5
+    assert info.cost(None, 3) == pytest.approx(3e-6)
+
+
+def test_non_entry_method_has_no_info():
+    class C(Chare):
+        def plain(self):
+            pass
+
+    assert entry_info(C.plain) is None
+    assert not is_entry(C.plain)
+
+
+# -- payload sizing ------------------------------------------------------------------
+
+def test_payload_bytes_numpy():
+    arr = np.zeros(100, dtype=np.float64)
+    assert payload_bytes(arr) == 800
+
+
+def test_payload_bytes_scalars():
+    assert payload_bytes(1.5) == 8
+    assert payload_bytes(7) == 8
+    assert payload_bytes(True) == 1
+    assert payload_bytes(None) == 0
+
+
+def test_payload_bytes_containers():
+    assert payload_bytes([1.0, 2.0]) == 8 + 16
+    assert payload_bytes((np.zeros(2),)) == 8 + 16
+    assert payload_bytes({"k": 1.0}) == 8 + 1 + 8
+
+
+def test_payload_bytes_strings():
+    assert payload_bytes("abc") == 3
+    assert payload_bytes(b"abcd") == 4
+
+
+def test_payload_bytes_unknown_object():
+    class Blob:
+        pass
+
+    assert payload_bytes(Blob()) == 64
+
+
+def test_payload_bytes_object_with_nbytes():
+    class Blob:
+        nbytes = 12345
+
+    assert payload_bytes(Blob()) == 12345
+
+
+def test_invocation_bytes_includes_envelope():
+    assert invocation_bytes((), {}) == ENVELOPE_BYTES
+    assert invocation_bytes((np.zeros(10),), {}) == ENVELOPE_BYTES + 80
+
+
+# -- message queue --------------------------------------------------------------------
+
+def _msg(priority=0, tag=""):
+    return Message(src_pe=0, dst_pe=0, size_bytes=0, priority=priority,
+                   tag=tag)
+
+
+def test_fifo_queue_ignores_priority():
+    q = MessageQueue(prioritized=False)
+    q.push(_msg(priority=5, tag="first"))
+    q.push(_msg(priority=-5, tag="second"))
+    assert q.pop().tag == "first"
+    assert q.pop().tag == "second"
+
+
+def test_priority_queue_orders_by_priority():
+    q = MessageQueue(prioritized=True)
+    q.push(_msg(priority=5, tag="low"))
+    q.push(_msg(priority=-5, tag="high"))
+    q.push(_msg(priority=0, tag="mid"))
+    assert [q.pop().tag for _ in range(3)] == ["high", "mid", "low"]
+
+
+def test_priority_queue_fifo_within_equal_priority():
+    q = MessageQueue(prioritized=True)
+    for i in range(5):
+        q.push(_msg(priority=1, tag=str(i)))
+    assert [q.pop().tag for _ in range(5)] == list("01234")
+
+
+def test_queue_len_bool_peek():
+    q = MessageQueue()
+    assert not q and len(q) == 0
+    assert q.peek() is None
+    q.push(_msg(tag="x"))
+    assert q and len(q) == 1
+    assert q.peek().tag == "x"
+    assert len(q) == 1  # peek does not consume
+
+
+def test_queue_pop_empty_raises():
+    with pytest.raises(IndexError):
+        MessageQueue().pop()
+
+
+def test_queue_drain():
+    q = MessageQueue()
+    for i in range(3):
+        q.push(_msg(tag=str(i)))
+    assert [m.tag for m in q.drain()] == ["0", "1", "2"]
+    assert len(q) == 0
+
+
+# -- PE state --------------------------------------------------------------------------
+
+def test_pe_state_starts_idle():
+    ps = PeState(3)
+    assert ps.idle and not ps.busy
+    assert ps.pe == 3
+
+
+def test_pe_stats_utilization():
+    ps = PeState(0)
+    ps.stats.busy_time = 2.0
+    assert ps.stats.utilization(4.0) == pytest.approx(0.5)
+    assert ps.stats.utilization(0.0) == 0.0
+
+
+# -- message envelope -------------------------------------------------------------------
+
+def test_message_rejects_negative_size():
+    with pytest.raises(ValueError):
+        Message(src_pe=0, dst_pe=1, size_bytes=-1)
+
+
+def test_message_with_size_preserves_identity():
+    m = Message(src_pe=0, dst_pe=1, size_bytes=100, tag="t", priority=2)
+    m.crossed_wan = True
+    clone = m.with_size(50)
+    assert clone.size_bytes == 50
+    assert (clone.src_pe, clone.dst_pe, clone.tag, clone.priority) == \
+        (0, 1, "t", 2)
+    assert clone.seq == m.seq
+    assert clone.crossed_wan
+
+
+def test_message_seq_monotonic():
+    a = Message(src_pe=0, dst_pe=0, size_bytes=0)
+    b = Message(src_pe=0, dst_pe=0, size_bytes=0)
+    assert b.seq > a.seq

@@ -1,0 +1,130 @@
+"""Unit tests for cost models and the calibration anchors."""
+
+import pytest
+
+from repro.apps.leanmd.costs import DEFAULT_LEANMD_COSTS, LeanMDCostModel
+from repro.apps.stencil.costs import DEFAULT_STENCIL_COSTS, StencilCostModel
+from repro.bench.calibration import DEFAULT_CALIBRATION
+from repro.core.costs import CacheHierarchy, CachedLinearCost, LinearCost
+from repro.errors import CalibrationError
+
+
+# -- generic models ----------------------------------------------------------
+
+def test_linear_cost():
+    model = LinearCost(per_unit=2e-9, fixed=1e-6)
+    assert model.cost(1000) == pytest.approx(3e-6)
+
+
+def test_linear_cost_validation():
+    with pytest.raises(CalibrationError):
+        LinearCost(per_unit=-1.0)
+
+
+def test_cache_factor_monotone():
+    cache = CacheHierarchy()
+    sizes = [2**k for k in range(10, 26)]
+    factors = [cache.factor(s) for s in sizes]
+    assert factors == sorted(factors)
+    assert factors[0] == 1.0
+    assert factors[-1] == pytest.approx(cache.dram_penalty)
+
+
+def test_cache_factor_levels():
+    cache = CacheHierarchy()
+    assert cache.factor(cache.l2_bytes) == 1.0
+    assert cache.factor(cache.l3_bytes) == pytest.approx(cache.l3_penalty)
+    assert cache.factor(10 * cache.l3_bytes) == pytest.approx(
+        cache.dram_penalty)
+
+
+def test_cache_validation():
+    with pytest.raises(CalibrationError):
+        CacheHierarchy(l2_bytes=0)
+    with pytest.raises(CalibrationError):
+        CacheHierarchy(l3_bytes=1)  # l3 <= l2
+    with pytest.raises(CalibrationError):
+        CacheHierarchy(l3_penalty=0.9)
+    with pytest.raises(CalibrationError):
+        CacheHierarchy(l3_penalty=2.0, dram_penalty=1.5)
+
+
+def test_cached_linear_cost_scales_with_working_set():
+    model = CachedLinearCost(per_unit=1e-9, cache=CacheHierarchy(),
+                             bytes_per_unit=16.0)
+    small = model.cost_for(1000, 1000)
+    big = model.cost_for(1000, 10**7)
+    assert big > small
+
+
+# -- stencil model ---------------------------------------------------------------
+
+def test_stencil_block_cost_scales_with_cells():
+    m = DEFAULT_STENCIL_COSTS
+    assert m.compute_cost(256, 256) < m.compute_cost(512, 512)
+
+
+def test_stencil_cache_anomaly_direction():
+    """A 1024^2 block must cost more per cell than a 512^2 block."""
+    m = DEFAULT_STENCIL_COSTS
+    per_cell_512 = m.compute_cost(512, 512) / 512**2
+    per_cell_1024 = m.compute_cost(1024, 1024) / 1024**2
+    assert per_cell_1024 > per_cell_512 * 1.1
+
+
+def test_stencil_ghost_and_send_costs():
+    m = DEFAULT_STENCIL_COSTS
+    assert m.ghost_cost(2048) == pytest.approx(
+        m.ghost_fixed + 2048 * m.ghost_per_byte)
+    assert m.send_cost(4) == pytest.approx(4 * m.send_fixed)
+
+
+def test_stencil_cost_validation():
+    with pytest.raises(CalibrationError):
+        StencilCostModel(per_cell=0.0)
+    with pytest.raises(CalibrationError):
+        StencilCostModel(ghost_fixed=-1.0)
+
+
+# -- leanmd model -----------------------------------------------------------------
+
+def test_leanmd_pair_cost_scales():
+    m = DEFAULT_LEANMD_COSTS
+    assert m.pair_compute_cost(4096) > m.pair_compute_cost(2048)
+    assert m.pair_compute_cost(0) == pytest.approx(m.pair_fixed)
+
+
+def test_leanmd_other_costs():
+    m = DEFAULT_LEANMD_COSTS
+    assert m.integrate_cost(64) > m.integrate_cost(1)
+    assert m.force_recv_cost(64) > m.msg_fixed
+    assert m.multicast_cost(0) == pytest.approx(m.multicast_per_target)
+
+
+def test_leanmd_cost_validation():
+    with pytest.raises(CalibrationError):
+        LeanMDCostModel(per_interaction=-1.0)
+
+
+# -- calibration anchors ----------------------------------------------------------------
+
+def test_anchor_stencil_sequential_step():
+    """1-PE 2048^2 stencil step should land near 2x Table-1's 2-PE rows
+    (~150 ms): the calibration's primary anchor."""
+    t = DEFAULT_CALIBRATION.sequential_stencil_step()
+    assert 0.120 < t < 0.190
+
+
+def test_anchor_leanmd_sequential_step():
+    """Paper: 'Each computation step is about 8 second[s] on a single
+    processor.'"""
+    t = DEFAULT_CALIBRATION.sequential_leanmd_step()
+    assert 7.0 < t < 9.0
+
+
+def test_anchor_teragrid_pingpong():
+    """Paper: ping 1.725 ms, Charm++ ping-pong ~1.920 ms one-way."""
+    link = DEFAULT_CALIBRATION.teragrid.link()
+    assert link.latency == pytest.approx(1.725e-3)
+    total = link.latency + link.per_message_overhead
+    assert total == pytest.approx(1.920e-3, rel=0.01)

@@ -1,0 +1,190 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.engine import Engine
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Engine(start_time=5.0).now == 5.0
+
+
+def test_events_fire_in_time_order():
+    eng = Engine()
+    order = []
+    eng.post(3.0, lambda: order.append("c"))
+    eng.post(1.0, lambda: order.append("a"))
+    eng.post(2.0, lambda: order.append("b"))
+    eng.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_post_order():
+    eng = Engine()
+    order = []
+    for i in range(10):
+        eng.post(1.0, lambda i=i: order.append(i))
+    eng.run()
+    assert order == list(range(10))
+
+
+def test_clock_advances_to_event_time():
+    eng = Engine()
+    seen = []
+    eng.post(2.5, lambda: seen.append(eng.now))
+    eng.run()
+    assert seen == [2.5]
+    assert eng.now == 2.5
+
+
+def test_post_in_past_rejected():
+    eng = Engine()
+    eng.post(1.0, lambda: None)
+    eng.run()
+    with pytest.raises(SchedulingError):
+        eng.post(0.5, lambda: None)
+
+
+def test_post_in_negative_delay_rejected():
+    with pytest.raises(SchedulingError):
+        Engine().post_in(-1.0, lambda: None)
+
+
+def test_post_in_relative():
+    eng = Engine()
+    seen = []
+    eng.post(1.0, lambda: eng.post_in(0.5, lambda: seen.append(eng.now)))
+    eng.run()
+    assert seen == [1.5]
+
+
+def test_events_scheduled_during_run_fire():
+    eng = Engine()
+    order = []
+
+    def first():
+        order.append("first")
+        eng.post(eng.now, lambda: order.append("nested"))
+
+    eng.post(1.0, first)
+    eng.post(2.0, lambda: order.append("second"))
+    eng.run()
+    assert order == ["first", "nested", "second"]
+
+
+def test_cancel_prevents_firing():
+    eng = Engine()
+    fired = []
+    handle = eng.post(1.0, lambda: fired.append(1))
+    eng.cancel(handle)
+    eng.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancel_is_idempotent():
+    eng = Engine()
+    handle = eng.post(1.0, lambda: None)
+    eng.cancel(handle)
+    eng.cancel(handle)
+    eng.run()
+
+
+def test_run_until_stops_and_advances_clock():
+    eng = Engine()
+    fired = []
+    eng.post(1.0, lambda: fired.append(1))
+    eng.post(5.0, lambda: fired.append(5))
+    eng.run(until=3.0)
+    assert fired == [1]
+    assert eng.now == 3.0
+    eng.run()
+    assert fired == [1, 5]
+
+
+def test_run_until_inclusive_of_boundary():
+    eng = Engine()
+    fired = []
+    eng.post(3.0, lambda: fired.append(3))
+    eng.run(until=3.0)
+    assert fired == [3]
+
+
+def test_step_returns_false_when_empty():
+    assert Engine().step() is False
+
+
+def test_step_fires_single_event():
+    eng = Engine()
+    fired = []
+    eng.post(1.0, lambda: fired.append(1))
+    eng.post(2.0, lambda: fired.append(2))
+    assert eng.step() is True
+    assert fired == [1]
+
+
+def test_max_events_guards_livelock():
+    eng = Engine(max_events=10)
+
+    def ping():
+        eng.post_in(1.0, ping)
+
+    eng.post(0.0, ping)
+    with pytest.raises(SimulationError):
+        eng.run()
+
+
+def test_events_processed_counter():
+    eng = Engine()
+    for i in range(5):
+        eng.post(float(i), lambda: None)
+    eng.run()
+    assert eng.events_processed == 5
+
+
+def test_pending_counts_queue():
+    eng = Engine()
+    eng.post(1.0, lambda: None)
+    eng.post(2.0, lambda: None)
+    assert eng.pending == 2
+
+
+def test_run_not_reentrant():
+    eng = Engine()
+    errors = []
+
+    def reenter():
+        try:
+            eng.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    eng.post(1.0, reenter)
+    eng.run()
+    assert len(errors) == 1
+
+
+def test_snapshot():
+    eng = Engine()
+    eng.post(1.0, lambda: None)
+    now, pending, processed = eng.snapshot()
+    assert (now, pending, processed) == (0.0, 1, 0)
+
+
+def test_zero_delay_event_runs_after_earlier_same_time_posts():
+    eng = Engine()
+    order = []
+    eng.post(1.0, lambda: order.append("a"))
+
+    def at_one():
+        order.append("b")
+        eng.post_in(0.0, lambda: order.append("c"))
+
+    eng.post(1.0, at_one)
+    eng.run()
+    assert order == ["a", "b", "c"]

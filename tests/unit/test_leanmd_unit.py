@@ -1,0 +1,237 @@
+"""Unit tests for LeanMD geometry, system, forces, integrator."""
+
+import numpy as np
+import pytest
+
+from repro.apps.leanmd.forces import (
+    interaction_count,
+    pair_forces,
+    self_forces,
+)
+from repro.apps.leanmd.geometry import (
+    CellGrid,
+    pair_index,
+    split_pair,
+)
+from repro.apps.leanmd.integrator import integrate, kinetic_energy
+from repro.apps.leanmd.reference import total_forces
+from repro.apps.leanmd.system import MdParams, build_system
+from repro.errors import ConfigurationError
+
+
+# -- geometry: the paper's object counts ------------------------------------
+
+def test_paper_benchmark_counts():
+    """Paper §4: 216 cells and 3,024 cell pairs."""
+    counts = CellGrid((6, 6, 6)).pair_counts()
+    assert counts["cells"] == 216
+    assert counts["pairs"] == 3024
+    assert counts["neighbor_pairs"] == 2808
+    assert counts["self_pairs"] == 216
+
+
+def test_each_cell_has_26_neighbors_on_big_grid():
+    grid = CellGrid((6, 6, 6))
+    for cell in [(0, 0, 0), (3, 3, 3), (5, 5, 5)]:
+        assert len(grid.neighbors(cell)) == 26
+
+
+def test_pairs_of_cell_is_27_on_big_grid():
+    """26 neighbour pairs + the self pair = the paper's multicast fanout."""
+    grid = CellGrid((6, 6, 6))
+    assert len(grid.pairs_of_cell((2, 3, 4))) == 27
+
+
+def test_small_grid_dedups_wrapped_neighbors():
+    grid = CellGrid((2, 2, 2))
+    # All 7 other cells are neighbours; wraps collapse duplicates.
+    assert len(grid.neighbors((0, 0, 0))) == 7
+    counts = grid.pair_counts()
+    assert counts["pairs"] == 8 * 7 // 2 + 8  # complete graph + self pairs
+
+
+def test_degenerate_single_cell_grid():
+    grid = CellGrid((1, 1, 1))
+    assert grid.neighbors((0, 0, 0)) == []
+    assert grid.pairs() == [(0, 0, 0, 0, 0, 0)]
+
+
+def test_pair_index_canonical_order():
+    assert pair_index((1, 0, 0), (0, 0, 0)) == (0, 0, 0, 1, 0, 0)
+    assert pair_index((0, 0, 0), (1, 0, 0)) == (0, 0, 0, 1, 0, 0)
+    assert split_pair((0, 0, 0, 1, 2, 3)) == ((0, 0, 0), (1, 2, 3))
+
+
+def test_every_pair_contains_its_cells():
+    grid = CellGrid((3, 3, 3))
+    for cell in grid.cells():
+        for p in grid.pairs_of_cell(cell):
+            a, b = split_pair(p)
+            assert cell in (a, b)
+
+
+def test_wrap():
+    grid = CellGrid((3, 3, 3))
+    assert grid.wrap((-1, 3, 4)) == (2, 0, 1)
+
+
+def test_bad_grid_shape():
+    with pytest.raises(ConfigurationError):
+        CellGrid((0, 2, 2))
+
+
+def test_cell_out_of_range():
+    with pytest.raises(ConfigurationError):
+        CellGrid((2, 2, 2)).neighbors((5, 0, 0))
+
+
+# -- system -----------------------------------------------------------------------
+
+def test_build_system_deterministic():
+    grid = CellGrid((2, 2, 2))
+    a = build_system(grid, 4, seed=1)
+    b = build_system(grid, 4, seed=1)
+    assert np.array_equal(a.all_positions(), b.all_positions())
+    assert not np.array_equal(
+        a.all_positions(), build_system(grid, 4, seed=2).all_positions())
+
+
+def test_atoms_confined_to_their_cells():
+    grid = CellGrid((2, 3, 2))
+    system = build_system(grid, 5, seed=0)
+    cut = system.params.cutoff
+    for cell, state in system.cells.items():
+        origin = np.array(cell) * cut
+        assert np.all(state.positions >= origin)
+        assert np.all(state.positions <= origin + cut)
+
+
+def test_system_totals():
+    grid = CellGrid((2, 2, 2))
+    system = build_system(grid, 4, seed=0)
+    assert system.total_atoms == 32
+    assert system.all_positions().shape == (32, 3)
+    assert np.array_equal(system.box, [2.0, 2.0, 2.0])
+    assert system.all_charges().sum() == 0.0  # alternating +-1
+
+
+def test_build_system_validation():
+    with pytest.raises(ConfigurationError):
+        build_system(CellGrid((2, 2, 2)), 0)
+
+
+def test_md_params_validation():
+    with pytest.raises(ConfigurationError):
+        MdParams(cutoff=-1.0)
+    with pytest.raises(ConfigurationError):
+        MdParams(dt=0.0)
+
+
+# -- forces ---------------------------------------------------------------------------
+
+@pytest.fixture
+def two_cells():
+    rng = np.random.default_rng(3)
+    box = np.array([4.0, 4.0, 4.0])
+    pos_a = rng.random((6, 3))
+    pos_b = rng.random((5, 3)) + np.array([1.0, 0.0, 0.0])
+    q_a = np.where(np.arange(6) % 2 == 0, 1.0, -1.0)
+    q_b = np.where(np.arange(5) % 2 == 0, 1.0, -1.0)
+    return pos_a, pos_b, q_a, q_b, box, MdParams()
+
+
+def test_newtons_third_law(two_cells):
+    pos_a, pos_b, q_a, q_b, box, params = two_cells
+    f_a, f_b, _pot = pair_forces(pos_a, pos_b, q_a, q_b, box, params)
+    assert np.allclose(f_a.sum(axis=0), -f_b.sum(axis=0), atol=1e-12)
+
+
+def test_self_forces_momentum_conserving(two_cells):
+    pos_a, _b, q_a, _qb, box, params = two_cells
+    forces, _pot = self_forces(pos_a, q_a, box, params)
+    assert np.allclose(forces.sum(axis=0), 0.0, atol=1e-9)
+
+
+def test_forces_translation_invariant(two_cells):
+    pos_a, pos_b, q_a, q_b, box, params = two_cells
+    f1, g1, p1 = pair_forces(pos_a, pos_b, q_a, q_b, box, params)
+    shift = np.array([0.37, -0.11, 0.05])
+    f2, g2, p2 = pair_forces(pos_a + shift, pos_b + shift, q_a, q_b, box,
+                             params)
+    assert np.allclose(f1, f2, atol=1e-9)
+    assert p1 == pytest.approx(p2, abs=1e-9)
+
+
+def test_cutoff_respected():
+    box = np.array([10.0, 10.0, 10.0])
+    params = MdParams(cutoff=1.0)
+    pos_a = np.array([[0.0, 0.0, 0.0]])
+    pos_b = np.array([[3.0, 0.0, 0.0]])  # beyond cutoff, no wrap nearby
+    f_a, f_b, pot = pair_forces(pos_a, pos_b, np.ones(1), np.ones(1), box,
+                                params)
+    assert np.all(f_a == 0.0) and np.all(f_b == 0.0) and pot == 0.0
+
+
+def test_minimum_image_wraps():
+    box = np.array([4.0, 4.0, 4.0])
+    params = MdParams(cutoff=1.0)
+    pos_a = np.array([[0.1, 0.0, 0.0]])
+    pos_b = np.array([[3.9, 0.0, 0.0]])  # distance 0.2 across the wrap
+    f_a, _f_b, pot = pair_forces(pos_a, pos_b, np.ones(1), np.ones(1), box,
+                                 params)
+    assert np.any(f_a != 0.0)
+    assert pot != 0.0
+
+
+def test_pair_matches_reference_direct_sum(two_cells):
+    pos_a, pos_b, q_a, q_b, box, params = two_cells
+    f_a, f_b, pot = pair_forces(pos_a, pos_b, q_a, q_b, box, params)
+    fa_self, pot_a = self_forces(pos_a, q_a, box, params)
+    fb_self, pot_b = self_forces(pos_b, q_b, box, params)
+    all_pos = np.concatenate([pos_a, pos_b])
+    all_q = np.concatenate([q_a, q_b])
+    ref_f, ref_pot = total_forces(all_pos, all_q, box, params)
+    assert np.allclose(np.concatenate([f_a + fa_self, f_b + fb_self]),
+                       ref_f, atol=1e-9)
+    assert pot + pot_a + pot_b == pytest.approx(ref_pot, abs=1e-9)
+
+
+def test_interaction_count():
+    assert interaction_count(4, 5, is_self=False) == 20
+    assert interaction_count(4, 4, is_self=True) == 6
+
+
+# -- integrator ------------------------------------------------------------------------------
+
+def test_integrate_kick_drift():
+    params = MdParams(dt=0.1, mass=2.0)
+    box = np.array([10.0, 10.0, 10.0])
+    pos = np.array([[1.0, 1.0, 1.0]])
+    vel = np.array([[1.0, 0.0, 0.0]])
+    forces = np.array([[2.0, 0.0, 0.0]])
+    new_pos, new_vel = integrate(pos, vel, forces, box, params)
+    assert np.allclose(new_vel, [[1.1, 0.0, 0.0]])
+    assert np.allclose(new_pos, [[1.11, 1.0, 1.0]])
+    assert np.array_equal(pos, [[1.0, 1.0, 1.0]])  # input untouched
+
+
+def test_integrate_wraps_positions():
+    params = MdParams(dt=1.0)
+    box = np.array([2.0, 2.0, 2.0])
+    pos = np.array([[1.9, 0.0, 0.0]])
+    vel = np.array([[0.5, 0.0, 0.0]])
+    new_pos, _ = integrate(pos, vel, np.zeros((1, 3)), box, params)
+    assert new_pos[0, 0] == pytest.approx(0.4)
+
+
+def test_integrate_shape_mismatch():
+    params = MdParams()
+    with pytest.raises(ValueError):
+        integrate(np.zeros((2, 3)), np.zeros((2, 3)), np.zeros((3, 3)),
+                  np.ones(3), params)
+
+
+def test_kinetic_energy():
+    params = MdParams(mass=2.0)
+    vel = np.array([[1.0, 0.0, 0.0], [0.0, 2.0, 0.0]])
+    assert kinetic_energy(vel, params) == pytest.approx(0.5 * 2 * (1 + 4))

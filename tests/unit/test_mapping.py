@@ -1,0 +1,134 @@
+"""Unit tests for placement strategies."""
+
+import pytest
+
+from repro.core.mapping import (
+    BlockMapping,
+    ClusterSplitMapping,
+    ExplicitMapping,
+    RoundRobinMapping,
+    grid2d_split_mapping,
+    grid3d_split_mapping,
+)
+from repro.errors import ConfigurationError
+from repro.network.topology import GridTopology
+
+
+@pytest.fixture
+def topo():
+    return GridTopology.two_cluster(4)
+
+
+def idx1d(n):
+    return [(i,) for i in range(n)]
+
+
+def test_block_mapping_contiguous(topo):
+    table = BlockMapping().assign(idx1d(8), topo)
+    assert [table[(i,)] for i in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+
+def test_block_mapping_uneven(topo):
+    table = BlockMapping().assign(idx1d(6), topo)
+    counts = [list(table.values()).count(pe) for pe in range(4)]
+    assert sum(counts) == 6
+    assert max(counts) - min(counts) <= 1
+
+
+def test_block_mapping_fewer_elements_than_pes(topo):
+    table = BlockMapping().assign(idx1d(2), topo)
+    assert set(table.values()) <= set(range(4))
+    assert len(set(table.values())) == 2
+
+
+def test_round_robin(topo):
+    table = RoundRobinMapping().assign(idx1d(8), topo)
+    assert [table[(i,)] for i in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_explicit_mapping_passthrough(topo):
+    table = ExplicitMapping({(0,): 3, (1,): 1}).assign(idx1d(2), topo)
+    assert table == {(0,): 3, (1,): 1}
+
+
+def test_explicit_mapping_missing_index(topo):
+    with pytest.raises(ConfigurationError):
+        ExplicitMapping({(0,): 0}).assign(idx1d(2), topo)
+
+
+def test_explicit_mapping_bad_pe(topo):
+    with pytest.raises(ConfigurationError):
+        ExplicitMapping({(0,): 99}).assign(idx1d(1), topo)
+
+
+def test_cluster_split_respects_clusters(topo):
+    mapping = ClusterSplitMapping(lambda idx: 0 if idx[0] < 4 else 1)
+    table = mapping.assign(idx1d(8), topo)
+    for i in range(4):
+        assert topo.cluster_of(table[(i,)]) == 0
+    for i in range(4, 8):
+        assert topo.cluster_of(table[(i,)]) == 1
+
+
+def test_cluster_split_roundrobin_within(topo):
+    mapping = ClusterSplitMapping(lambda idx: 0, within="roundrobin")
+    table = mapping.assign(idx1d(4), topo)
+    assert [table[(i,)] for i in range(4)] == [0, 1, 0, 1]
+
+
+def test_cluster_split_bad_within():
+    with pytest.raises(ConfigurationError):
+        ClusterSplitMapping(lambda idx: 0, within="zigzag")
+
+
+def test_cluster_split_bad_cluster(topo):
+    mapping = ClusterSplitMapping(lambda idx: 7)
+    with pytest.raises(ConfigurationError):
+        mapping.assign(idx1d(2), topo)
+
+
+def test_grid2d_split_columns(topo):
+    # 4x4 object grid: columns 0-1 -> cluster 0, columns 2-3 -> cluster 1.
+    indices = [(i, j) for i in range(4) for j in range(4)]
+    table = grid2d_split_mapping(4, 4, topo).assign(indices, topo)
+    for (i, j), pe in table.items():
+        assert topo.cluster_of(pe) == (0 if j < 2 else 1)
+
+
+def test_grid2d_split_single_cluster():
+    topo = GridTopology.single_cluster(4)
+    indices = [(i, j) for i in range(4) for j in range(4)]
+    table = grid2d_split_mapping(4, 4, topo).assign(indices, topo)
+    counts = [list(table.values()).count(pe) for pe in range(4)]
+    assert counts == [4, 4, 4, 4]
+
+
+def test_grid2d_balanced_within_clusters(topo):
+    indices = [(i, j) for i in range(8) for j in range(8)]
+    table = grid2d_split_mapping(8, 8, topo).assign(indices, topo)
+    counts = [list(table.values()).count(pe) for pe in range(4)]
+    assert counts == [16, 16, 16, 16]
+
+
+def test_grid3d_split_axis(topo):
+    indices = [(x, y, z) for x in range(4) for y in range(2)
+               for z in range(2)]
+    table = grid3d_split_mapping(4, topo, axis=0).assign(indices, topo)
+    for (x, y, z), pe in table.items():
+        assert topo.cluster_of(pe) == (0 if x < 2 else 1)
+
+
+def test_grid3d_split_pairs_by_first_cell(topo):
+    pairs = [(0, 0, 0, 3, 1, 1), (3, 0, 0, 3, 1, 1)]
+    table = grid3d_split_mapping(4, topo, axis=0).assign(pairs, topo)
+    assert topo.cluster_of(table[pairs[0]]) == 0
+    assert topo.cluster_of(table[pairs[1]]) == 1
+
+
+def test_all_mappings_total(topo):
+    indices = idx1d(13)
+    for mapping in (BlockMapping(), RoundRobinMapping(),
+                    ClusterSplitMapping(lambda idx: idx[0] % 2)):
+        table = mapping.assign(indices, topo)
+        assert sorted(table) == sorted(indices)
+        assert all(0 <= pe < 4 for pe in table.values())

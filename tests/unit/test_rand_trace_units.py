@@ -1,0 +1,169 @@
+"""Unit tests for RNG streams, the tracer, and unit helpers."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rand import RandomStreams, stable_name_key
+from repro.sim.trace import Tracer
+from repro.units import (
+    kib,
+    mib,
+    ms,
+    ns,
+    seconds,
+    to_ms,
+    to_us,
+    transfer_time,
+    us,
+)
+
+
+# -- RandomStreams ----------------------------------------------------------
+
+def test_same_seed_same_stream():
+    a = RandomStreams(7).get("wan").random(5)
+    b = RandomStreams(7).get("wan").random(5)
+    assert np.array_equal(a, b)
+
+
+def test_different_seed_different_stream():
+    a = RandomStreams(7).get("wan").random(5)
+    b = RandomStreams(8).get("wan").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_different_names_independent():
+    streams = RandomStreams(7)
+    a = streams.get("a").random(5)
+    b = streams.get("b").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_stream_isolation_from_request_order():
+    s1 = RandomStreams(7)
+    s1.get("other").random(100)  # consuming another stream...
+    a = s1.get("wan").random(5)
+    b = RandomStreams(7).get("wan").random(5)  # ...does not perturb this one
+    assert np.array_equal(a, b)
+
+
+def test_get_returns_same_generator():
+    streams = RandomStreams(0)
+    assert streams.get("x") is streams.get("x")
+
+
+def test_fork_is_deterministic_and_distinct():
+    a = RandomStreams(7).fork("trial-1").get("x").random(3)
+    b = RandomStreams(7).fork("trial-1").get("x").random(3)
+    c = RandomStreams(7).fork("trial-2").get("x").random(3)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_seed_must_be_int():
+    with pytest.raises(TypeError):
+        RandomStreams("seven")
+
+
+def test_stable_name_key_is_stable():
+    assert stable_name_key("wan-jitter") == stable_name_key("wan-jitter")
+    assert stable_name_key("a") != stable_name_key("b")
+
+
+# -- Tracer ----------------------------------------------------------------
+
+def test_tracer_records_interval():
+    tr = Tracer()
+    tr.begin_execute(0, 1.0, "C", "e")
+    tr.end_execute(0, 2.5)
+    assert len(tr.intervals) == 1
+    iv = tr.intervals[0]
+    assert (iv.pe, iv.start, iv.end, iv.duration) == (0, 1.0, 2.5, 1.5)
+
+
+def test_tracer_nested_begin_rejected():
+    tr = Tracer()
+    tr.begin_execute(0, 1.0, "C", "e")
+    with pytest.raises(ValueError):
+        tr.begin_execute(0, 1.5, "C", "f")
+
+
+def test_tracer_end_without_begin_rejected():
+    with pytest.raises(ValueError):
+        Tracer().end_execute(0, 1.0)
+
+
+def test_tracer_disabled_is_noop():
+    tr = Tracer(enabled=False)
+    tr.begin_execute(0, 1.0, "C", "e")
+    tr.end_execute(0, 2.0)
+    assert tr.intervals == []
+    with pytest.raises(ValueError):
+        tr.makespan()
+
+
+def test_tracer_pe_usage_and_makespan():
+    tr = Tracer()
+    tr.begin_execute(0, 0.0, "C", "a")
+    tr.end_execute(0, 1.0)
+    tr.begin_execute(1, 1.0, "C", "b")
+    tr.end_execute(1, 4.0)
+    usage = tr.pe_usage()
+    assert usage[0].busy == 1.0
+    assert usage[1].busy == 3.0
+    assert tr.makespan() == 4.0
+    assert usage[1].utilization(tr.makespan()) == pytest.approx(0.75)
+
+
+def test_tracer_busy_during_window():
+    tr = Tracer()
+    tr.begin_execute(0, 0.0, "C", "a")
+    tr.end_execute(0, 2.0)
+    tr.begin_execute(0, 3.0, "C", "b")
+    tr.end_execute(0, 5.0)
+    assert tr.busy_during(0, 1.0, 4.0) == pytest.approx(2.0)
+    assert tr.busy_during(1, 0.0, 5.0) == 0.0
+
+
+def test_tracer_wan_flight_windows_pair_fifo():
+    tr = Tracer()
+    tr.message_sent(0.0, 0, 1, 100, "m", True)
+    tr.message_sent(0.5, 0, 1, 100, "m", True)
+    tr.message_delivered(2.0, 0, 1, 100, "m", True)
+    tr.message_delivered(2.5, 0, 1, 100, "m", True)
+    tr.message_sent(0.1, 0, 1, 10, "lan", False)  # non-WAN ignored
+    windows = tr.wan_flight_windows()
+    assert windows == [(0.0, 2.0, 0, 1), (0.5, 2.5, 0, 1)]
+
+
+def test_tracer_render_timeline_smoke():
+    tr = Tracer()
+    tr.begin_execute(0, 0.0, "C", "a")
+    tr.end_execute(0, 1.0)
+    art = tr.render_timeline(width=20)
+    assert "PE  0" in art and "#" in art
+
+
+def test_tracer_empty_timeline():
+    assert Tracer().render_timeline() == "(empty trace)"
+
+
+# -- units --------------------------------------------------------------------
+
+def test_time_conversions():
+    assert ms(5) == pytest.approx(5e-3)
+    assert us(3) == pytest.approx(3e-6)
+    assert ns(7) == pytest.approx(7e-9)
+    assert seconds(2) == 2.0
+    assert to_ms(0.25) == pytest.approx(250.0)
+    assert to_us(1e-3) == pytest.approx(1000.0)
+
+
+def test_size_conversions():
+    assert kib(2) == 2048
+    assert mib(1) == 1024 * 1024
+
+
+def test_transfer_time():
+    assert transfer_time(1000, 1e6) == pytest.approx(1e-3)
+    assert transfer_time(1000, 0.0) == 0.0

@@ -1,0 +1,149 @@
+"""Unit tests for reducers and the grid-aware reduction tree."""
+
+import numpy as np
+import pytest
+
+from repro.core.ids import ChareID
+from repro.core.reduction import (
+    build_tree,
+    combine,
+    finalize,
+    wrap_contribution,
+)
+from repro.errors import ReductionError
+from repro.network.topology import GridTopology
+
+
+# -- reducers -------------------------------------------------------------
+
+def test_combine_sum_scalars():
+    assert combine("sum", None, 3) == 3
+    assert combine("sum", 3, 4) == 7
+
+
+def test_combine_sum_arrays():
+    acc = combine("sum", None, np.array([1.0, 2.0]))
+    acc = combine("sum", acc, np.array([10.0, 20.0]))
+    assert np.array_equal(acc, [11.0, 22.0])
+
+
+def test_combine_max_min():
+    assert combine("max", 3, 7) == 7
+    assert combine("min", 3, 7) == 3
+    assert np.array_equal(combine("max", np.array([1, 9]), np.array([5, 2])),
+                          [5, 9])
+
+
+def test_combine_concat():
+    acc = combine("concat", None, [((0,), "a")])
+    acc = combine("concat", acc, [((1,), "b")])
+    assert acc == [((0,), "a"), ((1,), "b")]
+
+
+def test_combine_nop():
+    assert combine("nop", None, 42) is None
+
+
+def test_combine_unknown_reducer():
+    with pytest.raises(ReductionError):
+        combine("median", None, 1)
+
+
+def test_wrap_contribution_concat_tags_index():
+    wrapped = wrap_contribution("concat", ChareID(0, (2, 1)), "v")
+    assert wrapped == [((2, 1), "v")]
+
+
+def test_wrap_contribution_other_ops_passthrough():
+    assert wrap_contribution("sum", ChareID(0, (0,)), 5) == 5
+
+
+def test_finalize_concat_sorts_by_index():
+    out = finalize("concat", [((3,), "c"), ((1,), "a"), ((2,), "b")])
+    assert out == [((1,), "a"), ((2,), "b"), ((3,), "c")]
+
+
+def test_finalize_sum_passthrough():
+    assert finalize("sum", 10) == 10
+
+
+# -- tree construction ---------------------------------------------------------
+
+def check_tree_wellformed(tree, hosting):
+    # Every hosting PE appears; exactly one root; parent links acyclic.
+    assert tree.parent[tree.root] is None
+    seen = set()
+    for pe in hosting:
+        cur = pe
+        hops = 0
+        while tree.parent.get(cur) is not None:
+            cur = tree.parent[cur]
+            hops += 1
+            assert hops <= len(hosting), "cycle in reduction tree"
+        assert cur == tree.root
+        seen.add(pe)
+    # children lists match parent links
+    for pe, kids in tree.children.items():
+        for k in kids:
+            assert tree.parent[k] == pe
+
+
+def test_tree_single_pe():
+    topo = GridTopology.single_cluster(4)
+    tree = build_tree([2], topo)
+    assert tree.root == 2
+    assert tree.expected_children(2) == 0
+
+
+def test_tree_single_cluster():
+    topo = GridTopology.single_cluster(8)
+    hosting = list(range(8))
+    tree = build_tree(hosting, topo)
+    check_tree_wellformed(tree, hosting)
+    assert tree.root == 0
+
+
+def test_tree_crosses_wan_once_per_remote_cluster():
+    topo = GridTopology.two_cluster(8)
+    hosting = list(range(8))
+    tree = build_tree(hosting, topo)
+    check_tree_wellformed(tree, hosting)
+    wan_edges = [(pe, par) for pe, par in tree.parent.items()
+                 if par is not None and not topo.same_cluster(pe, par)]
+    assert len(wan_edges) == 1      # exactly one WAN hop for two clusters
+    assert wan_edges[0] == (4, 0)   # cluster-1 root -> global root
+
+
+def test_tree_three_clusters_two_wan_edges():
+    topo = GridTopology([2, 2, 2])
+    tree = build_tree(list(range(6)), topo)
+    wan_edges = [(pe, par) for pe, par in tree.parent.items()
+                 if par is not None and not topo.same_cluster(pe, par)]
+    assert len(wan_edges) == 2
+
+
+def test_tree_sparse_hosting():
+    topo = GridTopology.two_cluster(8)
+    hosting = [1, 3, 6]
+    tree = build_tree(hosting, topo)
+    check_tree_wellformed(tree, hosting)
+    assert tree.root == 1
+    assert tree.parent[6] == 1  # cluster-1's only PE parents to global root
+
+
+def test_tree_arity_respected():
+    topo = GridTopology.single_cluster(16)
+    tree = build_tree(list(range(16)), topo, arity=2)
+    for pe, kids in tree.children.items():
+        assert len(kids) <= 3  # arity 2 + possibly one cluster-root link
+
+
+def test_tree_empty_rejected():
+    with pytest.raises(ReductionError):
+        build_tree([], GridTopology.single_cluster(2))
+
+
+def test_tree_duplicate_pes_deduped():
+    topo = GridTopology.single_cluster(4)
+    tree = build_tree([1, 1, 2], topo)
+    check_tree_wellformed(tree, [1, 2])

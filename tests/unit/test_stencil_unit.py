@@ -1,0 +1,187 @@
+"""Unit tests for stencil decomposition, kernel, and reference."""
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil.decomposition import (
+    OPPOSITE,
+    BlockDecomposition,
+    factor_grid,
+)
+from repro.apps.stencil.kernel import (
+    jacobi_step,
+    make_initial_mesh,
+    residual,
+)
+from repro.apps.stencil.reference import checksum, run_reference
+from repro.errors import ConfigurationError
+
+
+# -- factor_grid ----------------------------------------------------------
+
+def test_factor_grid_perfect_squares():
+    for n in (4, 16, 64, 256, 1024):
+        r, c = factor_grid(n)
+        assert r == c == int(np.sqrt(n))
+
+
+def test_factor_grid_non_square():
+    assert factor_grid(32) == (4, 8)
+    assert factor_grid(2) == (1, 2)
+    assert factor_grid(1) == (1, 1)
+
+
+def test_factor_grid_rejects_nonpositive():
+    with pytest.raises(ConfigurationError):
+        factor_grid(0)
+
+
+# -- decomposition ------------------------------------------------------------
+
+def test_paper_decomposition_numbers():
+    """Paper: 2048x2048 into 64 objects -> 8x8 blocks of 256x256,
+    ghost vectors of 256 cells."""
+    d = BlockDecomposition.regular((2048, 2048), 64)
+    assert (d.brows, d.bcols) == (8, 8)
+    assert (d.block_rows, d.block_cols) == (256, 256)
+    assert d.cells_per_block == 65536
+    assert d.ghost_bytes("north") == 256 * 8
+
+
+def test_decomposition_divisibility_enforced():
+    with pytest.raises(ConfigurationError):
+        BlockDecomposition(100, 100, 3, 3)
+
+
+def test_interior_slices_cover_mesh():
+    d = BlockDecomposition.regular((64, 64), 16)
+    covered = np.zeros((64, 64), dtype=int)
+    for bi, bj in d.indices():
+        rs, cs = d.interior_slices(bi, bj)
+        covered[rs, cs] += 1
+    assert np.all(covered == 1)
+
+
+def test_neighbors_interior_block():
+    d = BlockDecomposition.regular((64, 64), 16)
+    nbrs = d.neighbors(1, 1)
+    assert nbrs == {"north": (0, 1), "south": (2, 1),
+                    "west": (1, 0), "east": (1, 2)}
+
+
+def test_neighbors_corner_block():
+    d = BlockDecomposition.regular((64, 64), 16)
+    assert set(d.neighbors(0, 0)) == {"south", "east"}
+    assert set(d.neighbors(3, 3)) == {"north", "west"}
+
+
+def test_neighbors_symmetric():
+    d = BlockDecomposition.regular((64, 64), 16)
+    for bi, bj in d.indices():
+        for side, nbr in d.neighbors(bi, bj).items():
+            back = d.neighbors(*nbr)
+            assert back[OPPOSITE[side]] == (bi, bj)
+
+
+def test_single_block_has_no_neighbors():
+    d = BlockDecomposition.regular((8, 8), 1)
+    assert d.neighbors(0, 0) == {}
+
+
+def test_out_of_range_block():
+    d = BlockDecomposition.regular((64, 64), 16)
+    with pytest.raises(ConfigurationError):
+        d.neighbors(4, 0)
+
+
+def test_ghost_bytes_rectangular():
+    d = BlockDecomposition(64, 128, 2, 2)  # blocks 32x64
+    assert d.ghost_bytes("north") == 64 * 8
+    assert d.ghost_bytes("west") == 32 * 8
+    with pytest.raises(ConfigurationError):
+        d.ghost_bytes("up")
+
+
+def test_working_set_bytes():
+    d = BlockDecomposition.regular((64, 64), 16)  # 16x16 blocks
+    assert d.working_set_bytes() == 2 * 18 * 18 * 8
+
+
+# -- kernel ----------------------------------------------------------------------
+
+def test_jacobi_step_known_values():
+    padded = np.zeros((3, 3))
+    padded[0, 1] = 4.0  # north neighbor of the single interior cell
+    out = jacobi_step(padded)
+    assert out.shape == (1, 1)
+    assert out[0, 0] == pytest.approx(1.0)
+
+
+def test_jacobi_step_preserves_input():
+    padded = np.arange(25, dtype=float).reshape(5, 5)
+    before = padded.copy()
+    jacobi_step(padded)
+    assert np.array_equal(padded, before)
+
+
+def test_jacobi_step_too_small():
+    with pytest.raises(ValueError):
+        jacobi_step(np.zeros((2, 2)))
+
+
+def test_residual():
+    a = np.zeros((3, 3))
+    b = np.full((3, 3), 0.5)
+    assert residual(a, b) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        residual(a, np.zeros((2, 2)))
+
+
+def test_initial_mesh_boundaries():
+    mesh = make_initial_mesh(16, 16, seed=1)
+    assert np.all(mesh[:, 0] == 1.0)        # hot west wall (set last)
+    assert np.all(mesh[0, 1:] == 0.0)
+    assert np.all(mesh[-1, 1:] == 0.0)
+    assert np.all(mesh[:, -1] == 0.0)
+
+
+def test_initial_mesh_seeded():
+    assert np.array_equal(make_initial_mesh(8, 8, 3),
+                          make_initial_mesh(8, 8, 3))
+    assert not np.array_equal(make_initial_mesh(8, 8, 3),
+                              make_initial_mesh(8, 8, 4))
+
+
+# -- reference ----------------------------------------------------------------------
+
+def test_reference_fixed_boundary():
+    mesh = make_initial_mesh(8, 8, 0)
+    out = run_reference(mesh, 5)
+    assert np.array_equal(out[:, 0], mesh[:, 0])
+    assert np.array_equal(out[0, :], mesh[0, :])
+
+
+def test_reference_zero_steps_is_copy():
+    mesh = make_initial_mesh(8, 8, 0)
+    out = run_reference(mesh, 0)
+    assert np.array_equal(out, mesh)
+    assert out is not mesh
+
+
+def test_reference_converges_toward_laplace():
+    mesh = make_initial_mesh(16, 16, 0)
+    r1 = residual(run_reference(mesh, 10), run_reference(mesh, 11))
+    r2 = residual(run_reference(mesh, 100), run_reference(mesh, 101))
+    assert r2 < r1
+
+
+def test_reference_negative_steps():
+    with pytest.raises(ValueError):
+        run_reference(np.zeros((4, 4)), -1)
+
+
+def test_checksum_sensitive_to_values():
+    a = make_initial_mesh(8, 8, 0)
+    b = a.copy()
+    b[4, 4] += 1e-6
+    assert checksum(a) != checksum(b)

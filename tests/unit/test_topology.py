@@ -1,0 +1,123 @@
+"""Unit tests for the grid/cluster/node/PE topology model."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.topology import GridTopology
+
+
+def test_single_cluster_counts():
+    topo = GridTopology.single_cluster(8)
+    assert topo.num_pes == 8
+    assert topo.num_clusters == 1
+    assert list(topo.pes()) == list(range(8))
+
+
+def test_two_cluster_even_split():
+    topo = GridTopology.two_cluster(16)
+    assert topo.num_clusters == 2
+    assert topo.cluster_pes(0) == tuple(range(8))
+    assert topo.cluster_pes(1) == tuple(range(8, 16))
+
+
+def test_two_cluster_rejects_odd_total():
+    with pytest.raises(TopologyError):
+        GridTopology.two_cluster(7)
+
+
+def test_two_cluster_rejects_zero():
+    with pytest.raises(TopologyError):
+        GridTopology.two_cluster(0)
+
+
+def test_cluster_of():
+    topo = GridTopology.two_cluster(8)
+    assert topo.cluster_of(0) == 0
+    assert topo.cluster_of(3) == 0
+    assert topo.cluster_of(4) == 1
+    assert topo.cluster_of(7) == 1
+
+
+def test_cluster_of_unknown_pe():
+    topo = GridTopology.two_cluster(4)
+    with pytest.raises(TopologyError):
+        topo.cluster_of(99)
+
+
+def test_dual_cpu_nodes():
+    topo = GridTopology.two_cluster(8, pes_per_node=2)
+    assert topo.same_node(0, 1)
+    assert not topo.same_node(1, 2)
+    assert topo.node_of(0) == topo.node_of(1)
+    assert topo.node_of(2) != topo.node_of(1)
+
+
+def test_uneven_last_node():
+    topo = GridTopology([3], pes_per_node=2)
+    # Nodes: (0,1) and (2,)
+    assert topo.same_node(0, 1)
+    assert not topo.same_node(1, 2)
+
+
+def test_same_cluster_and_crosses_wan():
+    topo = GridTopology.two_cluster(4)
+    assert topo.same_cluster(0, 1)
+    assert not topo.same_cluster(1, 2)
+    assert topo.crosses_wan(0, 3)
+    assert not topo.crosses_wan(2, 3)
+
+
+def test_single_pe_per_node():
+    topo = GridTopology.two_cluster(4, pes_per_node=1)
+    assert not topo.same_node(0, 1)
+
+
+def test_cluster_names():
+    topo = GridTopology([2, 2], cluster_names=["ncsa", "anl"])
+    assert topo.clusters[0].name == "ncsa"
+    assert topo.clusters[1].name == "anl"
+    assert "ncsa:2" in topo.describe()
+
+
+def test_cluster_names_length_mismatch():
+    with pytest.raises(TopologyError):
+        GridTopology([2, 2], cluster_names=["only-one"])
+
+
+def test_empty_topology_rejected():
+    with pytest.raises(TopologyError):
+        GridTopology([])
+
+
+def test_negative_cluster_size_rejected():
+    with pytest.raises(TopologyError):
+        GridTopology([4, -1])
+
+
+def test_bad_pes_per_node_rejected():
+    with pytest.raises(TopologyError):
+        GridTopology([4], pes_per_node=0)
+
+
+def test_asymmetric_clusters():
+    topo = GridTopology([2, 6])
+    assert topo.cluster_pes(0) == (0, 1)
+    assert topo.cluster_pes(1) == (2, 3, 4, 5, 6, 7)
+
+
+def test_three_clusters():
+    topo = GridTopology([2, 2, 2])
+    assert topo.num_clusters == 3
+    assert topo.cluster_of(5) == 2
+    assert topo.crosses_wan(0, 5)
+
+
+def test_unknown_cluster_index():
+    with pytest.raises(TopologyError):
+        GridTopology([4]).cluster_pes(3)
+
+
+def test_nodes_have_global_dense_ids():
+    topo = GridTopology.two_cluster(8, pes_per_node=2)
+    node_ids = {topo.node_of(pe) for pe in topo.pes()}
+    assert node_ids == {0, 1, 2, 3}
