@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Exactly-once delivery over a hostile WAN, end to end.
+
+Runs the 5-point stencil with *real* numpy payloads across a two-cluster
+grid whose wide-area link drops 5%, duplicates 2% and reorders 5% of
+all cross-cluster messages, then checks the distributed answer
+bit-for-bit against the sequential reference.  The ack/retransmit
+transport (on by default in ``lossy_wan_env``) is what makes that
+possible; the demo ends by switching it off to show both failure modes
+the faults would otherwise cause.
+
+Run:  python examples/lossy_wan_demo.py
+"""
+
+import numpy as np
+
+from repro.apps.stencil.driver import StencilApp
+from repro.apps.stencil.kernel import make_initial_mesh
+from repro.apps.stencil.reference import run_reference
+from repro.errors import ReproError
+from repro.grid.presets import lossy_wan_env
+from repro.units import ms
+
+PES = 8
+OBJECTS = 16
+MESH = (96, 96)
+STEPS = 8
+LOSS, DUP, REORDER = 0.05, 0.02, 0.05
+
+
+def run(reliable: bool, seed: int = 0):
+    env = lossy_wan_env(PES, ms(2), loss=LOSS, duplication=DUP,
+                        reordering=REORDER, seed=seed, reliable=reliable)
+    app = StencilApp(env, mesh=MESH, objects=OBJECTS, payload="real",
+                     gather_mesh=True)
+    result = app.run(STEPS)
+    return env, result
+
+
+def main() -> None:
+    print(f"Stencil {MESH} on {PES} PEs / {OBJECTS} objects, 2 ms WAN "
+          f"with loss={LOSS:.0%} dup={DUP:.0%} reorder={REORDER:.0%}")
+    print()
+
+    env, result = run(reliable=True)
+    reference = run_reference(make_initial_mesh(*MESH, seed=0), STEPS)
+    exact = np.array_equal(result.final_mesh, reference)
+    r = env.transport.rstats
+    print(f"  with ReliableTransport: {result.time_per_step * 1e3:.3f} "
+          f"ms/step, bit-identical to sequential reference: {exact}")
+    print(f"    {r.transfers} WAN transfers, {r.retransmits} retransmits, "
+          f"{r.dups_suppressed} duplicates suppressed, "
+          f"{r.rtt_samples} RTT samples")
+    assert exact
+
+    print()
+    print("  without it, the same faults are application-visible:")
+    try:
+        run(reliable=False)
+        print("    (this seed got lucky -- rerun with another)")
+    except ReproError as exc:
+        print(f"    {type(exc).__name__}: {exc}")
+
+
+if __name__ == "__main__":
+    main()

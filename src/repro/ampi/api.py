@@ -23,7 +23,7 @@ waits, the message-driven scheduler runs other work on the PE.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.ampi.collectives import waiting_ranks
 from repro.ampi.datatypes import ANY_SOURCE, ANY_TAG, DEFAULT_TAG

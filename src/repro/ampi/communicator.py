@@ -8,7 +8,7 @@ the world object stays focused on lifecycle.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, TYPE_CHECKING
+from typing import List, TYPE_CHECKING
 
 from repro.core.proxy import ArrayProxy, ChareProxy
 from repro.errors import ConfigurationError, RankError

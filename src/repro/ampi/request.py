@@ -10,8 +10,8 @@ precisely how AMPI masks latency (paper §2.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any
 
 from repro.errors import AmpiError
 

@@ -9,7 +9,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.ampi.api import MpiHandle
 from repro.ampi.collectives import check_uniform, compute_results, waiting_ranks

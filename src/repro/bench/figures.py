@@ -8,7 +8,7 @@ line per virtualization degree (Figure 3) or per processor count
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.bench.records import ExperimentPoint, Series, group_series
 

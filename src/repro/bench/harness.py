@@ -7,13 +7,13 @@ compose these; nothing here knows about pytest.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.apps.leanmd import LeanMDApp
 from repro.apps.stencil import AmpiStencilApp, StencilApp
 from repro.bench.records import ExperimentPoint
 from repro.grid.presets import artificial_latency_env, teragrid_env
-from repro.units import ms, to_ms
+from repro.units import ms
 
 #: Default measurement length: long enough for a steady-state window,
 #: short enough that full sweeps finish in minutes.

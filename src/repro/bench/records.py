@@ -9,7 +9,7 @@ saved and diffed across runs.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 from repro.units import to_ms
 

@@ -7,7 +7,7 @@ is immediate in benchmark output and EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.bench.records import ExperimentPoint
 

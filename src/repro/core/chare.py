@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Optional, TYPE_CHECKING
 
-from repro.core.ids import ChareID, EntryRef
+from repro.core.ids import ChareID
 from repro.errors import RuntimeSystemError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard

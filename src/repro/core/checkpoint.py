@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.ids import ChareID, Index
 from repro.errors import RuntimeSystemError

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.core.ids import ChareID, Index
-from repro.core.method import ENVELOPE_BYTES, invocation_bytes
+from repro.core.method import invocation_bytes
 from repro.core.records import Bundle, Invocation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard

@@ -9,7 +9,7 @@ databases.
 
 from __future__ import annotations
 
-from typing import Dict, List, Protocol, Tuple
+from typing import Dict, List, Protocol
 
 from repro.core.ids import ChareID
 from repro.core.loadbalance.metrics import LBDatabase

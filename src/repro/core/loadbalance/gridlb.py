@@ -21,7 +21,7 @@ total load even without disturbing the WAN spread.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from repro.core.ids import ChareID
 from repro.core.loadbalance.base import validate_plan

@@ -8,7 +8,7 @@ pure state so it can be inspected cheaply by tests and load balancers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.queue import MessageQueue
 

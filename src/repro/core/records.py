@@ -9,7 +9,7 @@ directly — proxies, reductions and migration do.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Tuple
 
 from repro.core.ids import ChareID
 

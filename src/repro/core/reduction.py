@@ -25,7 +25,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.ids import ChareID, EntryRef
+from repro.core.ids import ChareID
 from repro.errors import ReductionError
 from repro.network.topology import GridTopology
 

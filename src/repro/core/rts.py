@@ -17,18 +17,16 @@ flows through proxies and :class:`~repro.core.chare.Chare` helpers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.chare import Chare
 from repro.core.collectives import send_bundled
 from repro.core.ids import ChareID, EntryRef, Index, normalize_index
 from repro.core.loadbalance.metrics import LBDatabase
-from repro.core.mapping import Mapping
 from repro.core.method import entry_info, invocation_bytes, payload_bytes
 from repro.core.proxy import ArrayProxy, ChareProxy
 from repro.core.records import (
     DriverCall,
-    ForwardedMsg,
     Invocation,
     MigrationMsg,
     ReductionMsg,
@@ -104,12 +102,15 @@ class Runtime:
     engine:
         The discrete-event engine (shared with the fabric).
     fabric:
-        Network fabric carrying all inter-PE messages.
+        Network fabric carrying all inter-PE messages — either a bare
+        :class:`~repro.network.fabric.NetworkFabric` or a
+        :class:`~repro.network.reliable.ReliableTransport` wrapping one
+        (both expose the same send/topology/tracer surface).
     config:
         Runtime constants; defaults are fine for the paper's experiments.
     """
 
-    def __init__(self, engine: Engine, fabric: NetworkFabric,
+    def __init__(self, engine: Engine, fabric: "NetworkFabric",
                  config: Optional[RuntimeConfig] = None) -> None:
         if fabric.engine is not engine:
             raise ConfigurationError("fabric must share the runtime's engine")

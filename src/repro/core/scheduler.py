@@ -19,7 +19,7 @@ interval's end.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple, TYPE_CHECKING
+from typing import List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.ids import ChareID
 from repro.core.method import entry_info

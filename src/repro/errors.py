@@ -32,6 +32,10 @@ class TopologyError(NetworkError):
     """Raised for malformed grid/cluster/node/processor topologies."""
 
 
+class RetransmitError(NetworkError):
+    """Raised when a reliable transfer exhausts its retransmit budget."""
+
+
 class RuntimeSystemError(ReproError):
     """Base class for message-driven runtime failures."""
 

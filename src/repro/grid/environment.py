@@ -8,11 +8,12 @@ with a single object.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro.core.rts import Runtime, RuntimeConfig
 from repro.network.chain import DeviceChain
 from repro.network.fabric import NetworkFabric
+from repro.network.reliable import ReliableTransport, RetransmitPolicy
 from repro.network.topology import GridTopology
 from repro.sim.engine import Engine
 from repro.sim.rand import RandomStreams
@@ -36,12 +37,20 @@ class GridEnvironment:
         Enable Projections-style tracing (memory-hungry; off for sweeps).
     max_events:
         Engine safety valve against livelock; ``None`` disables.
+    reliable:
+        Run the runtime over a
+        :class:`~repro.network.reliable.ReliableTransport` (ack /
+        retransmit / dedup above the fabric).  ``True`` uses the default
+        :class:`~repro.network.reliable.RetransmitPolicy`; pass a policy
+        to tune it.  Required for correctness whenever the chain carries
+        a :class:`~repro.network.faults.FaultyDevice`.
     """
 
     def __init__(self, topology: GridTopology, chain: DeviceChain, *,
                  seed: int = 0, config: Optional[RuntimeConfig] = None,
                  trace: bool = False,
-                 max_events: Optional[int] = None) -> None:
+                 max_events: Optional[int] = None,
+                 reliable: Union[bool, RetransmitPolicy, None] = None) -> None:
         self.topology = topology
         self.chain = chain
         self.streams = RandomStreams(seed)
@@ -51,7 +60,13 @@ class GridEnvironment:
             self.engine, topology, chain,
             rng=self.streams.get("network"),
             tracer=self.tracer if trace else None)
-        self.runtime = Runtime(self.engine, self.fabric, config)
+        if reliable:
+            policy = reliable if isinstance(reliable, RetransmitPolicy) \
+                else None
+            self.transport = ReliableTransport(self.fabric, policy)
+        else:
+            self.transport = self.fabric
+        self.runtime = Runtime(self.engine, self.transport, config)
 
     @property
     def now(self) -> float:

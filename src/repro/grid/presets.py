@@ -9,15 +9,18 @@
   jitter and contention (seeded, reproducible).
 * :func:`single_cluster_env` — a conventional one-cluster machine, used
   by baselines and unit tests.
+* :func:`lossy_wan_env` — the artificial-latency grid with WAN fault
+  injection (loss / duplication / reordering / flaps) and, by default,
+  the reliable ack/retransmit transport riding above it.
 
-All three build the same VMI chain shape the paper describes: loopback
-and shared-memory first, then the intra-cluster network driver, then
-(for grid environments) the delay device and/or wide-area driver.
+All build the same VMI chain shape the paper describes: loopback and
+shared-memory first, then the intra-cluster network driver, then (for
+grid environments) the delay/fault devices and the wide-area driver.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro.core.rts import RuntimeConfig
 from repro.errors import ConfigurationError
@@ -26,8 +29,11 @@ from repro.grid.teragrid import DEFAULT_TERAGRID, TeraGridWanModel
 from repro.network.chain import DeviceChain
 from repro.network.delay import DelayDevice
 from repro.network.devices import LanDevice, LoopbackDevice, ShmemDevice, WanDevice
+from repro.network.faults import FaultyDevice, LinkFlap
 from repro.network.links import LinkModel, myrinet_like, shared_memory
+from repro.network.reliable import RetransmitPolicy
 from repro.network.topology import GridTopology
+from repro.sim.rand import RandomStreams
 
 #: Self-delivery: scheduling a message to yourself is nearly free.
 _LOOPBACK_LINK = LinkModel(name="loopback", latency=0.5e-6, bandwidth=0.0,
@@ -83,6 +89,64 @@ def artificial_latency_env(num_pes: int, latency: float, *, seed: int = 0,
     chain = DeviceChain(devices)
     return GridEnvironment(topo, chain, seed=seed, config=config,
                            trace=trace, max_events=max_events)
+
+
+def lossy_wan_env(num_pes: int, latency: float, *,
+                  loss: float = 0.05, duplication: float = 0.01,
+                  reordering: float = 0.05,
+                  reorder_delay: Optional[float] = None,
+                  flap: Optional[LinkFlap] = None,
+                  reliable: Union[bool, RetransmitPolicy] = True,
+                  seed: int = 0,
+                  config: Optional[RuntimeConfig] = None,
+                  trace: bool = False,
+                  max_events: Optional[int] = None) -> GridEnvironment:
+    """The artificial-latency grid over a *hostile* wide area.
+
+    Same two-half topology and delay device as
+    :func:`artificial_latency_env`, with a
+    :class:`~repro.network.faults.FaultyDevice` in the chain that drops,
+    duplicates and reorders cross-cluster messages (plus optional
+    :class:`~repro.network.faults.LinkFlap` outages) from its own seeded
+    RNG stream — two same-seed runs fault bit-identically.
+
+    Parameters
+    ----------
+    num_pes:
+        Total processors, split evenly between the two halves.
+    latency:
+        Injected one-way cross-cluster latency in seconds.
+    loss, duplication, reordering:
+        Per-message fault probabilities on the WAN (each in [0, 1]).
+    reorder_delay:
+        Mean hold-back of reordered messages; defaults to half the
+        injected latency (enough to overtake in a jitter-free run).
+    flap:
+        Optional outage schedule.
+    reliable:
+        ``True`` (default) runs the runtime over the ack/retransmit
+        :class:`~repro.network.reliable.ReliableTransport`; pass a
+        :class:`~repro.network.reliable.RetransmitPolicy` to tune it, or
+        ``False`` to expose the raw lossy fabric (deadlocks and
+        duplicate-delivery faults become *application-visible* — useful
+        only for demonstrating why the reliable layer exists).
+    """
+    if latency < 0:
+        raise ConfigurationError(f"negative artificial latency {latency}")
+    if reorder_delay is None:
+        reorder_delay = max(latency / 2.0, 1e-4)
+    topo = GridTopology.two_cluster(num_pes)
+    devices = _base_devices()
+    devices.append(FaultyDevice(
+        loss, duplication, reordering, reorder_delay=reorder_delay,
+        rng=RandomStreams(seed).get("wan-faults"), flap=flap,
+        name="wan-faults"))
+    devices.append(DelayDevice(latency))
+    devices.append(WanDevice(myrinet_like(name="wan-lossy")))
+    chain = DeviceChain(devices)
+    return GridEnvironment(topo, chain, seed=seed, config=config,
+                           trace=trace, max_events=max_events,
+                           reliable=reliable)
 
 
 def teragrid_env(num_pes: int, *, seed: int = 0,

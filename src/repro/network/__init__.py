@@ -6,7 +6,9 @@ Models the paper's communication stack: a grid/cluster/node/PE topology
 transport, delay, compression and encryption devices
 (:mod:`~repro.network.devices`, :mod:`~repro.network.delay`,
 :mod:`~repro.network.transform`, :mod:`~repro.network.chain`), WAN
-contention (:mod:`~repro.network.contention`), and the
+contention (:mod:`~repro.network.contention`), WAN fault injection
+(:mod:`~repro.network.faults`), the reliable ack/retransmit transport
+(:mod:`~repro.network.reliable`), and the
 :class:`~repro.network.fabric.NetworkFabric` that executes message
 transits on the simulation engine.
 """
@@ -14,6 +16,7 @@ transits on the simulation engine.
 from repro.network.chain import DeviceChain, Route
 from repro.network.contention import PipePair, SharedPipe
 from repro.network.delay import DelayDevice, PairwiseDelayDevice, cross_cluster_pairs
+from repro.network.faults import FaultyDevice, LinkFlap
 from repro.network.devices import (
     ChainDevice,
     LanDevice,
@@ -33,6 +36,11 @@ from repro.network.links import (
     wan_tcp,
 )
 from repro.network.message import DEFAULT_PRIORITY, WAN_EXPEDITED, Message
+from repro.network.reliable import (
+    ReliableStats,
+    ReliableTransport,
+    RetransmitPolicy,
+)
 from repro.network.topology import Cluster, GridTopology, Node, Processor
 from repro.network.transform import CompressionDevice, EncryptionDevice
 
@@ -60,6 +68,11 @@ __all__ = [
     "DelayDevice",
     "PairwiseDelayDevice",
     "cross_cluster_pairs",
+    "FaultyDevice",
+    "LinkFlap",
+    "ReliableTransport",
+    "RetransmitPolicy",
+    "ReliableStats",
     "CompressionDevice",
     "EncryptionDevice",
     "DeviceChain",

@@ -34,6 +34,10 @@ class Route:
     transport: TransportDevice
     #: Total delay added by filter devices before transport starts.
     pre_transport_delay: float
+    #: A fault device decided the message is lost: no delivery happens.
+    dropped: bool = False
+    #: Extra wire copies injected by fault devices (0 = just the original).
+    duplicates: int = 0
 
 
 class DeviceChain:
@@ -69,8 +73,13 @@ class DeviceChain:
         self._devices.append(device)
 
     def resolve(self, msg: Message, topo: GridTopology,
-                rng: Optional[np.random.Generator] = None) -> Route:
+                rng: Optional[np.random.Generator] = None, *,
+                record: bool = True) -> Route:
         """Walk the chain until a transport claims *msg*.
+
+        ``record=False`` resolves a model-only probe: no device statistics
+        are updated and fault devices behave as pure pass-throughs (see
+        :meth:`~repro.network.fabric.NetworkFabric.one_way_time`).
 
         Raises
         ------
@@ -79,17 +88,22 @@ class DeviceChain:
         """
         delay = 0.0
         current = msg
+        dropped = False
+        duplicates = 0
         for dev in self._devices:
-            result = dev.process(current, topo, rng)
+            result = dev.process(current, topo, rng, record=record)
             delay += result.added_delay
             current = result.message
+            dropped = dropped or result.dropped
+            duplicates += result.duplicates
             if result.claimed:
                 if not isinstance(dev, TransportDevice):
                     raise RoutingError(
                         f"device {dev.name!r} claimed a message but is not "
                         "a transport device")
                 return Route(message=current, transport=dev,
-                             pre_transport_delay=delay)
+                             pre_transport_delay=delay,
+                             dropped=dropped, duplicates=duplicates)
         raise RoutingError(
             f"no device in chain claims PE {msg.src_pe} -> PE {msg.dst_pe} "
             f"(devices: {[d.name for d in self._devices]})")

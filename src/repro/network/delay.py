@@ -59,9 +59,11 @@ class DelayDevice(ChainDevice):
         self.messages_delayed = 0
 
     def process(self, msg: Message, topo: GridTopology,
-                rng: Optional[np.random.Generator]) -> ProcessResult:
+                rng: Optional[np.random.Generator], *,
+                record: bool = True) -> ProcessResult:
         if self.delay > 0 and self.applies_to(msg.src_pe, msg.dst_pe, topo):
-            self.messages_delayed += 1
+            if record:
+                self.messages_delayed += 1
             return ProcessResult(message=msg, added_delay=self.delay)
         return ProcessResult(message=msg)
 
@@ -93,10 +95,12 @@ class PairwiseDelayDevice(ChainDevice):
         self.messages_delayed = 0
 
     def process(self, msg: Message, topo: GridTopology,
-                rng: Optional[np.random.Generator]) -> ProcessResult:
+                rng: Optional[np.random.Generator], *,
+                record: bool = True) -> ProcessResult:
         delay = self.table.get((msg.src_pe, msg.dst_pe), 0.0)
         if delay > 0:
-            self.messages_delayed += 1
+            if record:
+                self.messages_delayed += 1
             return ProcessResult(message=msg, added_delay=delay)
         return ProcessResult(message=msg)
 

@@ -16,7 +16,7 @@ filter devices (see :mod:`repro.network.delay` and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -40,11 +40,19 @@ class ProcessResult:
     claimed:
         ``True`` when this device will deliver the message itself; the
         chain stops here and the fabric asks the device for transit time.
+    dropped:
+        ``True`` when a fault device decided the message is lost on the
+        wire: the fabric never posts a delivery for it.
+    duplicates:
+        Number of *extra* wire copies a fault device injected; the fabric
+        posts one additional delivery per copy.
     """
 
     message: Message
     added_delay: float = 0.0
     claimed: bool = False
+    dropped: bool = False
+    duplicates: int = 0
 
 
 class ChainDevice:
@@ -54,8 +62,15 @@ class ChainDevice:
     name: str = "device"
 
     def process(self, msg: Message, topo: GridTopology,
-                rng: Optional[np.random.Generator]) -> ProcessResult:
-        """Inspect *msg*; claim, transform or pass it through."""
+                rng: Optional[np.random.Generator], *,
+                record: bool = True) -> ProcessResult:
+        """Inspect *msg*; claim, transform or pass it through.
+
+        ``record=False`` marks a model-only probe (see
+        :meth:`~repro.network.fabric.NetworkFabric.one_way_time`): the
+        device must not update statistics, draw randomness, or inject
+        faults — only report the deterministic part of its behaviour.
+        """
         raise NotImplementedError
 
     def transit(self, msg: Message, topo: GridTopology, now: float,
@@ -95,7 +110,8 @@ class TransportDevice(ChainDevice):
 
     # common behaviour ------------------------------------------------------
     def process(self, msg: Message, topo: GridTopology,
-                rng: Optional[np.random.Generator]) -> ProcessResult:
+                rng: Optional[np.random.Generator], *,
+                record: bool = True) -> ProcessResult:
         if self.reaches(msg.src_pe, msg.dst_pe, topo):
             return ProcessResult(message=msg, claimed=True)
         return ProcessResult(message=msg)

@@ -11,6 +11,7 @@ network layer stays ignorant of the runtime layer above it.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
@@ -33,11 +34,30 @@ class FabricStats:
     bytes: Dict[str, int] = field(default_factory=dict)
     #: Seconds of artificial/filter delay charged in total.
     filter_delay_total: float = 0.0
+    #: Messages lost on the wire (fault injection), by transport name.
+    dropped: Dict[str, int] = field(default_factory=dict)
+    #: Extra wire copies injected (fault injection), by transport name.
+    duplicated: Dict[str, int] = field(default_factory=dict)
 
     def record(self, transport_name: str, size: int, filter_delay: float) -> None:
         self.messages[transport_name] = self.messages.get(transport_name, 0) + 1
         self.bytes[transport_name] = self.bytes.get(transport_name, 0) + size
         self.filter_delay_total += filter_delay
+
+    def record_drop(self, transport_name: str) -> None:
+        self.dropped[transport_name] = self.dropped.get(transport_name, 0) + 1
+
+    def record_duplicates(self, transport_name: str, copies: int) -> None:
+        self.duplicated[transport_name] = (
+            self.duplicated.get(transport_name, 0) + copies)
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(self.dropped.values())
+
+    @property
+    def total_duplicated(self) -> int:
+        return sum(self.duplicated.values())
 
     @property
     def total_messages(self) -> int:
@@ -81,7 +101,14 @@ class NetworkFabric:
     def send(self, msg: Message, deliver: DeliverFn) -> float:
         """Dispatch *msg*; *deliver* runs at the computed arrival time.
 
-        Returns the absolute virtual arrival time (useful for tests).
+        Returns the absolute virtual arrival time (useful for tests) of
+        the first wire copy, or ``math.inf`` when fault injection dropped
+        the message (nothing will ever be delivered).
+
+        Fault devices in the chain may also duplicate the message; every
+        extra copy is transported independently (its own jitter draw and
+        contention slot) and invokes *deliver* again on arrival —
+        suppressing duplicates is the reliable layer's job, not ours.
         """
         now = self.engine.now
         msg.sent_at = now
@@ -89,29 +116,45 @@ class NetworkFabric:
 
         route = self.chain.resolve(msg, self.topology, self.rng)
         wire_msg = route.message
-        transport_start = now + route.pre_transport_delay
-        transit = route.transport.transit(
-            wire_msg, self.topology, transport_start, self.rng)
-        arrival = transport_start + transit
 
-        self.stats.record(route.transport.name, wire_msg.size_bytes,
-                          route.pre_transport_delay)
         if self.tracer is not None:
             self.tracer.message_sent(now, msg.src_pe, msg.dst_pe,
                                      wire_msg.size_bytes, msg.tag,
-                                     msg.crossed_wan)
+                                     msg.crossed_wan, seq=msg.seq)
 
-            def _deliver(m: Message = msg, t: float = arrival) -> None:
-                self.tracer.message_delivered(t, m.src_pe, m.dst_pe,
-                                              wire_msg.size_bytes, m.tag,
-                                              m.crossed_wan)
-                deliver(m)
-        else:
-            def _deliver(m: Message = msg) -> None:
-                deliver(m)
+        if route.dropped:
+            self.stats.record_drop(route.transport.name)
+            if self.tracer is not None:
+                self.tracer.message_dropped(now, msg.src_pe, msg.dst_pe,
+                                            wire_msg.size_bytes, msg.tag,
+                                            msg.crossed_wan, seq=msg.seq)
+            return math.inf
 
-        self.engine.post(arrival, _deliver)
-        return arrival
+        if route.duplicates:
+            self.stats.record_duplicates(route.transport.name,
+                                         route.duplicates)
+
+        transport_start = now + route.pre_transport_delay
+        first_arrival = math.inf
+        for _copy in range(1 + route.duplicates):
+            transit = route.transport.transit(
+                wire_msg, self.topology, transport_start, self.rng)
+            arrival = transport_start + transit
+            first_arrival = min(first_arrival, arrival)
+            self.stats.record(route.transport.name, wire_msg.size_bytes,
+                              route.pre_transport_delay)
+            if self.tracer is not None:
+                def _deliver(m: Message = msg, t: float = arrival) -> None:
+                    self.tracer.message_delivered(t, m.src_pe, m.dst_pe,
+                                                  wire_msg.size_bytes, m.tag,
+                                                  m.crossed_wan, seq=m.seq)
+                    deliver(m)
+            else:
+                def _deliver(m: Message = msg) -> None:
+                    deliver(m)
+
+            self.engine.post(arrival, _deliver)
+        return first_arrival
 
     def one_way_time(self, src_pe: int, dst_pe: int, size_bytes: int) -> float:
         """Model-only query: transit time for a hypothetical message.
@@ -121,7 +164,7 @@ class NetworkFabric:
         load balancers estimating communication cost.
         """
         probe = Message(src_pe=src_pe, dst_pe=dst_pe, size_bytes=size_bytes)
-        route = self.chain.resolve(probe, self.topology, None)
+        route = self.chain.resolve(probe, self.topology, None, record=False)
         return (route.pre_transport_delay
                 + route.transport.link.transit_time(route.message.size_bytes))
 

@@ -1,0 +1,181 @@
+"""WAN fault injection: loss, duplication, reordering, link flaps.
+
+Real wide-area Grid links are not the well-behaved delay lines of the
+paper's §5.1 testbed: packets get dropped at congested routers, TCP-level
+middleboxes duplicate segments, multi-path routing reorders them, and
+whole links go dark for seconds at a time (the failure modes MPWide and
+MPICH-G2 exist to survive).  :class:`FaultyDevice` injects all four as
+one more VMI chain filter — the same architectural slot the paper's
+delay device occupies — so every experiment can be re-run over a hostile
+WAN by adding a single device to the chain.
+
+Fault decisions come from the device's *own* seeded RNG stream (see
+:mod:`repro.sim.rand`), not the fabric's jitter stream, so
+
+* two same-seed runs make bit-identical fault decisions, and
+* adding the device does not perturb jitter draws of other devices.
+
+Reordering is modelled as an extra in-flight delay: a reordered message
+overtakes nothing, it is *overtaken* — later sends on the same pair can
+arrive first, which is exactly the observable effect of packet-level
+reordering at this abstraction level.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.delay import PairPredicate, cross_cluster_pairs
+from repro.network.devices import ChainDevice, ProcessResult
+from repro.network.message import Message
+from repro.network.topology import GridTopology
+from repro.sim.rand import RandomStreams
+
+
+class LinkFlap:
+    """A schedule of virtual-time windows during which the link is down.
+
+    Messages entering a fault device while a window is open are dropped
+    unconditionally (the retransmit layer above rides out the outage —
+    or gives up with a :class:`~repro.errors.RetransmitError` when the
+    outage outlasts its retry budget).
+
+    Parameters
+    ----------
+    windows:
+        ``(start, end)`` pairs in seconds of virtual time; they must be
+        well-formed (``0 <= start < end``) but need not be sorted.
+    """
+
+    def __init__(self, windows: Sequence[Tuple[float, float]]) -> None:
+        for start, end in windows:
+            if start < 0 or end <= start:
+                raise ConfigurationError(
+                    f"malformed flap window ({start}, {end})")
+        self.windows: List[Tuple[float, float]] = sorted(
+            (float(s), float(e)) for s, e in windows)
+        self._starts = [s for s, _ in self.windows]
+
+    @classmethod
+    def periodic(cls, period: float, downtime: float, *, start: float = 0.0,
+                 count: int = 10) -> "LinkFlap":
+        """*count* outages of *downtime* seconds, one every *period*."""
+        if period <= 0 or downtime <= 0 or downtime >= period:
+            raise ConfigurationError(
+                f"need 0 < downtime < period, got period={period}, "
+                f"downtime={downtime}")
+        return cls([(start + i * period, start + i * period + downtime)
+                    for i in range(count)])
+
+    def down_at(self, t: float) -> bool:
+        """Is the link down at virtual time *t*?"""
+        i = bisect_right(self._starts, t) - 1
+        return i >= 0 and t < self.windows[i][1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LinkFlap({self.windows!r})"
+
+
+class FaultyDevice(ChainDevice):
+    """Drop, duplicate, reorder, and flap-drop matching messages.
+
+    Parameters
+    ----------
+    drop:
+        Probability a matching message is silently lost on the wire.
+    dup:
+        Probability a surviving message is delivered twice.
+    reorder:
+        Probability a surviving message is held back by an extra
+        exponentially-distributed delay (mean ``reorder_delay``), letting
+        later sends overtake it.
+    reorder_delay:
+        Mean of the reordering hold-back in seconds.  Required when
+        ``reorder > 0``.
+    rng:
+        The device's private random stream.  When omitted, one is derived
+        from *seed* via :class:`~repro.sim.rand.RandomStreams` (stream
+        name ``"wan-faults"``) so same-seed runs fault identically.
+    applies_to:
+        Which (src, dst) pairs are subject to faults; defaults to
+        cross-cluster pairs (the WAN), leaving local traffic pristine.
+    flap:
+        Optional :class:`LinkFlap` outage schedule, keyed on the
+        message's fabric-stamped ``sent_at`` time.
+    """
+
+    def __init__(self, drop: float = 0.0, dup: float = 0.0,
+                 reorder: float = 0.0, *,
+                 reorder_delay: Optional[float] = None,
+                 rng: Optional[np.random.Generator] = None,
+                 seed: int = 0,
+                 applies_to: PairPredicate = cross_cluster_pairs,
+                 flap: Optional[LinkFlap] = None,
+                 name: str = "faulty") -> None:
+        for label, rate in (("drop", drop), ("dup", dup),
+                            ("reorder", reorder)):
+            if not (0.0 <= rate <= 1.0):
+                raise ConfigurationError(
+                    f"{label} rate {rate} not in [0, 1]")
+        if reorder > 0 and (reorder_delay is None or reorder_delay <= 0):
+            raise ConfigurationError(
+                "reorder > 0 requires a positive reorder_delay")
+        self.drop = drop
+        self.dup = dup
+        self.reorder = reorder
+        self.reorder_delay = reorder_delay
+        self.rng = rng if rng is not None else \
+            RandomStreams(seed).get("wan-faults")
+        self.applies_to = applies_to
+        self.flap = flap
+        self.name = name
+        #: Statistics (random drops and flap drops are counted apart).
+        self.messages_dropped = 0
+        self.messages_flap_dropped = 0
+        self.messages_duplicated = 0
+        self.messages_reordered = 0
+
+    def process(self, msg: Message, topo: GridTopology,
+                rng: Optional[np.random.Generator], *,
+                record: bool = True) -> ProcessResult:
+        # Probes must neither advance the fault stream nor count; local
+        # traffic must not consume draws either, or adding a LAN message
+        # would change which WAN message gets dropped.
+        if not record or not self.applies_to(msg.src_pe, msg.dst_pe, topo):
+            return ProcessResult(message=msg)
+
+        if (self.flap is not None and msg.sent_at is not None
+                and self.flap.down_at(msg.sent_at)):
+            self.messages_flap_dropped += 1
+            return ProcessResult(message=msg, dropped=True)
+
+        if self.drop > 0 and self.rng.random() < self.drop:
+            self.messages_dropped += 1
+            return ProcessResult(message=msg, dropped=True)
+
+        duplicates = 0
+        if self.dup > 0 and self.rng.random() < self.dup:
+            self.messages_duplicated += 1
+            duplicates = 1
+
+        delay = 0.0
+        if self.reorder > 0 and self.rng.random() < self.reorder:
+            self.messages_reordered += 1
+            delay = float(self.rng.exponential(self.reorder_delay))
+
+        return ProcessResult(message=msg, added_delay=delay,
+                             duplicates=duplicates)
+
+    def reset_stats(self) -> None:
+        self.messages_dropped = 0
+        self.messages_flap_dropped = 0
+        self.messages_duplicated = 0
+        self.messages_reordered = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"FaultyDevice(drop={self.drop}, dup={self.dup}, "
+                f"reorder={self.reorder})")

@@ -59,12 +59,14 @@ class CompressionDevice(ChainDevice):
         self.bytes_saved = 0
 
     def process(self, msg: Message, topo: GridTopology,
-                rng: Optional[np.random.Generator]) -> ProcessResult:
+                rng: Optional[np.random.Generator], *,
+                record: bool = True) -> ProcessResult:
         if not self.applies_to(msg.src_pe, msg.dst_pe, topo):
             return ProcessResult(message=msg)
         new_size = int(np.ceil(msg.size_bytes * self.ratio))
         cost = (msg.size_bytes / self.throughput) if self.throughput > 0 else 0.0
-        self.bytes_saved += msg.size_bytes - new_size
+        if record:
+            self.bytes_saved += msg.size_bytes - new_size
         return ProcessResult(message=msg.with_size(new_size), added_delay=cost)
 
     def reset_stats(self) -> None:
@@ -93,10 +95,12 @@ class EncryptionDevice(ChainDevice):
         self.messages_encrypted = 0
 
     def process(self, msg: Message, topo: GridTopology,
-                rng: Optional[np.random.Generator]) -> ProcessResult:
+                rng: Optional[np.random.Generator], *,
+                record: bool = True) -> ProcessResult:
         if not self.applies_to(msg.src_pe, msg.dst_pe, topo):
             return ProcessResult(message=msg)
-        self.messages_encrypted += 1
+        if record:
+            self.messages_encrypted += 1
         cost = msg.size_bytes / self.throughput
         return ProcessResult(
             message=msg.with_size(msg.size_bytes + self.header_bytes),

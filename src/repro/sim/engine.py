@@ -37,6 +37,10 @@ from repro.errors import SchedulingError, SimulationError
 Action = Callable[[], None]
 
 
+#: Entry-state markers (slot 2 of a queue entry).
+_QUEUED, _FIRED, _CANCELLED = None, "fired", "cancelled"
+
+
 @dataclass(frozen=True)
 class EventHandle:
     """Opaque handle returned by :meth:`Engine.post`, usable for cancellation.
@@ -52,7 +56,7 @@ class EventHandle:
     @property
     def cancelled(self) -> bool:
         """Whether :meth:`Engine.cancel` was called on this handle."""
-        return self._entry[3] is None
+        return self._entry[2] is _CANCELLED
 
 
 class Engine:
@@ -76,6 +80,8 @@ class Engine:
         self._running: bool = False
         self._events_processed: int = 0
         self._max_events = max_events
+        #: Lazily-cancelled entries still sitting in the heap.
+        self._cancelled_in_queue: int = 0
 
     # -- clock --------------------------------------------------------------
 
@@ -91,8 +97,13 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired (possibly cancelled) events in the queue."""
-        return len(self._queue)
+        """Number of live (not-yet-fired, not-cancelled) events in the queue.
+
+        Cancelled events linger in the heap until they surface, but they
+        are excluded here so that quiescence detection (``pending == 0``)
+        is not fooled by dead retransmit timers and the like.
+        """
+        return len(self._queue) - self._cancelled_in_queue
 
     # -- scheduling -----------------------------------------------------------
 
@@ -124,17 +135,25 @@ class Engine:
         return self.post(self._now + delay, action)
 
     def cancel(self, handle: EventHandle) -> None:
-        """Cancel a previously posted event.  Idempotent."""
-        handle._entry[3] = None
+        """Cancel a previously posted event.  Idempotent; a no-op after
+        the event has already fired."""
+        entry = handle._entry
+        if entry[2] is _QUEUED:
+            entry[2] = _CANCELLED
+            entry[3] = None
+            self._cancelled_in_queue += 1
 
     # -- execution ------------------------------------------------------------
 
     def step(self) -> bool:
         """Fire the single next event.  Returns ``False`` when queue is empty."""
         while self._queue:
-            when, _seq, _pad, action = heapq.heappop(self._queue)
-            if action is None:  # lazily cancelled
+            entry = heapq.heappop(self._queue)
+            when, _seq, state, action = entry
+            if state is _CANCELLED:  # lazily cancelled
+                self._cancelled_in_queue -= 1
                 continue
+            entry[2] = _FIRED
             self._now = when
             self._events_processed += 1
             if (self._max_events is not None
@@ -186,8 +205,9 @@ class Engine:
         """Virtual time of the next live event, or ``None`` if queue empty."""
         while self._queue:
             entry = self._queue[0]
-            if entry[3] is None:
+            if entry[2] is _CANCELLED:
                 heapq.heappop(self._queue)
+                self._cancelled_in_queue -= 1
                 continue
             return entry[0]
         return None

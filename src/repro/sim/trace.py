@@ -17,7 +17,7 @@ The trace is the raw material for
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 
@@ -40,13 +40,17 @@ class ExecInterval:
 class MessageEvent:
     """One message lifecycle milestone."""
 
-    kind: str          # "send" | "deliver"
+    kind: str          # "send" | "deliver" | "drop"
     time: float
     src_pe: int
     dst_pe: int
     size: int
     tag: str
     crossed_wan: bool
+    #: Message sequence id, used to pair sends to delivers exactly even
+    #: when jitter or retransmission reorders deliveries.  ``None`` for
+    #: events recorded by pre-seq producers (paired FIFO as a fallback).
+    seq: Optional[int] = None
 
 
 @dataclass
@@ -83,6 +87,9 @@ class Tracer:
         self.intervals: List[ExecInterval] = []
         self.messages: List[MessageEvent] = []
         self._open: Dict[int, Tuple[float, str, str]] = {}
+        #: Reliable-transport counters (cheap; kept even in big sweeps).
+        self.retransmits = 0
+        self.dups_suppressed = 0
 
     # -- recording -------------------------------------------------------
 
@@ -105,20 +112,41 @@ class Tracer:
         self.intervals.append(ExecInterval(pe, start, now, chare, entry))
 
     def message_sent(self, now: float, src_pe: int, dst_pe: int, size: int,
-                     tag: str, crossed_wan: bool) -> None:
+                     tag: str, crossed_wan: bool,
+                     seq: Optional[int] = None) -> None:
         """Record a message leaving its source PE."""
         if not self.enabled:
             return
         self.messages.append(MessageEvent(
-            "send", now, src_pe, dst_pe, size, tag, crossed_wan))
+            "send", now, src_pe, dst_pe, size, tag, crossed_wan, seq))
 
     def message_delivered(self, now: float, src_pe: int, dst_pe: int,
-                          size: int, tag: str, crossed_wan: bool) -> None:
+                          size: int, tag: str, crossed_wan: bool,
+                          seq: Optional[int] = None) -> None:
         """Record a message arriving at its destination PE's queue."""
         if not self.enabled:
             return
         self.messages.append(MessageEvent(
-            "deliver", now, src_pe, dst_pe, size, tag, crossed_wan))
+            "deliver", now, src_pe, dst_pe, size, tag, crossed_wan, seq))
+
+    def message_dropped(self, now: float, src_pe: int, dst_pe: int,
+                        size: int, tag: str, crossed_wan: bool,
+                        seq: Optional[int] = None) -> None:
+        """Record a message lost on the wire (fault injection)."""
+        if not self.enabled:
+            return
+        self.messages.append(MessageEvent(
+            "drop", now, src_pe, dst_pe, size, tag, crossed_wan, seq))
+
+    def note_retransmit(self) -> None:
+        """Count one reliable-layer retransmission."""
+        if self.enabled:
+            self.retransmits += 1
+
+    def note_dup_suppressed(self) -> None:
+        """Count one duplicate delivery suppressed by the reliable layer."""
+        if self.enabled:
+            self.dups_suppressed += 1
 
     # -- analysis --------------------------------------------------------
 
@@ -166,22 +194,43 @@ class Tracer:
 
     def wan_flight_windows(self) -> List[Tuple[float, float, int, int]]:
         """Return ``(send_time, deliver_time, src_pe, dst_pe)`` for every
-        message that crossed the wide-area link, pairing sends to delivers
-        in FIFO order per (src, dst) pair."""
+        message that crossed the wide-area link.
+
+        Events carrying a message sequence id are paired *by id*, so the
+        windows stay correct when jitter or retransmission delivers
+        messages out of send order (FIFO pairing would silently cross
+        them).  A retransmitted id contributes one window from its first
+        send to its first delivery; duplicate deliveries are ignored.
+        Legacy events without an id fall back to FIFO pairing per
+        (src, dst) pair.
+        """
         self._require_data()
-        pending: Dict[Tuple[int, int], List[float]] = {}
+        fifo: Dict[Tuple[int, int], List[float]] = {}
+        first_send: Dict[Tuple[int, int, int], float] = {}
+        emitted: set = set()
         windows: List[Tuple[float, float, int, int]] = []
         for ev in self.messages:
             if not ev.crossed_wan:
                 continue
-            key = (ev.src_pe, ev.dst_pe)
             if ev.kind == "send":
-                pending.setdefault(key, []).append(ev.time)
-            else:
-                queue = pending.get(key)
-                if queue:
-                    windows.append((queue.pop(0), ev.time,
-                                    ev.src_pe, ev.dst_pe))
+                if ev.seq is None:
+                    fifo.setdefault((ev.src_pe, ev.dst_pe),
+                                    []).append(ev.time)
+                else:
+                    first_send.setdefault(
+                        (ev.src_pe, ev.dst_pe, ev.seq), ev.time)
+            elif ev.kind == "deliver":
+                if ev.seq is None:
+                    queue = fifo.get((ev.src_pe, ev.dst_pe))
+                    if queue:
+                        windows.append((queue.pop(0), ev.time,
+                                        ev.src_pe, ev.dst_pe))
+                else:
+                    key = (ev.src_pe, ev.dst_pe, ev.seq)
+                    if key in first_send and key not in emitted:
+                        emitted.add(key)
+                        windows.append((first_send[key], ev.time,
+                                        ev.src_pe, ev.dst_pe))
         return windows
 
     def timeline(self, pes: Optional[Iterable[int]] = None
@@ -236,9 +285,9 @@ class Tracer:
 
     def render_profile(self, top: int = 10) -> str:
         """Human-readable top-N entry-method usage table."""
-        profs = sorted(self.profile_by_entry().values(),
-                       key=lambda p: -p.total_time)[:top]
-        total = sum(p.total_time for p in self.profile_by_entry().values())
+        all_profs = self.profile_by_entry().values()
+        profs = sorted(all_profs, key=lambda p: -p.total_time)[:top]
+        total = sum(p.total_time for p in all_profs)
         lines = [f"{'chare.entry':36s} {'calls':>8} {'time(s)':>10} "
                  f"{'share':>7}"]
         for p in profs:

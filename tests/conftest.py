@@ -6,11 +6,7 @@ import pytest
 
 from repro.core.chare import Chare
 from repro.core.method import entry
-from repro.grid.presets import (
-    artificial_latency_env,
-    single_cluster_env,
-    teragrid_env,
-)
+from repro.grid.presets import artificial_latency_env, single_cluster_env
 from repro.units import ms
 
 

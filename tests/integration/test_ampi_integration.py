@@ -4,11 +4,9 @@ import numpy as np
 import pytest
 
 from repro.ampi import ANY_SOURCE, ANY_TAG, AmpiWorld, ampi_run
-from repro.ampi.request import NoWait
 from repro.core.mapping import RoundRobinMapping
 from repro.errors import AmpiError
-from repro.grid.presets import artificial_latency_env, single_cluster_env, teragrid_env
-from repro.units import ms
+from repro.grid.presets import teragrid_env
 
 
 def test_send_recv_pair(env4):

@@ -4,11 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.chare import Chare
-from repro.core.checkpoint import (
-    Checkpoint,
-    restore_checkpoint,
-    take_checkpoint,
-)
+from repro.core.checkpoint import restore_checkpoint, take_checkpoint
 from repro.core.ids import ChareID
 from repro.core.mapping import RoundRobinMapping
 from repro.core.method import entry
@@ -176,7 +172,7 @@ def test_restore_into_larger_machine_expands():
     env_big.run()
 
     from repro.core.loadbalance import GreedyLB
-    applied = env_big.runtime.load_balance(GreedyLB())
+    env_big.runtime.load_balance(GreedyLB())
     env_big.run()
     pes_used = {env_big.runtime.pe_of(ChareID(arr2.collection, (i,)))
                 for i in range(6)}

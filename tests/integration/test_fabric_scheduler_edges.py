@@ -6,8 +6,7 @@ from repro.core.chare import Chare
 from repro.core.ids import ChareID
 from repro.core.mapping import RoundRobinMapping
 from repro.core.method import entry
-from repro.grid.presets import artificial_latency_env, single_cluster_env
-from repro.network.message import Message
+from repro.grid.presets import single_cluster_env
 from repro.units import ms
 
 from tests.conftest import Recorder

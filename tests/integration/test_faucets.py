@@ -6,7 +6,6 @@ from repro.errors import ConfigurationError
 from repro.grid.faucets import (
     Allocation,
     ClusterOffer,
-    Decision,
     StencilJob,
     build_environment,
     enumerate_candidates,

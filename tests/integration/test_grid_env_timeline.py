@@ -11,8 +11,8 @@ from repro.grid.presets import (
     single_cluster_env,
     teragrid_env,
 )
-from repro.grid.teragrid import DEFAULT_TERAGRID, TeraGridWanModel
-from repro.units import ms, us
+from repro.grid.teragrid import TeraGridWanModel
+from repro.units import ms
 
 
 # -- presets -------------------------------------------------------------------

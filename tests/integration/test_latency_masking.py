@@ -7,7 +7,6 @@ the Figure 2 timeline).
 """
 
 import numpy as np
-import pytest
 
 from repro.apps.stencil import StencilApp, run_stencil
 from repro.bench.figures import knee_latency_ms

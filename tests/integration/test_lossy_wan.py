@@ -1,0 +1,137 @@
+"""End-to-end behaviour of the lossy WAN + reliable transport stack.
+
+The acceptance bar for the fault subsystem: with drops, duplicates and
+reordering live on the wide-area link, the stencil still computes the
+*bit-identical* answer of the sequential reference, same-seed runs stay
+deterministic, and a permanently dark link surfaces as a NetworkError
+instead of a silent hang.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil.driver import StencilApp
+from repro.apps.stencil.kernel import make_initial_mesh
+from repro.apps.stencil.reference import run_reference
+from repro.errors import (
+    ConfigurationError,
+    NetworkError,
+    RetransmitError,
+)
+from repro.grid.presets import lossy_wan_env
+from repro.network.faults import LinkFlap
+from repro.network.reliable import ReliableTransport, RetransmitPolicy
+from repro.units import ms
+
+PES = 8
+MESH = (64, 64)
+OBJECTS = 16
+STEPS = 6
+FAULTS = dict(loss=0.05, duplication=0.02, reordering=0.05)
+
+
+def lossy_env(**kwargs):
+    cfg = dict(FAULTS)
+    cfg.update(kwargs)
+    return lossy_wan_env(PES, ms(2), **cfg)
+
+
+def run_real(env):
+    app = StencilApp(env, mesh=MESH, objects=OBJECTS, payload="real",
+                     gather_mesh=True)
+    return app.run(STEPS)
+
+
+def test_bit_identical_to_reference_under_faults():
+    env = lossy_env(seed=0)
+    result = run_real(env)
+    expected = run_reference(make_initial_mesh(*MESH, seed=0), STEPS)
+    assert np.array_equal(result.final_mesh, expected)
+    # The run must actually have exercised the protocol, or this test
+    # proves nothing.
+    r = env.transport.rstats
+    assert r.transfers > 0
+    assert r.retransmits + r.dups_suppressed > 0
+    assert r.acked == r.transfers
+    assert r.failures == 0
+    assert env.transport.in_flight == 0
+
+
+def test_same_seed_runs_are_identical():
+    a_env, b_env = lossy_env(seed=3), lossy_env(seed=3)
+    a, b = run_real(a_env), run_real(b_env)
+    assert np.array_equal(a.step_times, b.step_times)
+    assert a_env.now == b_env.now
+    assert a_env.transport.rstats == b_env.transport.rstats
+
+
+def test_different_seeds_fault_differently():
+    a_env, b_env = lossy_env(seed=0), lossy_env(seed=1)
+    run_real(a_env), run_real(b_env)
+    a, b = a_env.transport.rstats, b_env.transport.rstats
+    assert (a.retransmits, a.dups_suppressed, a_env.now) != \
+           (b.retransmits, b.dups_suppressed, b_env.now)
+
+
+def test_quiescence_is_clean():
+    """No lingering retransmit timers once the app completes."""
+    env = lossy_env(seed=0)
+    run_real(env)
+    assert env.engine.pending == 0
+
+
+def test_permanent_outage_raises_network_error():
+    env = lossy_env(loss=0.0, duplication=0.0, reordering=0.0,
+                    flap=LinkFlap([(0.0, 1e9)]),
+                    reliable=RetransmitPolicy(max_retries=3, rto_max=0.1))
+    with pytest.raises(RetransmitError) as exc_info:
+        run_real(env)
+    assert isinstance(exc_info.value, NetworkError)
+
+
+def test_outage_shorter_than_retry_budget_is_survived():
+    env = lossy_env(loss=0.0, duplication=0.0, reordering=0.0,
+                    flap=LinkFlap([(0.0, 0.05)]))
+    result = run_real(env)
+    expected = run_reference(make_initial_mesh(*MESH, seed=0), STEPS)
+    assert np.array_equal(result.final_mesh, expected)
+    assert env.transport.rstats.retransmits > 0
+
+
+def test_unreliable_lossy_run_deadlocks_visibly():
+    env = lossy_env(seed=0, duplication=0.0, reordering=0.0,
+                    reliable=False)
+    with pytest.raises(ConfigurationError, match="without completing"):
+        run_real(env)
+
+
+def test_unreliable_duplication_corrupts_visibly():
+    env = lossy_env(seed=0, loss=0.0, duplication=0.5, reordering=0.0,
+                    reliable=False)
+    with pytest.raises(ConfigurationError, match="duplicate ghost"):
+        run_real(env)
+
+
+def test_reliable_transport_is_default_and_optional():
+    assert isinstance(lossy_env().transport, ReliableTransport)
+    env = lossy_env(reliable=False)
+    assert env.transport is env.fabric
+
+
+def test_fault_free_reliable_run_matches_plain_fabric_makespan():
+    """With zero fault rates the protocol still acks, but the data path
+    timing is untouched: step times match the unreliable run exactly."""
+    clean = dict(loss=0.0, duplication=0.0, reordering=0.0)
+    with_arq = run_real(lossy_env(**clean))
+    without = run_real(lossy_env(reliable=False, **clean))
+    assert np.array_equal(with_arq.step_times, without.step_times)
+
+
+def test_fabric_stats_count_faults():
+    env = lossy_env(seed=0, trace=True)
+    run_real(env)
+    stats = env.fabric.stats
+    assert stats.total_dropped + stats.total_duplicated > 0
+    tr = env.tracer
+    assert tr.retransmits == env.transport.rstats.retransmits
+    assert tr.dups_suppressed == env.transport.rstats.dups_suppressed

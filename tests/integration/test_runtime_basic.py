@@ -16,7 +16,7 @@ from repro.errors import (
 from repro.grid.presets import artificial_latency_env, single_cluster_env
 from repro.units import ms
 
-from tests.conftest import Recorder, make_recorder
+from tests.conftest import make_recorder
 
 
 class Counter(Chare):
@@ -228,7 +228,6 @@ def test_expedite_wan_priority_config():
     env = artificial_latency_env(
         4, ms(2), config=RuntimeConfig(prioritized_queues=True,
                                        expedite_wan=True))
-    rts = env.runtime
     proxy, obj = make_recorder(env, pe=3)
     proxy.note("x")
     env.run()

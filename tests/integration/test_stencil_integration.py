@@ -6,7 +6,6 @@ import pytest
 from repro.apps.stencil import (
     AmpiStencilApp,
     StencilApp,
-    checksum,
     make_initial_mesh,
     run_reference,
     run_stencil,

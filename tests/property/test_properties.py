@@ -1,9 +1,7 @@
 """Hypothesis property tests on core data structures and invariants."""
 
-import heapq
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

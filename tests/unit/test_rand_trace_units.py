@@ -136,6 +136,51 @@ def test_tracer_wan_flight_windows_pair_fifo():
     assert windows == [(0.0, 2.0, 0, 1), (0.5, 2.5, 0, 1)]
 
 
+def test_tracer_wan_flight_windows_pair_by_seq_under_reordering():
+    """Regression: jitter/retransmission delivers out of send order; FIFO
+    pairing would cross the windows. Ids keep them straight."""
+    tr = Tracer()
+    tr.message_sent(0.0, 0, 1, 100, "a", True, seq=1)
+    tr.message_sent(0.5, 0, 1, 100, "b", True, seq=2)
+    tr.message_delivered(2.0, 0, 1, 100, "b", True, seq=2)  # b overtook a
+    tr.message_delivered(9.0, 0, 1, 100, "a", True, seq=1)
+    windows = tr.wan_flight_windows()
+    assert sorted(windows) == [(0.0, 9.0, 0, 1), (0.5, 2.0, 0, 1)]
+
+
+def test_tracer_wan_flight_windows_retransmit_and_dup():
+    """A retransmitted id yields one window, first send -> first deliver;
+    duplicate deliveries and drop events add nothing."""
+    tr = Tracer()
+    tr.message_sent(0.0, 0, 1, 100, "m", True, seq=5)
+    tr.message_dropped(0.0, 0, 1, 100, "m", True, seq=5)
+    tr.message_sent(1.0, 0, 1, 100, "m", True, seq=5)   # retransmission
+    tr.message_delivered(3.0, 0, 1, 100, "m", True, seq=5)
+    tr.message_delivered(3.5, 0, 1, 100, "m", True, seq=5)  # wire dup
+    assert tr.wan_flight_windows() == [(0.0, 3.0, 0, 1)]
+
+
+def test_tracer_wan_flight_windows_mixed_seq_and_legacy():
+    tr = Tracer()
+    tr.message_sent(0.0, 0, 1, 100, "old", True)            # legacy, no id
+    tr.message_sent(0.2, 0, 1, 100, "new", True, seq=9)
+    tr.message_delivered(1.0, 0, 1, 100, "new", True, seq=9)
+    tr.message_delivered(2.0, 0, 1, 100, "old", True)
+    assert sorted(tr.wan_flight_windows()) == [(0.0, 2.0, 0, 1),
+                                               (0.2, 1.0, 0, 1)]
+
+
+def test_tracer_reliability_counters():
+    tr = Tracer()
+    tr.note_retransmit()
+    tr.note_retransmit()
+    tr.note_dup_suppressed()
+    assert (tr.retransmits, tr.dups_suppressed) == (2, 1)
+    off = Tracer(enabled=False)
+    off.note_retransmit()
+    assert off.retransmits == 0
+
+
 def test_tracer_render_timeline_smoke():
     tr = Tracer()
     tr.begin_execute(0, 0.0, "C", "a")

@@ -40,6 +40,22 @@ def test_render_profile_top_limit():
     assert "Block.ghost" not in art
 
 
+def test_render_profile_aggregates_once(monkeypatch):
+    """Regression: render_profile used to call profile_by_entry twice,
+    re-walking every interval of a (potentially huge) trace."""
+    tr = traced()
+    calls = {"n": 0}
+    original = Tracer.profile_by_entry
+
+    def counting(self):
+        calls["n"] += 1
+        return original(self)
+
+    monkeypatch.setattr(Tracer, "profile_by_entry", counting)
+    tr.render_profile(top=5)
+    assert calls["n"] == 1
+
+
 def test_profile_requires_data():
     with pytest.raises(ValueError):
         Tracer(enabled=False).profile_by_entry()
