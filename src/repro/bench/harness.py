@@ -24,6 +24,20 @@ DEFAULT_STEPS = 10
 TERAGRID_ONE_WAY_MS = 1.725
 
 
+def _obs_extra(env) -> dict:
+    """Observability digest for an ExperimentPoint's ``extra`` dict.
+
+    Empty when the environment was built with ``stats=False``; otherwise
+    the streaming aggregator's summary (utilization, comm/compute split,
+    masked-latency fraction) so every benchmark row carries the overlap
+    statistics alongside its time-per-step.
+    """
+    agg = getattr(env, "aggregator", None)
+    if agg is None:
+        return {}
+    return {"obs": agg.summary()}
+
+
 def stencil_point(experiment: str, pes: int, objects: int,
                   latency_ms_value: float, *,
                   mesh: Tuple[int, int] = (2048, 2048),
@@ -44,7 +58,8 @@ def stencil_point(experiment: str, pes: int, objects: int,
         pes=pes, objects=objects, latency_ms=latency_ms_value,
         time_per_step=result.time_per_step, steps=steps,
         extra={"makespan": result.makespan,
-               "mesh": list(mesh), "payload": payload})
+               "mesh": list(mesh), "payload": payload,
+               **_obs_extra(env)})
 
 
 def stencil_ampi_point(experiment: str, pes: int, ranks: int,
@@ -61,7 +76,8 @@ def stencil_ampi_point(experiment: str, pes: int, ranks: int,
         experiment=experiment, app="stencil-ampi", environment="artificial",
         pes=pes, objects=ranks, latency_ms=latency_ms_value,
         time_per_step=result.time_per_step, steps=steps,
-        extra={"makespan": result.makespan, "payload": payload})
+        extra={"makespan": result.makespan, "payload": payload,
+               **_obs_extra(env)})
 
 
 def leanmd_point(experiment: str, pes: int, latency_ms_value: float, *,
@@ -86,4 +102,5 @@ def leanmd_point(experiment: str, pes: int, latency_ms_value: float, *,
         pes=pes, objects=grid_cells, latency_ms=latency_ms_value,
         time_per_step=result.time_per_step, steps=steps,
         extra={"makespan": result.makespan, "cells": list(cells),
-               "atoms_per_cell": atoms_per_cell, "payload": payload})
+               "atoms_per_cell": atoms_per_cell, "payload": payload,
+               **_obs_extra(env)})

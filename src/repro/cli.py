@@ -6,15 +6,23 @@ Usage (any artefact, directly from a shell)::
     python -m repro table2 [--steps N] [--pes 2 4 ...]
     python -m repro fig3   [--pes 16 ...] [--latencies 0 4 32] [--steps N]
     python -m repro fig4   [--pes 2 32] [--latencies 1 32 256] [--steps N]
-    python -m repro demo
+    python -m repro demo   [--json]
+    python -m repro trace  [--app stencil|leanmd] [--out run.trace.json]
+                           [--events-out run.events.jsonl] [--json]
 
 The full default sweeps take a few minutes; the subsetting flags let
-you reproduce a single panel or row in seconds.
+you reproduce a single panel or row in seconds.  ``repro trace`` runs
+one traced configuration and prints the latency-masking report
+(utilization, comm/compute, masked-latency fraction); ``--out`` exports
+a Chrome trace-event file for chrome://tracing / Perfetto.  The table
+and figure commands stay text-only, matching the paper's artefacts;
+``demo`` and ``trace`` take ``--json`` for machine-readable output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence, Tuple
 
@@ -73,7 +81,30 @@ def build_parser() -> argparse.ArgumentParser:
     f4.add_argument("--latencies", nargs="+", type=float, default=None)
     f4.add_argument("--steps", type=int, default=8)
 
-    sub.add_parser("demo", help="30-second latency-masking demonstration")
+    demo = sub.add_parser("demo",
+                          help="30-second latency-masking demonstration")
+    demo.add_argument("--json", action="store_true",
+                      help="machine-readable output (one row per run)")
+
+    tr = sub.add_parser("trace", help="run one traced configuration and "
+                        "report overlap / export a Chrome trace")
+    tr.add_argument("--app", choices=("stencil", "leanmd"),
+                    default="stencil")
+    tr.add_argument("--pes", type=int, default=8)
+    tr.add_argument("--objects", type=int, default=64,
+                    help="virtualization degree (stencil only)")
+    tr.add_argument("--mesh", type=int, default=1024, metavar="N",
+                    help="stencil mesh edge (NxN; Figure 3 uses 2048)")
+    tr.add_argument("--latency", type=float, default=8.0,
+                    help="one-way WAN latency in ms")
+    tr.add_argument("--steps", type=int, default=10)
+    tr.add_argument("--out", default=None, metavar="PATH",
+                    help="write Chrome trace-event JSON here "
+                         "(open in chrome://tracing or Perfetto)")
+    tr.add_argument("--events-out", default=None, metavar="PATH",
+                    help="write a JSON-lines structured event log here")
+    tr.add_argument("--json", action="store_true",
+                    help="print the report as JSON instead of text")
     return parser
 
 
@@ -120,18 +151,94 @@ def cmd_demo(args, out) -> None:
     from repro.grid import artificial_latency_env
     from repro.units import ms
 
-    print("Latency masking in 4 runs (stencil, 8 PEs over two clusters):",
-          file=out)
+    as_json = getattr(args, "json", False)
+    rows = []
+    if not as_json:
+        print("Latency masking in 4 runs (stencil, 8 PEs over two clusters):",
+              file=out)
     for objects in (8, 128):
         for latency in (0.0, 8.0):
             env = artificial_latency_env(8, ms(latency))
             app = StencilApp(env, mesh=(1024, 1024), objects=objects,
                              payload="modeled")
             tps = app.run(10).time_per_step_ms
-            print(f"  {objects:4d} objects, {latency:4.0f} ms latency -> "
-                  f"{tps:7.2f} ms/step", file=out)
-    print("8 ms of wide-area latency: exposed at 1 object/PE, hidden at "
-          "16/PE.", file=out)
+            row = {"pes": 8, "objects": objects, "latency_ms": latency,
+                   "time_per_step_ms": tps}
+            if env.aggregator is not None:
+                row["masked_fraction"] = \
+                    env.aggregator.masked_latency_fraction
+            rows.append(row)
+            if not as_json:
+                print(f"  {objects:4d} objects, {latency:4.0f} ms latency -> "
+                      f"{tps:7.2f} ms/step", file=out)
+    if as_json:
+        json.dump({"runs": rows}, out, indent=2)
+        print(file=out)
+    else:
+        print("8 ms of wide-area latency: exposed at 1 object/PE, hidden at "
+              "16/PE.", file=out)
+
+
+def cmd_trace(args, out) -> None:
+    from repro.grid import artificial_latency_env
+    from repro.obs.export import (
+        chrome_trace,
+        validate_chrome_trace,
+        write_event_log,
+    )
+    from repro.obs.report import build_report
+    from repro.units import ms
+
+    if args.pes < 2 or args.pes % 2:
+        raise SystemExit(f"--pes must be even and >= 2, got {args.pes}")
+    if args.latency < 0:
+        raise SystemExit(f"--latency must be >= 0, got {args.latency}")
+    want_events = args.out is not None or args.events_out is not None
+    env = artificial_latency_env(args.pes, ms(args.latency),
+                                 trace=want_events)
+    if args.app == "stencil":
+        from repro.apps.stencil import StencilApp
+        app = StencilApp(env, mesh=(args.mesh, args.mesh),
+                         objects=args.objects, payload="modeled")
+        app.run(args.steps)
+    else:
+        from repro.apps.leanmd import LeanMDApp
+        app = LeanMDApp(env, cells=(4, 4, 4), atoms_per_cell=16,
+                        payload="modeled")
+        app.run(args.steps)
+
+    report = build_report(env.aggregator)
+    report.extra["app"] = args.app
+    report.extra["pes"] = args.pes
+    report.extra["latency_ms"] = args.latency
+    report.extra["steps"] = args.steps
+    if args.out is not None:
+        doc = chrome_trace(env.tracer)
+        validate_chrome_trace(doc)
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh)
+        report.extra["chrome_trace"] = args.out
+    if args.events_out is not None:
+        lines = write_event_log(env.tracer, args.events_out)
+        report.extra["event_log"] = args.events_out
+        report.extra["event_log_lines"] = lines
+
+    if args.json:
+        json.dump(report.to_dict(), out, indent=2)
+        print(file=out)
+    else:
+        print(f"{args.app}: {args.pes} PEs, {args.objects} objects, "
+              f"{args.latency:g} ms one-way WAN, {args.steps} steps",
+              file=out)
+        print(file=out)
+        print(report.render(), file=out)
+        if args.out is not None:
+            print(f"\nChrome trace written to {args.out} "
+                  "(open in chrome://tracing or https://ui.perfetto.dev)",
+                  file=out)
+        if args.events_out is not None:
+            print(f"Event log written to {args.events_out} "
+                  f"({report.extra['event_log_lines']} records)", file=out)
 
 
 COMMANDS = {
@@ -140,6 +247,7 @@ COMMANDS = {
     "fig3": cmd_fig3,
     "fig4": cmd_fig4,
     "demo": cmd_demo,
+    "trace": cmd_trace,
 }
 
 

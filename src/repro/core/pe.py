@@ -9,6 +9,7 @@ pure state so it can be inspected cheaply by tests and load balancers.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 from repro.core.queue import MessageQueue
 
@@ -29,6 +30,16 @@ class PeStats:
         if makespan <= 0:
             return 0.0
         return self.busy_time / makespan
+
+    def as_metrics(self, pe: int) -> Dict[str, float]:
+        """Flat ``pe.N.*`` metric names for the observability registry."""
+        prefix = f"pe.{pe}."
+        return {
+            prefix + "executions": self.executions,
+            prefix + "busy_time_s": self.busy_time,
+            prefix + "messages_received": self.messages_received,
+            prefix + "messages_sent": self.messages_sent,
+        }
 
 
 class PeState:

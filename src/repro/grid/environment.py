@@ -1,9 +1,10 @@
 """Assembly of a complete simulated Grid environment.
 
 :class:`GridEnvironment` wires together the pieces every experiment
-needs — engine, topology, VMI chain, fabric, tracer, RNG streams, and
-the message-driven runtime — so application drivers and benchmarks deal
-with a single object.
+needs — engine, topology, VMI chain, fabric, tracer, RNG streams, the
+observability surface (metrics registry + streaming trace aggregation),
+and the message-driven runtime — so application drivers and benchmarks
+deal with a single object.
 """
 
 from __future__ import annotations
@@ -15,9 +16,10 @@ from repro.network.chain import DeviceChain
 from repro.network.fabric import NetworkFabric
 from repro.network.reliable import ReliableTransport, RetransmitPolicy
 from repro.network.topology import GridTopology
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import Engine
 from repro.sim.rand import RandomStreams
-from repro.sim.trace import Tracer
+from repro.sim.trace import TraceAggregator, TraceFanout, Tracer
 
 
 class GridEnvironment:
@@ -34,7 +36,14 @@ class GridEnvironment:
     config:
         Runtime constants; ``None`` uses defaults.
     trace:
-        Enable Projections-style tracing (memory-hungry; off for sweeps).
+        Enable full Projections-style tracing (stores every event —
+        memory grows with event count; needed for timeline rendering
+        and Chrome-trace export).
+    stats:
+        Enable streaming trace aggregation (default on): PE
+        utilization, per-entry profiles and the masked-latency fraction
+        computed online in O(PEs + entries) memory, cheap enough for
+        full benchmark sweeps.  Available as :attr:`aggregator`.
     max_events:
         Engine safety valve against livelock; ``None`` disables.
     reliable:
@@ -48,18 +57,32 @@ class GridEnvironment:
 
     def __init__(self, topology: GridTopology, chain: DeviceChain, *,
                  seed: int = 0, config: Optional[RuntimeConfig] = None,
-                 trace: bool = False,
+                 trace: bool = False, stats: bool = True,
                  max_events: Optional[int] = None,
                  reliable: Union[bool, RetransmitPolicy, None] = None) -> None:
         self.topology = topology
         self.chain = chain
         self.streams = RandomStreams(seed)
         self.engine = Engine(max_events=max_events)
+        self.metrics = MetricsRegistry()
         self.tracer = Tracer(enabled=trace)
+        self.aggregator: Optional[TraceAggregator] = (
+            TraceAggregator(metrics=self.metrics) if stats else None)
+        sinks = []
+        if trace:
+            sinks.append(self.tracer)
+        if self.aggregator is not None:
+            sinks.append(self.aggregator)
+        if not sinks:
+            sink = None
+        elif len(sinks) == 1:
+            sink = sinks[0]
+        else:
+            sink = TraceFanout(sinks)
         self.fabric = NetworkFabric(
             self.engine, topology, chain,
             rng=self.streams.get("network"),
-            tracer=self.tracer if trace else None)
+            tracer=sink)
         if reliable:
             policy = reliable if isinstance(reliable, RetransmitPolicy) \
                 else None
@@ -67,6 +90,31 @@ class GridEnvironment:
         else:
             self.transport = self.fabric
         self.runtime = Runtime(self.engine, self.transport, config)
+        self.runtime.metrics = self.metrics
+        self._register_collectors()
+
+    def _register_collectors(self) -> None:
+        """Pull the scattered stat structs into the metrics registry."""
+        m = self.metrics
+        engine = self.engine
+        m.register_collector("engine", lambda: {
+            "engine.events_processed": engine.events_processed,
+            "engine.pending": engine.pending,
+        })
+        m.register_collector(
+            "fabric", lambda: self.fabric.stats.as_metrics())
+        if isinstance(self.transport, ReliableTransport):
+            transport = self.transport
+            m.register_collector(
+                "reliable", lambda: transport.rstats.as_metrics())
+
+        def pe_metrics():
+            out = {}
+            for ps in self.runtime.scheduler.pes:
+                out.update(ps.stats.as_metrics(ps.pe))
+            return out
+
+        m.register_collector("pes", pe_metrics)
 
     @property
     def now(self) -> float:

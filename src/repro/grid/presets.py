@@ -51,18 +51,18 @@ def _base_devices():
 
 def single_cluster_env(num_pes: int, *, seed: int = 0,
                        config: Optional[RuntimeConfig] = None,
-                       trace: bool = False,
+                       trace: bool = False, stats: bool = True,
                        max_events: Optional[int] = None) -> GridEnvironment:
     """A conventional cluster: no wide area anywhere."""
     topo = GridTopology.single_cluster(num_pes)
     chain = DeviceChain(_base_devices())
     return GridEnvironment(topo, chain, seed=seed, config=config,
-                           trace=trace, max_events=max_events)
+                           trace=trace, stats=stats, max_events=max_events)
 
 
 def artificial_latency_env(num_pes: int, latency: float, *, seed: int = 0,
                            config: Optional[RuntimeConfig] = None,
-                           trace: bool = False,
+                           trace: bool = False, stats: bool = True,
                            max_events: Optional[int] = None
                            ) -> GridEnvironment:
     """The paper's simulated Grid: delay device between two halves.
@@ -88,7 +88,7 @@ def artificial_latency_env(num_pes: int, latency: float, *, seed: int = 0,
     devices.append(WanDevice(myrinet_like(name="wan-artificial")))
     chain = DeviceChain(devices)
     return GridEnvironment(topo, chain, seed=seed, config=config,
-                           trace=trace, max_events=max_events)
+                           trace=trace, stats=stats, max_events=max_events)
 
 
 def lossy_wan_env(num_pes: int, latency: float, *,
@@ -99,7 +99,7 @@ def lossy_wan_env(num_pes: int, latency: float, *,
                   reliable: Union[bool, RetransmitPolicy] = True,
                   seed: int = 0,
                   config: Optional[RuntimeConfig] = None,
-                  trace: bool = False,
+                  trace: bool = False, stats: bool = True,
                   max_events: Optional[int] = None) -> GridEnvironment:
     """The artificial-latency grid over a *hostile* wide area.
 
@@ -145,14 +145,14 @@ def lossy_wan_env(num_pes: int, latency: float, *,
     devices.append(WanDevice(myrinet_like(name="wan-lossy")))
     chain = DeviceChain(devices)
     return GridEnvironment(topo, chain, seed=seed, config=config,
-                           trace=trace, max_events=max_events,
+                           trace=trace, stats=stats, max_events=max_events,
                            reliable=reliable)
 
 
 def teragrid_env(num_pes: int, *, seed: int = 0,
                  model: TeraGridWanModel = DEFAULT_TERAGRID,
                  config: Optional[RuntimeConfig] = None,
-                 trace: bool = False,
+                 trace: bool = False, stats: bool = True,
                  max_events: Optional[int] = None) -> GridEnvironment:
     """The real co-allocated NCSA+ANL environment (jitter + contention)."""
     topo = GridTopology.two_cluster(num_pes, names=("ncsa", "anl"))
@@ -160,4 +160,4 @@ def teragrid_env(num_pes: int, *, seed: int = 0,
     devices.append(model.device())
     chain = DeviceChain(devices)
     return GridEnvironment(topo, chain, seed=seed, config=config,
-                           trace=trace, max_events=max_events)
+                           trace=trace, stats=stats, max_events=max_events)

@@ -21,7 +21,7 @@ from repro.network.chain import DeviceChain
 from repro.network.message import Message
 from repro.network.topology import GridTopology
 from repro.sim.engine import Engine
-from repro.sim.trace import Tracer
+from repro.sim.trace import TraceSink
 
 DeliverFn = Callable[[Message], None]
 
@@ -67,6 +67,25 @@ class FabricStats:
     def total_bytes(self) -> int:
         return sum(self.bytes.values())
 
+    def as_metrics(self) -> Dict[str, float]:
+        """Flat ``fabric.*`` metric names for the observability registry."""
+        out: Dict[str, float] = {
+            "fabric.filter_delay_total_s": self.filter_delay_total,
+            "fabric.messages_total": self.total_messages,
+            "fabric.bytes_total": self.total_bytes,
+            "fabric.dropped_total": self.total_dropped,
+            "fabric.duplicated_total": self.total_duplicated,
+        }
+        for name, n in self.messages.items():
+            out[f"fabric.{name}.messages"] = n
+        for name, n in self.bytes.items():
+            out[f"fabric.{name}.bytes"] = n
+        for name, n in self.dropped.items():
+            out[f"fabric.{name}.dropped"] = n
+        for name, n in self.duplicated.items():
+            out[f"fabric.{name}.duplicated"] = n
+        return out
+
 
 class NetworkFabric:
     """Routes messages through a device chain on a simulation engine.
@@ -84,13 +103,16 @@ class NetworkFabric:
         Optional RNG consulted by jittered links; omit for fully
         deterministic artificial-latency runs.
     tracer:
-        Optional tracer receiving send/deliver events.
+        Optional trace sink (a :class:`~repro.sim.trace.Tracer`,
+        :class:`~repro.sim.trace.TraceAggregator`, or
+        :class:`~repro.sim.trace.TraceFanout`) receiving send/deliver
+        events.
     """
 
     def __init__(self, engine: Engine, topology: GridTopology,
                  chain: DeviceChain,
                  rng: Optional[np.random.Generator] = None,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[TraceSink] = None) -> None:
         self.engine = engine
         self.topology = topology
         self.chain = chain

@@ -56,8 +56,15 @@ class LinkFlap:
             if start < 0 or end <= start:
                 raise ConfigurationError(
                     f"malformed flap window ({start}, {end})")
-        self.windows: List[Tuple[float, float]] = sorted(
-            (float(s), float(e)) for s, e in windows)
+        # Coalesce overlapping/touching windows: the bisect in down_at
+        # assumes disjoint windows (only the nearest start is checked).
+        merged: List[Tuple[float, float]] = []
+        for s, e in sorted((float(s), float(e)) for s, e in windows):
+            if merged and s <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], e))
+            else:
+                merged.append((s, e))
+        self.windows: List[Tuple[float, float]] = merged
         self._starts = [s for s, _ in self.windows]
 
     @classmethod

@@ -39,7 +39,7 @@ from repro.network.fabric import DeliverFn, FabricStats, NetworkFabric
 from repro.network.message import Message
 from repro.network.topology import GridTopology
 from repro.sim.engine import Engine, EventHandle
-from repro.sim.trace import Tracer
+from repro.sim.trace import TraceSink
 
 
 @dataclass(frozen=True)
@@ -91,6 +91,18 @@ class ReliableStats:
     acks_sent: int = 0          # acks emitted by the receiver side
     rtt_samples: int = 0        # unambiguous RTT measurements taken
     failures: int = 0           # transfers that exhausted their retries
+
+    def as_metrics(self) -> Dict[str, int]:
+        """Flat ``reliable.*`` metric names for the observability registry."""
+        return {
+            "reliable.transfers": self.transfers,
+            "reliable.acked": self.acked,
+            "reliable.retransmits": self.retransmits,
+            "reliable.dups_suppressed": self.dups_suppressed,
+            "reliable.acks_sent": self.acks_sent,
+            "reliable.rtt_samples": self.rtt_samples,
+            "reliable.failures": self.failures,
+        }
 
 
 @dataclass
@@ -158,7 +170,7 @@ class ReliableTransport:
         return self.fabric.topology
 
     @property
-    def tracer(self) -> Optional[Tracer]:
+    def tracer(self) -> Optional[TraceSink]:
         return self.fabric.tracer
 
     @property

@@ -1,0 +1,47 @@
+"""Observability: metrics, trace aggregation, export, and reports.
+
+The paper's whole argument rests on *seeing* overlap — Charm++'s
+Projections tool renders the timeline that proves WAN latency is hidden
+behind other objects' work.  This package is the reproduction's
+Projections-grade surface:
+
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry` of
+  named counters, gauges and log-bucketed histograms that the runtime,
+  network and load-balancing layers publish into;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (open the file in
+  ``chrome://tracing`` or https://ui.perfetto.dev) and a JSON-lines
+  structured event log, both generated from a recorded
+  :class:`~repro.sim.trace.Tracer`;
+* :mod:`repro.obs.report` — the latency-masking report: utilization,
+  comm/compute breakdown, and the headline **masked-latency fraction**
+  (share of WAN in-flight time during which the destination PE was
+  busy), computed either from a batch trace or from the streaming
+  :class:`~repro.sim.trace.TraceAggregator`.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    export_chrome_trace,
+    validate_chrome_trace,
+    write_event_log,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import (
+    LatencyMaskingReport,
+    build_report,
+    masked_latency_fraction,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+    "write_event_log",
+    "LatencyMaskingReport",
+    "build_report",
+    "masked_latency_fraction",
+]

@@ -1,0 +1,214 @@
+"""Trace export: Chrome trace-event JSON and a JSON-lines event log.
+
+The batch :class:`~repro.sim.trace.Tracer` holds everything Projections
+would: per-PE execution intervals and message lifecycle events.  This
+module serializes that record into two interchange formats:
+
+* **Chrome trace-event JSON** (:func:`export_chrome_trace`) — open the
+  file in ``chrome://tracing`` or https://ui.perfetto.dev and the
+  Figure-2 timeline renders interactively: one track per PE with
+  entry-method slices, async spans for WAN flights, instant markers for
+  drops and retransmissions.  Format reference: the "Trace Event
+  Format" document (JSON Array / JSON Object variants; we emit the
+  object form with ``traceEvents``).
+* **JSON-lines event log** (:func:`write_event_log`) — one structured
+  record per line, trivially greppable / loadable into pandas, for
+  offline analysis that outgrows the built-in queries.
+
+Timestamps are microseconds (the trace-event format's unit); virtual
+time zero maps to ts zero.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, List, Union
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import Tracer
+
+#: Event phases this exporter emits (subset of the trace-event format).
+_PHASES = {"X", "b", "e", "i", "M"}
+
+_SEC_TO_US = 1e6
+
+
+def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """Build the ``traceEvents`` list for *tracer*'s recorded run.
+
+    Emitted events:
+
+    * ``M`` metadata naming the process and one thread per PE;
+    * ``X`` complete events for every entry-method execution
+      (``cat="exec"``, name ``Chare.entry``);
+    * ``b``/``e`` async pairs for every WAN flight window
+      (``cat="wan"``, one id per window) so in-flight spans render as
+      arcs above the PE tracks;
+    * ``i`` instant events for wire drops (``cat="fault"``) and
+      retransmissions (second and later sends of one sequence id).
+    """
+    events: List[Dict[str, Any]] = [{
+        "ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+        "args": {"name": "repro simulated grid"},
+    }]
+    pes = sorted({iv.pe for iv in tracer.intervals}
+                 | {ev.src_pe for ev in tracer.messages}
+                 | {ev.dst_pe for ev in tracer.messages})
+    for pe in pes:
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": 0, "tid": pe,
+            "args": {"name": f"PE {pe}"},
+        })
+
+    for iv in tracer.intervals:
+        events.append({
+            "ph": "X", "cat": "exec",
+            "name": f"{iv.chare}.{iv.entry}",
+            "pid": 0, "tid": iv.pe,
+            "ts": iv.start * _SEC_TO_US,
+            "dur": iv.duration * _SEC_TO_US,
+        })
+
+    for i, (sent, arrived, src, dst) in enumerate(tracer.wan_flight_windows()):
+        ident = f"wan-{i}"
+        common = {"cat": "wan", "name": f"WAN {src}->{dst}",
+                  "pid": 0, "id": ident}
+        events.append({**common, "ph": "b", "tid": src,
+                       "ts": sent * _SEC_TO_US,
+                       "args": {"src_pe": src, "dst_pe": dst}})
+        events.append({**common, "ph": "e", "tid": dst,
+                       "ts": arrived * _SEC_TO_US})
+
+    seen_sends: set = set()
+    for ev in tracer.messages:
+        if ev.kind == "drop":
+            events.append({
+                "ph": "i", "cat": "fault", "name": "drop", "s": "t",
+                "pid": 0, "tid": ev.dst_pe, "ts": ev.time * _SEC_TO_US,
+                "args": {"src_pe": ev.src_pe, "dst_pe": ev.dst_pe,
+                         "tag": ev.tag},
+            })
+        elif ev.kind == "send" and ev.seq is not None:
+            key = (ev.src_pe, ev.dst_pe, ev.seq)
+            if key in seen_sends:
+                events.append({
+                    "ph": "i", "cat": "fault", "name": "retransmit",
+                    "s": "t", "pid": 0, "tid": ev.src_pe,
+                    "ts": ev.time * _SEC_TO_US,
+                    "args": {"src_pe": ev.src_pe, "dst_pe": ev.dst_pe,
+                             "tag": ev.tag},
+                })
+            else:
+                seen_sends.add(key)
+    return events
+
+
+def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """The complete trace-event JSON object for *tracer*."""
+    return {"traceEvents": chrome_trace_events(tracer),
+            "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(tracer: Tracer,
+                        path_or_file: Union[str, IO[str]]) -> Dict[str, Any]:
+    """Write the Chrome trace for *tracer* to *path_or_file* (JSON).
+
+    Returns the document just written (handy for validation / tests).
+    """
+    doc = chrome_trace(tracer)
+    if hasattr(path_or_file, "write"):
+        json.dump(doc, path_or_file)
+    else:
+        with open(path_or_file, "w") as fh:
+            json.dump(doc, fh)
+    return doc
+
+
+def validate_chrome_trace(doc: Dict[str, Any]) -> None:
+    """Raise :class:`~repro.errors.ConfigurationError` on schema breaks.
+
+    Checks the subset of the trace-event format this exporter uses:
+    top-level shape, per-phase required keys, numeric timestamps, and
+    matched async begin/end pairs.  Used by the unit tests and by
+    ``repro trace`` before writing a file.
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ConfigurationError("trace document must contain 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ConfigurationError("'traceEvents' must be a list")
+    async_open: Dict[Any, int] = {}
+    for n, ev in enumerate(events):
+        where = f"traceEvents[{n}]"
+        if not isinstance(ev, dict):
+            raise ConfigurationError(f"{where} is not an object")
+        ph = ev.get("ph")
+        if ph not in _PHASES:
+            raise ConfigurationError(f"{where}: unknown phase {ph!r}")
+        for key in ("name", "pid", "tid"):
+            if key not in ev:
+                raise ConfigurationError(f"{where}: missing {key!r}")
+        if not isinstance(ev["name"], str):
+            raise ConfigurationError(f"{where}: 'name' must be a string")
+        for key in ("pid", "tid"):
+            if not isinstance(ev[key], int):
+                raise ConfigurationError(f"{where}: {key!r} must be an int")
+        if ph == "M":
+            continue
+        if "ts" not in ev or not isinstance(ev["ts"], (int, float)):
+            raise ConfigurationError(f"{where}: missing numeric 'ts'")
+        if ev["ts"] < 0:
+            raise ConfigurationError(f"{where}: negative 'ts'")
+        if ph == "X":
+            if "dur" not in ev or not isinstance(ev["dur"], (int, float)):
+                raise ConfigurationError(f"{where}: X event needs 'dur'")
+            if ev["dur"] < 0:
+                raise ConfigurationError(f"{where}: negative 'dur'")
+        elif ph in ("b", "e"):
+            if "id" not in ev:
+                raise ConfigurationError(f"{where}: async event needs 'id'")
+            key = (ev.get("cat"), ev["id"])
+            if ph == "b":
+                async_open[key] = async_open.get(key, 0) + 1
+            else:
+                if async_open.get(key, 0) <= 0:
+                    raise ConfigurationError(
+                        f"{where}: async end without begin (id={ev['id']})")
+                async_open[key] -= 1
+        elif ph == "i":
+            if ev.get("s") not in ("g", "p", "t"):
+                raise ConfigurationError(
+                    f"{where}: instant event needs scope 's' in g/p/t")
+    dangling = {k: v for k, v in async_open.items() if v != 0}
+    if dangling:
+        raise ConfigurationError(
+            f"unbalanced async begin/end pairs: {sorted(dangling)}")
+
+
+def write_event_log(tracer: Tracer,
+                    path_or_file: Union[str, IO[str]]) -> int:
+    """Write a JSON-lines structured event log; returns the line count.
+
+    One record per execution interval (``type="exec"``) and one per
+    message lifecycle event (``type="message"``), each a flat JSON
+    object with times in seconds.
+    """
+    lines: List[str] = []
+    for iv in tracer.intervals:
+        lines.append(json.dumps({
+            "type": "exec", "pe": iv.pe, "start_s": iv.start,
+            "end_s": iv.end, "chare": iv.chare, "entry": iv.entry,
+        }))
+    for ev in tracer.messages:
+        lines.append(json.dumps({
+            "type": "message", "kind": ev.kind, "time_s": ev.time,
+            "src_pe": ev.src_pe, "dst_pe": ev.dst_pe, "size": ev.size,
+            "tag": ev.tag, "wan": ev.crossed_wan, "seq": ev.seq,
+        }))
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(text)
+    else:
+        with open(path_or_file, "w") as fh:
+            fh.write(text)
+    return len(lines)

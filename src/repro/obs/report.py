@@ -1,0 +1,186 @@
+"""The latency-masking report: the paper's argument as numbers.
+
+Eijkhout's task-graph latency-tolerance work (PAPERS.md) quantifies
+masking as an explicit overlap fraction; this module computes and
+renders that number — plus utilization and a comm/compute breakdown —
+for any run, from either recorder:
+
+* a batch :class:`~repro.sim.trace.Tracer` (post-hoc: pairs WAN
+  windows, then measures destination busy time inside each), or
+* a streaming :class:`~repro.sim.trace.TraceAggregator` (the same
+  quantities, already folded online).
+
+Both paths produce a :class:`LatencyMaskingReport` with a text rendering
+for terminals and ``to_dict()`` for ``--json`` consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import EntryProfile, TraceAggregator, Tracer
+
+
+def masked_latency_fraction(tracer: Tracer) -> Tuple[float, float, float]:
+    """Batch overlap computation from a full trace.
+
+    Returns ``(masked_fraction, flight_time, masked_time)`` where
+    *masked_fraction* is the share of total WAN in-flight seconds during
+    which the destination PE was executing entry methods.
+    """
+    flight = 0.0
+    masked = 0.0
+    for sent, arrived, _src, dst in tracer.wan_flight_windows():
+        span = arrived - sent
+        if span <= 0:
+            continue
+        flight += span
+        masked += tracer.busy_during(dst, sent, arrived)
+    fraction = masked / flight if flight > 0 else 0.0
+    return fraction, flight, masked
+
+
+@dataclass
+class LatencyMaskingReport:
+    """One run's observability digest."""
+
+    makespan_s: float
+    pes: int
+    executions: int
+    busy_time_s: float
+    #: pe -> busy fraction of the makespan.
+    utilization: Dict[int, float]
+    #: Top entry methods by total time: (chare, entry, calls, total_s).
+    top_entries: List[Tuple[str, str, int, float]]
+    wan_windows: int
+    wan_flight_time_s: float
+    wan_masked_time_s: float
+    masked_fraction: float
+    retransmits: int = 0
+    dups_suppressed: int = 0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.utilization:
+            return 0.0
+        return sum(self.utilization.values()) / len(self.utilization)
+
+    @property
+    def compute_fraction(self) -> float:
+        """Busy share of total PE-seconds (compute side of the split)."""
+        denom = self.makespan_s * self.pes
+        return self.busy_time_s / denom if denom > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "makespan_s": self.makespan_s,
+            "pes": self.pes,
+            "executions": self.executions,
+            "busy_time_s": self.busy_time_s,
+            "mean_utilization": self.mean_utilization,
+            "compute_fraction": self.compute_fraction,
+            "utilization": {str(pe): u
+                            for pe, u in sorted(self.utilization.items())},
+            "top_entries": [
+                {"chare": c, "entry": e, "calls": n, "total_s": t}
+                for c, e, n, t in self.top_entries],
+            "wan": {
+                "windows": self.wan_windows,
+                "flight_time_s": self.wan_flight_time_s,
+                "masked_time_s": self.wan_masked_time_s,
+                "masked_fraction": self.masked_fraction,
+                "retransmits": self.retransmits,
+                "dups_suppressed": self.dups_suppressed,
+            },
+            **self.extra,
+        }
+
+    def render(self) -> str:
+        """Human-readable report (the ``repro trace`` default output)."""
+        lines = [
+            "Latency-masking report",
+            "----------------------",
+            f"makespan            {self.makespan_s * 1e3:10.3f} ms",
+            f"PEs active          {self.pes:10d}",
+            f"entry executions    {self.executions:10d}",
+            f"busy PE-time        {self.busy_time_s * 1e3:10.3f} ms "
+            f"({self.compute_fraction:.1%} of PE-seconds)",
+            f"mean utilization    {self.mean_utilization:10.1%}",
+        ]
+        if self.utilization:
+            worst = min(self.utilization, key=self.utilization.get)
+            best = max(self.utilization, key=self.utilization.get)
+            lines.append(
+                f"utilization range   PE {worst} {self.utilization[worst]:.1%}"
+                f"  ..  PE {best} {self.utilization[best]:.1%}")
+        lines += [
+            "",
+            f"WAN flight windows  {self.wan_windows:10d}",
+            f"WAN in-flight time  {self.wan_flight_time_s * 1e3:10.3f} ms",
+            f"  masked (dst busy) {self.wan_masked_time_s * 1e3:10.3f} ms",
+            f"  masked fraction   {self.masked_fraction:10.1%}",
+        ]
+        if self.retransmits or self.dups_suppressed:
+            lines.append(f"retransmits         {self.retransmits:10d}")
+            lines.append(f"dups suppressed     {self.dups_suppressed:10d}")
+        if self.top_entries:
+            lines += ["", f"{'chare.entry':32s} {'calls':>8} {'time(ms)':>10}"]
+            for chare, entry, calls, total in self.top_entries:
+                lines.append(f"{chare + '.' + entry:32s} {calls:>8} "
+                             f"{total * 1e3:>10.3f}")
+        return "\n".join(lines)
+
+
+def _top_entries(profiles: Dict[Tuple[str, str], EntryProfile],
+                 top: int) -> List[Tuple[str, str, int, float]]:
+    ranked = sorted(profiles.values(), key=lambda p: -p.total_time)[:top]
+    return [(p.chare, p.entry, p.calls, p.total_time) for p in ranked]
+
+
+def build_report(source: Union[Tracer, TraceAggregator],
+                 top: int = 8) -> LatencyMaskingReport:
+    """Build a :class:`LatencyMaskingReport` from either recorder."""
+    if isinstance(source, TraceAggregator):
+        span = source.makespan()
+        usage = source.pe_usage()
+        return LatencyMaskingReport(
+            makespan_s=span,
+            pes=len(usage),
+            executions=sum(u.executions for u in usage.values()),
+            busy_time_s=sum(u.busy for u in usage.values()),
+            utilization={pe: u.utilization(span) for pe, u in usage.items()},
+            top_entries=_top_entries(source.profile_by_entry(), top),
+            wan_windows=source.wan.windows,
+            wan_flight_time_s=source.wan.flight_time,
+            wan_masked_time_s=source.wan.masked_time,
+            masked_fraction=source.wan.masked_fraction,
+            retransmits=source.retransmits,
+            dups_suppressed=source.dups_suppressed,
+        )
+    if isinstance(source, Tracer):
+        if not source.enabled:
+            raise ConfigurationError(
+                "cannot report on a disabled tracer (enable trace=True or "
+                "use the streaming aggregator)")
+        span = source.makespan()
+        usage = source.pe_usage()
+        fraction, flight, masked = masked_latency_fraction(source)
+        return LatencyMaskingReport(
+            makespan_s=span,
+            pes=len(usage),
+            executions=sum(u.executions for u in usage.values()),
+            busy_time_s=sum(u.busy for u in usage.values()),
+            utilization={pe: u.utilization(span) for pe, u in usage.items()},
+            top_entries=_top_entries(source.profile_by_entry(), top),
+            wan_windows=len(source.wan_flight_windows()),
+            wan_flight_time_s=flight,
+            wan_masked_time_s=masked,
+            masked_fraction=fraction,
+            retransmits=source.retransmits,
+            dups_suppressed=source.dups_suppressed,
+        )
+    raise ConfigurationError(
+        f"cannot build a report from {type(source).__name__}")

@@ -7,21 +7,59 @@ simulated runtime: the scheduler calls :meth:`Tracer.begin_execute` /
 :meth:`Tracer.end_execute` and the network fabric calls
 :meth:`Tracer.message_sent` / :meth:`Tracer.message_delivered`.
 
+Two recorders implement that surface (the :class:`TraceSink` protocol):
+
+* :class:`Tracer` — the batch recorder: stores every event, supports
+  arbitrary post-hoc queries (timelines, per-window overlap).  Memory
+  grows with event count, so sweeps historically ran with it disabled.
+* :class:`TraceAggregator` — the streaming recorder: folds each event
+  into running aggregates (PE utilization, per-entry profiles, WAN
+  flight statistics, and the headline **masked-latency fraction** — the
+  share of WAN in-flight time during which the destination PE was busy)
+  and then forgets it.  Memory is O(PEs + entry kinds + in-flight
+  messages), so full Figure-3/4 sweeps can keep statistics on.
+
+:class:`TraceFanout` multiplexes one recording stream to several sinks
+(e.g. a full tracer for export plus a streaming aggregator for the run
+report).
+
 The trace is the raw material for
 
 * the Figure-2 style timeline example (``examples/timeline_fig2.py``),
 * PE utilization / overlap statistics used in tests to *prove* that
   latency masking actually happened (rather than inferring it from
-  end-to-end times alone).
+  end-to-end times alone),
+* Chrome-trace / event-log export (:mod:`repro.obs.export`) and the
+  latency-masking report (:mod:`repro.obs.report`).
 """
 
 from __future__ import annotations
 
+import sys
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from repro.obs.metrics import MetricsRegistry
+
+#: ``slots=True`` keeps the two per-event hot allocations small enough
+#: that tracing stays affordable in big sweeps; the keyword only exists
+#: on Python >= 3.10 (the package supports 3.9, where plain dataclasses
+#: are used instead).
+_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class ExecInterval:
     """One entry-method execution on one PE."""
 
@@ -36,7 +74,7 @@ class ExecInterval:
         return self.end - self.start
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class MessageEvent:
     """One message lifecycle milestone."""
 
@@ -68,11 +106,115 @@ class PeUsage:
         return self.busy / makespan
 
 
-class Tracer:
-    """Collects execution intervals and message events.
+@dataclass
+class EntryProfile:
+    """Aggregate execution statistics for one (chare type, entry) pair."""
 
-    Tracing is off by default in benchmark sweeps (it costs memory per
-    event); the harness enables it for timeline/overlap experiments.
+    chare: str
+    entry: str
+    calls: int = 0
+    total_time: float = 0.0
+
+    @property
+    def mean_time(self) -> float:
+        return self.total_time / self.calls if self.calls else 0.0
+
+
+class TraceSink(Protocol):
+    """Anything the scheduler/fabric can record events into.
+
+    The runtime only ever *writes* through this surface; analysis
+    methods are sink-specific.  ``enabled`` gates the scheduler's
+    begin/end bracketing (a disabled sink must not be handed intervals).
+    """
+
+    enabled: bool
+
+    def begin_execute(self, pe: int, now: float, chare: str,
+                      entry: str) -> None: ...
+
+    def end_execute(self, pe: int, now: float) -> None: ...
+
+    def message_sent(self, now: float, src_pe: int, dst_pe: int, size: int,
+                     tag: str, crossed_wan: bool,
+                     seq: Optional[int] = None) -> None: ...
+
+    def message_delivered(self, now: float, src_pe: int, dst_pe: int,
+                          size: int, tag: str, crossed_wan: bool,
+                          seq: Optional[int] = None) -> None: ...
+
+    def message_dropped(self, now: float, src_pe: int, dst_pe: int,
+                        size: int, tag: str, crossed_wan: bool,
+                        seq: Optional[int] = None) -> None: ...
+
+    def note_retransmit(self) -> None: ...
+
+    def note_dup_suppressed(self) -> None: ...
+
+
+class TraceFanout:
+    """Broadcasts recording calls to several sinks.
+
+    Used when a run wants both the full batch trace (for export) and
+    streaming aggregation (for the report) — or, in principle, any
+    future sink (a live dashboard feed, a sampling profiler).
+    """
+
+    def __init__(self, sinks: Sequence[TraceSink]) -> None:
+        self.sinks: List[TraceSink] = list(sinks)
+
+    @property
+    def enabled(self) -> bool:
+        return any(s.enabled for s in self.sinks)
+
+    def begin_execute(self, pe: int, now: float, chare: str,
+                      entry: str) -> None:
+        for s in self.sinks:
+            if s.enabled:
+                s.begin_execute(pe, now, chare, entry)
+
+    def end_execute(self, pe: int, now: float) -> None:
+        for s in self.sinks:
+            if s.enabled:
+                s.end_execute(pe, now)
+
+    def message_sent(self, now: float, src_pe: int, dst_pe: int, size: int,
+                     tag: str, crossed_wan: bool,
+                     seq: Optional[int] = None) -> None:
+        for s in self.sinks:
+            if s.enabled:
+                s.message_sent(now, src_pe, dst_pe, size, tag, crossed_wan,
+                               seq)
+
+    def message_delivered(self, now: float, src_pe: int, dst_pe: int,
+                          size: int, tag: str, crossed_wan: bool,
+                          seq: Optional[int] = None) -> None:
+        for s in self.sinks:
+            if s.enabled:
+                s.message_delivered(now, src_pe, dst_pe, size, tag,
+                                    crossed_wan, seq)
+
+    def message_dropped(self, now: float, src_pe: int, dst_pe: int,
+                        size: int, tag: str, crossed_wan: bool,
+                        seq: Optional[int] = None) -> None:
+        for s in self.sinks:
+            if s.enabled:
+                s.message_dropped(now, src_pe, dst_pe, size, tag,
+                                  crossed_wan, seq)
+
+    def note_retransmit(self) -> None:
+        for s in self.sinks:
+            if s.enabled:
+                s.note_retransmit()
+
+    def note_dup_suppressed(self) -> None:
+        for s in self.sinks:
+            if s.enabled:
+                s.note_dup_suppressed()
+
+
+class Tracer:
+    """Collects execution intervals and message events (batch sink).
 
     Parameters
     ----------
@@ -90,6 +232,11 @@ class Tracer:
         #: Reliable-transport counters (cheap; kept even in big sweeps).
         self.retransmits = 0
         self.dups_suppressed = 0
+        #: Lazily built per-PE interval index for window queries; rebuilt
+        #: whenever intervals were appended since the last build.
+        self._index: Optional[Dict[int, Tuple[List[float], List[float],
+                                              List[float]]]] = None
+        self._index_len = -1
 
     # -- recording -------------------------------------------------------
 
@@ -173,6 +320,34 @@ class Tracer:
             u.executions += 1
         return usage
 
+    def _pe_index(self) -> Dict[int, Tuple[List[float], List[float],
+                                           List[float]]]:
+        """``pe -> (starts, ends, duration prefix sums)``, sorted by start.
+
+        Built once per batch of appended intervals; the overlap tests
+        issue one :meth:`busy_during` call per WAN window, which used to
+        rescan every interval (quadratic on big traces).
+        """
+        if self._index is not None and self._index_len == len(self.intervals):
+            return self._index
+        per_pe: Dict[int, List[ExecInterval]] = {}
+        for iv in self.intervals:
+            per_pe.setdefault(iv.pe, []).append(iv)
+        index: Dict[int, Tuple[List[float], List[float], List[float]]] = {}
+        for pe, ivs in per_pe.items():
+            ivs.sort(key=lambda iv: iv.start)
+            starts = [iv.start for iv in ivs]
+            ends = [iv.end for iv in ivs]
+            prefix = [0.0]
+            acc = 0.0
+            for iv in ivs:
+                acc += iv.duration
+                prefix.append(acc)
+            index[pe] = (starts, ends, prefix)
+        self._index = index
+        self._index_len = len(self.intervals)
+        return index
+
     def busy_during(self, pe: int, start: float, end: float) -> float:
         """Total time *pe* spent executing within the window [start, end].
 
@@ -180,16 +355,29 @@ class Tracer:
         WAN message's in-flight window from the message events, the tests
         assert the destination PE was busy during it — i.e. the latency
         was *masked* by other objects' work, which is the paper's thesis.
+
+        O(log n) per query via a per-PE sorted index with duration
+        prefix sums (a PE's intervals never overlap — the recording API
+        enforces one open execution per PE in monotonic time — so the
+        intervals intersecting a window form a contiguous run).
         """
         self._require_data()
-        total = 0.0
-        for iv in self.intervals:
-            if iv.pe != pe:
-                continue
-            lo = max(iv.start, start)
-            hi = min(iv.end, end)
-            if hi > lo:
-                total += hi - lo
+        entry = self._pe_index().get(pe)
+        if entry is None or end <= start:
+            return 0.0
+        starts, ends, prefix = entry
+        # First interval ending after the window opens ...
+        lo = bisect_right(ends, start)
+        # ... through the last interval starting before it closes.
+        hi = bisect_left(starts, end)
+        if lo >= hi:
+            return 0.0
+        total = prefix[hi] - prefix[lo]
+        # Clip the boundary intervals to the window.
+        if starts[lo] < start:
+            total -= start - starts[lo]
+        if ends[hi - 1] > end:
+            total -= ends[hi - 1] - end
         return total
 
     def wan_flight_windows(self) -> List[Tuple[float, float, int, int]]:
@@ -271,8 +459,7 @@ class Tracer:
             lines.append(f"PE{pe:>3} |" + "".join(row) + "|")
         return "\n".join(lines)
 
-
-    def profile_by_entry(self) -> Dict[Tuple[str, str], "EntryProfile"]:
+    def profile_by_entry(self) -> Dict[Tuple[str, str], EntryProfile]:
         """Projections-style usage profile: time per (chare, entry) kind."""
         self._require_data()
         out: Dict[Tuple[str, str], EntryProfile] = {}
@@ -298,14 +485,324 @@ class Tracer:
 
 
 @dataclass
-class EntryProfile:
-    """Aggregate execution statistics for one (chare type, entry) pair."""
+class WanOverlapStats:
+    """Running WAN flight / overlap totals kept by the aggregator."""
 
-    chare: str
-    entry: str
-    calls: int = 0
-    total_time: float = 0.0
+    #: Closed (send -> first delivery) flight windows seen so far.
+    windows: int = 0
+    #: Total WAN in-flight seconds across closed windows.
+    flight_time: float = 0.0
+    #: Seconds of that in-flight time during which the destination PE
+    #: was executing entry methods — the *masked* share.
+    masked_time: float = 0.0
+    #: Windows whose delivery has not been observed (yet, or ever).
+    open_windows: int = 0
 
     @property
-    def mean_time(self) -> float:
-        return self.total_time / self.calls if self.calls else 0.0
+    def masked_fraction(self) -> float:
+        """Share of WAN in-flight time overlapped by destination work.
+
+        The paper's Figure-2 story as a single number: 1.0 means every
+        in-flight millisecond was hidden behind other objects' work,
+        0.0 means the destination idled through all of it.
+        """
+        if self.flight_time <= 0.0:
+            return 0.0
+        return self.masked_time / self.flight_time
+
+
+class _OpenWindow:
+    """Sender-side record of one not-yet-delivered WAN message."""
+
+    __slots__ = ("send_time", "overlap")
+
+    def __init__(self, send_time: float) -> None:
+        self.send_time = send_time
+        #: Destination-PE busy time accumulated inside the window so far.
+        self.overlap = 0.0
+
+
+class TraceAggregator:
+    """Streaming trace statistics in O(PEs + entry kinds) memory.
+
+    Consumes the same recording stream as :class:`Tracer` but folds each
+    event into running aggregates instead of storing it, so benchmarks
+    can keep statistics on during full Figure-3/4 sweeps.  Computed
+    online:
+
+    * per-PE busy time and execution counts (:meth:`pe_usage`);
+    * the makespan spanned by execution intervals (:meth:`makespan`);
+    * per-(chare, entry) execution profiles (:meth:`profile_by_entry`);
+    * message/byte counters, split local vs WAN;
+    * WAN flight windows and the **masked-latency fraction**
+      (:attr:`wan`), using the same send/deliver pairing rules as
+      :meth:`Tracer.wan_flight_windows`.
+
+    All of these exactly match the batch :class:`Tracer` analysis on the
+    same event stream (property-tested in
+    ``tests/property/test_trace_streaming.py``).
+
+    The only state that scales beyond O(PEs + entry kinds) is the
+    per-message bookkeeping the semantics require: windows currently in
+    flight, and the set of already-delivered sequence ids (small ints)
+    that suppresses duplicate deliveries — the same information the
+    reliable transport itself must keep to deduplicate.
+
+    Relies on the engine's monotonic virtual clock: recording calls
+    arrive in non-decreasing time order (true for anything driven by
+    :class:`~repro.sim.engine.Engine`).
+
+    Parameters
+    ----------
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; when
+        given, the aggregator records execution-duration and WAN
+        flight-time histograms into it and registers a collector for
+        its derived values under ``trace.*``.
+    """
+
+    def __init__(self, metrics: Optional["MetricsRegistry"] = None) -> None:
+        self.enabled = True
+        self._open_exec: Dict[int, Tuple[float, str, str]] = {}
+        self._usage: Dict[int, PeUsage] = {}
+        self._profiles: Dict[Tuple[str, str], EntryProfile] = {}
+        self._t_min: Optional[float] = None
+        self._t_max: Optional[float] = None
+        # Message counters.
+        self.sends = 0
+        self.delivers = 0
+        self.drops = 0
+        self.wan_sends = 0
+        self.wan_delivers = 0
+        self.wan_drops = 0
+        self.bytes_sent = 0
+        self.wan_bytes_sent = 0
+        self.retransmits = 0
+        self.dups_suppressed = 0
+        # WAN overlap tracking.
+        self.wan = WanOverlapStats()
+        #: dst_pe -> {(src_pe, seq): open window} for seq-carrying sends.
+        self._wan_open: Dict[int, Dict[Tuple[int, int], _OpenWindow]] = {}
+        #: dst_pe -> {src_pe: FIFO of open windows} for legacy sends.
+        self._wan_fifo: Dict[int, Dict[int, List[_OpenWindow]]] = {}
+        #: (src, dst, seq) triples already delivered (dup suppression).
+        self._wan_delivered: set = set()
+        self._metrics = metrics
+        if metrics is not None:
+            self._h_exec = metrics.histogram("trace.exec_duration_s")
+            self._h_flight = metrics.histogram("trace.wan_flight_s")
+            metrics.register_collector("trace", self._metric_values)
+
+    # -- recording -------------------------------------------------------
+
+    def begin_execute(self, pe: int, now: float, chare: str,
+                      entry: str) -> None:
+        if not self.enabled:
+            return
+        if pe in self._open_exec:
+            raise ValueError(
+                f"PE {pe} already executing {self._open_exec[pe]!r}")
+        self._open_exec[pe] = (now, chare, entry)
+
+    def end_execute(self, pe: int, now: float) -> None:
+        if not self.enabled:
+            return
+        try:
+            start, chare, entry = self._open_exec.pop(pe)
+        except KeyError:
+            raise ValueError(f"PE {pe} has no open execution interval")
+        duration = now - start
+        usage = self._usage.get(pe)
+        if usage is None:
+            usage = self._usage[pe] = PeUsage(pe)
+        usage.busy += duration
+        usage.executions += 1
+        key = (chare, entry)
+        prof = self._profiles.get(key)
+        if prof is None:
+            prof = self._profiles[key] = EntryProfile(chare, entry)
+        prof.calls += 1
+        prof.total_time += duration
+        if self._t_min is None or start < self._t_min:
+            self._t_min = start
+        if self._t_max is None or now > self._t_max:
+            self._t_max = now
+        # Credit this execution to every WAN window open on this PE: the
+        # interval [start, now] overlaps window w on [max(start, w.send),
+        # now] (delivery has not happened, so the window end is >= now).
+        open_here = self._wan_open.get(pe)
+        if open_here:
+            for win in open_here.values():
+                lo = win.send_time if win.send_time > start else start
+                if now > lo:
+                    win.overlap += now - lo
+        fifo_here = self._wan_fifo.get(pe)
+        if fifo_here:
+            for queue in fifo_here.values():
+                for win in queue:
+                    lo = win.send_time if win.send_time > start else start
+                    if now > lo:
+                        win.overlap += now - lo
+        if self._metrics is not None:
+            self._h_exec.record(duration)
+
+    def message_sent(self, now: float, src_pe: int, dst_pe: int, size: int,
+                     tag: str, crossed_wan: bool,
+                     seq: Optional[int] = None) -> None:
+        if not self.enabled:
+            return
+        self.sends += 1
+        self.bytes_sent += size
+        if not crossed_wan:
+            return
+        self.wan_sends += 1
+        self.wan_bytes_sent += size
+        if seq is None:
+            queues = self._wan_fifo.setdefault(dst_pe, {})
+            queues.setdefault(src_pe, []).append(_OpenWindow(now))
+            self.wan.open_windows += 1
+        else:
+            key = (src_pe, seq)
+            if (src_pe, dst_pe, seq) in self._wan_delivered:
+                return  # late retransmission of an already-delivered id
+            opens = self._wan_open.setdefault(dst_pe, {})
+            if key not in opens:  # retransmits keep the *first* send time
+                opens[key] = _OpenWindow(now)
+                self.wan.open_windows += 1
+
+    def message_delivered(self, now: float, src_pe: int, dst_pe: int,
+                          size: int, tag: str, crossed_wan: bool,
+                          seq: Optional[int] = None) -> None:
+        if not self.enabled:
+            return
+        self.delivers += 1
+        if not crossed_wan:
+            return
+        self.wan_delivers += 1
+        win: Optional[_OpenWindow] = None
+        if seq is None:
+            queues = self._wan_fifo.get(dst_pe)
+            queue = queues.get(src_pe) if queues else None
+            if queue:
+                win = queue.pop(0)
+        else:
+            triple = (src_pe, dst_pe, seq)
+            if triple in self._wan_delivered:
+                return  # duplicate delivery: first one closed the window
+            opens = self._wan_open.get(dst_pe)
+            if opens is not None:
+                win = opens.pop((src_pe, seq), None)
+            if win is not None:
+                self._wan_delivered.add(triple)
+        if win is None:
+            return  # delivery without a recorded send (partial trace)
+        open_exec = self._open_exec.get(dst_pe)
+        if open_exec is not None:
+            start = open_exec[0]
+            lo = win.send_time if win.send_time > start else start
+            if now > lo:
+                win.overlap += now - lo
+        self.wan.open_windows -= 1
+        self.wan.windows += 1
+        self.wan.flight_time += now - win.send_time
+        self.wan.masked_time += win.overlap
+        if self._metrics is not None:
+            self._h_flight.record(now - win.send_time)
+
+    def message_dropped(self, now: float, src_pe: int, dst_pe: int,
+                        size: int, tag: str, crossed_wan: bool,
+                        seq: Optional[int] = None) -> None:
+        if not self.enabled:
+            return
+        self.drops += 1
+        if crossed_wan:
+            self.wan_drops += 1
+
+    def note_retransmit(self) -> None:
+        if self.enabled:
+            self.retransmits += 1
+
+    def note_dup_suppressed(self) -> None:
+        if self.enabled:
+            self.dups_suppressed += 1
+
+    # -- analysis --------------------------------------------------------
+
+    def makespan(self) -> float:
+        """Virtual time spanned by the completed execution intervals."""
+        if self._t_min is None or self._t_max is None:
+            return 0.0
+        return self._t_max - self._t_min
+
+    def pe_usage(self) -> Dict[int, PeUsage]:
+        """Per-PE busy time and execution counts (live view)."""
+        return self._usage
+
+    def profile_by_entry(self) -> Dict[Tuple[str, str], EntryProfile]:
+        """Per-(chare, entry) execution profile (live view)."""
+        return self._profiles
+
+    @property
+    def masked_latency_fraction(self) -> float:
+        """Share of WAN in-flight time the destination PE spent busy."""
+        return self.wan.masked_fraction
+
+    def utilization(self) -> Dict[int, float]:
+        """Per-PE busy fraction of the makespan."""
+        span = self.makespan()
+        return {pe: u.utilization(span) for pe, u in self._usage.items()}
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-friendly digest attached to benchmark rows and reports."""
+        span = self.makespan()
+        utils = sorted(u.utilization(span) for u in self._usage.values())
+        busy_total = sum(u.busy for u in self._usage.values())
+        return {
+            "makespan_s": span,
+            "pes_active": len(self._usage),
+            "executions": sum(u.executions for u in self._usage.values()),
+            "entry_kinds": len(self._profiles),
+            "busy_time_s": busy_total,
+            "mean_utilization": (sum(utils) / len(utils)) if utils else 0.0,
+            "min_utilization": utils[0] if utils else 0.0,
+            "max_utilization": utils[-1] if utils else 0.0,
+            "messages": {
+                "sent": self.sends,
+                "delivered": self.delivers,
+                "dropped": self.drops,
+                "bytes_sent": self.bytes_sent,
+                "wan_sent": self.wan_sends,
+                "wan_delivered": self.wan_delivers,
+                "wan_dropped": self.wan_drops,
+                "wan_bytes_sent": self.wan_bytes_sent,
+            },
+            "wan": {
+                "windows": self.wan.windows,
+                "open_windows": self.wan.open_windows,
+                "flight_time_s": self.wan.flight_time,
+                "masked_time_s": self.wan.masked_time,
+                "masked_fraction": self.wan.masked_fraction,
+                "retransmits": self.retransmits,
+                "dups_suppressed": self.dups_suppressed,
+            },
+        }
+
+    def _metric_values(self) -> Dict[str, float]:
+        """Derived values pulled into the metrics registry snapshot."""
+        return {
+            "trace.makespan_s": self.makespan(),
+            "trace.executions": float(
+                sum(u.executions for u in self._usage.values())),
+            "trace.busy_time_s": sum(u.busy for u in self._usage.values()),
+            "trace.messages_sent": float(self.sends),
+            "trace.wan_windows": float(self.wan.windows),
+            "trace.wan_flight_time_s": self.wan.flight_time,
+            "trace.wan_masked_time_s": self.wan.masked_time,
+            "trace.masked_fraction": self.wan.masked_fraction,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"TraceAggregator(pes={len(self._usage)}, "
+                f"executions={sum(u.executions for u in self._usage.values())}, "
+                f"wan_windows={self.wan.windows}, "
+                f"masked={self.wan.masked_fraction:.1%})")

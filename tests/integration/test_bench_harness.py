@@ -70,6 +70,19 @@ def test_sweep_table2_structure():
     assert envs == ["artificial", "teragrid"]
 
 
+def test_points_carry_observability_digest():
+    p = stencil_point("t", pes=4, objects=16, latency_ms_value=4.0,
+                      mesh=(128, 128), steps=5)
+    obs = p.extra["obs"]
+    assert obs["executions"] > 0
+    assert 0.0 < obs["mean_utilization"] <= 1.0
+    assert obs["wan"]["windows"] > 0
+    assert 0.0 <= obs["wan"]["masked_fraction"] <= 1.0
+    assert obs["messages"]["wan_sent"] <= obs["messages"]["sent"]
+    import json
+    json.dumps(p.to_dict())  # rows stay JSON-serializable
+
+
 def test_points_are_deterministic():
     a = stencil_point("t", 4, 16, 3.0, mesh=(128, 128), steps=5)
     b = stencil_point("t", 4, 16, 3.0, mesh=(128, 128), steps=5)

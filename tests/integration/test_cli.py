@@ -1,6 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -63,6 +64,70 @@ def test_demo_runs():
     assert code == 0
     assert "ms/step" in text
     assert "hidden" in text
+
+
+def test_demo_json():
+    code, text = run_cli(["demo", "--json"])
+    assert code == 0
+    doc = json.loads(text)
+    assert len(doc["runs"]) == 4
+    for row in doc["runs"]:
+        assert {"pes", "objects", "latency_ms",
+                "time_per_step_ms", "masked_fraction"} <= set(row)
+        assert 0.0 <= row["masked_fraction"] <= 1.0
+
+
+def test_trace_text_report():
+    code, text = run_cli(["trace", "--pes", "4", "--objects", "16",
+                          "--latency", "8", "--steps", "4"])
+    assert code == 0
+    assert "Latency-masking report" in text
+    assert "masked fraction" in text
+    assert "StencilBlock.ghost" in text
+
+
+def test_trace_json_report():
+    code, text = run_cli(["trace", "--pes", "4", "--objects", "16",
+                          "--latency", "8", "--steps", "4", "--json"])
+    assert code == 0
+    doc = json.loads(text)
+    assert doc["app"] == "stencil"
+    assert doc["wan"]["windows"] > 0
+    assert 0.0 <= doc["wan"]["masked_fraction"] <= 1.0
+    assert 0.0 < doc["mean_utilization"] <= 1.0
+
+
+def test_trace_exports_valid_files(tmp_path):
+    from repro.obs.export import validate_chrome_trace
+
+    trace_path = tmp_path / "run.trace.json"
+    events_path = tmp_path / "run.events.jsonl"
+    code, _ = run_cli(["trace", "--pes", "4", "--objects", "16",
+                       "--latency", "4", "--steps", "3",
+                       "--out", str(trace_path),
+                       "--events-out", str(events_path)])
+    assert code == 0
+    doc = json.loads(trace_path.read_text())
+    validate_chrome_trace(doc)
+    assert any(ev.get("cat") == "exec" for ev in doc["traceEvents"])
+    assert any(ev.get("cat") == "wan" for ev in doc["traceEvents"])
+    records = [json.loads(line)
+               for line in events_path.read_text().splitlines()]
+    assert {r["type"] for r in records} == {"exec", "message"}
+
+
+def test_trace_leanmd():
+    code, text = run_cli(["trace", "--app", "leanmd", "--pes", "4",
+                          "--steps", "2", "--json"])
+    assert code == 0
+    assert json.loads(text)["app"] == "leanmd"
+
+
+def test_trace_rejects_bad_pes_and_latency():
+    with pytest.raises(SystemExit):
+        run_cli(["trace", "--pes", "3"])
+    with pytest.raises(SystemExit):
+        run_cli(["trace", "--latency", "-1"])
 
 
 def test_parser_requires_command():

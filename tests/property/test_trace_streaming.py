@@ -1,0 +1,157 @@
+"""Streaming aggregation must exactly match batch trace analysis.
+
+:class:`~repro.sim.trace.TraceAggregator` folds the recording stream
+into running aggregates; :class:`~repro.sim.trace.Tracer` stores every
+event and analyses after the fact.  Benchmarks trust the streaming
+numbers, so here hypothesis generates randomized valid schedules —
+non-overlapping execution intervals per PE, WAN messages with drops,
+retransmissions, wire duplicates, and id-less legacy events — replays
+the identical event stream into both recorders, and checks that every
+derived statistic agrees.
+
+Times are drawn on a 1/16 grid so all arithmetic is exact in binary
+floating point; the comparisons can therefore demand near-equality.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.obs.report import masked_latency_fraction
+from repro.sim.trace import TraceAggregator, Tracer
+
+COMMON = dict(deadline=None, max_examples=60,
+              suppress_health_check=[HealthCheck.too_slow])
+
+APPROX = dict(rel=1e-9, abs=1e-12)
+
+
+@st.composite
+def schedules(draw):
+    """A random valid recording stream: list of (time, op, args) events.
+
+    Valid means what the engine guarantees: per-PE execution intervals
+    never overlap, every event's arguments are self-consistent, and the
+    whole stream is replayed in non-decreasing time order.
+    """
+    n_pes = draw(st.integers(min_value=1, max_value=4))
+    events = []
+
+    # Non-overlapping exec intervals per PE: pair up sorted unique ticks.
+    for pe in range(n_pes):
+        bounds = sorted(draw(st.lists(
+            st.integers(min_value=0, max_value=1600),
+            min_size=0, max_size=10, unique=True)))
+        for i in range(0, len(bounds) - 1, 2):
+            s, e = bounds[i] / 16.0, bounds[i + 1] / 16.0
+            entry = draw(st.sampled_from(["a", "b", "c"]))
+            events.append((s, "begin", (pe, s, "C", entry)))
+            events.append((e, "end", (pe, e)))
+
+    # Messages: some WAN, some local; some dropped, retransmitted, or
+    # delivered twice (wire duplicates); some without a sequence id.
+    n_msgs = draw(st.integers(min_value=0, max_value=12))
+    for seq in range(n_msgs):
+        src = draw(st.integers(min_value=0, max_value=n_pes - 1))
+        dst = draw(st.integers(min_value=0, max_value=n_pes - 1))
+        wan = draw(st.booleans())
+        size = draw(st.integers(min_value=0, max_value=4096))
+        t0 = draw(st.integers(min_value=0, max_value=1500)) / 16.0
+        flight = draw(st.integers(min_value=1, max_value=400)) / 16.0
+        use_seq = draw(st.booleans())
+        sq = seq if use_seq else None
+        fate = draw(st.sampled_from(
+            ["deliver", "deliver", "deliver", "drop", "dup", "retransmit"]))
+        args = (src, dst, size, f"m{seq}", wan)
+        events.append((t0, "send", args + (sq,)))
+        if fate == "drop":
+            events.append((t0, "drop", args + (sq,)))
+            continue
+        if fate == "retransmit":
+            tr = t0 + draw(st.integers(min_value=1, max_value=64)) / 16.0
+            events.append((tr, "send", args + (sq,)))
+        deliver_at = t0 + flight
+        events.append((deliver_at, "deliver", args + (sq,)))
+        if fate == "dup":
+            td = deliver_at + draw(st.integers(min_value=1,
+                                               max_value=64)) / 16.0
+            events.append((td, "deliver", args + (sq,)))
+
+    # Stable sort by time: simultaneous events keep their emission order,
+    # which preserves per-PE begin/end validity and send-before-deliver.
+    events.sort(key=lambda ev: ev[0])
+    return events
+
+
+def replay(events, sink):
+    ops = {
+        "begin": sink.begin_execute,
+        "end": sink.end_execute,
+        "send": sink.message_sent,
+        "deliver": sink.message_delivered,
+        "drop": sink.message_dropped,
+    }
+    for time, op, args in events:
+        if op in ("begin", "end"):
+            ops[op](*args)
+        else:
+            src, dst, size, tag, wan, sq = args
+            ops[op](time, src, dst, size, tag, wan, seq=sq)
+    return sink
+
+
+@given(schedules())
+@settings(**COMMON)
+def test_streaming_matches_batch(events):
+    batch = replay(events, Tracer())
+    live = replay(events, TraceAggregator())
+
+    # Makespan and per-PE usage.
+    assert live.makespan() == pytest.approx(batch.makespan(), **APPROX)
+    b_usage = batch.pe_usage()
+    l_usage = live.pe_usage()
+    assert set(l_usage) == set(b_usage)
+    for pe, bu in b_usage.items():
+        assert l_usage[pe].busy == pytest.approx(bu.busy, **APPROX)
+        assert l_usage[pe].executions == bu.executions
+
+    # Entry profiles.
+    b_prof = batch.profile_by_entry()
+    l_prof = live.profile_by_entry()
+    assert set(l_prof) == set(b_prof)
+    for key, bp in b_prof.items():
+        assert l_prof[key].calls == bp.calls
+        assert l_prof[key].total_time == pytest.approx(bp.total_time,
+                                                       **APPROX)
+
+    # WAN flight windows and the masked-latency fraction.
+    windows = batch.wan_flight_windows()
+    assert live.wan.windows == len(windows)
+    fraction, flight, masked = masked_latency_fraction(batch)
+    assert live.wan.flight_time == pytest.approx(flight, **APPROX)
+    assert live.wan.masked_time == pytest.approx(masked, **APPROX)
+    assert live.masked_latency_fraction == pytest.approx(fraction, **APPROX)
+
+
+@given(schedules())
+@settings(**COMMON)
+def test_streaming_counters_match_batch(events):
+    batch = replay(events, Tracer())
+    live = replay(events, TraceAggregator())
+
+    sends = [ev for ev in batch.messages if ev.kind == "send"]
+    delivers = [ev for ev in batch.messages if ev.kind == "deliver"]
+    drops = [ev for ev in batch.messages if ev.kind == "drop"]
+    assert live.sends == len(sends)
+    assert live.delivers == len(delivers)
+    assert live.drops == len(drops)
+    assert live.wan_sends == sum(1 for ev in sends if ev.crossed_wan)
+    assert live.wan_delivers == sum(1 for ev in delivers if ev.crossed_wan)
+    assert live.wan_drops == sum(1 for ev in drops if ev.crossed_wan)
+    assert live.bytes_sent == sum(ev.size for ev in sends)
+    assert live.wan_bytes_sent == sum(ev.size for ev in sends
+                                      if ev.crossed_wan)
+
+    # Open (never-delivered) windows: WAN sends that produced no window.
+    assert live.wan.open_windows >= 0

@@ -1,0 +1,163 @@
+"""Unit tests for Chrome trace-event export and the JSONL event log."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_events,
+    export_chrome_trace,
+    validate_chrome_trace,
+    write_event_log,
+)
+from repro.sim.trace import Tracer
+
+
+def sample_tracer():
+    """A tiny but complete run: execs, a WAN flight, a drop, a retransmit."""
+    tr = Tracer()
+    tr.begin_execute(0, 0.001, "Block", "ghost")
+    tr.end_execute(0, 0.003)
+    tr.begin_execute(1, 0.002, "Block", "start")
+    tr.end_execute(1, 0.004)
+    tr.message_sent(0.001, 0, 1, 256, "ghost", True, seq=1)
+    tr.message_delivered(0.009, 0, 1, 256, "ghost", True, seq=1)
+    tr.message_sent(0.002, 1, 0, 64, "lost", True, seq=2)
+    tr.message_dropped(0.002, 1, 0, 64, "lost", True, seq=2)
+    tr.message_sent(0.005, 1, 0, 64, "lost", True, seq=2)   # retransmission
+    tr.message_delivered(0.013, 1, 0, 64, "lost", True, seq=2)
+    return tr
+
+
+# -- Chrome trace ------------------------------------------------------------
+
+def test_chrome_trace_top_level_shape():
+    doc = chrome_trace(sample_tracer())
+    assert set(doc) == {"traceEvents", "displayTimeUnit"}
+    assert doc["displayTimeUnit"] == "ms"
+    validate_chrome_trace(doc)           # our own validator accepts it
+    json.dumps(doc)                      # and it is valid JSON
+
+
+def test_chrome_trace_exec_slices():
+    events = chrome_trace_events(sample_tracer())
+    execs = [e for e in events if e.get("cat") == "exec"]
+    assert len(execs) == 2
+    slice0 = next(e for e in execs if e["tid"] == 0)
+    assert slice0["ph"] == "X"
+    assert slice0["name"] == "Block.ghost"
+    assert slice0["ts"] == pytest.approx(1000.0)    # 0.001 s in us
+    assert slice0["dur"] == pytest.approx(2000.0)
+
+
+def test_chrome_trace_wan_async_pairs():
+    events = chrome_trace_events(sample_tracer())
+    wan = [e for e in events if e.get("cat") == "wan"]
+    begins = [e for e in wan if e["ph"] == "b"]
+    ends = [e for e in wan if e["ph"] == "e"]
+    assert len(begins) == len(ends) == 2
+    assert {e["id"] for e in begins} == {e["id"] for e in ends}
+    # The retransmitted message's window runs first send -> delivery.
+    retrans = next(e for e in begins if e["args"]["src_pe"] == 1)
+    assert retrans["ts"] == pytest.approx(2000.0)
+
+
+def test_chrome_trace_fault_instants():
+    events = chrome_trace_events(sample_tracer())
+    faults = [e for e in events if e.get("cat") == "fault"]
+    names = sorted(e["name"] for e in faults)
+    assert names == ["drop", "retransmit"]
+    assert all(e["ph"] == "i" and e["s"] == "t" for e in faults)
+
+
+def test_chrome_trace_metadata_names_every_pe():
+    events = chrome_trace_events(sample_tracer())
+    threads = [e for e in events
+               if e["ph"] == "M" and e["name"] == "thread_name"]
+    assert {e["tid"] for e in threads} == {0, 1}
+
+
+def test_export_writes_file_and_filelike(tmp_path):
+    tr = sample_tracer()
+    path = tmp_path / "run.trace.json"
+    doc = export_chrome_trace(tr, str(path))
+    assert json.loads(path.read_text()) == doc
+    buf = io.StringIO()
+    export_chrome_trace(tr, buf)
+    assert json.loads(buf.getvalue()) == doc
+
+
+# -- validator ---------------------------------------------------------------
+
+def _valid_event(**over):
+    ev = {"ph": "X", "name": "n", "pid": 0, "tid": 0, "ts": 1.0, "dur": 1.0}
+    ev.update(over)
+    return ev
+
+
+@pytest.mark.parametrize("doc", [
+    [],                                             # not an object
+    {"events": []},                                 # wrong key
+    {"traceEvents": {}},                            # not a list
+])
+def test_validator_rejects_bad_top_level(doc):
+    with pytest.raises(ConfigurationError):
+        validate_chrome_trace(doc)
+
+
+@pytest.mark.parametrize("ev", [
+    _valid_event(ph="Q"),                           # unknown phase
+    {"ph": "X", "pid": 0, "tid": 0, "ts": 1.0},     # missing name
+    _valid_event(name=7),                           # name not a string
+    _valid_event(tid="0"),                          # tid not an int
+    _valid_event(ts=None),                          # non-numeric ts
+    _valid_event(ts=-1.0),                          # negative ts
+    {"ph": "X", "name": "n", "pid": 0, "tid": 0, "ts": 1.0},  # X w/o dur
+    _valid_event(dur=-2.0),                         # negative dur
+    {"ph": "b", "name": "n", "pid": 0, "tid": 0, "ts": 1.0},  # async w/o id
+    {"ph": "e", "name": "n", "pid": 0, "tid": 0, "ts": 1.0,
+     "id": "w"},                                    # end without begin
+    {"ph": "i", "name": "n", "pid": 0, "tid": 0, "ts": 1.0,
+     "s": "x"},                                     # bad instant scope
+])
+def test_validator_rejects_bad_events(ev):
+    with pytest.raises(ConfigurationError):
+        validate_chrome_trace({"traceEvents": [ev]})
+
+
+def test_validator_rejects_dangling_async_begin():
+    begin = {"ph": "b", "cat": "wan", "name": "n", "pid": 0, "tid": 0,
+             "ts": 1.0, "id": "w-0"}
+    with pytest.raises(ConfigurationError):
+        validate_chrome_trace({"traceEvents": [begin]})
+
+
+def test_validator_accepts_empty_trace():
+    validate_chrome_trace({"traceEvents": []})
+
+
+# -- JSONL event log ---------------------------------------------------------
+
+def test_event_log_round_trip(tmp_path):
+    tr = sample_tracer()
+    path = tmp_path / "run.events.jsonl"
+    count = write_event_log(tr, str(path))
+    lines = path.read_text().splitlines()
+    assert len(lines) == count == len(tr.intervals) + len(tr.messages)
+    records = [json.loads(line) for line in lines]
+    execs = [r for r in records if r["type"] == "exec"]
+    msgs = [r for r in records if r["type"] == "message"]
+    assert len(execs) == 2
+    assert execs[0] == {"type": "exec", "pe": 0, "start_s": 0.001,
+                        "end_s": 0.003, "chare": "Block", "entry": "ghost"}
+    kinds = sorted(r["kind"] for r in msgs)
+    assert kinds == ["deliver", "deliver", "drop", "send", "send", "send"]
+
+
+def test_event_log_empty_tracer(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    assert write_event_log(Tracer(), str(path)) == 0
+    assert path.read_text() == ""
