@@ -13,7 +13,33 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+from repro.bench.harness import BENCH_LOG_ENV
+
+
+@pytest.fixture(autouse=True, scope="session")
+def bench_trajectory_log():
+    """Append perf-trajectory records for every benchmarked run.
+
+    Points ``REPRO_BENCH_LOG`` at ``BENCH_critpath.json`` next to this
+    file (the repo root's committed trajectory) so each harness run
+    appends its config digest and headline numbers; ``repro bench-diff``
+    then compares runs across commits.  An explicit environment setting
+    wins, so CI can redirect the log.
+    """
+    if os.environ.get(BENCH_LOG_ENV):
+        yield
+        return
+    path = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "BENCH_critpath.json")
+    os.environ[BENCH_LOG_ENV] = path
+    try:
+        yield
+    finally:
+        os.environ.pop(BENCH_LOG_ENV, None)
 
 
 def run_once(benchmark, fn):

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Perf smoke run: one small traced stencil, appended to the trajectory.
+
+The CI perf-smoke job runs this script, then ``repro bench-diff``.  The
+script executes the canonical small configuration (8 PEs, 64 objects,
+512x512 mesh, 2 ms one-way WAN, 8 steps — virtual-time results are
+bit-identical on any machine), appends a summary record (config digest,
+median step time, masked fraction, critical-path compute share) to the
+committed ``BENCH_critpath.json``, and optionally exports the Chrome
+trace — causal flow events included — as a build artifact.  The diff
+then compares the fresh record against the committed baseline and fails
+the job on a >10 % step-time regression.
+
+Seeding or refreshing the committed baseline is the same command:
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.apps.stencil import StencilApp                  # noqa: E402
+from repro.bench.harness import (                          # noqa: E402
+    BENCH_LOG_ENV,
+    maybe_log_trajectory,
+)
+from repro.bench.records import ExperimentPoint            # noqa: E402
+from repro.bench.trajectory import DEFAULT_PATH            # noqa: E402
+from repro.grid.presets import artificial_latency_env      # noqa: E402
+from repro.obs.critpath import (                           # noqa: E402
+    CausalGraph,
+    per_step_attribution,
+    summarize_attribution,
+)
+from repro.obs.export import (                             # noqa: E402
+    chrome_trace,
+    validate_chrome_trace,
+)
+from repro.units import ms                                 # noqa: E402
+
+PES = 8
+OBJECTS = 64
+MESH = (512, 512)
+LATENCY_MS = 2.0
+STEPS = 8
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--log", default=DEFAULT_PATH,
+                        help="trajectory file to append to")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="also export the Chrome trace here")
+    args = parser.parse_args(argv)
+
+    env = artificial_latency_env(PES, ms(LATENCY_MS), trace=True)
+    t0 = env.now
+    app = StencilApp(env, mesh=MESH, objects=OBJECTS, payload="modeled")
+    result = app.run(STEPS)
+
+    graph = CausalGraph.from_tracer(env.tracer)
+    boundaries = [t0] + [t0 + float(t) for t in result.step_times]
+    steps = per_step_attribution(graph, boundaries, keep_segments=False)
+    summary = summarize_attribution(steps, warmup=result.warmup)
+
+    point = ExperimentPoint(
+        experiment="perf-smoke", app="stencil", environment="artificial",
+        pes=PES, objects=OBJECTS, latency_ms=LATENCY_MS,
+        time_per_step=result.time_per_step, steps=STEPS,
+        extra={"mesh": list(MESH)})
+    os.environ[BENCH_LOG_ENV] = args.log
+    maybe_log_trajectory(point, result, env,
+                         compute_share=summary["compute_share"])
+
+    print(f"perf-smoke: {result.time_per_step * 1e3:.3f} ms/step, "
+          f"masked {env.aggregator.masked_latency_fraction:.3f}, "
+          f"critpath compute share {summary['compute_share']:.3f} "
+          f"-> appended to {args.log}")
+
+    if args.out:
+        doc = chrome_trace(env.tracer)
+        validate_chrome_trace(doc)
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh)
+        flows = sum(1 for e in doc["traceEvents"] if e.get("ph") == "s")
+        print(f"Chrome trace with {flows} causal flows -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

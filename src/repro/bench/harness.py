@@ -7,11 +7,15 @@ compose these; nothing here knows about pytest.
 
 from __future__ import annotations
 
-from typing import Tuple
+import os
+from typing import Optional, Tuple
+
+import numpy as np
 
 from repro.apps.leanmd import LeanMDApp
 from repro.apps.stencil import AmpiStencilApp, StencilApp
 from repro.bench.records import ExperimentPoint
+from repro.bench.trajectory import RunRecord, append_record
 from repro.grid.presets import artificial_latency_env, teragrid_env
 from repro.units import ms
 
@@ -22,6 +26,12 @@ DEFAULT_STEPS = 10
 #: The paper's measured one-way NCSA-ANL latency, used when artificial
 #: experiments want to mirror the real grid (Tables 1 and 2).
 TERAGRID_ONE_WAY_MS = 1.725
+
+#: When this environment variable is set, every harness run appends a
+#: summary record to the perf trajectory: ``1`` (or any truthy value
+#: other than a path) targets ``BENCH_critpath.json`` in the current
+#: directory; any other value is used as the file path.
+BENCH_LOG_ENV = "REPRO_BENCH_LOG"
 
 
 def _obs_extra(env) -> dict:
@@ -36,6 +46,52 @@ def _obs_extra(env) -> dict:
     if agg is None:
         return {}
     return {"obs": agg.summary()}
+
+
+def _median_step_s(result) -> float:
+    """Median steady-state step time from a result's completion times."""
+    times = np.asarray(result.step_times, dtype=np.float64)
+    warmup = getattr(result, "warmup", 0)
+    window = times[warmup:] if len(times) > warmup + 1 else times
+    diffs = np.diff(window)
+    if len(diffs) == 0:
+        return float(result.time_per_step)
+    return float(np.median(diffs))
+
+
+def maybe_log_trajectory(point: ExperimentPoint, result, env,
+                         compute_share: Optional[float] = None) -> None:
+    """Append a perf-trajectory record when ``REPRO_BENCH_LOG`` is set.
+
+    Off by default so ordinary test/benchmark runs stay side-effect
+    free; ``benchmarks/conftest.py`` and the perf-smoke CI job turn it
+    on.  The record carries the config digest, the *median* steady-state
+    step time (robust against one slow warm-up step leaking into the
+    window), the streaming masked-latency fraction, and — when the
+    caller ran critical-path analysis — the compute share of step time.
+    """
+    dest = os.environ.get(BENCH_LOG_ENV)
+    if not dest:
+        return
+    path_kwargs = {} if dest == "1" else {"path": dest}
+    agg = getattr(env, "aggregator", None)
+    config = {
+        "experiment": point.experiment, "app": point.app,
+        "environment": point.environment, "pes": point.pes,
+        "objects": point.objects, "latency_ms": point.latency_ms,
+        "steps": point.steps,
+    }
+    record = RunRecord(
+        name=f"{point.app}:{point.pes}x{point.objects}"
+             f"@{point.latency_ms:g}ms",
+        config=config,
+        time_per_step_s=_median_step_s(result),
+        masked_fraction=(agg.masked_latency_fraction
+                         if agg is not None else None),
+        critpath_compute_share=compute_share,
+        extra={"time_per_step_mean_s": point.time_per_step},
+    )
+    append_record(record, **path_kwargs)
 
 
 def stencil_point(experiment: str, pes: int, objects: int,
@@ -53,13 +109,15 @@ def stencil_point(experiment: str, pes: int, objects: int,
         raise ValueError(f"unknown environment {environment!r}")
     app = StencilApp(env, mesh=mesh, objects=objects, payload=payload)
     result = app.run(steps)
-    return ExperimentPoint(
+    point = ExperimentPoint(
         experiment=experiment, app="stencil", environment=environment,
         pes=pes, objects=objects, latency_ms=latency_ms_value,
         time_per_step=result.time_per_step, steps=steps,
         extra={"makespan": result.makespan,
                "mesh": list(mesh), "payload": payload,
                **_obs_extra(env)})
+    maybe_log_trajectory(point, result, env)
+    return point
 
 
 def stencil_ampi_point(experiment: str, pes: int, ranks: int,
@@ -72,12 +130,14 @@ def stencil_ampi_point(experiment: str, pes: int, ranks: int,
     env = artificial_latency_env(pes, ms(latency_ms_value), seed=seed)
     app = AmpiStencilApp(env, mesh=mesh, ranks=ranks, payload=payload)
     result = app.run(steps)
-    return ExperimentPoint(
+    point = ExperimentPoint(
         experiment=experiment, app="stencil-ampi", environment="artificial",
         pes=pes, objects=ranks, latency_ms=latency_ms_value,
         time_per_step=result.time_per_step, steps=steps,
         extra={"makespan": result.makespan, "payload": payload,
                **_obs_extra(env)})
+    maybe_log_trajectory(point, result, env)
+    return point
 
 
 def leanmd_point(experiment: str, pes: int, latency_ms_value: float, *,
@@ -97,10 +157,12 @@ def leanmd_point(experiment: str, pes: int, latency_ms_value: float, *,
                     payload=payload)
     result = app.run(steps)
     grid_cells = cells[0] * cells[1] * cells[2]
-    return ExperimentPoint(
+    point = ExperimentPoint(
         experiment=experiment, app="leanmd", environment=environment,
         pes=pes, objects=grid_cells, latency_ms=latency_ms_value,
         time_per_step=result.time_per_step, steps=steps,
         extra={"makespan": result.makespan, "cells": list(cells),
                "atoms_per_cell": atoms_per_cell, "payload": payload,
                **_obs_extra(env)})
+    maybe_log_trajectory(point, result, env)
+    return point

@@ -1,0 +1,189 @@
+"""Perf-trajectory records: append-only benchmark summaries on disk.
+
+ROADMAP's north star wants the repository to carry its own performance
+history, so regressions show up in review rather than in a rerun months
+later.  Each benchmarked run appends one small summary record — a config
+digest plus the headline numbers (median step time, masked-latency
+fraction, critical-path compute share) — to ``BENCH_critpath.json`` at
+the repo root; ``repro bench-diff`` compares two records (or the last
+two with matching digests) and flags >10 % step-time regressions.
+
+The file is a JSON array of plain dicts: human-diffable, trivially
+loadable, and append is read-modify-write (records are tiny and appends
+rare, so no locking is needed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Default trajectory file, relative to the current working directory
+#: (the repo root in CI and normal development).
+DEFAULT_PATH = "BENCH_critpath.json"
+
+#: Relative step-time increase treated as a regression by compare().
+REGRESSION_THRESHOLD = 0.10
+
+
+def config_digest(config: Dict[str, Any]) -> str:
+    """Short stable digest of a run configuration.
+
+    Canonical-JSON SHA-1, truncated: enough to match "same config, new
+    run" pairs across the trajectory without storing the whole config
+    twice.
+    """
+    canon = json.dumps(config, sort_keys=True, separators=(",", ":"),
+                       default=str)
+    return hashlib.sha1(canon.encode()).hexdigest()[:12]
+
+
+@dataclass
+class RunRecord:
+    """One benchmarked run's summary in the trajectory file."""
+
+    name: str                         # e.g. "stencil:8x64@0ms"
+    config: Dict[str, Any]
+    time_per_step_s: float
+    masked_fraction: Optional[float] = None
+    critpath_compute_share: Optional[float] = None
+    digest: str = ""
+    #: Unix timestamp of the run (0 when the caller wants determinism).
+    created: float = 0.0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.digest:
+            self.digest = config_digest(self.config)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "RunRecord":
+        known = {k: d[k] for k in
+                 ("name", "config", "time_per_step_s", "masked_fraction",
+                  "critpath_compute_share", "digest", "created", "extra")
+                 if k in d}
+        return cls(**known)
+
+
+def load_records(path: str = DEFAULT_PATH) -> List[RunRecord]:
+    """All records in *path* (oldest first); empty list if absent."""
+    if not os.path.exists(path):
+        return []
+    with open(path) as fh:
+        raw = json.load(fh)
+    if not isinstance(raw, list):
+        raise ValueError(f"{path}: expected a JSON array of records")
+    return [RunRecord.from_dict(d) for d in raw]
+
+
+def append_record(record: RunRecord, path: str = DEFAULT_PATH,
+                  stamp: bool = True) -> int:
+    """Append *record* to *path*; returns the new record count."""
+    if stamp and not record.created:
+        record.created = time.time()
+    records = load_records(path)
+    records.append(record)
+    with open(path, "w") as fh:
+        json.dump([r.to_dict() for r in records], fh, indent=1)
+        fh.write("\n")
+    return len(records)
+
+
+@dataclass
+class Comparison:
+    """Outcome of comparing a new record against a baseline."""
+
+    baseline: RunRecord
+    candidate: RunRecord
+    threshold: float = REGRESSION_THRESHOLD
+
+    @property
+    def ratio(self) -> float:
+        """candidate / baseline step time (1.0 = unchanged)."""
+        if self.baseline.time_per_step_s <= 0:
+            return float("inf") if self.candidate.time_per_step_s > 0 else 1.0
+        return self.candidate.time_per_step_s / self.baseline.time_per_step_s
+
+    @property
+    def regressed(self) -> bool:
+        return self.ratio > 1.0 + self.threshold
+
+    @property
+    def improved(self) -> bool:
+        return self.ratio < 1.0 - self.threshold
+
+    @property
+    def config_changed(self) -> bool:
+        return self.baseline.digest != self.candidate.digest
+
+    def render(self) -> str:
+        verdict = ("REGRESSION" if self.regressed
+                   else "improved" if self.improved else "ok")
+        lines = [
+            f"baseline  {self.baseline.name}  "
+            f"{self.baseline.time_per_step_s * 1e3:.3f} ms/step  "
+            f"(digest {self.baseline.digest})",
+            f"candidate {self.candidate.name}  "
+            f"{self.candidate.time_per_step_s * 1e3:.3f} ms/step  "
+            f"(digest {self.candidate.digest})",
+            f"ratio     {self.ratio:.3f}x  "
+            f"(threshold +{self.threshold:.0%})  -> {verdict}",
+        ]
+        if self.config_changed:
+            lines.append("note      config digests differ: the comparison "
+                         "crosses configurations")
+        for key, attr in (("masked fraction", "masked_fraction"),
+                          ("critpath compute share",
+                           "critpath_compute_share")):
+            b = getattr(self.baseline, attr)
+            c = getattr(self.candidate, attr)
+            if b is not None and c is not None:
+                lines.append(f"{key:24s} {b:.3f} -> {c:.3f}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "baseline": self.baseline.to_dict(),
+            "candidate": self.candidate.to_dict(),
+            "ratio": self.ratio,
+            "threshold": self.threshold,
+            "regressed": self.regressed,
+            "improved": self.improved,
+            "config_changed": self.config_changed,
+        }
+
+
+def compare(baseline: RunRecord, candidate: RunRecord,
+            threshold: float = REGRESSION_THRESHOLD) -> Comparison:
+    """Compare two records; ``.regressed`` flags a >threshold slowdown."""
+    return Comparison(baseline=baseline, candidate=candidate,
+                      threshold=threshold)
+
+
+def latest_pair(records: Sequence[RunRecord],
+                digest: Optional[str] = None
+                ) -> Optional[Tuple[RunRecord, RunRecord]]:
+    """The two most recent records sharing a digest (or the given one).
+
+    Returns ``(baseline, candidate)`` with the candidate newest, or
+    ``None`` when no digest occurs twice.
+    """
+    wanted = digest
+    if wanted is None:
+        seen: Dict[str, RunRecord] = {}
+        for rec in reversed(records):          # newest first
+            if rec.digest in seen:
+                return rec, seen[rec.digest]
+            seen[rec.digest] = rec
+        return None
+    matching = [r for r in records if r.digest == wanted]
+    if len(matching) < 2:
+        return None
+    return matching[-2], matching[-1]

@@ -9,14 +9,23 @@ Usage (any artefact, directly from a shell)::
     python -m repro demo   [--json]
     python -m repro trace  [--app stencil|leanmd] [--out run.trace.json]
                            [--events-out run.events.jsonl] [--json]
+    python -m repro critpath [--app stencil|leanmd] [--latency MS]
+                             [--grid MS ...] [--per-step] [--json]
+    python -m repro bench-diff [--path BENCH_critpath.json]
+                               [--digest HEX | --baseline I --candidate J]
 
 The full default sweeps take a few minutes; the subsetting flags let
 you reproduce a single panel or row in seconds.  ``repro trace`` runs
 one traced configuration and prints the latency-masking report
 (utilization, comm/compute, masked-latency fraction); ``--out`` exports
-a Chrome trace-event file for chrome://tracing / Perfetto.  The table
-and figure commands stay text-only, matching the paper's artefacts;
-``demo`` and ``trace`` take ``--json`` for machine-readable output.
+a Chrome trace-event file for chrome://tracing / Perfetto.  ``repro
+critpath`` runs one traced configuration, attributes each step's wall
+time along the causal critical path (compute / WAN in-flight / queueing
+/ retransmit stall) and predicts the Figure-3 knee from that single
+run.  ``repro bench-diff`` compares two perf-trajectory records and
+exits non-zero on a >10 % step-time regression.  The table and figure
+commands stay text-only, matching the paper's artefacts; ``demo``,
+``trace`` and ``critpath`` take ``--json`` for machine-readable output.
 """
 
 from __future__ import annotations
@@ -105,6 +114,50 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write a JSON-lines structured event log here")
     tr.add_argument("--json", action="store_true",
                     help="print the report as JSON instead of text")
+
+    cp = sub.add_parser("critpath", help="critical-path attribution and "
+                        "knee prediction from one traced run")
+    cp.add_argument("--app", choices=("stencil", "leanmd"),
+                    default="stencil")
+    cp.add_argument("--pes", type=int, default=8)
+    cp.add_argument("--objects", type=int, default=64,
+                    help="virtualization degree (stencil only)")
+    cp.add_argument("--mesh", type=int, default=1024, metavar="N",
+                    help="stencil mesh edge (NxN; Figure 3 uses 2048)")
+    cp.add_argument("--latency", type=float, default=0.0,
+                    help="one-way WAN latency of the traced run (ms); "
+                         "the knee is predicted from this single run")
+    cp.add_argument("--steps", type=int, default=10)
+    cp.add_argument("--grid", nargs="+", type=float, default=None,
+                    metavar="MS", help="hypothetical one-way latencies to "
+                    "sweep in the what-if replay (default: Figure 3's)")
+    cp.add_argument("--tolerance", type=float, default=1.5,
+                    help="knee tolerance: largest latency with predicted "
+                         "T(L) <= tolerance x baseline (default 1.5)")
+    cp.add_argument("--per-step", action="store_true",
+                    help="print the per-step attribution table too")
+    cp.add_argument("--out", default=None, metavar="PATH",
+                    help="write the Chrome trace (with causal flow "
+                         "events) here")
+    cp.add_argument("--json", action="store_true",
+                    help="print the report as JSON instead of text")
+
+    bd = sub.add_parser("bench-diff", help="compare two perf-trajectory "
+                        "records; exit 1 on >threshold regression")
+    bd.add_argument("--path", default=None, metavar="FILE",
+                    help="trajectory file (default BENCH_critpath.json)")
+    bd.add_argument("--digest", default=None, metavar="HEX",
+                    help="compare the last two records with this config "
+                         "digest (default: last two sharing any digest)")
+    bd.add_argument("--baseline", type=int, default=None, metavar="I",
+                    help="explicit baseline record index (0-based)")
+    bd.add_argument("--candidate", type=int, default=None, metavar="J",
+                    help="explicit candidate record index (0-based)")
+    bd.add_argument("--threshold", type=float, default=None,
+                    help="regression threshold as a fraction "
+                         "(default 0.10)")
+    bd.add_argument("--json", action="store_true",
+                    help="print the comparison as JSON instead of text")
     return parser
 
 
@@ -241,6 +294,120 @@ def cmd_trace(args, out) -> None:
                   f"({report.extra['event_log_lines']} records)", file=out)
 
 
+def cmd_critpath(args, out) -> None:
+    from repro.grid import artificial_latency_env
+    from repro.obs.critpath import (
+        CausalGraph,
+        per_step_attribution,
+        predict_knee,
+        render_attribution,
+        summarize_attribution,
+    )
+    from repro.obs.export import chrome_trace, validate_chrome_trace
+    from repro.obs.report import build_report
+    from repro.units import ms
+
+    if args.pes < 2 or args.pes % 2:
+        raise SystemExit(f"--pes must be even and >= 2, got {args.pes}")
+    if args.latency < 0:
+        raise SystemExit(f"--latency must be >= 0, got {args.latency}")
+    env = artificial_latency_env(args.pes, ms(args.latency), trace=True)
+    t0 = env.now
+    if args.app == "stencil":
+        from repro.apps.stencil import StencilApp
+        app = StencilApp(env, mesh=(args.mesh, args.mesh),
+                         objects=args.objects, payload="modeled")
+        result = app.run(args.steps)
+    else:
+        from repro.apps.leanmd import LeanMDApp
+        app = LeanMDApp(env, cells=(4, 4, 4), atoms_per_cell=16,
+                        payload="modeled")
+        result = app.run(args.steps)
+
+    graph = CausalGraph.from_tracer(env.tracer)
+    boundaries = [t0] + [t0 + float(t) for t in result.step_times]
+    steps = per_step_attribution(graph, boundaries)
+    summary = summarize_attribution(steps, warmup=result.warmup)
+    grid_ms = args.grid if args.grid else list(FIG3_LATENCIES_MS)
+    knee = predict_knee(graph, boundaries, ms(args.latency),
+                        [ms(x) for x in grid_ms],
+                        tolerance=args.tolerance, warmup=result.warmup)
+
+    report = build_report(env.aggregator)
+    report.critpath = {**summary, "knee": knee.to_dict()}
+    report.extra["app"] = args.app
+    report.extra["pes"] = args.pes
+    report.extra["latency_ms"] = args.latency
+    report.extra["steps"] = args.steps
+    if args.out is not None:
+        doc = chrome_trace(env.tracer)
+        validate_chrome_trace(doc)
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh)
+        report.extra["chrome_trace"] = args.out
+
+    if args.json:
+        doc = report.to_dict()
+        if args.per_step:
+            doc["per_step"] = [att.to_dict() for att in steps]
+        json.dump(doc, out, indent=2)
+        print(file=out)
+        return
+    print(f"{args.app}: {args.pes} PEs, {args.objects} objects, "
+          f"{args.latency:g} ms one-way WAN, {args.steps} steps",
+          file=out)
+    print(file=out)
+    print(report.render(), file=out)
+    if args.per_step:
+        print(file=out)
+        print(render_attribution(steps, warmup=result.warmup), file=out)
+    print(file=out)
+    pairs = "  ".join(
+        f"{lat * 1e3:g}ms->{t * 1e3:.2f}"
+        for lat, t in zip(knee.grid_s, knee.predicted_step_s))
+    print(f"predicted T(L) ms/step: {pairs}", file=out)
+    print(f"predicted knee: {knee.knee_s * 1e3:g} ms "
+          f"(largest L with T(L) <= {knee.tolerance:g}x baseline)",
+          file=out)
+    if args.out is not None:
+        print(f"Chrome trace (with causal flows) written to {args.out}",
+              file=out)
+
+
+def cmd_bench_diff(args, out) -> None:
+    from repro.bench import trajectory
+
+    path = args.path if args.path else trajectory.DEFAULT_PATH
+    records = trajectory.load_records(path)
+    if not records:
+        raise SystemExit(f"no trajectory records in {path}")
+    if (args.baseline is None) != (args.candidate is None):
+        raise SystemExit("--baseline and --candidate go together")
+    if args.baseline is not None:
+        try:
+            pair = (records[args.baseline], records[args.candidate])
+        except IndexError:
+            raise SystemExit(
+                f"record index out of range (have {len(records)})")
+    else:
+        pair = trajectory.latest_pair(records, digest=args.digest)
+        if pair is None:
+            what = (f"digest {args.digest}" if args.digest
+                    else "any shared digest")
+            raise SystemExit(
+                f"{path}: no two records with {what} to compare")
+    threshold = (args.threshold if args.threshold is not None
+                 else trajectory.REGRESSION_THRESHOLD)
+    cmp = trajectory.compare(pair[0], pair[1], threshold=threshold)
+    if args.json:
+        json.dump(cmp.to_dict(), out, indent=2)
+        print(file=out)
+    else:
+        print(cmp.render(), file=out)
+    if cmp.regressed:
+        raise SystemExit(1)
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "table2": cmd_table2,
@@ -248,6 +415,8 @@ COMMANDS = {
     "fig4": cmd_fig4,
     "demo": cmd_demo,
     "trace": cmd_trace,
+    "critpath": cmd_critpath,
+    "bench-diff": cmd_bench_diff,
 }
 
 

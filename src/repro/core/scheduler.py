@@ -47,6 +47,9 @@ class ExecutionContext:
     charged: float = 0.0
     outbox: List[Message] = field(default_factory=list)
     migration_request: Optional[Tuple[ChareID, int]] = None
+    #: Causal span id of this execution; ``None`` when tracing is off
+    #: (ids are only allocated when a sink will record them).
+    exec_id: Optional[int] = None
 
 
 class Scheduler:
@@ -59,6 +62,8 @@ class Scheduler:
             for pe in rts.topology.pes()
         ]
         self._current: Optional[ExecutionContext] = None
+        #: Next causal span id (allocated only while tracing is on).
+        self._next_exec_id = 0
 
     # -- accessors ---------------------------------------------------------
 
@@ -92,6 +97,10 @@ class Scheduler:
                               priority=msg.priority, tag=msg.tag)
                 sub.crossed_wan = msg.crossed_wan
                 sub.sent_at = msg.sent_at
+                # Keep the bundle's identity so causal analysis can map
+                # each expanded execution back to the recorded wire edge.
+                sub.seq = msg.seq
+                sub.cause = msg.cause
                 ps.queue.push(sub)
                 ps.stats.messages_received += 1
         else:
@@ -121,6 +130,10 @@ class Scheduler:
         engine = rts.engine
         t0 = engine.now
         ctx = ExecutionContext(pe=ps.pe)
+        tracing = rts.tracer is not None and rts.tracer.enabled
+        if tracing:
+            ctx.exec_id = self._next_exec_id
+            self._next_exec_id += 1
         if self._current is not None:
             raise RuntimeSystemError(
                 "nested entry-method execution (scheduler bug)")
@@ -156,8 +169,10 @@ class Scheduler:
             self._current = None
 
         total = rts.config.scheduler_overhead + static_cost + ctx.charged
-        if rts.tracer is not None and rts.tracer.enabled:
-            rts.tracer.begin_execute(ps.pe, t0, label_chare, label_entry)
+        if tracing and rts.tracer.enabled:
+            rts.tracer.begin_execute(ps.pe, t0, label_chare, label_entry,
+                                     sid=ctx.exec_id, parent=msg.cause,
+                                     trigger=msg.seq)
         engine.post(t0 + total, lambda: self._finish(ps, ctx, total))
 
     def _run_invocation(self, ps: PeState, ctx: ExecutionContext,
@@ -214,6 +229,7 @@ class Scheduler:
         # at the end of the busy interval (run-to-completion semantics).
         for out in ctx.outbox:
             ps.stats.messages_sent += 1
+            out.cause = ctx.exec_id
             rts.fabric.send(out, self.deliver)
 
         ps.busy = False

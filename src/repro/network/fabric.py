@@ -142,14 +142,17 @@ class NetworkFabric:
         if self.tracer is not None:
             self.tracer.message_sent(now, msg.src_pe, msg.dst_pe,
                                      wire_msg.size_bytes, msg.tag,
-                                     msg.crossed_wan, seq=msg.seq)
+                                     msg.crossed_wan, seq=msg.seq,
+                                     cause=msg.cause, ack_for=msg.ack_for)
 
         if route.dropped:
             self.stats.record_drop(route.transport.name)
             if self.tracer is not None:
                 self.tracer.message_dropped(now, msg.src_pe, msg.dst_pe,
                                             wire_msg.size_bytes, msg.tag,
-                                            msg.crossed_wan, seq=msg.seq)
+                                            msg.crossed_wan, seq=msg.seq,
+                                            cause=msg.cause,
+                                            ack_for=msg.ack_for)
             return math.inf
 
         if route.duplicates:
@@ -169,7 +172,9 @@ class NetworkFabric:
                 def _deliver(m: Message = msg, t: float = arrival) -> None:
                     self.tracer.message_delivered(t, m.src_pe, m.dst_pe,
                                                   wire_msg.size_bytes, m.tag,
-                                                  m.crossed_wan, seq=m.seq)
+                                                  m.crossed_wan, seq=m.seq,
+                                                  cause=m.cause,
+                                                  ack_for=m.ack_for)
                     deliver(m)
             else:
                 def _deliver(m: Message = msg) -> None:

@@ -57,6 +57,17 @@ class Message:
     sent_at: Optional[float] = None
     #: Monotonic sequence number: FIFO tiebreak inside equal priorities.
     seq: int = field(default_factory=lambda: next(_seq_counter))
+    #: Causal parent: the span id of the entry-method execution that sent
+    #: this message (stamped by the scheduler when the sender's busy
+    #: interval ends and the outbox flushes).  ``None`` for messages
+    #: originated outside any execution (driver sends, protocol acks) or
+    #: when tracing is off.
+    cause: Optional[int] = None
+    #: For reliable-transport acks: the sequence id of the data message
+    #: this ack acknowledges.  ``None`` on ordinary messages.  The trace
+    #: records it so causal analysis can draw ack edges without parsing
+    #: tags.
+    ack_for: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.size_bytes < 0:
@@ -79,4 +90,6 @@ class Message:
         clone.crossed_wan = self.crossed_wan
         clone.sent_at = self.sent_at
         clone.seq = self.seq
+        clone.cause = self.cause
+        clone.ack_for = self.ack_for
         return clone

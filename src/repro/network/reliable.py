@@ -266,7 +266,7 @@ class ReliableTransport:
         self.rstats.acks_sent += 1
         ack = Message(src_pe=msg.dst_pe, dst_pe=msg.src_pe,
                       size_bytes=self.policy.ack_bytes,
-                      tag=f"ack:{msg.seq}")
+                      tag=f"ack:{msg.seq}", ack_for=msg.seq)
         self.fabric.send(
             ack, lambda _m, seq=msg.seq: self._on_ack(seq))
 

@@ -16,9 +16,24 @@ Projections-grade surface:
   comm/compute breakdown, and the headline **masked-latency fraction**
   (share of WAN in-flight time during which the destination PE was
   busy), computed either from a batch trace or from the streaming
-  :class:`~repro.sim.trace.TraceAggregator`.
+  :class:`~repro.sim.trace.TraceAggregator`;
+* :mod:`repro.obs.critpath` — causal critical-path analysis: the step
+  DAG, per-step latency attribution (compute / WAN flight / queueing /
+  retransmit stall, summing exactly to the step's wall time), and the
+  knee analyzer predicting Figure 3's knee from one low-latency run.
 """
 
+from repro.obs.critpath import (
+    CausalGraph,
+    KneePrediction,
+    PathSegment,
+    StepAttribution,
+    per_step_attribution,
+    predict_knee,
+    render_attribution,
+    replay_with_latency,
+    summarize_attribution,
+)
 from repro.obs.export import (
     chrome_trace_events,
     export_chrome_trace,
@@ -33,6 +48,15 @@ from repro.obs.report import (
 )
 
 __all__ = [
+    "CausalGraph",
+    "KneePrediction",
+    "PathSegment",
+    "StepAttribution",
+    "per_step_attribution",
+    "predict_knee",
+    "render_attribution",
+    "replay_with_latency",
+    "summarize_attribution",
     "Counter",
     "Gauge",
     "Histogram",

@@ -28,7 +28,7 @@ from repro.errors import ConfigurationError
 from repro.sim.trace import Tracer
 
 #: Event phases this exporter emits (subset of the trace-event format).
-_PHASES = {"X", "b", "e", "i", "M"}
+_PHASES = {"X", "b", "e", "i", "M", "s", "t", "f"}
 
 _SEC_TO_US = 1e6
 
@@ -45,7 +45,12 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
       (``cat="wan"``, one id per window) so in-flight spans render as
       arcs above the PE tracks;
     * ``i`` instant events for wire drops (``cat="fault"``) and
-      retransmissions (second and later sends of one sequence id).
+      retransmissions (second and later sends of one sequence id);
+    * ``s``/``f`` flow-event pairs (``cat="causal"``) connecting each
+      message send to the entry-method execution its delivery triggered,
+      so the viewer draws cause -> effect arrows between PE tracks
+      (requires a trace recorded with causal ids, i.e. any trace from
+      this runtime; absent ids simply emit no flows).
     """
     events: List[Dict[str, Any]] = [{
         "ph": "M", "name": "process_name", "pid": 0, "tid": 0,
@@ -100,6 +105,36 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
                 })
             else:
                 seen_sends.add(key)
+
+    # Flow arrows: one per (message, triggered execution) pair.  The
+    # flow starts at the first send on the source PE's track and
+    # finishes (binding to the enclosing slice, bp="e") at the start of
+    # the execution the delivery triggered on the destination track.
+    first_send_of: Dict[int, Any] = {}
+    for ev in tracer.messages:
+        if ev.kind == "send" and ev.seq is not None:
+            if ev.seq not in first_send_of:
+                first_send_of[ev.seq] = ev
+    for iv in tracer.intervals:
+        if iv.trigger is None:
+            continue
+        send_ev = first_send_of.get(iv.trigger)
+        if send_ev is None:
+            continue
+        ident = f"flow-{iv.trigger}-{iv.sid}"
+        events.append({
+            "ph": "s", "cat": "causal", "name": send_ev.tag or "msg",
+            "pid": 0, "tid": send_ev.src_pe, "id": ident,
+            "ts": send_ev.time * _SEC_TO_US,
+            "args": {"seq": iv.trigger, "cause": send_ev.cause},
+        })
+        events.append({
+            "ph": "f", "bp": "e", "cat": "causal",
+            "name": send_ev.tag or "msg",
+            "pid": 0, "tid": iv.pe, "id": ident,
+            "ts": iv.start * _SEC_TO_US,
+            "args": {"sid": iv.sid},
+        })
     return events
 
 
@@ -138,6 +173,7 @@ def validate_chrome_trace(doc: Dict[str, Any]) -> None:
     if not isinstance(events, list):
         raise ConfigurationError("'traceEvents' must be a list")
     async_open: Dict[Any, int] = {}
+    flow_open: Dict[Any, int] = {}
     for n, ev in enumerate(events):
         where = f"traceEvents[{n}]"
         if not isinstance(ev, dict):
@@ -179,10 +215,27 @@ def validate_chrome_trace(doc: Dict[str, Any]) -> None:
             if ev.get("s") not in ("g", "p", "t"):
                 raise ConfigurationError(
                     f"{where}: instant event needs scope 's' in g/p/t")
+        elif ph in ("s", "t", "f"):
+            if "id" not in ev:
+                raise ConfigurationError(f"{where}: flow event needs 'id'")
+            key = (ev.get("cat"), ev["id"])
+            if ph == "s":
+                flow_open[key] = flow_open.get(key, 0) + 1
+            else:
+                if flow_open.get(key, 0) <= 0:
+                    raise ConfigurationError(
+                        f"{where}: flow {ph!r} without a preceding 's' "
+                        f"(id={ev['id']})")
+                if ph == "f":
+                    flow_open[key] -= 1
     dangling = {k: v for k, v in async_open.items() if v != 0}
     if dangling:
         raise ConfigurationError(
             f"unbalanced async begin/end pairs: {sorted(dangling)}")
+    unfinished = {k: v for k, v in flow_open.items() if v != 0}
+    if unfinished:
+        raise ConfigurationError(
+            f"flow starts without a finish: {sorted(unfinished)}")
 
 
 def write_event_log(tracer: Tracer,
@@ -198,12 +251,14 @@ def write_event_log(tracer: Tracer,
         lines.append(json.dumps({
             "type": "exec", "pe": iv.pe, "start_s": iv.start,
             "end_s": iv.end, "chare": iv.chare, "entry": iv.entry,
+            "sid": iv.sid, "parent": iv.parent, "trigger": iv.trigger,
         }))
     for ev in tracer.messages:
         lines.append(json.dumps({
             "type": "message", "kind": ev.kind, "time_s": ev.time,
             "src_pe": ev.src_pe, "dst_pe": ev.dst_pe, "size": ev.size,
             "tag": ev.tag, "wan": ev.crossed_wan, "seq": ev.seq,
+            "cause": ev.cause, "ack_for": ev.ack_for,
         }))
     text = "\n".join(lines) + ("\n" if lines else "")
     if hasattr(path_or_file, "write"):

@@ -17,7 +17,7 @@ for terminals and ``to_dict()`` for ``--json`` consumers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.sim.trace import EntryProfile, TraceAggregator, Tracer
@@ -60,6 +60,12 @@ class LatencyMaskingReport:
     masked_fraction: float
     retransmits: int = 0
     dups_suppressed: int = 0
+    #: Optional critical-path section (``repro critpath`` fills it):
+    #: steady-state component shares from
+    #: :func:`repro.obs.critpath.summarize_attribution` and, when the
+    #: knee analyzer ran, its :class:`~repro.obs.critpath.KneePrediction`
+    #: digest under ``"knee"``.
+    critpath: Optional[Dict[str, object]] = None
     extra: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -73,6 +79,26 @@ class LatencyMaskingReport:
         """Busy share of total PE-seconds (compute side of the split)."""
         denom = self.makespan_s * self.pes
         return self.busy_time_s / denom if denom > 0 else 0.0
+
+    @property
+    def degenerate_label(self) -> Optional[str]:
+        """Name for the WAN-overlap edge cases, ``None`` when ordinary.
+
+        * ``"no-wan-traffic"`` — nothing ever crossed the wide area (a
+          single-cluster or single-PE run): the masked fraction is
+          vacuously 0 and should not be read as "nothing was masked".
+        * ``"fully-masked"`` — every in-flight second was hidden behind
+          destination work (the paper's ideal flat-region case).
+        * ``"nothing-masked"`` — WAN flights happened but the
+          destination idled through all of them (1 object/PE territory).
+        """
+        if self.wan_windows == 0 or self.wan_flight_time_s <= 0.0:
+            return "no-wan-traffic"
+        if self.wan_masked_time_s >= self.wan_flight_time_s:
+            return "fully-masked"
+        if self.wan_masked_time_s <= 0.0:
+            return "nothing-masked"
+        return None
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -94,7 +120,10 @@ class LatencyMaskingReport:
                 "masked_fraction": self.masked_fraction,
                 "retransmits": self.retransmits,
                 "dups_suppressed": self.dups_suppressed,
+                "degenerate": self.degenerate_label,
             },
+            **({"critpath": self.critpath}
+               if self.critpath is not None else {}),
             **self.extra,
         }
 
@@ -123,9 +152,38 @@ class LatencyMaskingReport:
             f"  masked (dst busy) {self.wan_masked_time_s * 1e3:10.3f} ms",
             f"  masked fraction   {self.masked_fraction:10.1%}",
         ]
+        label = self.degenerate_label
+        if label is not None:
+            note = {
+                "no-wan-traffic": "no WAN traffic: masked fraction is "
+                                  "vacuous",
+                "fully-masked": "fully masked: every in-flight second "
+                                "was hidden",
+                "nothing-masked": "nothing masked: destination idled "
+                                  "through every flight",
+            }[label]
+            lines.append(f"  note              {note}")
         if self.retransmits or self.dups_suppressed:
             lines.append(f"retransmits         {self.retransmits:10d}")
             lines.append(f"dups suppressed     {self.dups_suppressed:10d}")
+        if self.critpath is not None:
+            lines += ["", "Critical path (steady state)"]
+            for key, title in (("compute", "compute"),
+                               ("wan_flight", "WAN in-flight"),
+                               ("queue_serial", "queue/serialization"),
+                               ("retransmit_stall", "retransmit stall")):
+                share = self.critpath.get(f"{key}_share")
+                secs = self.critpath.get(f"{key}_s")
+                if share is not None and secs is not None:
+                    lines.append(f"  {title:18s}{float(secs) * 1e3:10.3f} ms "
+                                 f"({float(share):.1%} of step time)")
+            knee = self.critpath.get("knee")
+            if isinstance(knee, dict):
+                lines.append(
+                    f"  predicted knee    "
+                    f"{float(knee.get('predicted_knee_ms', 0.0)):10.3f} ms "
+                    f"(T(L) within {float(knee.get('tolerance', 0.0)):g}x "
+                    f"of baseline)")
         if self.top_entries:
             lines += ["", f"{'chare.entry':32s} {'calls':>8} {'time(ms)':>10}"]
             for chare, entry, calls, total in self.top_entries:

@@ -68,6 +68,16 @@ class ExecInterval:
     end: float
     chare: str
     entry: str
+    #: Causal span id of this execution, unique within a run.  ``None``
+    #: for events recorded by pre-causal producers.
+    sid: Optional[int] = None
+    #: Span id of the execution that *sent* the message this execution
+    #: is processing (the causal parent), or ``None`` for roots (driver
+    #: sends) and pre-causal traces.
+    parent: Optional[int] = None
+    #: Sequence id of the message whose delivery triggered this
+    #: execution; pairs the span with its incoming wire edge.
+    trigger: Optional[int] = None
 
     @property
     def duration(self) -> float:
@@ -89,6 +99,11 @@ class MessageEvent:
     #: when jitter or retransmission reorders deliveries.  ``None`` for
     #: events recorded by pre-seq producers (paired FIFO as a fallback).
     seq: Optional[int] = None
+    #: Span id of the execution that sent this message (causal parent),
+    #: or ``None`` for driver/protocol messages and pre-causal traces.
+    cause: Optional[int] = None
+    #: For reliable-transport acks: the data-message seq acknowledged.
+    ack_for: Optional[int] = None
 
 
 @dataclass
@@ -131,21 +146,29 @@ class TraceSink(Protocol):
     enabled: bool
 
     def begin_execute(self, pe: int, now: float, chare: str,
-                      entry: str) -> None: ...
+                      entry: str, sid: Optional[int] = None,
+                      parent: Optional[int] = None,
+                      trigger: Optional[int] = None) -> None: ...
 
     def end_execute(self, pe: int, now: float) -> None: ...
 
     def message_sent(self, now: float, src_pe: int, dst_pe: int, size: int,
                      tag: str, crossed_wan: bool,
-                     seq: Optional[int] = None) -> None: ...
+                     seq: Optional[int] = None,
+                     cause: Optional[int] = None,
+                     ack_for: Optional[int] = None) -> None: ...
 
     def message_delivered(self, now: float, src_pe: int, dst_pe: int,
                           size: int, tag: str, crossed_wan: bool,
-                          seq: Optional[int] = None) -> None: ...
+                          seq: Optional[int] = None,
+                          cause: Optional[int] = None,
+                          ack_for: Optional[int] = None) -> None: ...
 
     def message_dropped(self, now: float, src_pe: int, dst_pe: int,
                         size: int, tag: str, crossed_wan: bool,
-                        seq: Optional[int] = None) -> None: ...
+                        seq: Optional[int] = None,
+                        cause: Optional[int] = None,
+                        ack_for: Optional[int] = None) -> None: ...
 
     def note_retransmit(self) -> None: ...
 
@@ -168,10 +191,13 @@ class TraceFanout:
         return any(s.enabled for s in self.sinks)
 
     def begin_execute(self, pe: int, now: float, chare: str,
-                      entry: str) -> None:
+                      entry: str, sid: Optional[int] = None,
+                      parent: Optional[int] = None,
+                      trigger: Optional[int] = None) -> None:
         for s in self.sinks:
             if s.enabled:
-                s.begin_execute(pe, now, chare, entry)
+                s.begin_execute(pe, now, chare, entry, sid=sid,
+                                parent=parent, trigger=trigger)
 
     def end_execute(self, pe: int, now: float) -> None:
         for s in self.sinks:
@@ -180,27 +206,35 @@ class TraceFanout:
 
     def message_sent(self, now: float, src_pe: int, dst_pe: int, size: int,
                      tag: str, crossed_wan: bool,
-                     seq: Optional[int] = None) -> None:
+                     seq: Optional[int] = None,
+                     cause: Optional[int] = None,
+                     ack_for: Optional[int] = None) -> None:
         for s in self.sinks:
             if s.enabled:
                 s.message_sent(now, src_pe, dst_pe, size, tag, crossed_wan,
-                               seq)
+                               seq, cause=cause, ack_for=ack_for)
 
     def message_delivered(self, now: float, src_pe: int, dst_pe: int,
                           size: int, tag: str, crossed_wan: bool,
-                          seq: Optional[int] = None) -> None:
+                          seq: Optional[int] = None,
+                          cause: Optional[int] = None,
+                          ack_for: Optional[int] = None) -> None:
         for s in self.sinks:
             if s.enabled:
                 s.message_delivered(now, src_pe, dst_pe, size, tag,
-                                    crossed_wan, seq)
+                                    crossed_wan, seq, cause=cause,
+                                    ack_for=ack_for)
 
     def message_dropped(self, now: float, src_pe: int, dst_pe: int,
                         size: int, tag: str, crossed_wan: bool,
-                        seq: Optional[int] = None) -> None:
+                        seq: Optional[int] = None,
+                        cause: Optional[int] = None,
+                        ack_for: Optional[int] = None) -> None:
         for s in self.sinks:
             if s.enabled:
                 s.message_dropped(now, src_pe, dst_pe, size, tag,
-                                  crossed_wan, seq)
+                                  crossed_wan, seq, cause=cause,
+                                  ack_for=ack_for)
 
     def note_retransmit(self) -> None:
         for s in self.sinks:
@@ -228,7 +262,8 @@ class Tracer:
         self.enabled = enabled
         self.intervals: List[ExecInterval] = []
         self.messages: List[MessageEvent] = []
-        self._open: Dict[int, Tuple[float, str, str]] = {}
+        self._open: Dict[int, Tuple[float, str, str, Optional[int],
+                                    Optional[int], Optional[int]]] = {}
         #: Reliable-transport counters (cheap; kept even in big sweeps).
         self.retransmits = 0
         self.dups_suppressed = 0
@@ -240,50 +275,64 @@ class Tracer:
 
     # -- recording -------------------------------------------------------
 
-    def begin_execute(self, pe: int, now: float, chare: str, entry: str) -> None:
+    def begin_execute(self, pe: int, now: float, chare: str, entry: str,
+                      sid: Optional[int] = None,
+                      parent: Optional[int] = None,
+                      trigger: Optional[int] = None) -> None:
         """Mark the start of an entry-method execution on *pe*."""
         if not self.enabled:
             return
         if pe in self._open:
             raise ValueError(f"PE {pe} already executing {self._open[pe]!r}")
-        self._open[pe] = (now, chare, entry)
+        self._open[pe] = (now, chare, entry, sid, parent, trigger)
 
     def end_execute(self, pe: int, now: float) -> None:
         """Mark the end of the currently open execution on *pe*."""
         if not self.enabled:
             return
         try:
-            start, chare, entry = self._open.pop(pe)
+            start, chare, entry, sid, parent, trigger = self._open.pop(pe)
         except KeyError:
             raise ValueError(f"PE {pe} has no open execution interval")
-        self.intervals.append(ExecInterval(pe, start, now, chare, entry))
+        self.intervals.append(ExecInterval(pe, start, now, chare, entry,
+                                           sid=sid, parent=parent,
+                                           trigger=trigger))
 
     def message_sent(self, now: float, src_pe: int, dst_pe: int, size: int,
                      tag: str, crossed_wan: bool,
-                     seq: Optional[int] = None) -> None:
+                     seq: Optional[int] = None,
+                     cause: Optional[int] = None,
+                     ack_for: Optional[int] = None) -> None:
         """Record a message leaving its source PE."""
         if not self.enabled:
             return
         self.messages.append(MessageEvent(
-            "send", now, src_pe, dst_pe, size, tag, crossed_wan, seq))
+            "send", now, src_pe, dst_pe, size, tag, crossed_wan, seq,
+            cause=cause, ack_for=ack_for))
 
     def message_delivered(self, now: float, src_pe: int, dst_pe: int,
                           size: int, tag: str, crossed_wan: bool,
-                          seq: Optional[int] = None) -> None:
+                          seq: Optional[int] = None,
+                          cause: Optional[int] = None,
+                          ack_for: Optional[int] = None) -> None:
         """Record a message arriving at its destination PE's queue."""
         if not self.enabled:
             return
         self.messages.append(MessageEvent(
-            "deliver", now, src_pe, dst_pe, size, tag, crossed_wan, seq))
+            "deliver", now, src_pe, dst_pe, size, tag, crossed_wan, seq,
+            cause=cause, ack_for=ack_for))
 
     def message_dropped(self, now: float, src_pe: int, dst_pe: int,
                         size: int, tag: str, crossed_wan: bool,
-                        seq: Optional[int] = None) -> None:
+                        seq: Optional[int] = None,
+                        cause: Optional[int] = None,
+                        ack_for: Optional[int] = None) -> None:
         """Record a message lost on the wire (fault injection)."""
         if not self.enabled:
             return
         self.messages.append(MessageEvent(
-            "drop", now, src_pe, dst_pe, size, tag, crossed_wan, seq))
+            "drop", now, src_pe, dst_pe, size, tag, crossed_wan, seq,
+            cause=cause, ack_for=ack_for))
 
     def note_retransmit(self) -> None:
         """Count one reliable-layer retransmission."""
@@ -596,7 +645,12 @@ class TraceAggregator:
     # -- recording -------------------------------------------------------
 
     def begin_execute(self, pe: int, now: float, chare: str,
-                      entry: str) -> None:
+                      entry: str, sid: Optional[int] = None,
+                      parent: Optional[int] = None,
+                      trigger: Optional[int] = None) -> None:
+        # Causal ids (sid/parent/trigger) are accepted for sink
+        # compatibility but not aggregated: every streaming statistic is
+        # independent of the causal structure.
         if not self.enabled:
             return
         if pe in self._open_exec:
@@ -648,7 +702,9 @@ class TraceAggregator:
 
     def message_sent(self, now: float, src_pe: int, dst_pe: int, size: int,
                      tag: str, crossed_wan: bool,
-                     seq: Optional[int] = None) -> None:
+                     seq: Optional[int] = None,
+                     cause: Optional[int] = None,
+                     ack_for: Optional[int] = None) -> None:
         if not self.enabled:
             return
         self.sends += 1
@@ -672,7 +728,9 @@ class TraceAggregator:
 
     def message_delivered(self, now: float, src_pe: int, dst_pe: int,
                           size: int, tag: str, crossed_wan: bool,
-                          seq: Optional[int] = None) -> None:
+                          seq: Optional[int] = None,
+                          cause: Optional[int] = None,
+                          ack_for: Optional[int] = None) -> None:
         if not self.enabled:
             return
         self.delivers += 1
@@ -711,7 +769,9 @@ class TraceAggregator:
 
     def message_dropped(self, now: float, src_pe: int, dst_pe: int,
                         size: int, tag: str, crossed_wan: bool,
-                        seq: Optional[int] = None) -> None:
+                        seq: Optional[int] = None,
+                        cause: Optional[int] = None,
+                        ack_for: Optional[int] = None) -> None:
         if not self.enabled:
             return
         self.drops += 1

@@ -1,0 +1,181 @@
+"""The attribution invariant: components sum exactly to step wall time.
+
+:func:`repro.obs.critpath.per_step_attribution` claims its four
+components (compute, WAN in-flight, queueing/serialization, retransmit
+stall) *partition* each step window — the backward walk emits contiguous
+clipped segments, so their durations telescope to exactly the window's
+length.  Hypothesis generates randomized causally-consistent runs —
+multi-PE span chains, driver roots, WAN and local messages, drops,
+retransmissions, reordered deliveries, queue gaps, pre-causal legacy
+events — records them into a batch Tracer, and checks the invariant on
+arbitrary step boundaries.
+
+Times live on a 1/16 grid, so every duration and subtraction is exact
+in binary floating point and the invariant can be asserted *exactly*
+(residual ``== 0.0``), not approximately.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.obs.critpath import (
+    COMPONENTS,
+    CausalGraph,
+    per_step_attribution,
+    replay_with_latency,
+    summarize_attribution,
+)
+from repro.sim.trace import Tracer
+
+COMMON = dict(deadline=None, max_examples=80,
+              suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def causal_runs(draw):
+    """A random causally-consistent run plus candidate step boundaries.
+
+    Mirrors what the engine guarantees: per-PE spans never overlap; a
+    span triggered by a message starts at or after both its delivery
+    and its same-PE predecessor's end; messages are sent when their
+    causal parent finishes (outbox flush at busy-interval end); drops
+    precede retransmissions; retransmitted ids keep one delivery.
+    """
+    n_pes = draw(st.integers(min_value=1, max_value=3))
+    n_spans = draw(st.integers(min_value=1, max_value=16))
+    tracer = Tracer()
+    pe_clock = [0.0] * n_pes
+    spans = []          # (sid, pe, start, end) in creation order
+    seq = 0
+
+    for sid in range(n_spans):
+        pe = draw(st.integers(min_value=0, max_value=n_pes - 1))
+        trigger = None
+        parent = None
+        delivered = None
+
+        kind = draw(st.sampled_from(
+            ["root", "untriggered"] + (["caused"] * 4 if spans else [])))
+        if kind != "untriggered":
+            trigger = seq
+            seq += 1
+            if kind == "caused":
+                psid, ppe, _pstart, pend = spans[
+                    draw(st.integers(min_value=0, max_value=len(spans) - 1))]
+                parent = psid
+                src_pe, first_send = ppe, pend
+            else:   # driver-originated root message
+                src_pe = draw(st.integers(min_value=0, max_value=n_pes - 1))
+                first_send = draw(st.integers(min_value=0,
+                                              max_value=64)) / 16.0
+            wan = draw(st.booleans())
+            tag = f"m{trigger}"
+            sends = [first_send]
+            n_retx = draw(st.integers(min_value=0, max_value=2))
+            for _ in range(n_retx):
+                # Each lost copy is dropped, then retransmitted later.
+                tracer.message_dropped(sends[-1], src_pe, pe, 8, tag, wan,
+                                       seq=trigger, cause=parent)
+                sends.append(sends[-1]
+                             + draw(st.integers(min_value=1,
+                                                max_value=32)) / 16.0)
+            flight = draw(st.integers(min_value=1, max_value=64)) / 16.0
+            delivered = sends[-1] + flight
+            for t in sends:
+                tracer.message_sent(t, src_pe, pe, 8, tag, wan,
+                                    seq=trigger, cause=parent)
+            tracer.message_delivered(delivered, src_pe, pe, 8, tag, wan,
+                                     seq=trigger, cause=parent)
+            if draw(st.booleans()):
+                # Duplicate delivery of a slower copy, reordered behind.
+                tracer.message_delivered(
+                    delivered + draw(st.integers(min_value=1,
+                                                 max_value=32)) / 16.0,
+                    src_pe, pe, 8, tag, wan, seq=trigger, cause=parent)
+
+        floor = max(pe_clock[pe], delivered or 0.0)
+        queue_gap = draw(st.integers(min_value=0, max_value=8)) / 16.0
+        start = floor + queue_gap
+        duration = draw(st.integers(min_value=1, max_value=32)) / 16.0
+        end = start + duration
+        tracer.begin_execute(pe, start, "C",
+                             draw(st.sampled_from(["a", "b"])),
+                             sid=sid, parent=parent, trigger=trigger)
+        tracer.end_execute(pe, end)
+        pe_clock[pe] = end
+        spans.append((sid, pe, start, end))
+
+    # Occasionally a pre-causal legacy interval (sid=None): the graph
+    # must skip it without disturbing the walk.
+    if draw(st.booleans()):
+        pe = draw(st.integers(min_value=0, max_value=n_pes - 1))
+        t = pe_clock[pe] + 1.0
+        tracer.begin_execute(pe, t, "L", "legacy")
+        tracer.end_execute(pe, t + 0.5)
+
+    t_min = min(s[2] for s in spans)
+    t_max = max(s[3] for s in spans)
+    ticks = sorted(set(
+        [int(s[2] * 16) for s in spans]
+        + draw(st.lists(st.integers(min_value=int(t_min * 16),
+                                    max_value=int(t_max * 16) + 32),
+                        min_size=0, max_size=6))))
+    boundaries = [t / 16.0 for t in ticks]
+    return tracer, boundaries
+
+
+@given(causal_runs())
+@settings(**COMMON)
+def test_components_partition_each_step_exactly(run):
+    tracer, boundaries = run
+    graph = CausalGraph.from_tracer(tracer)
+    steps = per_step_attribution(graph, boundaries)
+    assert len(steps) == max(len(boundaries) - 1, 0)
+    for att in steps:
+        # The headline invariant, exact on the dyadic grid.
+        assert att.residual == 0.0
+        assert att.total == att.wall
+        for k in COMPONENTS:
+            assert getattr(att, k) >= 0.0
+        # The segments tile [t_start, t_end] with no gaps or overlaps.
+        if att.segments:
+            assert att.segments[0].start == att.t_start
+            assert att.segments[-1].end == att.t_end
+            for a, b in zip(att.segments, att.segments[1:]):
+                assert a.end == b.start
+        for seg in att.segments:
+            assert seg.end > seg.start
+            assert seg.kind in COMPONENTS
+
+
+@given(causal_runs())
+@settings(**COMMON)
+def test_summary_shares_sum_to_one(run):
+    tracer, boundaries = run
+    graph = CausalGraph.from_tracer(tracer)
+    steps = per_step_attribution(graph, boundaries)
+    summary = summarize_attribution(steps)
+    if summary["wall_s"] > 0:
+        assert abs(sum(summary[f"{k}_share"] for k in COMPONENTS)
+                   - 1.0) < 1e-9
+
+
+@given(causal_runs())
+@settings(**COMMON)
+def test_zero_shift_replay_reproduces_observed_starts(run):
+    tracer, _boundaries = run
+    graph = CausalGraph.from_tracer(tracer)
+    new_start = replay_with_latency(graph, 0.0)
+    for span in graph.order:
+        assert new_start[span.sid] == span.start
+
+
+@given(causal_runs())
+@settings(**COMMON)
+def test_positive_shift_never_speeds_anything_up(run):
+    tracer, _boundaries = run
+    graph = CausalGraph.from_tracer(tracer)
+    base = replay_with_latency(graph, 0.0)
+    shifted = replay_with_latency(graph, 2.0)
+    for sid in base:
+        assert shifted[sid] >= base[sid]

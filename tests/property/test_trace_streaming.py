@@ -51,6 +51,12 @@ def schedules(draw):
 
     # Messages: some WAN, some local; some dropped, retransmitted, or
     # delivered twice (wire duplicates); some without a sequence id.
+    # The drop_retx* fates exercise the reliable layer's worst case: the
+    # first copy is lost on the wire, the retransmission's delivery is
+    # reordered arbitrarily far relative to other messages, and (for
+    # drop_retx_reorder) a duplicate delivery and a late spurious
+    # retransmission — sent *after* the id was already delivered, i.e. a
+    # reordered/lost ack — trail behind.
     n_msgs = draw(st.integers(min_value=0, max_value=12))
     for seq in range(n_msgs):
         src = draw(st.integers(min_value=0, max_value=n_pes - 1))
@@ -62,11 +68,31 @@ def schedules(draw):
         use_seq = draw(st.booleans())
         sq = seq if use_seq else None
         fate = draw(st.sampled_from(
-            ["deliver", "deliver", "deliver", "drop", "dup", "retransmit"]))
+            ["deliver", "deliver", "deliver", "drop", "dup", "retransmit",
+             "drop_retx", "drop_retx_reorder"]))
         args = (src, dst, size, f"m{seq}", wan)
         events.append((t0, "send", args + (sq,)))
         if fate == "drop":
             events.append((t0, "drop", args + (sq,)))
+            continue
+        if fate in ("drop_retx", "drop_retx_reorder"):
+            events.append((t0, "drop", args + (sq,)))
+            tr = t0 + draw(st.integers(min_value=1, max_value=64)) / 16.0
+            events.append((tr, "send", args + (sq,)))
+            if draw(st.booleans()):
+                # Second copy lost too; a further retransmission carries.
+                events.append((tr, "drop", args + (sq,)))
+                tr += draw(st.integers(min_value=1, max_value=64)) / 16.0
+                events.append((tr, "send", args + (sq,)))
+            deliver_at = tr + flight
+            events.append((deliver_at, "deliver", args + (sq,)))
+            if fate == "drop_retx_reorder":
+                gap = draw(st.integers(min_value=1, max_value=64)) / 16.0
+                # Duplicate delivery of an earlier (slow) copy ...
+                events.append((deliver_at + gap, "deliver", args + (sq,)))
+                # ... and a spurious retransmission after delivery (the
+                # ack was itself lost or reordered).
+                events.append((deliver_at + 2 * gap, "send", args + (sq,)))
             continue
         if fate == "retransmit":
             tr = t0 + draw(st.integers(min_value=1, max_value=64)) / 16.0

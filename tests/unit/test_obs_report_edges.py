@@ -1,0 +1,110 @@
+"""LatencyMaskingReport edge cases: degenerate runs must not blow up.
+
+The report's ratios all have denominators that legitimately reach zero
+(no WAN traffic, zero makespan, a single PE): each case must render,
+serialize, and carry the matching degenerate label instead of raising.
+"""
+
+import pytest
+
+from repro.obs.report import LatencyMaskingReport, build_report
+from repro.sim.trace import TraceAggregator, Tracer
+
+
+def _report(**overrides) -> LatencyMaskingReport:
+    base = dict(makespan_s=1.0, pes=2, executions=4, busy_time_s=1.0,
+                utilization={0: 0.5, 1: 0.5},
+                top_entries=[("C", "a", 4, 1.0)],
+                wan_windows=3, wan_flight_time_s=0.3,
+                wan_masked_time_s=0.15, masked_fraction=0.5)
+    base.update(overrides)
+    return LatencyMaskingReport(**base)
+
+
+class TestDegenerateLabels:
+    def test_ordinary_run_has_no_label(self):
+        assert _report().degenerate_label is None
+
+    def test_no_wan_traffic(self):
+        rep = _report(wan_windows=0, wan_flight_time_s=0.0,
+                      wan_masked_time_s=0.0, masked_fraction=0.0)
+        assert rep.degenerate_label == "no-wan-traffic"
+        assert "no WAN traffic" in rep.render()
+        assert rep.to_dict()["wan"]["degenerate"] == "no-wan-traffic"
+
+    def test_windows_with_zero_flight_time_is_no_traffic(self):
+        rep = _report(wan_windows=2, wan_flight_time_s=0.0,
+                      wan_masked_time_s=0.0, masked_fraction=0.0)
+        assert rep.degenerate_label == "no-wan-traffic"
+
+    def test_fully_masked(self):
+        rep = _report(wan_masked_time_s=0.3, masked_fraction=1.0)
+        assert rep.degenerate_label == "fully-masked"
+        assert "fully masked" in rep.render()
+
+    def test_nothing_masked(self):
+        rep = _report(wan_masked_time_s=0.0, masked_fraction=0.0)
+        assert rep.degenerate_label == "nothing-masked"
+        assert "nothing masked" in rep.render()
+
+
+class TestNoDivideByZero:
+    def test_zero_makespan(self):
+        rep = _report(makespan_s=0.0, busy_time_s=0.0)
+        assert rep.compute_fraction == 0.0
+        rep.render()
+        rep.to_dict()
+
+    def test_zero_pes(self):
+        rep = _report(pes=0, utilization={}, executions=0,
+                      busy_time_s=0.0, top_entries=[])
+        assert rep.mean_utilization == 0.0
+        assert rep.compute_fraction == 0.0
+        rep.render()
+
+    def test_empty_aggregator_builds_and_renders(self):
+        rep = build_report(TraceAggregator())
+        assert rep.makespan_s == 0.0
+        assert rep.masked_fraction == 0.0
+        assert rep.degenerate_label == "no-wan-traffic"
+        rep.render()
+        rep.to_dict()
+
+    def test_single_pe_no_wan(self):
+        agg = TraceAggregator()
+        agg.begin_execute(0, 0.0, "C", "a")
+        agg.end_execute(0, 1.0)
+        rep = build_report(agg)
+        assert rep.pes == 1
+        assert rep.degenerate_label == "no-wan-traffic"
+        assert rep.utilization[0] == pytest.approx(1.0)
+        rep.render()
+
+    def test_batch_tracer_single_pe(self):
+        tr = Tracer()
+        tr.begin_execute(0, 0.0, "C", "a")
+        tr.end_execute(0, 0.5)
+        rep = build_report(tr)
+        assert rep.degenerate_label == "no-wan-traffic"
+        rep.render()
+
+
+class TestCritpathSection:
+    def test_absent_by_default(self):
+        rep = _report()
+        assert "critpath" not in rep.to_dict()
+        assert "Critical path" not in rep.render()
+
+    def test_present_when_attached(self):
+        rep = _report()
+        rep.critpath = {
+            "compute_s": 0.9, "compute_share": 0.9,
+            "wan_flight_s": 0.1, "wan_flight_share": 0.1,
+            "queue_serial_s": 0.0, "queue_serial_share": 0.0,
+            "retransmit_stall_s": 0.0, "retransmit_stall_share": 0.0,
+            "knee": {"predicted_knee_ms": 8.0, "tolerance": 1.5},
+        }
+        text = rep.render()
+        assert "Critical path (steady state)" in text
+        assert "predicted knee" in text
+        assert rep.to_dict()["critpath"]["knee"]["predicted_knee_ms"] == 8.0
