@@ -11,15 +11,27 @@ trace — causal flow events included — as a build artifact.  The diff
 then compares the fresh record against the committed baseline and fails
 the job on a >10 % step-time regression.
 
+The script also measures what observability itself costs: the same
+configuration is wall-clock timed with observability off, with
+sampling-only telemetry, and with full tracing (best of three runs
+each; virtual-time results are identical in all three, only wall time
+differs).  The measured ratios land in the trajectory record's
+``extra["obs_overhead"]`` and feed the EXPERIMENTS.md overhead table.
+The FIFO fast path (``MessageQueue`` on a deque instead of a heap) is
+part of what keeps the observability-off baseline honest: queue
+push/pop is O(1) with no key-tuple allocation on every message.
+
 Seeding or refreshing the committed baseline is the same command:
 
     PYTHONPATH=src python benchmarks/perf_smoke.py
 """
 
 import argparse
+import gc
 import json
 import os
 import sys
+import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
@@ -47,6 +59,74 @@ OBJECTS = 64
 MESH = (512, 512)
 LATENCY_MS = 2.0
 STEPS = 8
+#: Wall-clock repetitions per observability mode (best-of, to shave
+#: scheduler noise off the comparison).
+OBS_REPS = 7
+
+
+def _timed_run(**env_kwargs):
+    """One wall-clock-timed run of the canonical config.
+
+    Garbage collection is deferred during the timed region: a cycle-GC
+    pause landing inside one mode but not another would dominate the
+    few-percent differences this comparison is after.
+    """
+    env = artificial_latency_env(PES, ms(LATENCY_MS), **env_kwargs)
+    app = StencilApp(env, mesh=MESH, objects=OBJECTS, payload="modeled")
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        app.run(STEPS)
+        dt = time.perf_counter() - t0
+    finally:
+        gc.enable()
+    return dt, env
+
+
+def measure_obs_overhead():
+    """Wall-clock cost of each observability level on the same run.
+
+    Four modes, cheapest first:
+
+    * ``off`` — counters only (``stats=False``): no per-event sinks;
+    * ``stats`` — the library default: streaming aggregation of every
+      trace event (pre-existing cost, the baseline users already pay);
+    * ``sampling`` — ``stats`` plus this PR's telemetry sampler, so
+      ``sampling_vs_stats`` is the sampler's *marginal* cost (the < 5 %
+      acceptance bar);
+    * ``full`` — everything, including the batch event tracer.
+    """
+    modes = {
+        "off": dict(stats=False),
+        "stats": dict(stats=True),
+        "sampling": dict(stats=True, sampling=True),
+        "full": dict(stats=True, sampling=True, trace=True),
+    }
+    # Round-robin the repetitions so slow machine drift (thermal, noisy
+    # neighbours) hits every mode alike instead of biasing the ratios.
+    best = {name: None for name in modes}
+    sampling_env = None
+    for _ in range(OBS_REPS):
+        for name, kwargs in modes.items():
+            dt, env = _timed_run(**kwargs)
+            if best[name] is None or dt < best[name]:
+                best[name] = dt
+            if name == "sampling":
+                sampling_env = env
+    off_s, stats_s = best["off"], best["stats"]
+    sampling_s, full_s = best["sampling"], best["full"]
+    snap = sampling_env.metrics.snapshot()
+    return {
+        "wall_off_s": off_s,
+        "wall_stats_s": stats_s,
+        "wall_sampling_s": sampling_s,
+        "wall_full_s": full_s,
+        "stats_vs_off": stats_s / off_s - 1.0,
+        "sampling_vs_stats": sampling_s / stats_s - 1.0,
+        "full_vs_off": full_s / off_s - 1.0,
+        "overhead_fraction_sampling": snap["obs.overhead_fraction"],
+    }
 
 
 def main(argv=None):
@@ -67,6 +147,8 @@ def main(argv=None):
     steps = per_step_attribution(graph, boundaries, keep_segments=False)
     summary = summarize_attribution(steps, warmup=result.warmup)
 
+    obs = measure_obs_overhead()
+
     point = ExperimentPoint(
         experiment="perf-smoke", app="stencil", environment="artificial",
         pes=PES, objects=OBJECTS, latency_ms=LATENCY_MS,
@@ -74,12 +156,23 @@ def main(argv=None):
         extra={"mesh": list(MESH)})
     os.environ[BENCH_LOG_ENV] = args.log
     maybe_log_trajectory(point, result, env,
-                         compute_share=summary["compute_share"])
+                         compute_share=summary["compute_share"],
+                         extra={"obs_overhead": obs})
 
     print(f"perf-smoke: {result.time_per_step * 1e3:.3f} ms/step, "
           f"masked {env.aggregator.masked_latency_fraction:.3f}, "
           f"critpath compute share {summary['compute_share']:.3f} "
           f"-> appended to {args.log}")
+    print(f"obs overhead (wall, best of {OBS_REPS}): "
+          f"off {obs['wall_off_s'] * 1e3:.1f} ms, "
+          f"stats {obs['wall_stats_s'] * 1e3:.1f} ms "
+          f"({obs['stats_vs_off']:+.1%} vs off), "
+          f"sampling {obs['wall_sampling_s'] * 1e3:.1f} ms "
+          f"({obs['sampling_vs_stats']:+.1%} vs stats), "
+          f"full tracing {obs['wall_full_s'] * 1e3:.1f} ms "
+          f"({obs['full_vs_off']:+.1%} vs off); "
+          f"self-reported obs.overhead_fraction "
+          f"{obs['overhead_fraction_sampling']:.4f}")
 
     if args.out:
         doc = chrome_trace(env.tracer)

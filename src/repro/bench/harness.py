@@ -60,7 +60,8 @@ def _median_step_s(result) -> float:
 
 
 def maybe_log_trajectory(point: ExperimentPoint, result, env,
-                         compute_share: Optional[float] = None) -> None:
+                         compute_share: Optional[float] = None,
+                         extra: Optional[dict] = None) -> None:
     """Append a perf-trajectory record when ``REPRO_BENCH_LOG`` is set.
 
     Off by default so ordinary test/benchmark runs stay side-effect
@@ -69,6 +70,8 @@ def maybe_log_trajectory(point: ExperimentPoint, result, env,
     step time (robust against one slow warm-up step leaking into the
     window), the streaming masked-latency fraction, and — when the
     caller ran critical-path analysis — the compute share of step time.
+    *extra* entries are merged into the record's ``extra`` dict (the
+    perf-smoke job stores its measured observability overheads there).
     """
     dest = os.environ.get(BENCH_LOG_ENV)
     if not dest:
@@ -89,7 +92,8 @@ def maybe_log_trajectory(point: ExperimentPoint, result, env,
         masked_fraction=(agg.masked_latency_fraction
                          if agg is not None else None),
         critpath_compute_share=compute_share,
-        extra={"time_per_step_mean_s": point.time_per_step},
+        extra={"time_per_step_mean_s": point.time_per_step,
+               **(extra or {})},
     )
     append_record(record, **path_kwargs)
 

@@ -11,6 +11,8 @@ Usage (any artefact, directly from a shell)::
                            [--events-out run.events.jsonl] [--json]
     python -m repro critpath [--app stencil|leanmd] [--latency MS]
                              [--grid MS ...] [--per-step] [--json]
+    python -m repro health [--app stencil|leanmd] [--latency MS]
+                           [--loss P] [--budget F] [--json] [--out PATH]
     python -m repro bench-diff [--path BENCH_critpath.json]
                                [--digest HEX | --baseline I --candidate J]
 
@@ -22,7 +24,11 @@ a Chrome trace-event file for chrome://tracing / Perfetto.  ``repro
 critpath`` runs one traced configuration, attributes each step's wall
 time along the causal critical path (compute / WAN in-flight / queueing
 / retransmit stall) and predicts the Figure-3 knee from that single
-run.  ``repro bench-diff`` compares two perf-trajectory records and
+run.  ``repro health`` runs one configuration with the fixed-memory
+telemetry sampler and rule-based watchdog enabled, then prints the
+health digest (sparklines, fired alerts, observability overhead);
+``--out`` appends the structured health events as JSON lines.  ``repro
+bench-diff`` compares two perf-trajectory records and
 exits non-zero on a >10 % step-time regression.  The table and figure
 commands stay text-only, matching the paper's artefacts; ``demo``,
 ``trace`` and ``critpath`` take ``--json`` for machine-readable output.
@@ -140,6 +146,36 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the Chrome trace (with causal flow "
                          "events) here")
     cp.add_argument("--json", action="store_true",
+                    help="print the report as JSON instead of text")
+
+    hl = sub.add_parser("health", help="run one configuration with "
+                        "telemetry + watchdog and print the health digest")
+    hl.add_argument("--app", choices=("stencil", "leanmd"),
+                    default="stencil")
+    hl.add_argument("--pes", type=int, default=8)
+    hl.add_argument("--objects", type=int, default=64,
+                    help="virtualization degree (stencil only)")
+    hl.add_argument("--mesh", type=int, default=512, metavar="N",
+                    help="stencil mesh edge (NxN)")
+    hl.add_argument("--latency", type=float, default=8.0,
+                    help="one-way WAN latency in ms")
+    hl.add_argument("--steps", type=int, default=8)
+    hl.add_argument("--loss", type=float, default=0.0,
+                    help="WAN loss probability; > 0 switches to the "
+                         "lossy-WAN environment with the reliable "
+                         "transport (retransmit-storm territory)")
+    hl.add_argument("--interval", type=float, default=1.0,
+                    help="sampling interval in virtual ms")
+    hl.add_argument("--budget", type=float, default=None,
+                    help="observability overhead budget as a wall-time "
+                         "fraction; over budget, the governor degrades "
+                         "full tracing -> sampling -> counters")
+    hl.add_argument("--out", default=None, metavar="PATH",
+                    help="append structured health events here (JSONL)")
+    hl.add_argument("--trace-out", default=None, metavar="PATH",
+                    help="write a Chrome trace with health-event "
+                         "markers here (enables full tracing)")
+    hl.add_argument("--json", action="store_true",
                     help="print the report as JSON instead of text")
 
     bd = sub.add_parser("bench-diff", help="compare two perf-trajectory "
@@ -374,6 +410,84 @@ def cmd_critpath(args, out) -> None:
               file=out)
 
 
+def cmd_health(args, out) -> None:
+    from repro.grid import artificial_latency_env, lossy_wan_env
+    from repro.obs.export import chrome_trace, validate_chrome_trace
+    from repro.obs.report import build_report, health_section
+    from repro.obs.timeseries import SamplingPolicy
+    from repro.units import ms
+
+    if args.pes < 2 or args.pes % 2:
+        raise SystemExit(f"--pes must be even and >= 2, got {args.pes}")
+    if args.latency < 0:
+        raise SystemExit(f"--latency must be >= 0, got {args.latency}")
+    if not (0.0 <= args.loss < 1.0):
+        raise SystemExit(f"--loss must be in [0, 1), got {args.loss}")
+    if args.interval <= 0:
+        raise SystemExit(f"--interval must be > 0, got {args.interval}")
+    policy = SamplingPolicy(interval=ms(args.interval),
+                            overhead_budget=args.budget)
+    want_trace = args.trace_out is not None
+    if args.loss > 0:
+        env = lossy_wan_env(args.pes, ms(args.latency), loss=args.loss,
+                            trace=want_trace, sampling=policy, health=True)
+    else:
+        env = artificial_latency_env(args.pes, ms(args.latency),
+                                     trace=want_trace, sampling=policy,
+                                     health=True)
+    if args.app == "stencil":
+        from repro.apps.stencil import StencilApp
+        app = StencilApp(env, mesh=(args.mesh, args.mesh),
+                         objects=args.objects, payload="modeled")
+        app.run(args.steps)
+    else:
+        from repro.apps.leanmd import LeanMDApp
+        app = LeanMDApp(env, cells=(4, 4, 4), atoms_per_cell=16,
+                        payload="modeled")
+        app.run(args.steps)
+
+    report = build_report(env.aggregator)
+    report.health = health_section(env.health_events, env.governor)
+    report.timeseries = env.sampler.summary()
+    report.extra["app"] = args.app
+    report.extra["pes"] = args.pes
+    report.extra["objects"] = args.objects
+    report.extra["latency_ms"] = args.latency
+    report.extra["steps"] = args.steps
+    if args.loss > 0:
+        report.extra["loss"] = args.loss
+    if args.out is not None:
+        with open(args.out, "a") as fh:
+            for event in env.health_events:
+                fh.write(json.dumps(event.to_dict()) + "\n")
+        report.extra["events_out"] = args.out
+    if args.trace_out is not None:
+        doc = chrome_trace(env.tracer, env.health_events)
+        validate_chrome_trace(doc)
+        with open(args.trace_out, "w") as fh:
+            json.dump(doc, fh)
+        report.extra["chrome_trace"] = args.trace_out
+
+    if args.json:
+        json.dump(report.to_dict(), out, indent=2)
+        print(file=out)
+        return
+    print(f"{args.app}: {args.pes} PEs, {args.objects} objects, "
+          f"{args.latency:g} ms one-way WAN"
+          + (f", loss {args.loss:g}" if args.loss > 0 else "")
+          + f", {args.steps} steps", file=out)
+    print(file=out)
+    print(report.render(), file=out)
+    print(file=out)
+    print(env.sampler.render(), file=out)
+    if args.out is not None:
+        print(f"\nHealth events appended to {args.out} "
+              f"({len(env.health_events)} records)", file=out)
+    if args.trace_out is not None:
+        print(f"Chrome trace (with health markers) written to "
+              f"{args.trace_out}", file=out)
+
+
 def cmd_bench_diff(args, out) -> None:
     from repro.bench import trajectory
 
@@ -416,6 +530,7 @@ COMMANDS = {
     "demo": cmd_demo,
     "trace": cmd_trace,
     "critpath": cmd_critpath,
+    "health": cmd_health,
     "bench-diff": cmd_bench_diff,
 }
 

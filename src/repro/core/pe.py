@@ -64,6 +64,14 @@ class PeState:
         """Is the PE free to dequeue its next message?"""
         return not self.busy
 
+    def queue_metrics(self) -> Dict[str, float]:
+        """Flat ``pe.N.queue_*`` metric names (depth + high-water mark)."""
+        prefix = f"pe.{self.pe}."
+        return {
+            prefix + "queue_depth": len(self.queue),
+            prefix + "queue_hwm": self.queue.high_water,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "busy" if self.busy else "idle"
         return f"<PE {self.pe} {state}, queued={len(self.queue)}>"

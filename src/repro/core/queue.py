@@ -7,15 +7,18 @@ message and delivers it."
 
 :class:`MessageQueue` implements both disciplines behind one interface.
 In priority mode, messages are ordered by ``(priority, arrival_seq)`` —
-smaller priority first, FIFO among equals — so FIFO is literally the
-special case where every priority ties.
+smaller priority first, FIFO among equals.  FIFO mode (the paper's main
+experiments) bypasses the heap entirely: a :class:`collections.deque`
+gives O(1) push/pop with no key tuple allocation, where the heap costs
+O(log n) per operation even when every priority ties.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import List, Optional
+from collections import deque
+from typing import Deque, List, Optional
 
 from repro.network.message import Message
 
@@ -34,16 +37,24 @@ class MessageQueue:
 
     def __init__(self, prioritized: bool = False) -> None:
         self.prioritized = prioritized
+        self._fifo: Deque[Message] = deque()
         self._heap: List[tuple] = []
         self._arrival = itertools.count()
         self._size = 0
+        #: Largest queue depth ever reached (telemetry gauge: a deep
+        #: high-water mark means arrivals outran the scheduler).
+        self.high_water = 0
 
     def push(self, msg: Message) -> None:
         """Enqueue an arrived message."""
-        seq = next(self._arrival)
-        key = (msg.priority if self.prioritized else 0, seq)
-        heapq.heappush(self._heap, (key, msg))
+        if self.prioritized:
+            key = (msg.priority, next(self._arrival))
+            heapq.heappush(self._heap, (key, msg))
+        else:
+            self._fifo.append(msg)
         self._size += 1
+        if self._size > self.high_water:
+            self.high_water = self._size
 
     def pop(self) -> Message:
         """Dequeue the next message to execute.
@@ -53,15 +64,18 @@ class MessageQueue:
         IndexError
             If the queue is empty.
         """
-        _key, msg = heapq.heappop(self._heap)
+        if self.prioritized:
+            _key, msg = heapq.heappop(self._heap)
+        else:
+            msg = self._fifo.popleft()
         self._size -= 1
         return msg
 
     def peek(self) -> Optional[Message]:
         """The message :meth:`pop` would return, or ``None`` if empty."""
-        if not self._heap:
-            return None
-        return self._heap[0][1]
+        if self.prioritized:
+            return self._heap[0][1] if self._heap else None
+        return self._fifo[0] if self._fifo else None
 
     def __len__(self) -> int:
         return self._size

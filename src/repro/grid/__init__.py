@@ -10,6 +10,7 @@ from repro.grid.faucets import (
 )
 from repro.grid.presets import (
     artificial_latency_env,
+    lossy_wan_env,
     single_cluster_env,
     teragrid_env,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "Decision",
     "plan_allocation",
     "artificial_latency_env",
+    "lossy_wan_env",
     "teragrid_env",
     "single_cluster_env",
     "TeraGridWanModel",

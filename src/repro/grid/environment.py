@@ -16,7 +16,14 @@ from repro.network.chain import DeviceChain
 from repro.network.fabric import NetworkFabric
 from repro.network.reliable import ReliableTransport, RetransmitPolicy
 from repro.network.topology import GridTopology
+from repro.obs.health import (
+    HealthConfig,
+    HealthMonitor,
+    ObsGovernor,
+    TimedSink,
+)
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import SamplingPolicy, TelemetrySampler
 from repro.sim.engine import Engine
 from repro.sim.rand import RandomStreams
 from repro.sim.trace import TraceAggregator, TraceFanout, Tracer
@@ -53,13 +60,27 @@ class GridEnvironment:
         :class:`~repro.network.reliable.RetransmitPolicy`; pass a policy
         to tune it.  Required for correctness whenever the chain carries
         a :class:`~repro.network.faults.FaultyDevice`.
+    sampling:
+        Enable the fixed-memory telemetry sampler
+        (:class:`~repro.obs.timeseries.TelemetrySampler`): ``True`` for
+        the default :class:`~repro.obs.timeseries.SamplingPolicy`, or a
+        policy to tune cadence / capacity / the observability overhead
+        budget.  Available as :attr:`sampler`.
+    health:
+        Enable the rule-based watchdog
+        (:class:`~repro.obs.health.HealthMonitor`): ``True`` for the
+        default :class:`~repro.obs.health.HealthConfig`, or a config to
+        tune thresholds.  Implies ``sampling`` (the watchdog feeds on
+        sampler snapshots).  Fired events are at :attr:`health_events`.
     """
 
     def __init__(self, topology: GridTopology, chain: DeviceChain, *,
                  seed: int = 0, config: Optional[RuntimeConfig] = None,
                  trace: bool = False, stats: bool = True,
                  max_events: Optional[int] = None,
-                 reliable: Union[bool, RetransmitPolicy, None] = None) -> None:
+                 reliable: Union[bool, RetransmitPolicy, None] = None,
+                 sampling: Union[bool, SamplingPolicy, None] = None,
+                 health: Union[bool, HealthConfig, None] = None) -> None:
         self.topology = topology
         self.chain = chain
         self.streams = RandomStreams(seed)
@@ -68,6 +89,19 @@ class GridEnvironment:
         self.tracer = Tracer(enabled=trace)
         self.aggregator: Optional[TraceAggregator] = (
             TraceAggregator(metrics=self.metrics) if stats else None)
+        if health and sampling is None:
+            sampling = True
+        sampling_policy: Optional[SamplingPolicy]
+        if isinstance(sampling, SamplingPolicy):
+            sampling_policy = sampling
+        else:
+            sampling_policy = SamplingPolicy() if sampling else None
+        self.sampling_policy = sampling_policy
+        #: Always present so ``obs.overhead_fraction`` appears in every
+        #: snapshot; it only *enforces* when a budget is configured.
+        self.governor = ObsGovernor(
+            budget=sampling_policy.overhead_budget
+            if sampling_policy is not None else None)
         sinks = []
         if trace:
             sinks.append(self.tracer)
@@ -79,6 +113,14 @@ class GridEnvironment:
             sink = sinks[0]
         else:
             sink = TraceFanout(sinks)
+        if (sink is not None and sampling_policy is not None
+                and sampling_policy.overhead_budget is not None):
+            # Per-event sink self-timing is itself overhead (an extra
+            # indirection on every trace event), so it is paid only when
+            # a budget makes the governor need the measurement.
+            sink = TimedSink(sink)
+            self.governor.add_cost_source(
+                "sinks", lambda s=sink: s.cost_s)
         self.fabric = NetworkFabric(
             self.engine, topology, chain,
             rng=self.streams.get("network"),
@@ -91,7 +133,43 @@ class GridEnvironment:
             self.transport = self.fabric
         self.runtime = Runtime(self.engine, self.transport, config)
         self.runtime.metrics = self.metrics
+        if health:
+            cfg = health if isinstance(health, HealthConfig) else None
+            self.monitor: Optional[HealthMonitor] = HealthMonitor(cfg)
+        else:
+            self.monitor = None
+        if sampling_policy is not None:
+            self.sampler: Optional[TelemetrySampler] = TelemetrySampler(
+                self.engine, self.runtime, sampling_policy,
+                transport=self.transport, aggregator=self.aggregator,
+                monitor=self.monitor, governor=self.governor)
+            self.sampler.start()
+        else:
+            self.sampler = None
+        self.governor.on_downgrade("sampling", self._obs_to_sampling)
+        self.governor.on_downgrade("counters", self._obs_to_counters)
         self._register_collectors()
+
+    # -- governor downgrade ladder ---------------------------------------
+
+    def _obs_to_sampling(self) -> None:
+        """Level "sampling": drop full per-event tracing."""
+        self.tracer.enabled = False
+
+    def _obs_to_counters(self) -> None:
+        """Level "counters": drop sampling and streaming aggregation too;
+        only the O(1) counters/gauges keep updating."""
+        if self.sampler is not None:
+            self.sampler.stop()
+        if self.aggregator is not None:
+            self.aggregator.enabled = False
+
+    @property
+    def health_events(self):
+        """All watchdog + governor events fired so far, in firing order."""
+        if self.sampler is not None:
+            return list(self.sampler.health_events)
+        return list(self.governor.events)
 
     def _register_collectors(self) -> None:
         """Pull the scattered stat structs into the metrics registry."""
@@ -112,9 +190,11 @@ class GridEnvironment:
             out = {}
             for ps in self.runtime.scheduler.pes:
                 out.update(ps.stats.as_metrics(ps.pe))
+                out.update(ps.queue_metrics())
             return out
 
         m.register_collector("pes", pe_metrics)
+        m.register_collector("obs", lambda: self.governor.as_metrics())
 
     @property
     def now(self) -> float:

@@ -25,6 +25,8 @@ from typing import Optional, Union
 from repro.core.rts import RuntimeConfig
 from repro.errors import ConfigurationError
 from repro.grid.environment import GridEnvironment
+from repro.obs.health import HealthConfig
+from repro.obs.timeseries import SamplingPolicy
 from repro.grid.teragrid import DEFAULT_TERAGRID, TeraGridWanModel
 from repro.network.chain import DeviceChain
 from repro.network.delay import DelayDevice
@@ -52,18 +54,24 @@ def _base_devices():
 def single_cluster_env(num_pes: int, *, seed: int = 0,
                        config: Optional[RuntimeConfig] = None,
                        trace: bool = False, stats: bool = True,
-                       max_events: Optional[int] = None) -> GridEnvironment:
+                       max_events: Optional[int] = None,
+                       sampling: Union[bool, SamplingPolicy, None] = None,
+                       health: Union[bool, HealthConfig, None] = None
+                       ) -> GridEnvironment:
     """A conventional cluster: no wide area anywhere."""
     topo = GridTopology.single_cluster(num_pes)
     chain = DeviceChain(_base_devices())
     return GridEnvironment(topo, chain, seed=seed, config=config,
-                           trace=trace, stats=stats, max_events=max_events)
+                           trace=trace, stats=stats, max_events=max_events,
+                           sampling=sampling, health=health)
 
 
 def artificial_latency_env(num_pes: int, latency: float, *, seed: int = 0,
                            config: Optional[RuntimeConfig] = None,
                            trace: bool = False, stats: bool = True,
-                           max_events: Optional[int] = None
+                           max_events: Optional[int] = None,
+                           sampling: Union[bool, SamplingPolicy, None] = None,
+                           health: Union[bool, HealthConfig, None] = None
                            ) -> GridEnvironment:
     """The paper's simulated Grid: delay device between two halves.
 
@@ -88,7 +96,8 @@ def artificial_latency_env(num_pes: int, latency: float, *, seed: int = 0,
     devices.append(WanDevice(myrinet_like(name="wan-artificial")))
     chain = DeviceChain(devices)
     return GridEnvironment(topo, chain, seed=seed, config=config,
-                           trace=trace, stats=stats, max_events=max_events)
+                           trace=trace, stats=stats, max_events=max_events,
+                           sampling=sampling, health=health)
 
 
 def lossy_wan_env(num_pes: int, latency: float, *,
@@ -100,7 +109,10 @@ def lossy_wan_env(num_pes: int, latency: float, *,
                   seed: int = 0,
                   config: Optional[RuntimeConfig] = None,
                   trace: bool = False, stats: bool = True,
-                  max_events: Optional[int] = None) -> GridEnvironment:
+                  max_events: Optional[int] = None,
+                  sampling: Union[bool, SamplingPolicy, None] = None,
+                  health: Union[bool, HealthConfig, None] = None
+                  ) -> GridEnvironment:
     """The artificial-latency grid over a *hostile* wide area.
 
     Same two-half topology and delay device as
@@ -146,18 +158,23 @@ def lossy_wan_env(num_pes: int, latency: float, *,
     chain = DeviceChain(devices)
     return GridEnvironment(topo, chain, seed=seed, config=config,
                            trace=trace, stats=stats, max_events=max_events,
-                           reliable=reliable)
+                           reliable=reliable,
+                           sampling=sampling, health=health)
 
 
 def teragrid_env(num_pes: int, *, seed: int = 0,
                  model: TeraGridWanModel = DEFAULT_TERAGRID,
                  config: Optional[RuntimeConfig] = None,
                  trace: bool = False, stats: bool = True,
-                 max_events: Optional[int] = None) -> GridEnvironment:
+                 max_events: Optional[int] = None,
+                 sampling: Union[bool, SamplingPolicy, None] = None,
+                 health: Union[bool, HealthConfig, None] = None
+                 ) -> GridEnvironment:
     """The real co-allocated NCSA+ANL environment (jitter + contention)."""
     topo = GridTopology.two_cluster(num_pes, names=("ncsa", "anl"))
     devices = _base_devices()
     devices.append(model.device())
     chain = DeviceChain(devices)
     return GridEnvironment(topo, chain, seed=seed, config=config,
-                           trace=trace, stats=stats, max_events=max_events)
+                           trace=trace, stats=stats, max_events=max_events,
+                           sampling=sampling, health=health)

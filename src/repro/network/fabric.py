@@ -119,6 +119,13 @@ class NetworkFabric:
         self.rng = rng
         self.tracer = tracer
         self.stats = FabricStats()
+        #: Wire copies posted but not yet delivered (live gauges, used by
+        #: the telemetry sampler; dropped messages never count).
+        self.in_flight = 0
+        self.wan_in_flight = 0
+        #: Cumulative cross-WAN wire copies put on the wire (denominator
+        #: for the sampler's retransmit-rate series).
+        self.wan_sent = 0
 
     def send(self, msg: Message, deliver: DeliverFn) -> float:
         """Dispatch *msg*; *deliver* runs at the computed arrival time.
@@ -168,8 +175,13 @@ class NetworkFabric:
             first_arrival = min(first_arrival, arrival)
             self.stats.record(route.transport.name, wire_msg.size_bytes,
                               route.pre_transport_delay)
+            self.in_flight += 1
+            if msg.crossed_wan:
+                self.wan_in_flight += 1
+                self.wan_sent += 1
             if self.tracer is not None:
                 def _deliver(m: Message = msg, t: float = arrival) -> None:
+                    self._land(m)
                     self.tracer.message_delivered(t, m.src_pe, m.dst_pe,
                                                   wire_msg.size_bytes, m.tag,
                                                   m.crossed_wan, seq=m.seq,
@@ -178,10 +190,17 @@ class NetworkFabric:
                     deliver(m)
             else:
                 def _deliver(m: Message = msg) -> None:
+                    self._land(m)
                     deliver(m)
 
             self.engine.post(arrival, _deliver)
         return first_arrival
+
+    def _land(self, msg: Message) -> None:
+        """Book-keep one wire copy leaving the wire (delivery instant)."""
+        self.in_flight -= 1
+        if msg.crossed_wan:
+            self.wan_in_flight -= 1
 
     def one_way_time(self, src_pe: int, dst_pe: int, size_bytes: int) -> float:
         """Model-only query: transit time for a hypothetical message.

@@ -177,6 +177,16 @@ class ReliableTransport:
     def stats(self) -> FabricStats:
         return self.fabric.stats
 
+    @property
+    def wan_in_flight(self) -> int:
+        """Cross-WAN wire copies currently in transit (fabric gauge)."""
+        return self.fabric.wan_in_flight
+
+    @property
+    def wan_sent(self) -> int:
+        """Cumulative cross-WAN wire copies put on the wire."""
+        return self.fabric.wan_sent
+
     def one_way_time(self, src_pe: int, dst_pe: int,
                      size_bytes: int) -> float:
         return self.fabric.one_way_time(src_pe, dst_pe, size_bytes)

@@ -20,7 +20,15 @@ Projections-grade surface:
 * :mod:`repro.obs.critpath` — causal critical-path analysis: the step
   DAG, per-step latency attribution (compute / WAN flight / queueing /
   retransmit stall, summing exactly to the step's wall time), and the
-  knee analyzer predicting Figure 3's knee from one low-latency run.
+  knee analyzer predicting Figure 3's knee from one low-latency run;
+* :mod:`repro.obs.timeseries` — fixed-memory virtual-time telemetry:
+  ring-buffer :class:`TimeSeries` with 2x downsampling and the
+  :class:`TelemetrySampler` daemon that feeds them during the run;
+* :mod:`repro.obs.health` — the rule-based watchdog
+  (:class:`HealthMonitor` emitting structured :class:`HealthEvent`\\ s:
+  stall, retransmit storm, load imbalance, online unmasking) and the
+  :class:`ObsGovernor` that degrades observability when its own
+  wall-clock cost exceeds a configured budget.
 """
 
 from repro.obs.critpath import (
@@ -40,11 +48,26 @@ from repro.obs.export import (
     validate_chrome_trace,
     write_event_log,
 )
+from repro.obs.health import (
+    OBS_LEVELS,
+    HealthConfig,
+    HealthEvent,
+    HealthMonitor,
+    HealthSample,
+    ObsGovernor,
+    TimedSink,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import (
     LatencyMaskingReport,
     build_report,
     masked_latency_fraction,
+)
+from repro.obs.timeseries import (
+    SamplingPolicy,
+    TelemetrySampler,
+    TimeSeries,
+    render_sparkline,
 )
 
 __all__ = [
@@ -68,4 +91,15 @@ __all__ = [
     "LatencyMaskingReport",
     "build_report",
     "masked_latency_fraction",
+    "OBS_LEVELS",
+    "HealthConfig",
+    "HealthEvent",
+    "HealthMonitor",
+    "HealthSample",
+    "ObsGovernor",
+    "TimedSink",
+    "SamplingPolicy",
+    "TelemetrySampler",
+    "TimeSeries",
+    "render_sparkline",
 ]

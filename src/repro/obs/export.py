@@ -22,9 +22,10 @@ time zero maps to ts zero.
 from __future__ import annotations
 
 import json
-from typing import IO, Any, Dict, List, Union
+from typing import IO, Any, Dict, List, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
+from repro.obs.health import HealthEvent
 from repro.sim.trace import Tracer
 
 #: Event phases this exporter emits (subset of the trace-event format).
@@ -33,8 +34,15 @@ _PHASES = {"X", "b", "e", "i", "M", "s", "t", "f"}
 _SEC_TO_US = 1e6
 
 
-def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
+def chrome_trace_events(tracer: Tracer,
+                        health_events: Optional[Sequence[HealthEvent]] = None
+                        ) -> List[Dict[str, Any]]:
     """Build the ``traceEvents`` list for *tracer*'s recorded run.
+
+    *health_events* (e.g. ``env.health_events``) render as
+    globally-scoped instant events (``ph="i"``, ``cat="health"``, scope
+    ``"g"``) — vertical markers across every PE track at the virtual
+    time each watchdog rule fired.
 
     Emitted events:
 
@@ -135,12 +143,21 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
             "ts": iv.start * _SEC_TO_US,
             "args": {"sid": iv.sid},
         })
+
+    for hev in (health_events or ()):
+        events.append({
+            "ph": "i", "cat": "health", "name": hev.rule, "s": "g",
+            "pid": 0, "tid": 0, "ts": hev.t * _SEC_TO_US,
+            "args": hev.to_dict(),
+        })
     return events
 
 
-def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+def chrome_trace(tracer: Tracer,
+                 health_events: Optional[Sequence[HealthEvent]] = None
+                 ) -> Dict[str, Any]:
     """The complete trace-event JSON object for *tracer*."""
-    return {"traceEvents": chrome_trace_events(tracer),
+    return {"traceEvents": chrome_trace_events(tracer, health_events),
             "displayTimeUnit": "ms"}
 
 

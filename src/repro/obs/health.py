@@ -1,0 +1,455 @@
+"""Watchdog rules, health events, and the observability governor.
+
+The telemetry sampler (:mod:`repro.obs.timeseries`) produces a stream of
+:class:`HealthSample` snapshots; this module turns them into judgements:
+
+* :class:`HealthMonitor` — rule-based watchdog.  Each rule is a pure
+  threshold over the sample stream; rules fire *per episode* (an event
+  on the transition into the bad state, silence while it persists, a
+  fresh event only after recovery and relapse), so a 10-second stall is
+  one alert, not ten thousand:
+
+  - **stall** — entry-method executions stopped advancing for more than
+    ``stall_factor`` x the trailing-median progress gap (critical);
+  - **retransmit-storm** — the windowed retransmit/send ratio on the
+    WAN blew past ``storm_rate`` (warning);
+  - **load-imbalance** — max/mean PE utilization exceeded
+    ``imbalance_ratio`` (warning);
+  - **unmasking** — the idle fraction trended above
+    ``unmasked_idle_threshold``: the latency the runtime was hiding is
+    now *visible*, i.e. the Figure-3 knee observed online rather than
+    post-hoc (warning).  The default threshold ``1 - 1/1.5`` is exactly
+    the idle share at which step time reaches 1.5x the compute-bound
+    baseline — the same tolerance the knee analyzer uses.
+
+* :class:`ObsGovernor` — keeps observability honest about its own cost.
+  Sinks and samplers register wall-clock cost sources; the governor
+  compares their sum against elapsed wall time and, when a configured
+  budget is exceeded, degrades one level at a time
+  (``full`` tracing → ``sampling``-only → ``counters``-only), invoking
+  a callback per level and logging the downgrade as a health event.
+  The clock is injectable, so downgrade behaviour is deterministic
+  under test.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+#: Governor degradation ladder, most expensive first.
+OBS_LEVELS = ("full", "sampling", "counters")
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One structured watchdog finding."""
+
+    t: float                 # virtual time the rule fired
+    severity: str            # "info" | "warning" | "critical"
+    rule: str                # e.g. "stall", "unmasking", "obs-governor"
+    metric: str              # the metric the rule watched
+    value: float             # observed value at firing time
+    threshold: float         # the configured threshold it crossed
+    message: str             # human-readable one-liner
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "t": self.t,
+            "severity": self.severity,
+            "rule": self.rule,
+            "metric": self.metric,
+            "value": self.value,
+            "threshold": self.threshold,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (f"[{self.severity.upper():8s}] t={self.t * 1e3:10.3f} ms  "
+                f"{self.rule}: {self.message}")
+
+
+@dataclass
+class HealthSample:
+    """One telemetry snapshot offered to the watchdog."""
+
+    t: float
+    #: Cumulative entry-method executions across all PEs.
+    executions: int
+    #: pe -> EMA-smoothed windowed utilization.
+    utilization: Dict[int, float]
+    #: EMA-smoothed idle fraction (1 - mean utilization).
+    idle_fraction: float
+    #: Total scheduler queue depth across PEs.
+    queue_depth: int
+    #: Cross-WAN wire copies currently in transit.
+    wan_in_flight: int
+    #: Cumulative cross-WAN wire copies sent.
+    wan_sends: int
+    #: Cumulative data retransmissions.
+    retransmits: int
+    #: Online masked-latency fraction (``None`` when no aggregator).
+    masked_fraction: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Thresholds for the watchdog rules."""
+
+    #: Stall: no progress for longer than this multiple of the trailing
+    #: median inter-progress gap.
+    stall_factor: float = 4.0
+    #: Progress gaps observed before the stall rule arms.
+    stall_min_history: int = 3
+    #: Retransmit storm: windowed retransmits/sends ratio threshold ...
+    storm_rate: float = 0.5
+    #: ... with at least this many retransmits in the window.
+    storm_min_retransmits: int = 3
+    #: Load imbalance: max/mean utilization ratio threshold ...
+    imbalance_ratio: float = 2.0
+    #: ... applied only when mean utilization is above this floor
+    #: (ratios over near-zero means are noise).
+    imbalance_min_util: float = 0.05
+    #: Unmasking: idle fraction above this means the WAN latency is no
+    #: longer hidden.  ``1 - 1/1.5`` matches the knee analyzer's 1.5x
+    #: step-time tolerance.
+    unmasked_idle_threshold: float = 1.0 - 1.0 / 1.5
+    #: Samples ignored by the unmasking/imbalance rules while EMAs warm
+    #: up (startup transients look like idleness).
+    warmup_samples: int = 5
+
+    def __post_init__(self) -> None:
+        if self.stall_factor <= 1.0:
+            raise ConfigurationError(
+                f"stall_factor must be > 1: {self.stall_factor}")
+        if not (0.0 < self.storm_rate <= 1.0):
+            raise ConfigurationError(
+                f"storm_rate must be in (0, 1]: {self.storm_rate}")
+        if self.imbalance_ratio <= 1.0:
+            raise ConfigurationError(
+                f"imbalance_ratio must be > 1: {self.imbalance_ratio}")
+        if not (0.0 < self.unmasked_idle_threshold < 1.0):
+            raise ConfigurationError(
+                "unmasked_idle_threshold must be in (0, 1): "
+                f"{self.unmasked_idle_threshold}")
+
+
+class HealthMonitor:
+    """Runs the watchdog rules over successive :class:`HealthSample`\\ s.
+
+    Pure and deterministic: no wall clock, no I/O.  Feed it samples (the
+    :class:`~repro.obs.timeseries.TelemetrySampler` does this every
+    tick) and collect :class:`HealthEvent` lists back.
+    """
+
+    def __init__(self, config: Optional[HealthConfig] = None) -> None:
+        self.config = config or HealthConfig()
+        self.samples_seen = 0
+        self.events: List[HealthEvent] = []
+        #: rule -> currently inside a bad episode?
+        self._active: Dict[str, bool] = {}
+        # stall-rule state
+        self._last_executions: Optional[int] = None
+        self._last_progress_t: Optional[float] = None
+        self._gaps: Deque[float] = deque(maxlen=64)
+        # storm-rule state (cumulative counters from the last sample)
+        self._prev_retransmits = 0
+        self._prev_wan_sends = 0
+        #: Windowed retransmit/send ratio from the latest sample (the
+        #: sampler records it as the ``wan.retransmit_rate`` series).
+        self.last_retransmit_rate = 0.0
+
+    # -- rule evaluation --------------------------------------------------
+
+    def observe(self, sample: HealthSample) -> List[HealthEvent]:
+        """Evaluate every rule; returns newly fired events (per episode)."""
+        self.samples_seen += 1
+        fired: List[HealthEvent] = []
+        self._rule_stall(sample, fired)
+        self._rule_storm(sample, fired)
+        self._rule_imbalance(sample, fired)
+        self._rule_unmasking(sample, fired)
+        self.events.extend(fired)
+        return fired
+
+    def _episode(self, rule: str, condition: bool) -> bool:
+        """True exactly when *rule* transitions into the bad state."""
+        was = self._active.get(rule, False)
+        self._active[rule] = condition
+        return condition and not was
+
+    def _rule_stall(self, s: HealthSample, fired: List[HealthEvent]) -> None:
+        cfg = self.config
+        if self._last_executions is None:
+            self._last_executions = s.executions
+            self._last_progress_t = s.t
+            return
+        if s.executions > self._last_executions:
+            if self._last_progress_t is not None:
+                gap = s.t - self._last_progress_t
+                if gap > 0:
+                    self._gaps.append(gap)
+            self._last_executions = s.executions
+            self._last_progress_t = s.t
+            self._episode("stall", False)
+            return
+        if len(self._gaps) < cfg.stall_min_history:
+            return
+        stalled_for = s.t - (self._last_progress_t or 0.0)
+        median = sorted(self._gaps)[len(self._gaps) // 2]
+        limit = cfg.stall_factor * median
+        if self._episode("stall", stalled_for > limit):
+            fired.append(HealthEvent(
+                t=s.t, severity="critical", rule="stall",
+                metric="progress.gap_s", value=stalled_for, threshold=limit,
+                message=f"no entry executed for {stalled_for * 1e3:.3f} ms "
+                        f"(> {cfg.stall_factor:g}x trailing median gap "
+                        f"{median * 1e3:.3f} ms)"))
+
+    def _rule_storm(self, s: HealthSample, fired: List[HealthEvent]) -> None:
+        cfg = self.config
+        d_retx = s.retransmits - self._prev_retransmits
+        d_sent = s.wan_sends - self._prev_wan_sends
+        self._prev_retransmits = s.retransmits
+        self._prev_wan_sends = s.wan_sends
+        rate = d_retx / d_sent if d_sent > 0 else 0.0
+        self.last_retransmit_rate = rate
+        cond = d_retx >= cfg.storm_min_retransmits and rate > cfg.storm_rate
+        if self._episode("retransmit-storm", cond):
+            fired.append(HealthEvent(
+                t=s.t, severity="warning", rule="retransmit-storm",
+                metric="wan.retransmit_rate", value=rate,
+                threshold=cfg.storm_rate,
+                message=f"{d_retx} retransmits / {d_sent} WAN sends in one "
+                        f"window (rate {rate:.2f} > {cfg.storm_rate:g})"))
+
+    def _rule_imbalance(self, s: HealthSample,
+                        fired: List[HealthEvent]) -> None:
+        cfg = self.config
+        if self.samples_seen <= cfg.warmup_samples or not s.utilization:
+            return
+        utils = list(s.utilization.values())
+        mean = sum(utils) / len(utils)
+        if mean < cfg.imbalance_min_util:
+            self._episode("load-imbalance", False)
+            return
+        ratio = max(utils) / mean
+        if self._episode("load-imbalance", ratio > cfg.imbalance_ratio):
+            fired.append(HealthEvent(
+                t=s.t, severity="warning", rule="load-imbalance",
+                metric="util.max_over_mean", value=ratio,
+                threshold=cfg.imbalance_ratio,
+                message=f"max/mean PE utilization {ratio:.2f} > "
+                        f"{cfg.imbalance_ratio:g} (mean {mean:.1%})"))
+
+    def _rule_unmasking(self, s: HealthSample,
+                        fired: List[HealthEvent]) -> None:
+        cfg = self.config
+        if self.samples_seen <= cfg.warmup_samples or s.wan_sends == 0:
+            return
+        cond = s.idle_fraction > cfg.unmasked_idle_threshold
+        if self._episode("unmasking", cond):
+            fired.append(HealthEvent(
+                t=s.t, severity="warning", rule="unmasking",
+                metric="idle.fraction_ema", value=s.idle_fraction,
+                threshold=cfg.unmasked_idle_threshold,
+                message=f"idle fraction {s.idle_fraction:.1%} > "
+                        f"{cfg.unmasked_idle_threshold:.1%}: WAN latency "
+                        "is no longer masked (past the knee)"))
+
+    # -- introspection ----------------------------------------------------
+
+    def fired(self, rule: str) -> List[HealthEvent]:
+        """All events this monitor emitted for *rule*."""
+        return [e for e in self.events if e.rule == rule]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"HealthMonitor(samples={self.samples_seen}, "
+                f"events={len(self.events)})")
+
+
+class ObsGovernor:
+    """Budgets observability's own wall-clock cost.
+
+    Parameters
+    ----------
+    budget:
+        Maximum tolerated ``obs_cost / elapsed_wall`` fraction; ``None``
+        means "measure but never downgrade".
+    clock:
+        Wall-clock source (injectable: tests drive a fake clock and get
+        bit-deterministic downgrade sequences).
+    """
+
+    def __init__(self, budget: Optional[float] = None,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        if budget is not None and budget <= 0:
+            raise ConfigurationError(f"governor budget must be > 0: {budget}")
+        self.budget = budget
+        self.clock = clock
+        self._t0 = clock()
+        self._sources: Dict[str, Callable[[], float]] = {}
+        self._on_downgrade: Dict[str, Callable[[], None]] = {}
+        self.level = OBS_LEVELS[0]
+        self.events: List[HealthEvent] = []
+
+    # -- wiring -----------------------------------------------------------
+
+    def add_cost_source(self, name: str,
+                        cost_fn: Callable[[], float]) -> None:
+        """Register a cumulative wall-seconds cost callable."""
+        self._sources[name] = cost_fn
+
+    def on_downgrade(self, level: str, callback: Callable[[], None]) -> None:
+        """Run *callback* when the governor degrades *to* level."""
+        if level not in OBS_LEVELS:
+            raise ConfigurationError(f"unknown obs level {level!r}; "
+                                     f"valid: {OBS_LEVELS}")
+        self._on_downgrade[level] = callback
+
+    # -- accounting -------------------------------------------------------
+
+    def overhead_seconds(self) -> float:
+        return sum(fn() for fn in self._sources.values())
+
+    def overhead_fraction(self) -> float:
+        """Observability wall seconds / elapsed wall seconds."""
+        elapsed = self.clock() - self._t0
+        if elapsed <= 0:
+            return 0.0
+        return self.overhead_seconds() / elapsed
+
+    @property
+    def level_index(self) -> int:
+        return OBS_LEVELS.index(self.level)
+
+    def as_metrics(self) -> Dict[str, float]:
+        """Flat ``obs.*`` names for the metrics registry."""
+        return {
+            "obs.overhead_fraction": self.overhead_fraction(),
+            "obs.overhead_s": self.overhead_seconds(),
+            "obs.level": self.level_index,
+        }
+
+    # -- enforcement ------------------------------------------------------
+
+    def check(self, sim_now: float) -> Optional[HealthEvent]:
+        """Degrade one level if over budget; returns the downgrade event.
+
+        Called once per sampler tick.  Degradation is one level per call
+        so a single pathological tick cannot skip straight to
+        counters-only before the cheaper remedy was tried.
+        """
+        if self.budget is None:
+            return None
+        fraction = self.overhead_fraction()
+        if fraction <= self.budget:
+            return None
+        idx = self.level_index
+        if idx + 1 >= len(OBS_LEVELS):
+            return None  # already at the floor
+        self.level = OBS_LEVELS[idx + 1]
+        callback = self._on_downgrade.get(self.level)
+        if callback is not None:
+            callback()
+        event = HealthEvent(
+            t=sim_now, severity="warning", rule="obs-governor",
+            metric="obs.overhead_fraction", value=fraction,
+            threshold=self.budget,
+            message=f"observability overhead {fraction:.1%} > budget "
+                    f"{self.budget:.1%}: degraded "
+                    f"{OBS_LEVELS[idx]} -> {self.level}")
+        self.events.append(event)
+        return event
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"ObsGovernor(level={self.level}, "
+                f"budget={self.budget}, "
+                f"sources={sorted(self._sources)})")
+
+
+class TimedSink:
+    """A :class:`~repro.sim.trace.TraceSink` wrapper that self-times.
+
+    Timing every call would itself be the overhead it measures, so the
+    wrapper samples: one call in every :attr:`stride` is timed and the
+    measurement is scaled by the stride.  Cumulative estimated cost is
+    exposed via :attr:`cost_s` for the governor.  Even so, the extra
+    indirection per trace event is not free, which is why
+    :class:`~repro.grid.environment.GridEnvironment` only installs the
+    wrapper when an overhead budget makes the governor need the number.
+    """
+
+    def __init__(self, inner, stride: int = 16,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        if stride < 1:
+            raise ConfigurationError(f"stride must be >= 1: {stride}")
+        self.inner = inner
+        self.stride = stride
+        self.clock = clock
+        self.cost_s = 0.0
+        self._calls = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.inner.enabled
+
+    def _tick(self) -> Optional[float]:
+        """Start a timing window on every stride-th call."""
+        self._calls += 1
+        if self._calls % self.stride:
+            return None
+        return self.clock()
+
+    def _tock(self, t0: Optional[float]) -> None:
+        if t0 is not None:
+            self.cost_s += (self.clock() - t0) * self.stride
+
+    def begin_execute(self, pe, now, chare, entry, sid=None, parent=None,
+                      trigger=None):
+        t0 = self._tick()
+        self.inner.begin_execute(pe, now, chare, entry, sid=sid,
+                                 parent=parent, trigger=trigger)
+        self._tock(t0)
+
+    def end_execute(self, pe, now):
+        t0 = self._tick()
+        self.inner.end_execute(pe, now)
+        self._tock(t0)
+
+    def message_sent(self, now, src_pe, dst_pe, size, tag, crossed_wan,
+                     seq=None, cause=None, ack_for=None):
+        t0 = self._tick()
+        self.inner.message_sent(now, src_pe, dst_pe, size, tag, crossed_wan,
+                                seq, cause=cause, ack_for=ack_for)
+        self._tock(t0)
+
+    def message_delivered(self, now, src_pe, dst_pe, size, tag, crossed_wan,
+                          seq=None, cause=None, ack_for=None):
+        t0 = self._tick()
+        self.inner.message_delivered(now, src_pe, dst_pe, size, tag,
+                                     crossed_wan, seq, cause=cause,
+                                     ack_for=ack_for)
+        self._tock(t0)
+
+    def message_dropped(self, now, src_pe, dst_pe, size, tag, crossed_wan,
+                        seq=None, cause=None, ack_for=None):
+        t0 = self._tick()
+        self.inner.message_dropped(now, src_pe, dst_pe, size, tag,
+                                   crossed_wan, seq, cause=cause,
+                                   ack_for=ack_for)
+        self._tock(t0)
+
+    def note_retransmit(self):
+        t0 = self._tick()
+        self.inner.note_retransmit()
+        self._tock(t0)
+
+    def note_dup_suppressed(self):
+        t0 = self._tick()
+        self.inner.note_dup_suppressed()
+        self._tock(t0)

@@ -143,7 +143,13 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate q-quantile (upper bound of the covering bucket)."""
+        """Approximate q-quantile, linearly interpolated.
+
+        The covering bucket is found by rank; the returned value
+        interpolates linearly within that bucket's bounds (clamped to
+        the observed ``[min, max]``), rather than pessimistically
+        reporting the bucket's upper bound.
+        """
         if not (0.0 <= q <= 1.0):
             raise ConfigurationError(f"quantile {q} outside [0, 1]")
         if self.count == 0:
@@ -151,9 +157,13 @@ class Histogram:
         target = q * self.count
         seen = 0
         for idx in sorted(self.buckets):
-            seen += self.buckets[idx]
-            if seen >= target:
-                return min(self.bucket_bounds(idx)[1], self.max)
+            n = self.buckets[idx]
+            if seen + n >= target:
+                lo, hi = self.bucket_bounds(idx)
+                frac = (target - seen) / n
+                value = lo + frac * (hi - lo)
+                return min(max(value, self.min), self.max)
+            seen += n
         return self.max  # pragma: no cover - defensive
 
     def to_dict(self) -> Dict[str, MetricValue]:
@@ -163,6 +173,9 @@ class Histogram:
             "mean": self.mean,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
         return out
 
@@ -241,7 +254,8 @@ class MetricsRegistry:
         """Flat ``{name: value}`` view of every metric, collectors included.
 
         Histograms contribute ``name.count`` / ``name.sum`` /
-        ``name.mean`` / ``name.min`` / ``name.max`` sub-keys.
+        ``name.mean`` / ``name.min`` / ``name.max`` plus interpolated
+        ``name.p50`` / ``name.p95`` / ``name.p99`` sub-keys.
         """
         out: Dict[str, MetricValue] = {}
         for name, c in self._counters.items():

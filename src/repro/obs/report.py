@@ -66,6 +66,14 @@ class LatencyMaskingReport:
     #: knee analyzer ran, its :class:`~repro.obs.critpath.KneePrediction`
     #: digest under ``"knee"``.
     critpath: Optional[Dict[str, object]] = None
+    #: Optional health section (``repro health`` fills it): the watchdog
+    #: and governor events fired during the run, as
+    #: :meth:`~repro.obs.health.HealthEvent.to_dict` dicts, plus the
+    #: final observability level and overhead fraction.
+    health: Optional[Dict[str, object]] = None
+    #: Optional telemetry section: the
+    #: :meth:`~repro.obs.timeseries.TelemetrySampler.summary` digest.
+    timeseries: Optional[Dict[str, object]] = None
     extra: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -124,6 +132,10 @@ class LatencyMaskingReport:
             },
             **({"critpath": self.critpath}
                if self.critpath is not None else {}),
+            **({"health": self.health}
+               if self.health is not None else {}),
+            **({"timeseries": self.timeseries}
+               if self.timeseries is not None else {}),
             **self.extra,
         }
 
@@ -184,12 +196,59 @@ class LatencyMaskingReport:
                     f"{float(knee.get('predicted_knee_ms', 0.0)):10.3f} ms "
                     f"(T(L) within {float(knee.get('tolerance', 0.0)):g}x "
                     f"of baseline)")
+        if self.health is not None:
+            lines += ["", "Health"]
+            level = self.health.get("obs_level")
+            overhead = self.health.get("obs_overhead_fraction")
+            if level is not None:
+                lines.append(f"  observability level {level}")
+            if overhead is not None:
+                lines.append(f"  obs overhead        "
+                             f"{float(overhead):.2%} of wall time")
+            events = self.health.get("events") or []
+            lines.append(f"  events fired        {len(events)}")
+            for ev in events:
+                lines.append(
+                    f"    [{str(ev.get('severity', '?')).upper():8s}] "
+                    f"t={float(ev.get('t', 0.0)) * 1e3:10.3f} ms  "
+                    f"{ev.get('rule')}: {ev.get('message')}")
+        if self.timeseries is not None:
+            series = self.timeseries.get("series") or {}
+            if series:
+                lines += ["", "Telemetry (last / min / max)"]
+                name_w = max(len(n) for n in series)
+                for name in sorted(series):
+                    s = series[name]
+                    lines.append(
+                        f"  {name:<{name_w}}  {float(s['last']):.4g} / "
+                        f"{float(s['min']):.4g} / {float(s['max']):.4g}")
         if self.top_entries:
             lines += ["", f"{'chare.entry':32s} {'calls':>8} {'time(ms)':>10}"]
             for chare, entry, calls, total in self.top_entries:
                 lines.append(f"{chare + '.' + entry:32s} {calls:>8} "
                              f"{total * 1e3:>10.3f}")
         return "\n".join(lines)
+
+
+def health_section(events, governor=None) -> Dict[str, object]:
+    """Build the report's ``health`` section from fired events.
+
+    Parameters
+    ----------
+    events:
+        Iterable of :class:`~repro.obs.health.HealthEvent` (e.g.
+        ``env.health_events``).
+    governor:
+        Optional :class:`~repro.obs.health.ObsGovernor`; contributes the
+        final observability level and overhead fraction.
+    """
+    out: Dict[str, object] = {
+        "events": [e.to_dict() for e in events],
+    }
+    if governor is not None:
+        out["obs_level"] = governor.level
+        out["obs_overhead_fraction"] = governor.overhead_fraction()
+    return out
 
 
 def _top_entries(profiles: Dict[Tuple[str, str], EntryProfile],

@@ -13,6 +13,13 @@ networks, chares) is built on top of two operations:
 * :meth:`Engine.post` — schedule a callback at an absolute virtual time.
 * :meth:`Engine.run` — drain the queue until empty (or until a limit).
 
+Events posted with ``daemon=True`` are *background* events (telemetry
+sampler ticks): they fire in time order like any other event, but they
+do not count toward :attr:`Engine.pending` and do not keep :meth:`run`
+alive — a run ends when only daemon events remain, exactly as it would
+with none queued.  Without this, a self-rescheduling sampler would both
+livelock ``run()`` and defeat quiescence detection (``pending == 0``).
+
 Example
 -------
 >>> eng = Engine()
@@ -82,6 +89,8 @@ class Engine:
         self._max_events = max_events
         #: Lazily-cancelled entries still sitting in the heap.
         self._cancelled_in_queue: int = 0
+        #: Live (queued, not cancelled) daemon entries in the heap.
+        self._daemon_live: int = 0
 
     # -- clock --------------------------------------------------------------
 
@@ -101,14 +110,23 @@ class Engine:
 
         Cancelled events linger in the heap until they surface, but they
         are excluded here so that quiescence detection (``pending == 0``)
-        is not fooled by dead retransmit timers and the like.
+        is not fooled by dead retransmit timers and the like.  Daemon
+        events (telemetry ticks) are likewise excluded: they observe the
+        simulation but are not part of its workload.
         """
-        return len(self._queue) - self._cancelled_in_queue
+        return len(self._queue) - self._cancelled_in_queue - self._daemon_live
 
     # -- scheduling -----------------------------------------------------------
 
-    def post(self, when: float, action: Action) -> EventHandle:
+    def post(self, when: float, action: Action,
+             daemon: bool = False) -> EventHandle:
         """Schedule *action* to run at absolute virtual time *when*.
+
+        With ``daemon=True`` the event is a background event: it fires in
+        time order like any other, but does not count toward
+        :attr:`pending` and does not keep :meth:`run` going once only
+        daemon events remain (telemetry samplers reschedule themselves
+        forever; the simulation must still terminate).
 
         Raises
         ------
@@ -118,12 +136,15 @@ class Engine:
         if when < self._now:
             raise SchedulingError(
                 f"cannot schedule event at t={when!r} before now={self._now!r}")
-        entry = [when, self._seq, None, action]
+        entry = [when, self._seq, None, action, daemon]
         self._seq += 1
         heapq.heappush(self._queue, entry)
+        if daemon:
+            self._daemon_live += 1
         return EventHandle(when, entry[1], entry)
 
-    def post_in(self, delay: float, action: Action) -> EventHandle:
+    def post_in(self, delay: float, action: Action,
+                daemon: bool = False) -> EventHandle:
         """Schedule *action* to run *delay* seconds from now.
 
         Negative delays are rejected; a zero delay schedules the action at
@@ -132,7 +153,7 @@ class Engine:
         """
         if delay < 0.0:
             raise SchedulingError(f"negative delay {delay!r}")
-        return self.post(self._now + delay, action)
+        return self.post(self._now + delay, action, daemon=daemon)
 
     def cancel(self, handle: EventHandle) -> None:
         """Cancel a previously posted event.  Idempotent; a no-op after
@@ -142,6 +163,8 @@ class Engine:
             entry[2] = _CANCELLED
             entry[3] = None
             self._cancelled_in_queue += 1
+            if entry[4]:
+                self._daemon_live -= 1
 
     # -- execution ------------------------------------------------------------
 
@@ -149,10 +172,12 @@ class Engine:
         """Fire the single next event.  Returns ``False`` when queue is empty."""
         while self._queue:
             entry = heapq.heappop(self._queue)
-            when, _seq, state, action = entry
+            when, _seq, state, action, daemon = entry
             if state is _CANCELLED:  # lazily cancelled
                 self._cancelled_in_queue -= 1
                 continue
+            if daemon:
+                self._daemon_live -= 1
             entry[2] = _FIRED
             self._now = when
             self._events_processed += 1
@@ -173,7 +198,8 @@ class Engine:
         until:
             If given, stop once the next event would fire strictly after
             this virtual time; the clock is then advanced exactly to
-            *until*.  If ``None``, run until no events remain.
+            *until*.  If ``None``, run until no non-daemon events remain
+            (a self-rescheduling daemon must not keep the run alive).
 
         Returns
         -------
@@ -185,8 +211,11 @@ class Engine:
         self._running = True
         try:
             if until is None:
-                while self.step():
-                    pass
+                # pending > 0 guarantees a live non-daemon event, so
+                # step() always fires something; daemon events fire too
+                # (in time order) but cannot keep the loop alive alone.
+                while self.pending > 0:
+                    self.step()
             else:
                 while self._queue:
                     head = self._peek_time()

@@ -181,70 +181,83 @@ class TraceFanout:
     Used when a run wants both the full batch trace (for export) and
     streaming aggregation (for the report) — or, in principle, any
     future sink (a live dashboard feed, a sampling profiler).
+
+    Sinks are isolated from each other's failures: a sink that raises is
+    quarantined (never called again) and the exception is re-raised once
+    — after the remaining sinks have received the event — so one broken
+    sink can neither corrupt nor silence the others, and the error still
+    surfaces to the caller exactly once.
     """
 
     def __init__(self, sinks: Sequence[TraceSink]) -> None:
         self.sinks: List[TraceSink] = list(sinks)
+        #: id()s of sinks quarantined after raising.
+        self._failed: set = set()
 
     @property
     def enabled(self) -> bool:
-        return any(s.enabled for s in self.sinks)
+        return any(s.enabled and id(s) not in self._failed
+                   for s in self.sinks)
+
+    def _fanout(self, call) -> None:
+        err: Optional[BaseException] = None
+        for s in self.sinks:
+            if not s.enabled or id(s) in self._failed:
+                continue
+            try:
+                call(s)
+            except Exception as exc:
+                self._failed.add(id(s))
+                if err is None:
+                    err = exc
+        if err is not None:
+            raise err
 
     def begin_execute(self, pe: int, now: float, chare: str,
                       entry: str, sid: Optional[int] = None,
                       parent: Optional[int] = None,
                       trigger: Optional[int] = None) -> None:
-        for s in self.sinks:
-            if s.enabled:
-                s.begin_execute(pe, now, chare, entry, sid=sid,
-                                parent=parent, trigger=trigger)
+        self._fanout(lambda s: s.begin_execute(pe, now, chare, entry,
+                                               sid=sid, parent=parent,
+                                               trigger=trigger))
 
     def end_execute(self, pe: int, now: float) -> None:
-        for s in self.sinks:
-            if s.enabled:
-                s.end_execute(pe, now)
+        self._fanout(lambda s: s.end_execute(pe, now))
 
     def message_sent(self, now: float, src_pe: int, dst_pe: int, size: int,
                      tag: str, crossed_wan: bool,
                      seq: Optional[int] = None,
                      cause: Optional[int] = None,
                      ack_for: Optional[int] = None) -> None:
-        for s in self.sinks:
-            if s.enabled:
-                s.message_sent(now, src_pe, dst_pe, size, tag, crossed_wan,
-                               seq, cause=cause, ack_for=ack_for)
+        self._fanout(lambda s: s.message_sent(now, src_pe, dst_pe, size,
+                                              tag, crossed_wan, seq,
+                                              cause=cause, ack_for=ack_for))
 
     def message_delivered(self, now: float, src_pe: int, dst_pe: int,
                           size: int, tag: str, crossed_wan: bool,
                           seq: Optional[int] = None,
                           cause: Optional[int] = None,
                           ack_for: Optional[int] = None) -> None:
-        for s in self.sinks:
-            if s.enabled:
-                s.message_delivered(now, src_pe, dst_pe, size, tag,
-                                    crossed_wan, seq, cause=cause,
-                                    ack_for=ack_for)
+        self._fanout(lambda s: s.message_delivered(now, src_pe, dst_pe,
+                                                   size, tag, crossed_wan,
+                                                   seq, cause=cause,
+                                                   ack_for=ack_for))
 
     def message_dropped(self, now: float, src_pe: int, dst_pe: int,
                         size: int, tag: str, crossed_wan: bool,
                         seq: Optional[int] = None,
                         cause: Optional[int] = None,
                         ack_for: Optional[int] = None) -> None:
-        for s in self.sinks:
-            if s.enabled:
-                s.message_dropped(now, src_pe, dst_pe, size, tag,
-                                  crossed_wan, seq, cause=cause,
-                                  ack_for=ack_for)
+        self._fanout(lambda s: s.message_dropped(now, src_pe, dst_pe, size,
+                                                 tag, crossed_wan, seq,
+                                                 cause=cause,
+                                                 ack_for=ack_for))
 
     def note_retransmit(self) -> None:
-        for s in self.sinks:
-            if s.enabled:
-                s.note_retransmit()
+        self._fanout(lambda s: s.note_retransmit())
 
     def note_dup_suppressed(self) -> None:
-        for s in self.sinks:
-            if s.enabled:
-                s.note_dup_suppressed()
+        self._fanout(lambda s: s.note_dup_suppressed())
 
 
 class Tracer:

@@ -212,3 +212,37 @@ def test_message_seq_monotonic():
     a = Message(src_pe=0, dst_pe=0, size_bytes=0)
     b = Message(src_pe=0, dst_pe=0, size_bytes=0)
     assert b.seq > a.seq
+
+
+def test_fifo_queue_uses_deque_fast_path():
+    q = MessageQueue(prioritized=False)
+    q.push(Message(src_pe=0, dst_pe=0, size_bytes=0, priority=5))
+    assert len(q._fifo) == 1 and not q._heap
+    hq = MessageQueue(prioritized=True)
+    hq.push(Message(src_pe=0, dst_pe=0, size_bytes=0, priority=5))
+    assert len(hq._heap) == 1 and not hq._fifo
+
+
+def test_queue_high_water_tracks_peak_depth():
+    q = MessageQueue()
+    assert q.high_water == 0
+    for _ in range(3):
+        q.push(Message(src_pe=0, dst_pe=0, size_bytes=0))
+    q.pop()
+    q.pop()
+    assert q.high_water == 3
+    q.push(Message(src_pe=0, dst_pe=0, size_bytes=0))
+    assert q.high_water == 3  # peak, not current depth
+    for _ in range(4):
+        q.push(Message(src_pe=0, dst_pe=0, size_bytes=0))
+    assert q.high_water == 6
+
+
+def test_pe_state_queue_metrics():
+    ps = PeState(3)
+    ps.queue.push(Message(src_pe=0, dst_pe=3, size_bytes=0))
+    ps.queue.push(Message(src_pe=1, dst_pe=3, size_bytes=0))
+    ps.queue.pop()
+    metrics = ps.queue_metrics()
+    assert metrics["pe.3.queue_depth"] == 1
+    assert metrics["pe.3.queue_hwm"] == 2

@@ -188,3 +188,73 @@ def test_zero_delay_event_runs_after_earlier_same_time_posts():
     eng.post(1.0, at_one)
     eng.run()
     assert order == ["a", "b", "c"]
+
+
+# -- daemon events ---------------------------------------------------------
+
+
+def test_daemon_event_fires_in_time_order():
+    eng = Engine()
+    order = []
+    eng.post(1.0, lambda: order.append("daemon"), daemon=True)
+    eng.post(2.0, lambda: order.append("work"))
+    eng.run()
+    assert order == ["daemon", "work"]
+
+
+def test_daemon_events_excluded_from_pending():
+    eng = Engine()
+    eng.post(1.0, lambda: None, daemon=True)
+    assert eng.pending == 0
+    eng.post(2.0, lambda: None)
+    assert eng.pending == 1
+
+
+def test_run_terminates_when_only_daemons_remain():
+    eng = Engine()
+    ticks = []
+
+    def tick():
+        ticks.append(eng.now)
+        eng.post_in(1.0, tick, daemon=True)
+
+    eng.post_in(1.0, tick, daemon=True)
+    eng.post(3.5, lambda: None)
+    eng.run()
+    # Ticks at 1, 2, 3 fired alongside the real event at 3.5; the tick
+    # rescheduled past the last non-daemon event never runs.
+    assert ticks == [1.0, 2.0, 3.0]
+    assert eng.now == 3.5
+
+
+def test_self_rescheduling_daemon_does_not_livelock_empty_run():
+    eng = Engine()
+
+    def tick():
+        eng.post_in(1.0, tick, daemon=True)
+
+    eng.post_in(1.0, tick, daemon=True)
+    eng.run()  # returns immediately: pending == 0
+    assert eng.now == 0.0
+
+
+def test_cancel_daemon_event_keeps_pending_consistent():
+    eng = Engine()
+    h = eng.post(1.0, lambda: None, daemon=True)
+    eng.post(2.0, lambda: None)
+    eng.cancel(h)
+    assert eng.pending == 1
+    eng.run()
+    assert eng.now == 2.0
+
+
+def test_daemon_leftovers_resume_on_next_run():
+    eng = Engine()
+    ticks = []
+    eng.post(5.0, lambda: ticks.append("late-daemon"), daemon=True)
+    eng.post(1.0, lambda: None)
+    eng.run()
+    assert eng.now == 1.0 and ticks == []
+    eng.post(6.0, lambda: ticks.append("work"))
+    eng.run()
+    assert ticks == ["late-daemon", "work"]
