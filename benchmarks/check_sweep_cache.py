@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""CI gate for the parallel-sweep job: the second sweep must be cached.
+
+Usage::
+
+    python benchmarks/check_sweep_cache.py \
+        stats-cold.json stats-warm.json sweep-cold.txt sweep-warm.txt
+
+Asserts that the warm run was >= 90% cache-served and that its rendered
+artefact (stdout) is byte-identical to the cold run's — the executor's
+two contracts: re-runs are nearly free, and the cache never changes the
+answer.
+"""
+
+import json
+import sys
+
+MIN_CACHE_FRACTION = 0.90
+
+
+def main(argv):
+    cold_stats, warm_stats, cold_out, warm_out = argv[1:5]
+    with open(cold_stats) as fh:
+        cold = json.load(fh)
+    with open(warm_stats) as fh:
+        warm = json.load(fh)
+    print("cold:", cold)
+    print("warm:", warm)
+    if warm["cache_fraction"] < MIN_CACHE_FRACTION:
+        raise SystemExit(
+            f"second sweep only {warm['cache_fraction']:.0%} cache-served "
+            f"(need >= {MIN_CACHE_FRACTION:.0%})")
+    with open(cold_out) as fh:
+        cold_text = fh.read()
+    with open(warm_out) as fh:
+        warm_text = fh.read()
+    if cold_text != warm_text:
+        raise SystemExit("cached sweep output differs from the fresh run")
+    print(f"ok: {warm['cache_fraction']:.0%} cache-served, "
+          "artefact byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -36,13 +36,17 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.apps.stencil import StencilApp                  # noqa: E402
+from repro.core import Chare, entry                        # noqa: E402
 from repro.bench.harness import (                          # noqa: E402
     BENCH_LOG_ENV,
     maybe_log_trajectory,
 )
 from repro.bench.records import ExperimentPoint            # noqa: E402
 from repro.bench.trajectory import DEFAULT_PATH            # noqa: E402
-from repro.grid.presets import artificial_latency_env      # noqa: E402
+from repro.grid.presets import (                           # noqa: E402
+    artificial_latency_env,
+    single_cluster_env,
+)
 from repro.obs.critpath import (                           # noqa: E402
     CausalGraph,
     per_step_attribution,
@@ -62,6 +66,9 @@ STEPS = 8
 #: Wall-clock repetitions per observability mode (best-of, to shave
 #: scheduler noise off the comparison).
 OBS_REPS = 7
+
+#: Ping-pong messages for the engine-only events/sec mode.
+PINGPONG_ROUNDS = 2000
 
 
 def _timed_run(**env_kwargs):
@@ -117,6 +124,10 @@ def measure_obs_overhead():
     off_s, stats_s = best["off"], best["stats"]
     sampling_s, full_s = best["sampling"], best["full"]
     snap = sampling_env.metrics.snapshot()
+    # Event count is a virtual-time invariant: identical in every mode
+    # and on every machine for this config, so events/wall is a clean
+    # cross-commit throughput metric.
+    events = sampling_env.engine.events_processed
     return {
         "wall_off_s": off_s,
         "wall_stats_s": stats_s,
@@ -126,7 +137,97 @@ def measure_obs_overhead():
         "sampling_vs_stats": sampling_s / stats_s - 1.0,
         "full_vs_off": full_s / off_s - 1.0,
         "overhead_fraction_sampling": snap["obs.overhead_fraction"],
+        "events": events,
+        "events_per_sec_off": events / off_s,
+        "events_per_sec_stats": events / stats_s,
     }
+
+
+class _Pinger(Chare):
+    """Half of the engine-only ping-pong pair (events/sec mode)."""
+
+    def __init__(self):
+        super().__init__()
+        self.peer = None
+        self.count = 0
+
+    @entry
+    def hit(self, remaining):
+        self.count += 1
+        if remaining:
+            self.peer.hit(remaining - 1)
+
+
+def measure_events_per_second(rounds=PINGPONG_ROUNDS, reps=3):
+    """Engine + scheduler throughput with no application logic.
+
+    Two chares on one PE bat a message back and forth *rounds* times:
+    every event is pure runtime overhead (queue, dispatch, entry call,
+    finish), so this isolates scheduler/engine hot-path cost from the
+    stencil's cost-model arithmetic.
+    """
+    best = None
+    events = 0
+    count = 0
+    for _ in range(reps):
+        env = single_cluster_env(1, stats=False)
+        rts = env.runtime
+        a = rts.create_chare(_Pinger, pe=0)
+        b = rts.create_chare(_Pinger, pe=0)
+        rts.chare_object(a.chare_id).peer = b
+        rts.chare_object(b.chare_id).peer = a
+        a.hit(rounds)
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            env.run()
+            dt = time.perf_counter() - t0
+        finally:
+            gc.enable()
+        events = env.engine.events_processed
+        count = (rts.chare_object(a.chare_id).count
+                 + rts.chare_object(b.chare_id).count)
+        if best is None or dt < best:
+            best = dt
+    assert count == rounds + 1, f"ping-pong dropped messages: {count}"
+    return {"rounds": rounds, "events": events, "wall_s": best,
+            "events_per_sec": events / best}
+
+
+def measure_allocations(n=4096):
+    """Per-object heap blocks for the two hottest allocation sites.
+
+    ``sys.getallocatedblocks`` deltas while keeping *n* objects alive:
+    how many heap blocks one constructed ``Message`` / one posted engine
+    event costs.  Machine-independent (it counts blocks, not bytes or
+    nanoseconds), so the trajectory can compare across commits.
+    """
+    from repro.network.message import Message
+    from repro.sim.engine import Engine
+
+    def noop():
+        return None
+
+    gc.collect()
+    gc.disable()
+    try:
+        keep = [None] * n
+        base = sys.getallocatedblocks()
+        for i in range(n):
+            keep[i] = Message(src_pe=0, dst_pe=1, size_bytes=64)
+        per_message = (sys.getallocatedblocks() - base) / n
+        del keep
+        engine = Engine()
+        gc.collect()
+        base = sys.getallocatedblocks()
+        for i in range(n):
+            engine.post(float(i), noop)
+        per_event = (sys.getallocatedblocks() - base) / n
+    finally:
+        gc.enable()
+    return {"blocks_per_message": per_message,
+            "blocks_per_posted_event": per_event}
 
 
 def main(argv=None):
@@ -135,7 +236,22 @@ def main(argv=None):
                         help="trajectory file to append to")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="also export the Chrome trace here")
+    parser.add_argument("--events-per-second", action="store_true",
+                        help="run only the engine-only ping-pong "
+                             "throughput mode and print events/sec")
     args = parser.parse_args(argv)
+
+    if args.events_per_second:
+        eps = measure_events_per_second()
+        allocs = measure_allocations()
+        print(f"ping-pong: {eps['events']} events in "
+              f"{eps['wall_s'] * 1e3:.1f} ms -> "
+              f"{eps['events_per_sec']:.0f} events/sec "
+              f"(best of 3, {eps['rounds']} rounds, 2 chares on 1 PE)")
+        print(f"allocations: {allocs['blocks_per_message']:.2f} "
+              f"blocks/Message, {allocs['blocks_per_posted_event']:.2f} "
+              f"blocks/posted event")
+        return 0
 
     env = artificial_latency_env(PES, ms(LATENCY_MS), trace=True)
     t0 = env.now
@@ -148,6 +264,8 @@ def main(argv=None):
     summary = summarize_attribution(steps, warmup=result.warmup)
 
     obs = measure_obs_overhead()
+    eps = measure_events_per_second()
+    allocs = measure_allocations()
 
     point = ExperimentPoint(
         experiment="perf-smoke", app="stencil", environment="artificial",
@@ -157,7 +275,9 @@ def main(argv=None):
     os.environ[BENCH_LOG_ENV] = args.log
     maybe_log_trajectory(point, result, env,
                          compute_share=summary["compute_share"],
-                         extra={"obs_overhead": obs})
+                         extra={"obs_overhead": obs,
+                                "events_per_sec": eps,
+                                "allocations": allocs})
 
     print(f"perf-smoke: {result.time_per_step * 1e3:.3f} ms/step, "
           f"masked {env.aggregator.masked_latency_fraction:.3f}, "
@@ -173,6 +293,12 @@ def main(argv=None):
           f"({obs['full_vs_off']:+.1%} vs off); "
           f"self-reported obs.overhead_fraction "
           f"{obs['overhead_fraction_sampling']:.4f}")
+    print(f"throughput: {obs['events']} events -> "
+          f"{obs['events_per_sec_off']:.0f} ev/s (obs off), "
+          f"{obs['events_per_sec_stats']:.0f} ev/s (stats); "
+          f"ping-pong {eps['events_per_sec']:.0f} ev/s; "
+          f"{allocs['blocks_per_message']:.2f} blocks/Message, "
+          f"{allocs['blocks_per_posted_event']:.2f} blocks/event")
 
     if args.out:
         doc = chrome_trace(env.tracer)

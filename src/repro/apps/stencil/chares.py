@@ -29,6 +29,7 @@ from repro.apps.stencil.costs import DEFAULT_STENCIL_COSTS, StencilCostModel
 from repro.apps.stencil.decomposition import OPPOSITE, BlockDecomposition
 from repro.apps.stencil.kernel import jacobi_step
 from repro.core.chare import Chare
+from repro.core.ids import ChareID
 from repro.core.method import entry
 from repro.errors import ConfigurationError
 
@@ -68,6 +69,13 @@ class StencilBlock(Chare):
         self.config = config
         self.neighbors = decomp.neighbors(bi, bj)
         self.done_targets = done_targets  # (times_cb, checksum_cb, mesh_cb)
+        #: Precomputed per-neighbor send plan (side, neighbor index,
+        #: opposite side, wire bytes): plain data computed once instead
+        #: of a proxy walk + ghost_bytes call per send per step.
+        self._ghost_plan = [
+            (side, nbr, OPPOSITE[side], decomp.ghost_bytes(side) + 64)
+            for side, nbr in self.neighbors.items()
+        ]
 
         h, w = decomp.block_rows, decomp.block_cols
         if config.payload == "real":
@@ -206,14 +214,22 @@ class StencilBlock(Chare):
         return interior[:, -1].copy()
 
     def _send_ghosts(self) -> None:
-        """Publish this block's current boundaries to all neighbors."""
-        cfg = self.config
-        self.charge(cfg.costs.send_cost(len(self.neighbors)))
-        for side, nbr in self.neighbors.items():
-            self.thisProxy[nbr].ghost(
-                self.step, OPPOSITE[side], self._boundary(side),
-                _size=self.decomp.ghost_bytes(side) + 64,
-                _tag=f"ghost s{self.step}")
+        """Publish this block's current boundaries to all neighbors.
+
+        Sends through :meth:`Runtime.send` directly using the
+        precomputed plan — equivalent to
+        ``self.thisProxy[nbr].ghost(...)`` per neighbor, minus the
+        per-send proxy/BoundEntry allocations on the hottest app loop.
+        """
+        rts = self._require_rts()
+        collection = self._id.collection
+        step = self.step
+        self.charge(self.config.costs.send_cost(len(self.neighbors)))
+        tag = f"ghost s{step}"
+        for side, nbr, opposite, size in self._ghost_plan:
+            rts.send(ChareID(collection, nbr), "ghost",
+                     (step, opposite, self._boundary(side)), {},
+                     size=size, tag=tag)
 
     # -- completion -------------------------------------------------------------------
 

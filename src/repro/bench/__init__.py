@@ -14,13 +14,20 @@ from repro.bench.harness import (
     stencil_ampi_point,
     stencil_point,
 )
+from repro.bench.cache import DEFAULT_CACHE_DIR, RunCache, spec_key
+from repro.bench.executor import SweepStats, default_jobs, run_sweep
 from repro.bench.records import ExperimentPoint, Series, group_series
+from repro.bench.specs import RunSpec
 from repro.bench.sweep import (
     FIG3_LATENCIES_MS,
     FIG3_PANEL_OBJECTS,
     FIG4_LATENCIES_MS,
     PE_COUNTS,
     TABLE1_ROWS,
+    specs_fig3,
+    specs_fig4,
+    specs_table1,
+    specs_table2,
     sweep_fig3,
     sweep_fig4,
     sweep_table1,
@@ -41,6 +48,17 @@ __all__ = [
     "stencil_point",
     "stencil_ampi_point",
     "leanmd_point",
+    "RunSpec",
+    "RunCache",
+    "SweepStats",
+    "run_sweep",
+    "default_jobs",
+    "spec_key",
+    "DEFAULT_CACHE_DIR",
+    "specs_fig3",
+    "specs_table1",
+    "specs_fig4",
+    "specs_table2",
     "sweep_fig3",
     "sweep_table1",
     "sweep_fig4",

@@ -1,0 +1,103 @@
+"""Content-addressed cache of completed experiment runs.
+
+A sweep re-run after an unrelated edit should not re-simulate every
+configuration.  Each completed :class:`~repro.bench.records.ExperimentPoint`
+is stored under a key derived from everything that determines its value:
+
+* the spec's canonical config dict (app, sizes, latency, steps, seed,
+  environment, payload);
+* the package version (bumped when simulation behaviour changes);
+* a cache schema number (bumped when the on-disk format changes).
+
+Entries are single JSON files written atomically (tempfile + rename in
+the same directory), so concurrent sweep workers — or two sweeps sharing
+a cache directory — never observe torn entries.  A corrupt or unreadable
+entry is treated as a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+from repro._version import __version__
+from repro.bench.records import ExperimentPoint
+from repro.bench.specs import RunSpec
+
+#: Bumped when the entry format (not the simulated behaviour) changes.
+CACHE_SCHEMA = 1
+
+#: Default cache directory, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def spec_key(spec: RunSpec, version: str = __version__) -> str:
+    """Content hash identifying *spec*'s result.
+
+    Canonical-JSON SHA-256 over (schema, package version, spec config):
+    any change to the configuration or to the simulating code's declared
+    version produces a different key, so stale results are simply never
+    found rather than needing invalidation logic.
+    """
+    payload = {"schema": CACHE_SCHEMA, "version": version,
+               "config": spec.config()}
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+class RunCache:
+    """Directory of content-addressed experiment results."""
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR,
+                 version: str = __version__) -> None:
+        self.root = root
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    def _path(self, key: str) -> str:
+        # Two-level fanout keeps directory listings short on big sweeps.
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, spec: RunSpec) -> Optional[ExperimentPoint]:
+        """The cached result for *spec*, or ``None`` on a miss."""
+        path = self._path(spec_key(spec, self.version))
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+            point = ExperimentPoint.from_dict(doc["point"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return point
+
+    def put(self, spec: RunSpec, point: ExperimentPoint) -> None:
+        """Store *point* as *spec*'s result (atomic write-rename)."""
+        key = spec_key(spec, self.version)
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        doc = {"key": key, "schema": CACHE_SCHEMA, "version": self.version,
+               "config": spec.config(), "point": point.to_dict()}
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh, indent=1)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.puts += 1
+
+    def stats(self) -> Dict[str, Any]:
+        return {"hits": self.hits, "misses": self.misses,
+                "puts": self.puts, "root": self.root}

@@ -1,0 +1,181 @@
+"""The sweep executor: run lists of specs serially or across processes.
+
+:func:`run_sweep` is the single entry point every sweep goes through.
+It takes declarative :class:`~repro.bench.specs.RunSpec` lists and
+
+* consults the content-addressed cache first (when given one);
+* runs the remaining specs either in-process (``jobs=1``) or on a
+  ``ProcessPoolExecutor`` (``jobs>1``), one spec per task;
+* isolates failures: a spec whose run raises produces an *error row*
+  (``time_per_step=inf``, ``extra["error"]``) while its siblings
+  complete normally;
+* merges results **in spec order**, so the returned list is bit-identical
+  to a serial run regardless of worker completion order (simulated
+  virtual time is deterministic; only wall-clock changes with ``jobs``).
+
+Workers are ordinary forked/spawned Python processes; the per-runtime
+message sequence counter (reset on every
+:class:`~repro.core.rts.Runtime` construction) keeps results independent
+of which worker ran which spec or in what order.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.cache import RunCache
+from repro.bench.records import ExperimentPoint
+from repro.bench.specs import RunSpec
+
+#: Environment override for the default worker count.
+JOBS_ENV = "REPRO_BENCH_JOBS"
+
+ProgressFn = Callable[[str], None]
+
+
+def default_jobs() -> int:
+    """Worker count used when the caller does not pass one.
+
+    ``REPRO_BENCH_JOBS`` wins when set (CI pins it; developers can
+    export it once); otherwise sweeps stay serial, which is the
+    bit-identical baseline and the cheapest choice on small machines.
+    """
+    raw = os.environ.get(JOBS_ENV, "")
+    try:
+        jobs = int(raw)
+    except ValueError:
+        return 1
+    return max(1, jobs)
+
+
+@dataclass
+class SweepStats:
+    """What :func:`run_sweep` did, for reporting and CI assertions."""
+
+    total: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    errors: int = 0
+    jobs: int = 1
+    wall_s: float = 0.0
+    error_labels: List[str] = field(default_factory=list)
+
+    @property
+    def cache_fraction(self) -> float:
+        return self.cache_hits / self.total if self.total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"total": self.total, "cache_hits": self.cache_hits,
+                "executed": self.executed, "errors": self.errors,
+                "jobs": self.jobs, "wall_s": self.wall_s,
+                "cache_fraction": self.cache_fraction,
+                "error_labels": list(self.error_labels)}
+
+
+def _execute_spec(spec: RunSpec) -> Tuple[str, Any]:
+    """Worker task: run one spec, never letting exceptions escape.
+
+    Failures are returned as values (``("error", message)``) rather than
+    raised, so one bad configuration cannot poison the process pool —
+    the pool only breaks on interpreter death, not on application
+    errors.  Module-level so it pickles for the pool.
+    """
+    try:
+        return ("ok", spec.run())
+    except Exception as exc:  # noqa: BLE001 - isolation is the point
+        return ("error", f"{type(exc).__name__}: {exc}")
+
+
+def run_sweep(specs: Sequence[RunSpec], jobs: int = 1,
+              cache: Optional[RunCache] = None,
+              progress: Optional[ProgressFn] = None,
+              stats: Optional[SweepStats] = None
+              ) -> List[ExperimentPoint]:
+    """Realize *specs* into measurement rows, in spec order.
+
+    Parameters
+    ----------
+    jobs:
+        ``1`` runs in-process; ``>1`` fans out over a process pool of
+        that many workers.  Results are identical either way.
+    cache:
+        Optional :class:`~repro.bench.cache.RunCache`; hits skip the
+        run, fresh results (except error rows) are stored back.
+    progress:
+        Optional callable receiving one line per completed spec.
+    stats:
+        Optional :class:`SweepStats` filled in place (counts, cache
+        fraction, wall time).
+    """
+    specs = list(specs)
+    n = len(specs)
+    st = stats if stats is not None else SweepStats()
+    st.total = n
+    st.jobs = max(1, jobs)
+    t_start = time.perf_counter()
+    results: List[Optional[ExperimentPoint]] = [None] * n
+    done = 0
+
+    def note(i: int, suffix: str) -> None:
+        if progress is not None:
+            progress(f"[{done}/{n}] {specs[i].label()}: {suffix}")
+
+    def record(i: int, status: str, value: Any) -> None:
+        nonlocal done
+        done += 1
+        if status == "ok":
+            results[i] = value
+            if cache is not None:
+                cache.put(specs[i], value)
+            st.executed += 1
+            note(i, f"{value.time_per_step_ms:.3f} ms/step")
+        else:
+            results[i] = specs[i].error_point(value)
+            st.executed += 1
+            st.errors += 1
+            st.error_labels.append(specs[i].label())
+            note(i, f"ERROR {value}")
+
+    pending: List[int] = []
+    for i, spec in enumerate(specs):
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            results[i] = hit
+            st.cache_hits += 1
+            done += 1
+            note(i, "cached")
+        else:
+            pending.append(i)
+
+    if pending and st.jobs > 1:
+        workers = min(st.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_execute_spec, specs[i]): i
+                       for i in pending}
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining,
+                                           return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    i = futures[fut]
+                    exc = fut.exception()
+                    if exc is not None:
+                        # The worker process itself died (e.g. OOM kill,
+                        # segfault): error row for this spec, siblings
+                        # continue on the surviving pool.
+                        record(i, "error",
+                               f"{type(exc).__name__}: {exc}")
+                    else:
+                        status, value = fut.result()
+                        record(i, status, value)
+    else:
+        for i in pending:
+            status, value = _execute_spec(specs[i])
+            record(i, status, value)
+
+    st.wall_s = time.perf_counter() - t_start
+    return [p for p in results if p is not None]

@@ -37,6 +37,20 @@ class ExperimentPoint:
         d["time_per_step_ms"] = self.time_per_step_ms
         return d
 
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ExperimentPoint":
+        """Inverse of :meth:`to_dict` (derived fields are ignored).
+
+        The run cache round-trips points through JSON; this must stay
+        lossless for every field the simulation produces.
+        """
+        return cls(
+            experiment=d["experiment"], app=d["app"],
+            environment=d["environment"], pes=int(d["pes"]),
+            objects=int(d["objects"]), latency_ms=float(d["latency_ms"]),
+            time_per_step=float(d["time_per_step"]), steps=int(d["steps"]),
+            extra=dict(d.get("extra") or {}))
+
 
 @dataclass
 class Series:

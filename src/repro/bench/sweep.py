@@ -1,9 +1,16 @@
 """Parameter sweeps reproducing each figure/table of the paper.
 
-Each function returns the list of :class:`ExperimentPoint` rows that the
-corresponding rendering in :mod:`repro.bench.tables` /
-:mod:`repro.bench.figures` consumes.  The configurations mirror the
-paper exactly:
+Each ``specs_*`` function builds the declarative
+:class:`~repro.bench.specs.RunSpec` list for one artefact; each
+``sweep_*`` function realizes it through the executor
+(:mod:`repro.bench.executor`) and returns the
+:class:`ExperimentPoint` rows that the corresponding rendering in
+:mod:`repro.bench.tables` / :mod:`repro.bench.figures` consumes.
+Passing ``jobs`` fans the runs out over a process pool; passing a
+:class:`~repro.bench.cache.RunCache` serves repeated configurations
+from disk.  Results are identical (bit-for-bit) for any ``jobs``.
+
+The configurations mirror the paper exactly:
 
 * Figure 3: 2048x2048 stencil, PEs in {2,...,64}, per-panel object
   counts, one-way latency swept 0-32 ms;
@@ -17,12 +24,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.bench.harness import (
-    TERAGRID_ONE_WAY_MS,
-    leanmd_point,
-    stencil_point,
-)
+from repro.bench.cache import RunCache
+from repro.bench.executor import ProgressFn, SweepStats, run_sweep
+from repro.bench.harness import TERAGRID_ONE_WAY_MS
 from repro.bench.records import ExperimentPoint
+from repro.bench.specs import RunSpec
 
 #: Paper Figure 3: which virtualization degrees appear in which panel.
 FIG3_PANEL_OBJECTS: Dict[int, Tuple[int, ...]] = {
@@ -55,51 +61,107 @@ FIG4_LATENCIES_MS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0,
 PE_COUNTS: Tuple[int, ...] = (2, 4, 8, 16, 32, 64)
 
 
-def sweep_fig3(panels: Optional[Sequence[int]] = None,
+# -- spec builders (pure, no side effects) ------------------------------------
+
+def specs_fig3(panels: Optional[Sequence[int]] = None,
                latencies_ms: Sequence[float] = FIG3_LATENCIES_MS,
-               steps: int = 10) -> List[ExperimentPoint]:
-    """All points of Figure 3 (optionally a subset of panels)."""
-    out: List[ExperimentPoint] = []
+               steps: int = 10) -> List[RunSpec]:
+    """Specs for all points of Figure 3 (optionally a panel subset)."""
+    out: List[RunSpec] = []
     for pes in (panels if panels is not None else PE_COUNTS):
         for objects in FIG3_PANEL_OBJECTS[pes]:
             for lat in latencies_ms:
-                out.append(stencil_point("fig3", pes, objects, lat,
-                                         steps=steps))
+                out.append(RunSpec(kind="stencil", experiment="fig3",
+                                   pes=pes, objects=objects,
+                                   latency_ms=lat, steps=steps))
     return out
+
+
+def specs_table1(rows: Sequence[Tuple[int, int]] = TABLE1_ROWS,
+                 steps: int = 10, seed: int = 0) -> List[RunSpec]:
+    """Specs for Table 1: artificial vs TeraGrid, row by row.
+
+    As in the original eager sweep, *seed* applies to the TeraGrid
+    (jittered) runs only; artificial-latency runs are seed-independent
+    and always use the default.
+    """
+    out: List[RunSpec] = []
+    for pes, objects in rows:
+        out.append(RunSpec(kind="stencil", experiment="table1", pes=pes,
+                           objects=objects,
+                           latency_ms=TERAGRID_ONE_WAY_MS, steps=steps))
+        out.append(RunSpec(kind="stencil", experiment="table1", pes=pes,
+                           objects=objects,
+                           latency_ms=TERAGRID_ONE_WAY_MS, steps=steps,
+                           environment="teragrid", seed=seed))
+    return out
+
+
+def specs_fig4(pe_counts: Sequence[int] = PE_COUNTS,
+               latencies_ms: Sequence[float] = FIG4_LATENCIES_MS,
+               steps: int = 8) -> List[RunSpec]:
+    """Specs for all points of Figure 4 (LeanMD latency sweep)."""
+    return [RunSpec(kind="leanmd", experiment="fig4", pes=pes,
+                    latency_ms=lat, steps=steps)
+            for pes in pe_counts for lat in latencies_ms]
+
+
+def specs_table2(pe_counts: Sequence[int] = PE_COUNTS,
+                 steps: int = 8, seed: int = 0) -> List[RunSpec]:
+    """Specs for Table 2: LeanMD, artificial vs TeraGrid, per PE count."""
+    out: List[RunSpec] = []
+    for pes in pe_counts:
+        out.append(RunSpec(kind="leanmd", experiment="table2", pes=pes,
+                           latency_ms=TERAGRID_ONE_WAY_MS, steps=steps))
+        out.append(RunSpec(kind="leanmd", experiment="table2", pes=pes,
+                           latency_ms=TERAGRID_ONE_WAY_MS, steps=steps,
+                           environment="teragrid", seed=seed))
+    return out
+
+
+# -- realized sweeps ----------------------------------------------------------
+
+def sweep_fig3(panels: Optional[Sequence[int]] = None,
+               latencies_ms: Sequence[float] = FIG3_LATENCIES_MS,
+               steps: int = 10, jobs: int = 1,
+               cache: Optional[RunCache] = None,
+               progress: Optional[ProgressFn] = None,
+               stats: Optional[SweepStats] = None
+               ) -> List[ExperimentPoint]:
+    """All points of Figure 3 (optionally a subset of panels)."""
+    return run_sweep(specs_fig3(panels, latencies_ms, steps), jobs=jobs,
+                     cache=cache, progress=progress, stats=stats)
 
 
 def sweep_table1(rows: Sequence[Tuple[int, int]] = TABLE1_ROWS,
-                 steps: int = 10, seed: int = 0) -> List[ExperimentPoint]:
+                 steps: int = 10, seed: int = 0, jobs: int = 1,
+                 cache: Optional[RunCache] = None,
+                 progress: Optional[ProgressFn] = None,
+                 stats: Optional[SweepStats] = None
+                 ) -> List[ExperimentPoint]:
     """Table 1: artificial latency vs the TeraGrid model, row by row."""
-    out: List[ExperimentPoint] = []
-    for pes, objects in rows:
-        out.append(stencil_point("table1", pes, objects,
-                                 TERAGRID_ONE_WAY_MS, steps=steps))
-        out.append(stencil_point("table1", pes, objects,
-                                 TERAGRID_ONE_WAY_MS, steps=steps,
-                                 environment="teragrid", seed=seed))
-    return out
+    return run_sweep(specs_table1(rows, steps, seed), jobs=jobs,
+                     cache=cache, progress=progress, stats=stats)
 
 
 def sweep_fig4(pe_counts: Sequence[int] = PE_COUNTS,
                latencies_ms: Sequence[float] = FIG4_LATENCIES_MS,
-               steps: int = 8) -> List[ExperimentPoint]:
+               steps: int = 8, jobs: int = 1,
+               cache: Optional[RunCache] = None,
+               progress: Optional[ProgressFn] = None,
+               stats: Optional[SweepStats] = None
+               ) -> List[ExperimentPoint]:
     """All points of Figure 4 (LeanMD latency sweep)."""
-    out: List[ExperimentPoint] = []
-    for pes in pe_counts:
-        for lat in latencies_ms:
-            out.append(leanmd_point("fig4", pes, lat, steps=steps))
-    return out
+    return run_sweep(specs_fig4(pe_counts, latencies_ms, steps), jobs=jobs,
+                     cache=cache, progress=progress, stats=stats)
 
 
 def sweep_table2(pe_counts: Sequence[int] = PE_COUNTS,
-                 steps: int = 8, seed: int = 0) -> List[ExperimentPoint]:
+                 steps: int = 8, seed: int = 0, jobs: int = 1,
+                 cache: Optional[RunCache] = None,
+                 progress: Optional[ProgressFn] = None,
+                 stats: Optional[SweepStats] = None
+                 ) -> List[ExperimentPoint]:
     """Table 2: LeanMD, artificial vs TeraGrid, per PE count."""
-    out: List[ExperimentPoint] = []
-    for pes in pe_counts:
-        out.append(leanmd_point("table2", pes, TERAGRID_ONE_WAY_MS,
-                                steps=steps))
-        out.append(leanmd_point("table2", pes, TERAGRID_ONE_WAY_MS,
-                                steps=steps, environment="teragrid",
-                                seed=seed))
-    return out
+    return run_sweep(specs_table2(pe_counts, steps, seed), jobs=jobs,
+                     cache=cache, progress=progress, stats=stats)

@@ -8,9 +8,12 @@ fraction, critical-path compute share) — to ``BENCH_critpath.json`` at
 the repo root; ``repro bench-diff`` compares two records (or the last
 two with matching digests) and flags >10 % step-time regressions.
 
-The file is a JSON array of plain dicts: human-diffable, trivially
-loadable, and append is read-modify-write (records are tiny and appends
-rare, so no locking is needed).
+The file is a JSON array of plain dicts: human-diffable and trivially
+loadable.  Append is read-modify-write, guarded against concurrent
+writers (parallel sweep workers all log here) by an advisory lock on a
+``.lock`` sidecar plus an atomic tempfile + rename of the array itself,
+so two simultaneous appends serialize instead of losing records or
+tearing the JSON.
 """
 
 from __future__ import annotations
@@ -18,9 +21,16 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 import time
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 #: Default trajectory file, relative to the current working directory
 #: (the repo root in CI and normal development).
@@ -83,17 +93,55 @@ def load_records(path: str = DEFAULT_PATH) -> List[RunRecord]:
     return [RunRecord.from_dict(d) for d in raw]
 
 
+@contextmanager
+def _append_lock(path: str):
+    """Advisory exclusive lock serializing appends to *path*.
+
+    Taken on a ``.lock`` sidecar (never on the data file, whose inode is
+    replaced by the atomic rename below).  On platforms without
+    ``fcntl`` the lock degrades to a no-op; the atomic rename still
+    guarantees readers never see a torn file.
+    """
+    if fcntl is None:
+        yield
+        return
+    lock_path = path + ".lock"
+    with open(lock_path, "w") as fh:
+        fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
+
 def append_record(record: RunRecord, path: str = DEFAULT_PATH,
                   stamp: bool = True) -> int:
-    """Append *record* to *path*; returns the new record count."""
+    """Append *record* to *path*; returns the new record count.
+
+    Safe under concurrent writers: the read-modify-write cycle runs
+    under an advisory file lock, and the new array lands via tempfile +
+    ``os.replace`` so a reader (or a crash) never observes a partial
+    write.
+    """
     if stamp and not record.created:
         record.created = time.time()
-    records = load_records(path)
-    records.append(record)
-    with open(path, "w") as fh:
-        json.dump([r.to_dict() for r in records], fh, indent=1)
-        fh.write("\n")
-    return len(records)
+    with _append_lock(path):
+        records = load_records(path)
+        records.append(record)
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump([r.to_dict() for r in records], fh, indent=1)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return len(records)
 
 
 @dataclass

@@ -13,6 +13,9 @@ Usage (any artefact, directly from a shell)::
                              [--grid MS ...] [--per-step] [--json]
     python -m repro health [--app stencil|leanmd] [--latency MS]
                            [--loss P] [--budget F] [--json] [--out PATH]
+    python -m repro sweep {fig3,fig4,table1,table2} [--jobs N]
+                          [--no-cache] [--cache-dir DIR]
+                          [--stats-out PATH] [--steps N] [...subset flags]
     python -m repro bench-diff [--path BENCH_critpath.json]
                                [--digest HEX | --baseline I --candidate J]
 
@@ -29,7 +32,11 @@ telemetry sampler and rule-based watchdog enabled, then prints the
 health digest (sparklines, fired alerts, observability overhead);
 ``--out`` appends the structured health events as JSON lines.  ``repro
 bench-diff`` compares two perf-trajectory records and
-exits non-zero on a >10 % step-time regression.  The table and figure
+exits non-zero on a >10 % step-time regression.  ``repro sweep`` runs
+any artefact's configurations through the parallel executor — ``--jobs
+N`` fans out over N worker processes, the content-addressed run cache
+skips configurations already computed, and the rendered artefact is
+bit-identical to a serial run for any worker count.  The table and figure
 commands stay text-only, matching the paper's artefacts; ``demo``,
 ``trace`` and ``critpath`` take ``--json`` for machine-readable output.
 """
@@ -48,6 +55,10 @@ from repro.bench.sweep import (
     FIG4_LATENCIES_MS,
     PE_COUNTS,
     TABLE1_ROWS,
+    specs_fig3,
+    specs_fig4,
+    specs_table1,
+    specs_table2,
     sweep_fig3,
     sweep_fig4,
     sweep_table1,
@@ -177,6 +188,33 @@ def build_parser() -> argparse.ArgumentParser:
                          "markers here (enables full tracing)")
     hl.add_argument("--json", action="store_true",
                     help="print the report as JSON instead of text")
+
+    sw = sub.add_parser("sweep", help="run a paper sweep through the "
+                        "parallel executor with the run cache")
+    sw.add_argument("target", choices=("fig3", "fig4", "table1", "table2"),
+                    help="which artefact's configurations to run")
+    sw.add_argument("--jobs", type=int, default=None, metavar="N",
+                    help="worker processes (default: $REPRO_BENCH_JOBS "
+                         "or 1); results are identical for any N")
+    sw.add_argument("--no-cache", action="store_true",
+                    help="always re-run; do not read or write the cache")
+    sw.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="run-cache directory (default .repro-cache)")
+    sw.add_argument("--stats-out", default=None, metavar="PATH",
+                    help="write executor statistics (totals, cache hits, "
+                         "wall time) as JSON here")
+    sw.add_argument("--steps", type=int, default=None,
+                    help="steps per run (default: the artefact's)")
+    sw.add_argument("--panels", nargs="+", type=int, default=None,
+                    help="fig3: subset of PE panels")
+    sw.add_argument("--pes", nargs="+", type=int, default=None,
+                    help="fig4/table2: subset of PE counts")
+    sw.add_argument("--latencies", nargs="+", type=float, default=None,
+                    help="fig3/fig4: one-way latencies in ms")
+    sw.add_argument("--rows", nargs="+", default=None, metavar="PESxOBJS",
+                    help="table1: subset of rows, e.g. --rows 2x16 8x64")
+    sw.add_argument("--quiet", action="store_true",
+                    help="suppress per-run progress lines (stderr)")
 
     bd = sub.add_parser("bench-diff", help="compare two perf-trajectory "
                         "records; exit 1 on >threshold regression")
@@ -488,6 +526,84 @@ def cmd_health(args, out) -> None:
               f"{args.trace_out}", file=out)
 
 
+def cmd_sweep(args, out) -> None:
+    from repro.bench.cache import DEFAULT_CACHE_DIR, RunCache
+    from repro.bench.executor import SweepStats, default_jobs, run_sweep
+
+    steps_default = {"fig3": 10, "table1": 10, "fig4": 8, "table2": 8}
+    steps = args.steps if args.steps is not None \
+        else steps_default[args.target]
+
+    if args.target == "fig3":
+        panels = args.panels if args.panels else list(PE_COUNTS)
+        for p in panels:
+            if p not in FIG3_PANEL_OBJECTS:
+                raise SystemExit(f"no Figure-3 panel for {p} PEs; valid: "
+                                 f"{sorted(FIG3_PANEL_OBJECTS)}")
+        latencies = (tuple(args.latencies) if args.latencies
+                     else FIG3_LATENCIES_MS)
+        specs = specs_fig3(panels=panels, latencies_ms=latencies,
+                           steps=steps)
+    elif args.target == "fig4":
+        pes = tuple(args.pes) if args.pes else PE_COUNTS
+        latencies = (tuple(args.latencies) if args.latencies
+                     else FIG4_LATENCIES_MS)
+        specs = specs_fig4(pe_counts=pes, latencies_ms=latencies,
+                           steps=steps)
+    elif args.target == "table1":
+        rows = _parse_rows(args.rows) if args.rows else TABLE1_ROWS
+        for pes_objs in rows:
+            if pes_objs not in TABLE1_ROWS:
+                raise SystemExit(f"{pes_objs} is not a Table-1 row; "
+                                 f"valid: {TABLE1_ROWS}")
+        specs = specs_table1(rows=rows, steps=steps)
+    else:
+        pes = tuple(args.pes) if args.pes else PE_COUNTS
+        specs = specs_table2(pe_counts=pes, steps=steps)
+
+    cache = None
+    if not args.no_cache:
+        cache = RunCache(args.cache_dir if args.cache_dir
+                         else DEFAULT_CACHE_DIR)
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    if jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {jobs}")
+    progress = None if args.quiet else \
+        (lambda line: print(line, file=sys.stderr, flush=True))
+    stats = SweepStats()
+    points = run_sweep(specs, jobs=jobs, cache=cache, progress=progress,
+                       stats=stats)
+
+    failed = [p for p in points if "error" in p.extra]
+    if args.target == "fig3":
+        for p in panels:
+            print(render_fig3_panel(points, p), file=out)
+            print(file=out)
+    elif args.target == "fig4":
+        print(render_fig4(points), file=out)
+    elif args.target == "table1":
+        print(render_table1(points), file=out)
+    else:
+        print(render_table2(points), file=out)
+
+    # Summary goes to stderr: stdout carries only the rendered artefact,
+    # which is bit-identical for any worker count (test-enforced).
+    print(f"sweep {args.target}: {stats.total} configs, "
+          f"{stats.cache_hits} cached, {stats.executed} run "
+          f"({stats.errors} failed) with {stats.jobs} worker(s) in "
+          f"{stats.wall_s:.1f} s", file=sys.stderr)
+    if args.stats_out:
+        with open(args.stats_out, "w") as fh:
+            json.dump(stats.to_dict(), fh, indent=1)
+            fh.write("\n")
+    if failed:
+        for p in failed:
+            print(f"FAILED {p.experiment} {p.app} pes={p.pes} "
+                  f"objects={p.objects} @ {p.latency_ms:g}ms: "
+                  f"{p.extra['error']}", file=out)
+        raise SystemExit(1)
+
+
 def cmd_bench_diff(args, out) -> None:
     from repro.bench import trajectory
 
@@ -531,6 +647,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "critpath": cmd_critpath,
     "health": cmd_health,
+    "sweep": cmd_sweep,
     "bench-diff": cmd_bench_diff,
 }
 

@@ -28,12 +28,64 @@ def normalize_index(index) -> Index:
     return (int(index),)
 
 
-@dataclass(frozen=True, order=True)
 class ChareID:
-    """Globally unique chare address: (collection, index)."""
+    """Globally unique chare address: (collection, index).
 
-    collection: int
-    index: Index
+    Hand-written ``__slots__`` class rather than a frozen dataclass:
+    ChareIDs are constructed per proxy call and hashed on every location
+    lookup, so the hash is computed once at construction and the
+    comparison dunders avoid building intermediate tuples.
+    """
+
+    __slots__ = ("collection", "index", "_hash")
+
+    def __init__(self, collection: int, index: Index) -> None:
+        self.collection = collection
+        self.index = index
+        self._hash = hash((collection, index))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ChareID):
+            return (self.collection == other.collection
+                    and self.index == other.index)
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    def __lt__(self, other) -> bool:
+        if isinstance(other, ChareID):
+            return ((self.collection, self.index)
+                    < (other.collection, other.index))
+        return NotImplemented
+
+    def __le__(self, other) -> bool:
+        if isinstance(other, ChareID):
+            return ((self.collection, self.index)
+                    <= (other.collection, other.index))
+        return NotImplemented
+
+    def __gt__(self, other) -> bool:
+        if isinstance(other, ChareID):
+            return ((self.collection, self.index)
+                    > (other.collection, other.index))
+        return NotImplemented
+
+    def __ge__(self, other) -> bool:
+        if isinstance(other, ChareID):
+            return ((self.collection, self.index)
+                    >= (other.collection, other.index))
+        return NotImplemented
+
+    def __reduce__(self):
+        return (ChareID, (self.collection, self.index))
+
+    def __repr__(self) -> str:
+        return f"ChareID(collection={self.collection}, index={self.index})"
 
     def __str__(self) -> str:
         if not self.index:

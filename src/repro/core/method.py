@@ -15,7 +15,6 @@ proxies use when the caller does not declare an explicit size.
 
 from __future__ import annotations
 
-import functools
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
@@ -60,16 +59,14 @@ def entry(func: Optional[Callable] = None, *,
     """
 
     def decorate(f: Callable) -> Callable:
-        info = EntryInfo(name=f.__name__, cost=cost, priority=priority,
-                         local_only=local_only)
-        setattr(f, _ENTRY_ATTR, info)
-
-        @functools.wraps(f)
-        def wrapper(*args: Any, **kwargs: Any) -> Any:
-            return f(*args, **kwargs)
-
-        setattr(wrapper, _ENTRY_ATTR, info)
-        return wrapper
+        # Annotate and return the original function — no pass-through
+        # wrapper.  Entry methods run once per message, so an extra call
+        # frame per invocation is pure scheduler hot-path overhead, and
+        # the wrapper added nothing (metadata lives in the attribute).
+        setattr(f, _ENTRY_ATTR,
+                EntryInfo(name=f.__name__, cost=cost, priority=priority,
+                          local_only=local_only))
+        return f
 
     if func is not None:
         return decorate(func)

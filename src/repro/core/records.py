@@ -8,20 +8,31 @@ directly — proxies, reductions and migration do.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, List, Tuple
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
 
 from repro.core.ids import ChareID
 
 
-@dataclass
 class Invocation:
-    """One entry-method invocation on one chare."""
+    """One entry-method invocation on one chare.
 
-    target: ChareID
-    entry: str
-    args: tuple = ()
-    kwargs: dict = field(default_factory=dict)
+    One is allocated per point send, so this is a ``__slots__`` class
+    with a straight-line ``__init__`` instead of a dataclass.
+    """
+
+    __slots__ = ("target", "entry", "args", "kwargs")
+
+    def __init__(self, target: ChareID, entry: str, args: tuple = (),
+                 kwargs: Optional[dict] = None) -> None:
+        self.target = target
+        self.entry = entry
+        self.args = args
+        self.kwargs = {} if kwargs is None else kwargs
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Invocation(target={self.target!r}, entry={self.entry!r}, "
+                f"args={self.args!r}, kwargs={self.kwargs!r})")
 
 
 @dataclass

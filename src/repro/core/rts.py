@@ -17,7 +17,7 @@ flows through proxies and :class:`~repro.core.chare.Chare` helpers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.chare import Chare
 from repro.core.collectives import send_bundled
@@ -40,7 +40,12 @@ from repro.errors import (
     UnknownChareError,
 )
 from repro.network.fabric import NetworkFabric
-from repro.network.message import DEFAULT_PRIORITY, WAN_EXPEDITED, Message
+from repro.network.message import (
+    DEFAULT_PRIORITY,
+    WAN_EXPEDITED,
+    Message,
+    reset_seq_counter,
+)
 from repro.network.topology import GridTopology
 from repro.sim.engine import Engine
 from repro.sim.trace import TraceSink
@@ -114,6 +119,10 @@ class Runtime:
                  config: Optional[RuntimeConfig] = None) -> None:
         if fabric.engine is not engine:
             raise ConfigurationError("fabric must share the runtime's engine")
+        # Message seq ids restart at zero with each runtime so a run's
+        # trace digests do not depend on what else ran earlier in the
+        # process (sweep position, pool worker reuse, test ordering).
+        reset_seq_counter()
         self.engine = engine
         self.fabric = fabric
         self.config = config or RuntimeConfig()
@@ -131,6 +140,10 @@ class Runtime:
         self._awaiting_arrival: Dict[ChareID, List[Message]] = {}
         self._quiescence_cbs: List[Callable[[], None]] = []
         self._migrations_done = 0
+        #: Memoized ``(collection, entry) -> declared priority or None``:
+        #: the getattr + entry_info walk is paid once per entry, not once
+        #: per send.
+        self._declared_prio: Dict[Tuple[int, str], Optional[int]] = {}
 
     # -- basic accessors -------------------------------------------------------
 
@@ -296,12 +309,21 @@ class Runtime:
 
     def _default_priority(self, target: ChareID, entry: str,
                           dst_pe: int) -> int:
-        coll = self._collection(target.collection)
-        method = getattr(coll.cls, entry, None)
-        if method is not None:
-            info = entry_info(method)
-            if info is not None and info.priority is not None:
-                return info.priority
+        key = (target.collection, entry)
+        cache = self._declared_prio
+        if key in cache:
+            declared = cache[key]
+        else:
+            coll = self._collection(target.collection)
+            method = getattr(coll.cls, entry, None)
+            declared = None
+            if method is not None:
+                info = entry_info(method)
+                if info is not None:
+                    declared = info.priority
+            cache[key] = declared
+        if declared is not None:
+            return declared
         if self.config.expedite_wan:
             src_pe = self._originating_pe()
             if self.topology.crosses_wan(src_pe, dst_pe):

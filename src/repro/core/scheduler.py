@@ -18,11 +18,10 @@ interval's end.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.ids import ChareID
-from repro.core.method import entry_info
+from repro.core.method import EntryInfo, entry_info
 from repro.core.pe import PeState
 from repro.core.records import (
     Bundle,
@@ -38,18 +37,26 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.rts import Runtime
 
 
-@dataclass
 class ExecutionContext:
-    """State of the one entry-method execution in progress on a PE."""
+    """State of the one entry-method execution in progress on a PE.
 
-    pe: int
-    chare_id: Optional[ChareID] = None
-    charged: float = 0.0
-    outbox: List[Message] = field(default_factory=list)
-    migration_request: Optional[Tuple[ChareID, int]] = None
-    #: Causal span id of this execution; ``None`` when tracing is off
-    #: (ids are only allocated when a sink will record them).
-    exec_id: Optional[int] = None
+    One is allocated per executed message, so it is a ``__slots__``
+    class with a straight-line ``__init__`` (no dataclass machinery on
+    the hot path).
+    """
+
+    __slots__ = ("pe", "chare_id", "charged", "outbox",
+                 "migration_request", "exec_id")
+
+    def __init__(self, pe: int) -> None:
+        self.pe = pe
+        self.chare_id: Optional[ChareID] = None
+        self.charged = 0.0
+        self.outbox: List[Message] = []
+        self.migration_request: Optional[Tuple[ChareID, int]] = None
+        #: Causal span id of this execution; ``None`` when tracing is off
+        #: (ids are only allocated when a sink will record them).
+        self.exec_id: Optional[int] = None
 
 
 class Scheduler:
@@ -64,6 +71,12 @@ class Scheduler:
         self._current: Optional[ExecutionContext] = None
         #: Next causal span id (allocated only while tracing is on).
         self._next_exec_id = 0
+        #: Memoized ``(chare class, entry name) -> (function, info)``:
+        #: entry metadata is immutable after class definition, so the
+        #: getattr + ``entry_info`` lookup is paid once per (class,
+        #: entry) instead of once per executed message.
+        self._entry_cache: Dict[Tuple[type, str],
+                                Tuple[Callable, EntryInfo]] = {}
 
     # -- accessors ---------------------------------------------------------
 
@@ -92,15 +105,15 @@ class Scheduler:
             # Expand per-PE bundles into individual executions; the
             # shared payload already paid its wire cost once.
             for inv in payload.invocations:
+                # Keep the bundle's identity (seq/cause) so causal
+                # analysis can map each expanded execution back to the
+                # recorded wire edge.
                 sub = Message(src_pe=msg.src_pe, dst_pe=msg.dst_pe,
                               size_bytes=0, payload=inv,
-                              priority=msg.priority, tag=msg.tag)
+                              priority=msg.priority, tag=msg.tag,
+                              seq=msg.seq, cause=msg.cause)
                 sub.crossed_wan = msg.crossed_wan
                 sub.sent_at = msg.sent_at
-                # Keep the bundle's identity so causal analysis can map
-                # each expanded execution back to the recorded wire edge.
-                sub.seq = msg.seq
-                sub.cause = msg.cause
                 ps.queue.push(sub)
                 ps.stats.messages_received += 1
         else:
@@ -173,7 +186,7 @@ class Scheduler:
             rts.tracer.begin_execute(ps.pe, t0, label_chare, label_entry,
                                      sid=ctx.exec_id, parent=msg.cause,
                                      trigger=msg.seq)
-        engine.post(t0 + total, lambda: self._finish(ps, ctx, total))
+        engine.post(t0 + total, self._finish, args=(ps, ctx, total))
 
     def _run_invocation(self, ps: PeState, ctx: ExecutionContext,
                         msg: Message, inv: Invocation):
@@ -194,25 +207,32 @@ class Scheduler:
             return 0.0, "<rts>", "await-migration"
 
         ctx.chare_id = target
-        try:
-            method = getattr(chare, inv.entry)
-        except AttributeError:
-            raise EntryMethodError(
-                f"{type(chare).__name__} has no entry method "
-                f"{inv.entry!r}") from None
-        info = entry_info(method)
-        if info is None:
-            raise EntryMethodError(
-                f"{type(chare).__name__}.{inv.entry} is not declared "
-                "with @entry")
-        method(*inv.args, **inv.kwargs)
+        cls = type(chare)
+        cached = self._entry_cache.get((cls, inv.entry))
+        if cached is None:
+            func = getattr(cls, inv.entry, None)
+            if func is None:
+                raise EntryMethodError(
+                    f"{cls.__name__} has no entry method "
+                    f"{inv.entry!r}")
+            info = entry_info(func)
+            if info is None:
+                raise EntryMethodError(
+                    f"{cls.__name__}.{inv.entry} is not declared "
+                    "with @entry")
+            cached = self._entry_cache[(cls, inv.entry)] = (func, info)
+        func, info = cached
+        # The class-level function with an explicit self: equivalent to
+        # ``getattr(chare, entry)(...)`` without allocating a bound
+        # method per execution.
+        func(chare, *inv.args, **inv.kwargs)
         static = 0.0
         if info.cost is not None:
             static = float(info.cost(chare, *inv.args, **inv.kwargs))
             if static < 0:
                 raise EntryMethodError(
                     f"negative static cost from {inv.entry}")
-        return static, type(chare).__name__, inv.entry
+        return static, cls.__name__, inv.entry
 
     def _finish(self, ps: PeState, ctx: ExecutionContext,
                 total: float) -> None:

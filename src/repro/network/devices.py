@@ -15,7 +15,6 @@ filter devices (see :mod:`repro.network.delay` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -26,9 +25,11 @@ from repro.network.message import Message
 from repro.network.topology import GridTopology
 
 
-@dataclass
 class ProcessResult:
     """Outcome of one device inspecting a message.
+
+    Allocated once per device per message on the send path, so this is a
+    ``__slots__`` class with a straight-line ``__init__``.
 
     Attributes
     ----------
@@ -48,11 +49,17 @@ class ProcessResult:
         posts one additional delivery per copy.
     """
 
-    message: Message
-    added_delay: float = 0.0
-    claimed: bool = False
-    dropped: bool = False
-    duplicates: int = 0
+    __slots__ = ("message", "added_delay", "claimed", "dropped",
+                 "duplicates")
+
+    def __init__(self, message: Message, added_delay: float = 0.0,
+                 claimed: bool = False, dropped: bool = False,
+                 duplicates: int = 0) -> None:
+        self.message = message
+        self.added_delay = added_delay
+        self.claimed = claimed
+        self.dropped = dropped
+        self.duplicates = duplicates
 
 
 class ChainDevice:

@@ -139,62 +139,83 @@ class NetworkFabric:
         contention slot) and invokes *deliver* again on arrival —
         suppressing duplicates is the reliable layer's job, not ours.
         """
+        if msg.size_bytes < 0:
+            # The fabric is the single choke point every message passes
+            # through, so declared sizes are validated once here instead
+            # of in the per-message ``Message.__init__`` hot path.
+            raise ValueError(f"negative message size {msg.size_bytes}")
         now = self.engine.now
         msg.sent_at = now
-        msg.crossed_wan = self.topology.crosses_wan(msg.src_pe, msg.dst_pe)
+        crossed_wan = self.topology.crosses_wan(msg.src_pe, msg.dst_pe)
+        msg.crossed_wan = crossed_wan
 
         route = self.chain.resolve(msg, self.topology, self.rng)
         wire_msg = route.message
+        tracer = self.tracer
 
-        if self.tracer is not None:
-            self.tracer.message_sent(now, msg.src_pe, msg.dst_pe,
-                                     wire_msg.size_bytes, msg.tag,
-                                     msg.crossed_wan, seq=msg.seq,
-                                     cause=msg.cause, ack_for=msg.ack_for)
+        if tracer is not None:
+            tracer.message_sent(now, msg.src_pe, msg.dst_pe,
+                                wire_msg.size_bytes, msg.tag,
+                                crossed_wan, seq=msg.seq,
+                                cause=msg.cause, ack_for=msg.ack_for)
 
         if route.dropped:
             self.stats.record_drop(route.transport.name)
-            if self.tracer is not None:
-                self.tracer.message_dropped(now, msg.src_pe, msg.dst_pe,
-                                            wire_msg.size_bytes, msg.tag,
-                                            msg.crossed_wan, seq=msg.seq,
-                                            cause=msg.cause,
-                                            ack_for=msg.ack_for)
+            if tracer is not None:
+                tracer.message_dropped(now, msg.src_pe, msg.dst_pe,
+                                       wire_msg.size_bytes, msg.tag,
+                                       crossed_wan, seq=msg.seq,
+                                       cause=msg.cause,
+                                       ack_for=msg.ack_for)
             return math.inf
 
         if route.duplicates:
             self.stats.record_duplicates(route.transport.name,
                                          route.duplicates)
 
+        engine = self.engine
+        stats = self.stats
         transport_start = now + route.pre_transport_delay
         first_arrival = math.inf
         for _copy in range(1 + route.duplicates):
             transit = route.transport.transit(
                 wire_msg, self.topology, transport_start, self.rng)
             arrival = transport_start + transit
-            first_arrival = min(first_arrival, arrival)
-            self.stats.record(route.transport.name, wire_msg.size_bytes,
-                              route.pre_transport_delay)
+            if arrival < first_arrival:
+                first_arrival = arrival
+            stats.record(route.transport.name, wire_msg.size_bytes,
+                         route.pre_transport_delay)
             self.in_flight += 1
-            if msg.crossed_wan:
+            if crossed_wan:
                 self.wan_in_flight += 1
                 self.wan_sent += 1
-            if self.tracer is not None:
-                def _deliver(m: Message = msg, t: float = arrival) -> None:
-                    self._land(m)
-                    self.tracer.message_delivered(t, m.src_pe, m.dst_pe,
-                                                  wire_msg.size_bytes, m.tag,
-                                                  m.crossed_wan, seq=m.seq,
-                                                  cause=m.cause,
-                                                  ack_for=m.ack_for)
-                    deliver(m)
+            # Bound methods + args tuples, not per-copy closures: the
+            # delivery post is once-per-wire-copy, so allocation here is
+            # pure per-event overhead.
+            if tracer is not None:
+                engine.post(arrival, self._deliver_traced,
+                            args=(msg, arrival, wire_msg.size_bytes,
+                                  deliver))
             else:
-                def _deliver(m: Message = msg) -> None:
-                    self._land(m)
-                    deliver(m)
-
-            self.engine.post(arrival, _deliver)
+                engine.post(arrival, self._deliver_plain,
+                            args=(msg, deliver))
         return first_arrival
+
+    def _deliver_plain(self, msg: Message, deliver: DeliverFn) -> None:
+        """Fire one wire copy's arrival (tracing off)."""
+        self._land(msg)
+        deliver(msg)
+
+    def _deliver_traced(self, msg: Message, arrival: float,
+                        wire_bytes: int, deliver: DeliverFn) -> None:
+        """Fire one wire copy's arrival, recording the delivery event."""
+        self._land(msg)
+        self.tracer.message_delivered(arrival, msg.src_pe, msg.dst_pe,
+                                      wire_bytes, msg.tag,
+                                      msg.crossed_wan, seq=msg.seq,
+                                      cause=msg.cause,
+                                      ack_for=msg.ack_for)
+        deliver(msg)
 
     def _land(self, msg: Message) -> None:
         """Book-keep one wire copy leaving the wire (delivery instant)."""

@@ -9,12 +9,22 @@ Priorities follow the Charm++ convention: **smaller value = more urgent**.
 ``DEFAULT_PRIORITY`` is 0; the prioritized-WAN-message extension (paper
 §6, third item) tags cross-cluster messages with ``WAN_EXPEDITED``
 (negative, i.e. served first).
+
+``Message`` sits on the per-event hot path — every send allocates one —
+so it is a ``__slots__`` class with a straight-line ``__init__`` rather
+than a dataclass: no ``__post_init__`` validation (the fabric validates
+sizes once at its boundary), no per-field descriptor machinery, one
+allocation per message.
+
+Sequence numbers are drawn from a module counter that the runtime
+**resets on construction** (:func:`reset_seq_counter`), so a run's seq
+ids — and therefore its trace digests — are identical whether the run
+executes first, tenth, or inside a pool worker.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 #: Priority assigned when the sender does not specify one.
@@ -25,7 +35,21 @@ WAN_EXPEDITED: int = -10
 _seq_counter = itertools.count()
 
 
-@dataclass
+def reset_seq_counter() -> None:
+    """Restart message sequence numbering at zero.
+
+    Called by :class:`~repro.core.rts.Runtime` construction so every
+    simulated run numbers its messages from a fixed origin regardless of
+    what else ran earlier in the process.  Simulations are single-
+    threaded and never interleave two runtimes' sends, so a module-level
+    counter with a per-run reset is exactly as strong as a per-runtime
+    counter — without threading a runtime reference into every
+    ``Message()`` call site.
+    """
+    global _seq_counter
+    _seq_counter = itertools.count()
+
+
 class Message:
     """A single asynchronous message between two processors.
 
@@ -37,41 +61,53 @@ class Message:
         Envelope + payload size used for bandwidth/transfer modelling.
         This is *declared*, not measured — application code states how
         large its ghost vector / coordinate block would be on the wire.
+        Validated (non-negative) at the fabric boundary, not here.
     payload:
         Opaque runtime-level content (entry-method invocation record).
     priority:
         Scheduling priority at the destination queue (smaller = sooner).
     tag:
         Human-readable label for traces ("ghost", "coords", "forces"...).
+    seq:
+        Monotonic sequence number: FIFO tiebreak inside equal
+        priorities and the identity key for tracing/ARQ.  ``None``
+        (default) draws the next per-run number; pass an explicit value
+        when deriving one message from another (bundle expansion, wire
+        transforms) so the derived copy keeps the original's identity.
+    cause:
+        Causal parent: the span id of the entry-method execution that
+        sent this message (stamped by the scheduler when the sender's
+        busy interval ends and the outbox flushes).  ``None`` for
+        messages originated outside any execution (driver sends,
+        protocol acks) or when tracing is off.
+    ack_for:
+        For reliable-transport acks: the sequence id of the data message
+        this ack acknowledges.  ``None`` on ordinary messages.  The
+        trace records it so causal analysis can draw ack edges without
+        parsing tags.
     """
 
-    src_pe: int
-    dst_pe: int
-    size_bytes: int
-    payload: Any = None
-    priority: int = DEFAULT_PRIORITY
-    tag: str = ""
-    #: Filled by the fabric: did this message cross the wide-area link?
-    crossed_wan: bool = False
-    #: Filled by the fabric: virtual time the message was handed to it.
-    sent_at: Optional[float] = None
-    #: Monotonic sequence number: FIFO tiebreak inside equal priorities.
-    seq: int = field(default_factory=lambda: next(_seq_counter))
-    #: Causal parent: the span id of the entry-method execution that sent
-    #: this message (stamped by the scheduler when the sender's busy
-    #: interval ends and the outbox flushes).  ``None`` for messages
-    #: originated outside any execution (driver sends, protocol acks) or
-    #: when tracing is off.
-    cause: Optional[int] = None
-    #: For reliable-transport acks: the sequence id of the data message
-    #: this ack acknowledges.  ``None`` on ordinary messages.  The trace
-    #: records it so causal analysis can draw ack edges without parsing
-    #: tags.
-    ack_for: Optional[int] = None
+    __slots__ = ("src_pe", "dst_pe", "size_bytes", "payload", "priority",
+                 "tag", "crossed_wan", "sent_at", "seq", "cause", "ack_for")
 
-    def __post_init__(self) -> None:
-        if self.size_bytes < 0:
-            raise ValueError(f"negative message size {self.size_bytes}")
+    def __init__(self, src_pe: int, dst_pe: int, size_bytes: int,
+                 payload: Any = None, priority: int = DEFAULT_PRIORITY,
+                 tag: str = "", seq: Optional[int] = None,
+                 cause: Optional[int] = None,
+                 ack_for: Optional[int] = None) -> None:
+        self.src_pe = src_pe
+        self.dst_pe = dst_pe
+        self.size_bytes = size_bytes
+        self.payload = payload
+        self.priority = priority
+        self.tag = tag
+        #: Filled by the fabric: did this message cross the wide-area link?
+        self.crossed_wan = False
+        #: Filled by the fabric: virtual time the message was handed to it.
+        self.sent_at: Optional[float] = None
+        self.seq = next(_seq_counter) if seq is None else seq
+        self.cause = cause
+        self.ack_for = ack_for
 
     def with_size(self, new_size: int) -> "Message":
         """Return a shallow copy with a different wire size.
@@ -86,10 +122,15 @@ class Message:
             payload=self.payload,
             priority=self.priority,
             tag=self.tag,
+            seq=self.seq,
+            cause=self.cause,
+            ack_for=self.ack_for,
         )
         clone.crossed_wan = self.crossed_wan
         clone.sent_at = self.sent_at
-        clone.seq = self.seq
-        clone.cause = self.cause
-        clone.ack_for = self.ack_for
         return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Message(seq={self.seq}, {self.src_pe}->{self.dst_pe}, "
+                f"{self.size_bytes}B, prio={self.priority}, "
+                f"tag={self.tag!r})")

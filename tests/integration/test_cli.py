@@ -137,3 +137,44 @@ def test_parser_requires_command():
 
 def test_module_entry_point_importable():
     import repro.__main__  # noqa: F401  (must not execute main on import)
+
+
+# -- the parallel sweep executor command -------------------------------------
+
+
+def test_sweep_serial_and_parallel_stdout_identical():
+    argv = ["sweep", "fig3", "--panels", "2", "--latencies", "0", "4",
+            "--steps", "2", "--no-cache", "--quiet"]
+    code1, serial = run_cli(argv + ["--jobs", "1"])
+    code2, parallel = run_cli(argv + ["--jobs", "2"])
+    assert code1 == code2 == 0
+    assert "Figure 3 (2 PEs)" in serial
+    assert serial == parallel        # bit-identical artefact, any jobs
+
+
+def test_sweep_second_run_is_cache_served(tmp_path):
+    stats1, stats2 = tmp_path / "s1.json", tmp_path / "s2.json"
+    argv = ["sweep", "table2", "--pes", "2", "--steps", "2", "--quiet",
+            "--cache-dir", str(tmp_path / "cache")]
+    code1, first = run_cli(argv + ["--stats-out", str(stats1)])
+    code2, second = run_cli(argv + ["--stats-out", str(stats2)])
+    assert code1 == code2 == 0
+    assert first == second
+    s1 = json.loads(stats1.read_text())
+    s2 = json.loads(stats2.read_text())
+    assert s1["cache_hits"] == 0 and s1["executed"] == s1["total"]
+    assert s2["cache_fraction"] == 1.0 and s2["executed"] == 0
+
+
+def test_sweep_rejects_bad_jobs_and_panel():
+    with pytest.raises(SystemExit):
+        run_cli(["sweep", "fig3", "--jobs", "0"])
+    with pytest.raises(SystemExit):
+        run_cli(["sweep", "fig3", "--panels", "7"])
+
+
+def test_sweep_table1_row_subset(tmp_path):
+    code, text = run_cli(["sweep", "table1", "--rows", "2x16",
+                          "--steps", "2", "--quiet", "--no-cache"])
+    assert code == 0
+    assert "Table 1" in text

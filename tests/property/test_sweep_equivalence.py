@@ -1,0 +1,51 @@
+"""Property: the parallel sweep executor is bit-identical to serial.
+
+Simulated virtual time is deterministic, so ``run_sweep(specs, jobs=N)``
+must return *exactly* the rows of ``jobs=1`` — same values, same order —
+for any worker count, any completion order, and any cache state.  Each
+example runs whole simulations (tiny 64x64 meshes) and spins up a
+process pool, so example counts are deliberately small.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.cache import RunCache
+from repro.bench.executor import run_sweep
+from repro.bench.specs import RunSpec
+
+SWEEP_SETTINGS = dict(max_examples=5, deadline=None,
+                      suppress_health_check=[HealthCheck.too_slow])
+
+
+def spec_strategy():
+    return st.builds(
+        RunSpec,
+        kind=st.just("stencil"),
+        experiment=st.just("prop"),
+        pes=st.sampled_from([2, 4]),
+        objects=st.sampled_from([1, 4, 16]),
+        latency_ms=st.sampled_from([0.0, 1.0, 4.0]),
+        steps=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=3),
+        environment=st.sampled_from(["artificial", "teragrid"]),
+        mesh=st.just((64, 64)),
+    )
+
+
+@given(specs=st.lists(spec_strategy(), min_size=1, max_size=4))
+@settings(**SWEEP_SETTINGS)
+def test_parallel_sweep_is_bit_identical_to_serial(specs):
+    serial = run_sweep(specs, jobs=1)
+    parallel = run_sweep(specs, jobs=4)
+    assert serial == parallel
+
+
+@given(specs=st.lists(spec_strategy(), min_size=1, max_size=3,
+                      unique_by=lambda s: s.config().__repr__()))
+@settings(**SWEEP_SETTINGS)
+def test_cached_rerun_is_bit_identical(specs, tmp_path_factory):
+    cache = RunCache(str(tmp_path_factory.mktemp("sweep-cache")))
+    fresh = run_sweep(specs, cache=cache)
+    cached = run_sweep(specs, cache=cache)
+    assert fresh == cached == run_sweep(specs)   # and matches no-cache

@@ -192,9 +192,24 @@ def test_pe_stats_utilization():
 
 # -- message envelope -------------------------------------------------------------------
 
-def test_message_rejects_negative_size():
+def test_fabric_rejects_negative_message_size():
+    # Size validation moved from the per-message constructor to the
+    # fabric boundary: construction is hot-path, sending is the choke
+    # point every message passes exactly once.
+    from repro.grid.presets import single_cluster_env
+
+    env = single_cluster_env(2)
     with pytest.raises(ValueError):
-        Message(src_pe=0, dst_pe=1, size_bytes=-1)
+        env.fabric.send(Message(src_pe=0, dst_pe=1, size_bytes=-1),
+                        lambda m: None)
+
+
+def test_message_seq_counter_resets_per_runtime():
+    from repro.grid.presets import single_cluster_env
+
+    for _ in range(2):
+        single_cluster_env(2)  # Runtime construction resets the counter
+        assert Message(src_pe=0, dst_pe=0, size_bytes=0).seq == 0
 
 
 def test_message_with_size_preserves_identity():

@@ -258,3 +258,52 @@ def test_daemon_leftovers_resume_on_next_run():
     eng.post(6.0, lambda: ticks.append("work"))
     eng.run()
     assert ticks == ["late-daemon", "work"]
+
+
+# -- args-tuple dispatch (the allocation-free fast path) ---------------------
+
+
+def test_post_with_args_tuple():
+    eng = Engine()
+    seen = []
+    eng.post(1.0, seen.append, args=("x",))
+    eng.post(2.0, lambda a, b: seen.append(a + b), args=(1, 2))
+    eng.run()
+    assert seen == ["x", 3]
+
+
+def test_post_in_with_args_tuple():
+    eng = Engine()
+    seen = []
+    eng.post_in(0.5, seen.append, args=(42,))
+    eng.run()
+    assert seen == [42] and eng.now == 0.5
+
+
+def test_args_dispatch_interleaves_with_plain_actions():
+    eng = Engine()
+    order = []
+    eng.post(1.0, order.append, args=("args",))
+    eng.post(1.0, lambda: order.append("plain"))
+    eng.post(2.0, order.append, args=("last",))
+    eng.run()
+    assert order == ["args", "plain", "last"]
+
+
+def test_cancel_args_event():
+    eng = Engine()
+    seen = []
+    h = eng.post(1.0, seen.append, args=("no",))
+    eng.post(2.0, seen.append, args=("yes",))
+    eng.cancel(h)
+    eng.run()
+    assert seen == ["yes"]
+
+
+def test_daemon_event_with_args():
+    eng = Engine()
+    seen = []
+    eng.post(1.0, seen.append, args=("daemon",), daemon=True)
+    eng.post(2.0, seen.append, args=("work",))
+    eng.run()
+    assert seen == ["daemon", "work"]
