@@ -35,6 +35,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.apps.collectives import CollectiveBenchApp      # noqa: E402
 from repro.apps.stencil import StencilApp                  # noqa: E402
 from repro.core import Chare, entry                        # noqa: E402
 from repro.bench.harness import (                          # noqa: E402
@@ -69,6 +70,13 @@ OBS_REPS = 7
 
 #: Ping-pong messages for the engine-only events/sec mode.
 PINGPONG_ROUNDS = 2000
+
+#: Broadcast-heavy mode: hierarchical routing over paced WAN streams,
+#: exercising the relay re-fan path (RelayMsg dispatch + StripedDevice)
+#: that ordinary stencil smoke never touches.
+BCAST_STEPS = 8
+BCAST_PAYLOAD = 256 * 1024
+BCAST_WAN_STREAMS = 4
 
 
 def _timed_run(**env_kwargs):
@@ -230,6 +238,51 @@ def measure_allocations(n=4096):
             "blocks_per_posted_event": per_event}
 
 
+def run_broadcast_heavy(log_path):
+    """Broadcast-heavy smoke: hierarchical multicast over striped WAN.
+
+    The canonical collective-bench config (8 PEs, 64 workers, 2 ms
+    one-way WAN, 256 KB broadcasts) with hierarchical routing and four
+    paced WAN streams — the Figure-3c fast path.  Appends its own
+    trajectory record (experiment ``perf-smoke-bcast``) so the bench
+    diff tracks the relay/striping hot path separately from the stencil
+    baseline.
+    """
+    env = artificial_latency_env(PES, ms(LATENCY_MS),
+                                 routing="hierarchical",
+                                 wan_streams=BCAST_WAN_STREAMS)
+    app = CollectiveBenchApp(env, objects=OBJECTS,
+                             payload_bytes=BCAST_PAYLOAD)
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        result = app.run(BCAST_STEPS)
+        wall = time.perf_counter() - t0
+    finally:
+        gc.enable()
+    wan_msgs = sum(d.messages_carried for d in env.chain.transports()
+                   if "wan" in d.name)
+    point = ExperimentPoint(
+        experiment="perf-smoke-bcast", app="collectives",
+        environment="artificial", pes=PES, objects=OBJECTS,
+        latency_ms=LATENCY_MS, time_per_step=result.time_per_step,
+        steps=BCAST_STEPS,
+        extra={"payload_bytes": BCAST_PAYLOAD})
+    os.environ[BENCH_LOG_ENV] = log_path
+    maybe_log_trajectory(point, result, env,
+                         extra={"wall_s": wall,
+                                "wan_messages": wan_msgs,
+                                "checksum": result.checksum,
+                                "routing": "hierarchical",
+                                "wan_streams": BCAST_WAN_STREAMS})
+    print(f"perf-smoke-bcast: {result.time_per_step * 1e3:.3f} ms/step "
+          f"(hier routing, {BCAST_WAN_STREAMS} WAN streams, "
+          f"{wan_msgs} WAN messages, checksum {result.checksum:g}) "
+          f"in {wall * 1e3:.1f} ms wall -> appended to {log_path}")
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--log", default=DEFAULT_PATH,
@@ -239,7 +292,13 @@ def main(argv=None):
     parser.add_argument("--events-per-second", action="store_true",
                         help="run only the engine-only ping-pong "
                              "throughput mode and print events/sec")
+    parser.add_argument("--broadcast-heavy", action="store_true",
+                        help="run only the broadcast-heavy collective "
+                             "smoke (hierarchical routing + striped WAN)")
     args = parser.parse_args(argv)
+
+    if args.broadcast_heavy:
+        return run_broadcast_heavy(args.log)
 
     if args.events_per_second:
         eps = measure_events_per_second()

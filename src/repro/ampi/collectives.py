@@ -26,6 +26,12 @@ SCATTER_KINDS = frozenset({"scatter"})
 
 VALID_KINDS = ALL_WAIT_KINDS | ROOT_WAIT_KINDS | SCATTER_KINDS
 
+#: Kinds whose computed result is identical for every waiting rank —
+#: eligible for single-payload multicast distribution under hierarchical
+#: collective routing (each receiver deep-copies its own instance).
+SHARED_RESULT_KINDS = frozenset({"barrier", "bcast", "allreduce",
+                                 "allgather"})
+
 
 def waiting_ranks(kind: str, root: int, size: int) -> List[int]:
     """Which ranks yield a :class:`CollectiveWait` for this collective."""

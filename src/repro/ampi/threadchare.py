@@ -20,6 +20,7 @@ sequence.
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.ampi.request import (
@@ -110,12 +111,20 @@ class RankChare(Chare):
         self._expected_seq[src_rank] = nxt
 
     @entry
-    def coll_result(self, seq: int, value: Any) -> None:
-        """This rank's share of collective #*seq* completed."""
+    def coll_result(self, seq: int, value: Any, shared: bool = False) -> None:
+        """This rank's share of collective #*seq* completed.
+
+        ``shared=True`` marks a multicast-distributed result whose
+        payload object is common to all receiving ranks; the copy real
+        MPI would make when deserializing happens here instead, so ranks
+        never alias each other's result.
+        """
         self.charge(self.world.config.op_overhead)
         if seq in self._coll_results:
             raise AmpiError(
                 f"rank {self.rank}: duplicate collective result #{seq}")
+        if shared:
+            value = copy.deepcopy(value)
         self._coll_results[seq] = value
         parked = self._parked
         if isinstance(parked, CollectiveWait) and parked.seq == seq:

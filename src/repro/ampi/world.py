@@ -9,10 +9,16 @@
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.ampi.api import MpiHandle
-from repro.ampi.collectives import check_uniform, compute_results, waiting_ranks
+from repro.ampi.collectives import (
+    SHARED_RESULT_KINDS,
+    check_uniform,
+    compute_results,
+    waiting_ranks,
+)
 from repro.ampi.communicator import AmpiConfig, Communicator
 from repro.ampi.threadchare import RankChare
 from repro.core.mapping import BlockMapping
@@ -66,6 +72,20 @@ class AmpiWorld:
         Receives the rank-ordered ``[(index, ((kind, op, root), value))]``
         pairs from the runtime's concat reduction, validates uniformity,
         computes per-rank results and messages the waiting ranks.
+
+        Results are **deep-copied at the delivery boundary**: several of
+        the :func:`compute_results` kinds hand every rank the same
+        object (bcast/allreduce), or alias the root's own structures
+        (scatter/alltoall chunks).  In a real MPI each rank would
+        deserialize a private copy off the wire; without the copy, one
+        rank mutating its result would corrupt its peers'.
+
+        With hierarchical collective routing, kinds whose result is
+        identical on every rank are distributed via **one section
+        multicast** instead of per-rank point sends — the runtime's
+        relay then carries the payload across the WAN once per remote
+        cluster, and each receiving rank deep-copies on receipt
+        (``shared=True``).
         """
 
         def finish_collective(pairs: List) -> None:
@@ -78,8 +98,18 @@ class AmpiWorld:
             check_uniform(kind, op, root, triples)
             values = [p[1][1] for p in pairs]
             results = compute_results(kind, op, root, values)
-            for rank in waiting_ranks(kind, root, self.num_ranks):
-                value = results.get(rank)
+            waiting = waiting_ranks(kind, root, self.num_ranks)
+            if (kind in SHARED_RESULT_KINDS and len(waiting) > 1
+                    and self.rts.config.collective_routing
+                    == "hierarchical"):
+                value = results.get(waiting[0])
+                self.comm.proxy.section(waiting).coll_result(
+                    seq, value, shared=True,
+                    _size=64 + payload_bytes(value),
+                    _tag=f"mpi:{kind}#{seq}")
+                return
+            for rank in waiting:
+                value = copy.deepcopy(results.get(rank))
                 self.rank_element(rank).coll_result(
                     seq, value,
                     _size=64 + payload_bytes(value),

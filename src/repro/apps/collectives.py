@@ -1,0 +1,186 @@
+"""Collective-heavy benchmark applications.
+
+The stencil and LeanMD apps exchange ghosts point-to-point; their
+collectives (one reduction per step) barely touch the WAN.  The apps
+here do the opposite — every step is a broadcast down plus a reduction
+up — so they expose exactly the traffic pattern the collective-routing
+work targets: a flat downward fan-out crosses the WAN once per remote
+PE (or rank), while hierarchical routing crosses it once per remote
+cluster and striping recovers the lost parallelism on the paced WAN
+streams.
+
+Two flavours, mirroring the stencil pair:
+
+* :class:`CollectiveBenchApp` — chare-based BSP loop: a driver callback
+  broadcasts ``step(k, payload)`` to every worker, each worker charges
+  a small compute cost and contributes to a ``sum`` reduction whose
+  completion triggers the next step.
+* :func:`collective_rank_program` — plain-MPI style: every rank does
+  ``bcast`` then ``allreduce`` per step, run via
+  :func:`repro.ampi.world.ampi_run`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ampi.world import ampi_run
+from repro.core.chare import Chare
+from repro.core.mapping import RoundRobinMapping
+from repro.core.method import entry
+from repro.errors import ConfigurationError
+from repro.grid.environment import GridEnvironment
+
+#: Default broadcast payload: big enough that WAN serialization matters
+#: (1 ms on a 250 MB/s stream), small enough to stay latency-sensitive.
+DEFAULT_PAYLOAD_BYTES = 256 * 1024
+
+#: Per-worker compute charged per step (keeps the loop communication-
+#: bound, as the paper's latency sweeps require).
+DEFAULT_COMPUTE_S = 50e-6
+
+
+@dataclass
+class CollectiveResult:
+    """Outcome of one collective-benchmark run (stencil-result surface)."""
+
+    #: Virtual completion time of each step, seconds since launch.
+    step_times: np.ndarray
+    #: Sum of all reduction results (sanity/bit-identity check).
+    checksum: float
+    #: Total virtual time of the run, seconds.
+    makespan: float
+    #: Steps discarded as pipeline warm-up in the per-step statistic.
+    warmup: int
+
+    @property
+    def steps(self) -> int:
+        return len(self.step_times)
+
+    @property
+    def time_per_step(self) -> float:
+        """Steady-state seconds per step."""
+        if self.steps == 0:
+            return 0.0
+        if self.steps <= self.warmup + 1:
+            return self.step_times[-1] / max(self.steps, 1)
+        window = self.step_times[self.warmup:]
+        return float(window[-1] - window[0]) / (len(window) - 1)
+
+
+class CollectiveWorker(Chare):
+    """One worker: receive the step broadcast, compute, contribute."""
+
+    def __init__(self, compute_s: float, on_done) -> None:
+        super().__init__()
+        self._compute_s = compute_s
+        self._on_done = on_done
+
+    @entry()
+    def step(self, k: int, payload) -> None:
+        self.charge(self._compute_s)
+        self.contribute(1.0, "sum", self._on_done)
+
+
+@dataclass
+class CollectiveBenchApp:
+    """Chare-based broadcast/reduce loop over *objects* workers.
+
+    Workers are placed round-robin across all PEs, so every PE of both
+    clusters hosts broadcast targets — the worst case for a flat
+    downward fan-out.
+    """
+
+    env: GridEnvironment
+    objects: int = 64
+    payload_bytes: int = DEFAULT_PAYLOAD_BYTES
+    compute_s: float = DEFAULT_COMPUTE_S
+    _step_times: List[float] = field(default_factory=list, repr=False)
+
+    def run(self, steps: int, warmup: Optional[int] = None
+            ) -> CollectiveResult:
+        if steps <= 0:
+            raise ConfigurationError(f"steps must be positive: {steps}")
+        if self.objects <= 0:
+            raise ConfigurationError(
+                f"objects must be positive: {self.objects}")
+        if warmup is None:
+            warmup = min(max(steps // 5, 1), 5)
+
+        rts = self.env.runtime
+        proxy = rts.create_array(
+            CollectiveWorker, list(range(self.objects)),
+            RoundRobinMapping(),
+            args=(self.compute_s, self._on_step_done))
+        self._proxy = proxy
+        self._steps = steps
+        self._checksum = 0.0
+        self._t0 = self.env.now
+        self._step_times = []
+
+        self._broadcast_step(0)
+        self.env.run()
+        if len(self._step_times) != steps:
+            raise ConfigurationError(
+                f"collective bench stalled: {len(self._step_times)} of "
+                f"{steps} steps completed")
+        return CollectiveResult(
+            step_times=np.asarray(self._step_times, dtype=np.float64),
+            checksum=self._checksum,
+            makespan=self.env.now - self._t0, warmup=warmup)
+
+    def _broadcast_step(self, k: int) -> None:
+        self._proxy.step(k, 0.0, _size=self.payload_bytes,
+                         _tag="bench:step")
+
+    def _on_step_done(self, total: float) -> None:
+        self._checksum += total
+        self._step_times.append(self.env.now - self._t0)
+        k = len(self._step_times)
+        if k < self._steps:
+            self._broadcast_step(k)
+
+
+def collective_rank_program(mpi, steps: int, payload_bytes: int,
+                            compute_s: float):
+    """bcast + allreduce per step; returns the step completion times."""
+    payload = b"\0" * payload_bytes
+    times = []
+    for _k in range(steps):
+        data = payload if mpi.rank == 0 else None
+        yield mpi.bcast(data, root=0)
+        mpi.charge(compute_s)
+        yield mpi.allreduce(1.0, "sum")
+        times.append(mpi.now)
+    return times
+
+
+@dataclass
+class AmpiCollectiveBenchApp:
+    """AMPI-flavoured collective loop (ranks are the virtualization)."""
+
+    env: GridEnvironment
+    ranks: int = 16
+    payload_bytes: int = DEFAULT_PAYLOAD_BYTES
+    compute_s: float = DEFAULT_COMPUTE_S
+
+    def run(self, steps: int, warmup: Optional[int] = None
+            ) -> CollectiveResult:
+        if steps <= 0:
+            raise ConfigurationError(f"steps must be positive: {steps}")
+        if warmup is None:
+            warmup = min(max(steps // 5, 1), 5)
+        t0 = self.env.now
+        world = ampi_run(
+            self.env, collective_rank_program, num_ranks=self.ranks,
+            mapping=RoundRobinMapping(),
+            program_args=(steps, self.payload_bytes, self.compute_s))
+        results = world.results_in_rank_order()
+        per_rank = np.array(results)                # (ranks, steps)
+        step_times = per_rank.max(axis=0) - t0
+        return CollectiveResult(
+            step_times=step_times, checksum=float(per_rank.sum()),
+            makespan=self.env.now - t0, warmup=warmup)

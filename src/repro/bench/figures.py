@@ -70,6 +70,34 @@ def render_fig3_panel(points: List[ExperimentPoint], pes: int) -> str:
     )
 
 
+def render_fig3_collectives(points: List[ExperimentPoint],
+                            app: str = "collectives") -> str:
+    """Figure 3c: collective time/step vs latency, one line per routing
+    variant (flat / hier / hier+striped).
+
+    The variant lives in ``extra["variant"]``, which ``group_series``
+    cannot reach, so the series are assembled by hand.
+    """
+    panel = [p for p in points
+             if p.experiment == "fig3c" and p.app == app]
+    by_variant = {}
+    for p in sorted(panel, key=lambda p: p.latency_ms):
+        label = p.extra.get("variant", "?")
+        series = by_variant.get(label)
+        if series is None:
+            series = by_variant[label] = Series(label=label)
+        series.append(p.latency_ms, p.time_per_step_ms)
+    # Fixed display order: the baseline first, then the improvements.
+    order = {"flat": 0, "hier": 1, "hier+striped": 2}
+    series_list = sorted(by_variant.values(),
+                         key=lambda s: order.get(s.label, 99))
+    return render_series(
+        series_list,
+        title=f"Figure 3c ({app}) - collective time/step vs latency "
+              "by routing",
+    )
+
+
 def render_fig4(points: List[ExperimentPoint]) -> str:
     """Figure 4: LeanMD time/step vs latency, one line per PE count."""
     fig = [p for p in points if p.experiment == "fig4"]

@@ -12,6 +12,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.apps.collectives import AmpiCollectiveBenchApp, CollectiveBenchApp
 from repro.apps.leanmd import LeanMDApp
 from repro.apps.stencil import AmpiStencilApp, StencilApp
 from repro.bench.records import ExperimentPoint
@@ -139,6 +140,53 @@ def stencil_ampi_point(experiment: str, pes: int, ranks: int,
         pes=pes, objects=ranks, latency_ms=latency_ms_value,
         time_per_step=result.time_per_step, steps=steps,
         extra={"makespan": result.makespan, "payload": payload,
+               **_obs_extra(env)})
+    maybe_log_trajectory(point, result, env)
+    return point
+
+
+def routing_variant_label(routing: str, wan_streams: int) -> str:
+    """Display label for one collective-routing benchmark variant."""
+    if routing == "hierarchical":
+        return "hier+striped" if wan_streams > 1 else "hier"
+    return "flat"
+
+
+def collectives_point(experiment: str, pes: int, objects: int,
+                      latency_ms_value: float, *, ampi: bool = False,
+                      routing: str = "flat", wan_streams: int = 0,
+                      payload_bytes: int = 256 * 1024,
+                      steps: int = DEFAULT_STEPS,
+                      seed: int = 0) -> ExperimentPoint:
+    """Run one collective-benchmark configuration (chare or AMPI).
+
+    *objects* is the worker count for the chare flavour and the rank
+    count for the AMPI flavour.  The routing variant travels in
+    ``extra["variant"]`` so the Figure-3c renderer can group by it.
+    """
+    env = artificial_latency_env(pes, ms(latency_ms_value), seed=seed,
+                                 routing=routing, wan_streams=wan_streams)
+    if ampi:
+        app = AmpiCollectiveBenchApp(env, ranks=objects,
+                                     payload_bytes=payload_bytes)
+    else:
+        app = CollectiveBenchApp(env, objects=objects,
+                                 payload_bytes=payload_bytes)
+    result = app.run(steps)
+    wan_msgs = sum(d.messages_carried for d in env.chain.transports()
+                   if "wan" in d.name)
+    point = ExperimentPoint(
+        experiment=experiment,
+        app="collectives-ampi" if ampi else "collectives",
+        environment="artificial", pes=pes, objects=objects,
+        latency_ms=latency_ms_value,
+        time_per_step=result.time_per_step, steps=steps,
+        extra={"makespan": result.makespan,
+               "variant": routing_variant_label(routing, wan_streams),
+               "routing": routing, "wan_streams": wan_streams,
+               "payload_bytes": payload_bytes,
+               "wan_messages": wan_msgs,
+               "checksum": result.checksum,
                **_obs_extra(env)})
     maybe_log_trajectory(point, result, env)
     return point

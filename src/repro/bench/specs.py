@@ -21,7 +21,8 @@ from typing import Any, Dict, Tuple
 from repro.bench.records import ExperimentPoint
 
 #: Applications the executor knows how to run.
-KINDS = ("stencil", "stencil-ampi", "leanmd")
+KINDS = ("stencil", "stencil-ampi", "leanmd", "collectives",
+         "collectives-ampi")
 
 
 @dataclass(frozen=True)
@@ -46,6 +47,15 @@ class RunSpec:
     mesh: Tuple[int, int] = (2048, 2048)
     cells: Tuple[int, int, int] = (6, 6, 6)
     atoms_per_cell: int = 64
+    #: Collective routing mode ("flat" / "hierarchical"); only the
+    #: collectives kinds vary it, but any artificial-environment kind
+    #: honours it.
+    routing: str = "flat"
+    #: WAN stream model: 0 = legacy uncontended WAN, >= 1 = that many
+    #: paced TCP streams (see :func:`repro.grid.presets._wan_device`).
+    wan_streams: int = 0
+    #: Broadcast payload for the collectives kinds, bytes.
+    payload_bytes: int = 256 * 1024
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -72,9 +82,22 @@ class RunSpec:
         if self.kind == "leanmd":
             base["cells"] = list(self.cells)
             base["atoms_per_cell"] = self.atoms_per_cell
+        elif self.kind in ("collectives", "collectives-ampi"):
+            base["objects"] = self.objects
+            base["routing"] = self.routing
+            base["wan_streams"] = self.wan_streams
+            base["payload_bytes"] = self.payload_bytes
         else:
             base["objects"] = self.objects
             base["mesh"] = list(self.mesh)
+        # Non-default routing knobs affect any kind's run, so they join
+        # the key — but only when set, keeping pre-existing cache keys
+        # (and trajectory digests) for the classic kinds unchanged.
+        if self.kind not in ("collectives", "collectives-ampi"):
+            if self.routing != "flat":
+                base["routing"] = self.routing
+            if self.wan_streams != 0:
+                base["wan_streams"] = self.wan_streams
         return base
 
     def label(self) -> str:
@@ -109,6 +132,13 @@ class RunSpec:
             return harness.stencil_ampi_point(
                 self.experiment, self.pes, self.objects, self.latency_ms,
                 mesh=self.mesh, steps=self.steps, payload=self.payload,
+                seed=self.seed)
+        if self.kind in ("collectives", "collectives-ampi"):
+            return harness.collectives_point(
+                self.experiment, self.pes, self.objects, self.latency_ms,
+                ampi=(self.kind == "collectives-ampi"),
+                routing=self.routing, wan_streams=self.wan_streams,
+                payload_bytes=self.payload_bytes, steps=self.steps,
                 seed=self.seed)
         return harness.leanmd_point(
             self.experiment, self.pes, self.latency_ms, cells=self.cells,

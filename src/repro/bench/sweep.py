@@ -60,6 +60,22 @@ FIG4_LATENCIES_MS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0,
 #: Processor counts common to all experiments.
 PE_COUNTS: Tuple[int, ...] = (2, 4, 8, 16, 32, 64)
 
+#: Figure 3c (collective-routing panel): the compared variants as
+#: ``(label, routing, wan_streams)``.  All three share the paced-stream
+#: WAN model so the comparison isolates routing + striping, not the
+#: contention model itself.
+FIG3C_VARIANTS: Tuple[Tuple[str, str, int], ...] = (
+    ("flat", "flat", 1),
+    ("hier", "hierarchical", 1),
+    ("hier+striped", "hierarchical", 4),
+)
+
+#: Figure 3c machine/virtualization sizes (kept modest: the panel is
+#: about routing ratios, not scale).
+FIG3C_PES = 8
+FIG3C_OBJECTS = 64          # chare workers
+FIG3C_RANKS = 16            # AMPI ranks
+
 
 # -- spec builders (pure, no side effects) ------------------------------------
 
@@ -74,6 +90,23 @@ def specs_fig3(panels: Optional[Sequence[int]] = None,
                 out.append(RunSpec(kind="stencil", experiment="fig3",
                                    pes=pes, objects=objects,
                                    latency_ms=lat, steps=steps))
+    return out
+
+
+def specs_fig3_collectives(latencies_ms: Sequence[float] = FIG3_LATENCIES_MS,
+                           steps: int = 8) -> List[RunSpec]:
+    """Specs for Figure 3c: flat vs hierarchical vs hierarchical+striped
+    collective routing, chare and AMPI flavours, over the 0-32 ms sweep.
+    """
+    out: List[RunSpec] = []
+    for kind, objects in (("collectives", FIG3C_OBJECTS),
+                          ("collectives-ampi", FIG3C_RANKS)):
+        for _label, routing, streams in FIG3C_VARIANTS:
+            for lat in latencies_ms:
+                out.append(RunSpec(kind=kind, experiment="fig3c",
+                                   pes=FIG3C_PES, objects=objects,
+                                   latency_ms=lat, steps=steps,
+                                   routing=routing, wan_streams=streams))
     return out
 
 
@@ -131,6 +164,18 @@ def sweep_fig3(panels: Optional[Sequence[int]] = None,
     """All points of Figure 3 (optionally a subset of panels)."""
     return run_sweep(specs_fig3(panels, latencies_ms, steps), jobs=jobs,
                      cache=cache, progress=progress, stats=stats)
+
+
+def sweep_fig3_collectives(latencies_ms: Sequence[float] = FIG3_LATENCIES_MS,
+                           steps: int = 8, jobs: int = 1,
+                           cache: Optional[RunCache] = None,
+                           progress: Optional[ProgressFn] = None,
+                           stats: Optional[SweepStats] = None
+                           ) -> List[ExperimentPoint]:
+    """All points of Figure 3c (collective-routing comparison)."""
+    return run_sweep(specs_fig3_collectives(latencies_ms, steps),
+                     jobs=jobs, cache=cache, progress=progress,
+                     stats=stats)
 
 
 def sweep_table1(rows: Sequence[Tuple[int, int]] = TABLE1_ROWS,

@@ -13,7 +13,7 @@ Usage (any artefact, directly from a shell)::
                              [--grid MS ...] [--per-step] [--json]
     python -m repro health [--app stencil|leanmd] [--latency MS]
                            [--loss P] [--budget F] [--json] [--out PATH]
-    python -m repro sweep {fig3,fig4,table1,table2} [--jobs N]
+    python -m repro sweep {fig3,fig3c,fig4,table1,table2} [--jobs N]
                           [--no-cache] [--cache-dir DIR]
                           [--stats-out PATH] [--steps N] [...subset flags]
     python -m repro bench-diff [--path BENCH_critpath.json]
@@ -48,7 +48,11 @@ import json
 import sys
 from typing import List, Optional, Sequence, Tuple
 
-from repro.bench.figures import render_fig3_panel, render_fig4
+from repro.bench.figures import (
+    render_fig3_collectives,
+    render_fig3_panel,
+    render_fig4,
+)
 from repro.bench.sweep import (
     FIG3_LATENCIES_MS,
     FIG3_PANEL_OBJECTS,
@@ -56,6 +60,7 @@ from repro.bench.sweep import (
     PE_COUNTS,
     TABLE1_ROWS,
     specs_fig3,
+    specs_fig3_collectives,
     specs_fig4,
     specs_table1,
     specs_table2,
@@ -191,8 +196,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     sw = sub.add_parser("sweep", help="run a paper sweep through the "
                         "parallel executor with the run cache")
-    sw.add_argument("target", choices=("fig3", "fig4", "table1", "table2"),
-                    help="which artefact's configurations to run")
+    sw.add_argument("target",
+                    choices=("fig3", "fig3c", "fig4", "table1", "table2"),
+                    help="which artefact's configurations to run "
+                         "(fig3c: collective-routing comparison)")
     sw.add_argument("--jobs", type=int, default=None, metavar="N",
                     help="worker processes (default: $REPRO_BENCH_JOBS "
                          "or 1); results are identical for any N")
@@ -530,11 +537,16 @@ def cmd_sweep(args, out) -> None:
     from repro.bench.cache import DEFAULT_CACHE_DIR, RunCache
     from repro.bench.executor import SweepStats, default_jobs, run_sweep
 
-    steps_default = {"fig3": 10, "table1": 10, "fig4": 8, "table2": 8}
+    steps_default = {"fig3": 10, "fig3c": 8, "table1": 10, "fig4": 8,
+                     "table2": 8}
     steps = args.steps if args.steps is not None \
         else steps_default[args.target]
 
-    if args.target == "fig3":
+    if args.target == "fig3c":
+        latencies = (tuple(args.latencies) if args.latencies
+                     else FIG3_LATENCIES_MS)
+        specs = specs_fig3_collectives(latencies_ms=latencies, steps=steps)
+    elif args.target == "fig3":
         panels = args.panels if args.panels else list(PE_COUNTS)
         for p in panels:
             if p not in FIG3_PANEL_OBJECTS:
@@ -575,7 +587,11 @@ def cmd_sweep(args, out) -> None:
                        stats=stats)
 
     failed = [p for p in points if "error" in p.extra]
-    if args.target == "fig3":
+    if args.target == "fig3c":
+        for app in ("collectives", "collectives-ampi"):
+            print(render_fig3_collectives(points, app), file=out)
+            print(file=out)
+    elif args.target == "fig3":
         for p in panels:
             print(render_fig3_panel(points, p), file=out)
             print(file=out)

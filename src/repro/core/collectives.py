@@ -10,15 +10,29 @@ sent once to each destination PE (as a :class:`~repro.core.records.Bundle`)
 and fanned out locally.  This matters for the Grid setting — a cell with
 pair objects on a remote cluster sends its coordinates across the WAN
 once per remote PE, not once per remote object.
+
+With ``RuntimeConfig.collective_routing = "hierarchical"`` the downward
+direction becomes topology-aware as well (the MPICH-G2 multi-level
+scheme): destination PEs are grouped by cluster, each remote cluster
+receives **one** :class:`~repro.core.records.RelayMsg` addressed to its
+lowest destination PE, and that cluster root re-fans locally — per-PE
+bundles over loopback/shmem/LAN, plus nested node-level relays where
+several destination PEs share a physical node.  The payload then crosses
+the wide area exactly once per remote cluster instead of once per remote
+PE.  Per-element delivery semantics, priorities and tags are preserved
+verbatim on every hop, and because the relay runs inside an ordinary
+entry-method execution, re-fanned messages carry the relay execution's
+id as their ``cause`` — the causal chain through the relay hop stays
+exact for critical-path attribution.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.core.ids import ChareID, Index
 from repro.core.method import invocation_bytes
-from repro.core.records import Bundle, Invocation
+from repro.core.records import Bundle, Invocation, RelayMsg
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.rts import Runtime
@@ -46,23 +60,114 @@ def group_targets_by_pe(rts: "Runtime", collection: int,
     return groups
 
 
+def _dispatch_group(rts: "Runtime", collection: int, entry: str,
+                    pe: int, targets: Sequence[Index], args: tuple,
+                    kwargs: dict, size: Optional[int],
+                    priority: Optional[int], tag: str) -> None:
+    """Send one per-PE bundle covering *targets* on *pe*."""
+    invocations = [Invocation(ChareID(collection, idx), entry,
+                              args, dict(kwargs))
+                   for idx in targets]
+    wire = size if size is not None else bundle_size(
+        args, kwargs, len(targets))
+    rts._dispatch_payload(
+        dst_pe=pe, payload=Bundle(invocations), size=wire,
+        priority=priority, tag=tag, entry_hint=entry,
+        collection_hint=collection)
+
+
 def send_bundled(rts: "Runtime", collection: int, entry: str,
                  indices: Sequence[Index], args: tuple, kwargs: dict,
                  size: Optional[int], priority: Optional[int],
                  tag: Optional[str]) -> None:
-    """Send one bundle per destination PE covering *indices*."""
+    """Send bundles covering *indices*: one per destination PE (flat
+    routing) or one per remote cluster plus local bundles (hierarchical
+    routing, see the module docstring)."""
     groups = group_targets_by_pe(rts, collection, indices)
+    if rts.config.collective_routing == "hierarchical" and len(groups) > 1:
+        _send_hierarchical(rts, collection, entry, groups, args, kwargs,
+                           size, priority, tag or entry)
+        return
     for pe in sorted(groups):
-        targets = groups[pe]
-        invocations = [Invocation(ChareID(collection, idx), entry,
-                                  args, dict(kwargs))
-                       for idx in targets]
-        wire = size if size is not None else bundle_size(
-            args, kwargs, len(targets))
+        _dispatch_group(rts, collection, entry, pe, groups[pe], args,
+                        kwargs, size, priority, tag or entry)
+
+
+def _send_hierarchical(rts: "Runtime", collection: int, entry: str,
+                       groups: Dict[int, List[Index]], args: tuple,
+                       kwargs: dict, size: Optional[int],
+                       priority: Optional[int], tag: str) -> None:
+    """Topology-aware multicast: one relay per remote cluster.
+
+    Destination PEs in the originating PE's own cluster get direct
+    per-PE bundles (those ride loopback/shmem/LAN and were never the
+    problem); each remote cluster with more than one destination PE gets
+    a single :class:`RelayMsg` to its lowest destination PE, which
+    re-fans via :func:`process_relay`.  A remote cluster with exactly
+    one destination PE needs no relay — the direct bundle already
+    crosses the WAN exactly once.
+    """
+    topo = rts.topology
+    origin_cluster = topo.cluster_of(rts._originating_pe())
+    by_cluster: Dict[int, List[int]] = {}
+    for pe in sorted(groups):
+        by_cluster.setdefault(topo.cluster_of(pe), []).append(pe)
+    for cluster in sorted(by_cluster):
+        pes = by_cluster[cluster]
+        if cluster == origin_cluster or len(pes) == 1:
+            for pe in pes:
+                _dispatch_group(rts, collection, entry, pe, groups[pe],
+                                args, kwargs, size, priority, tag)
+            continue
+        cluster_groups = [(pe, groups[pe]) for pe in pes]
+        total = sum(len(idxs) for _pe, idxs in cluster_groups)
+        wire = size if size is not None else bundle_size(args, kwargs,
+                                                         total)
         rts._dispatch_payload(
-            dst_pe=pe, payload=Bundle(invocations), size=wire,
-            priority=priority, tag=tag or entry, entry_hint=entry,
+            dst_pe=pes[0],
+            payload=RelayMsg(collection=collection, entry=entry,
+                             args=args, kwargs=kwargs,
+                             groups=cluster_groups, size=size,
+                             priority=priority, tag=tag),
+            size=wire, priority=priority, tag=tag, entry_hint=entry,
             collection_hint=collection)
+
+
+def process_relay(rts: "Runtime", pe: int, relay: RelayMsg) -> None:
+    """Re-fan an arrived relay from its root PE (runs inside an
+    entry-method execution, so re-sends inherit the relay's cause id).
+
+    Target PEs on the root's own node get direct bundles (loopback for
+    the root itself, shmem for node siblings); each other node with more
+    than one destination PE gets a nested node-level relay to its lowest
+    destination PE (whose re-fan is then all same-node); single-PE nodes
+    get their bundle directly over the LAN.
+    """
+    topo = rts.topology
+    my_node = topo.node_of(pe)
+    by_node: Dict[int, List[Tuple[int, List[Index]]]] = {}
+    for dst_pe, idxs in relay.groups:
+        by_node.setdefault(topo.node_of(dst_pe), []).append((dst_pe, idxs))
+    for node in sorted(by_node):
+        entries = by_node[node]
+        if node == my_node or len(entries) == 1:
+            for dst_pe, idxs in entries:
+                _dispatch_group(rts, relay.collection, relay.entry,
+                                dst_pe, idxs, relay.args, relay.kwargs,
+                                relay.size, relay.priority, relay.tag)
+            continue
+        total = sum(len(idxs) for _pe, idxs in entries)
+        wire = relay.size if relay.size is not None else bundle_size(
+            relay.args, relay.kwargs, total)
+        rts._dispatch_payload(
+            dst_pe=entries[0][0],
+            payload=RelayMsg(collection=relay.collection,
+                             entry=relay.entry, args=relay.args,
+                             kwargs=relay.kwargs, groups=entries,
+                             size=relay.size, priority=relay.priority,
+                             tag=relay.tag),
+            size=wire, priority=relay.priority, tag=relay.tag,
+            entry_hint=relay.entry, collection_hint=relay.collection)
 
 
 class SectionEntry:

@@ -49,6 +49,34 @@ class Bundle:
 
 
 @dataclass
+class RelayMsg:
+    """A multicast's payload in flight to a cluster- or node-root PE.
+
+    Produced by the hierarchical collective-routing mode: instead of one
+    bundle per destination PE (a broadcast to a 32-PE remote cluster
+    crossing the WAN 32 times), the sender ships **one** relay per
+    remote cluster.  The root PE re-fans locally — per-PE bundles over
+    shmem/LAN, plus nested node-level relays where several destination
+    PEs share a node — so the payload crosses the wide area exactly once
+    per cluster.  The relay execution happens inside an entry-method
+    context, so the re-fanned messages carry the relay's execution id as
+    their ``cause`` and causal/critical-path analysis stays exact.
+    """
+
+    collection: int
+    entry: str
+    args: tuple
+    kwargs: dict
+    #: ``[(dst_pe, [indices...]), ...]`` — the targets this relay covers,
+    #: grouped by hosting PE (all within one cluster, sorted by PE).
+    groups: List[Tuple[int, List[Any]]]
+    #: Explicit per-hop wire size override (``None`` = computed).
+    size: Optional[int]
+    priority: Optional[int]
+    tag: str
+
+
+@dataclass
 class ReductionMsg:
     """A combined partial travelling up the reduction spanning tree."""
 

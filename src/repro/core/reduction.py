@@ -110,12 +110,18 @@ class ReductionTree:
 
 
 def build_tree(hosting_pes: List[int], topology: GridTopology,
-               arity: int = 4) -> ReductionTree:
+               arity: int = 4, *, node_aware: bool = False) -> ReductionTree:
     """Build the grid-aware reduction tree.
 
     Within each cluster the hosting PEs form an *arity*-ary tree rooted
     at the cluster's lowest hosting PE; every cluster root except the
     global root parents to the global root (one WAN hop each).
+
+    With ``node_aware=True`` the intra-cluster shape prefers shmem
+    edges: each node's hosting PEs first combine on the node's lowest
+    hosting PE (shared memory), and only the node roots form the
+    *arity*-ary LAN tree under the cluster root.  The WAN edge count is
+    identical either way — exactly one per non-root cluster.
     """
     if not hosting_pes:
         raise ReductionError("cannot build a reduction tree over zero PEs")
@@ -129,6 +135,25 @@ def build_tree(hosting_pes: List[int], topology: GridTopology,
     for _cluster, pes in sorted(by_cluster.items()):
         root = pes[0]
         cluster_roots.append(root)
+        if node_aware:
+            by_node: Dict[int, List[int]] = {}
+            for pe in pes:
+                by_node.setdefault(topology.node_of(pe), []).append(pe)
+            node_roots: List[int] = []
+            for _node, node_pes in sorted(by_node.items()):
+                node_roots.append(node_pes[0])
+                for pe in node_pes[1:]:
+                    parent[pe] = node_pes[0]
+                    children.setdefault(node_pes[0], []).append(pe)
+            # Node roots form the LAN tree; node_roots[0] == cluster root
+            # since PE ids are dense within nodes within clusters.
+            for rank, pe in enumerate(node_roots):
+                if rank == 0:
+                    continue
+                par = node_roots[(rank - 1) // arity]
+                parent[pe] = par
+                children.setdefault(par, []).append(pe)
+            continue
         for rank, pe in enumerate(pes):
             if rank == 0:
                 continue
@@ -247,7 +272,10 @@ class ReductionManager:
         for _idx, pe in mapping.items():
             hosting[pe] = hosting.get(pe, 0) + 1
         state.local_expected = hosting
-        state.tree = build_tree(sorted(hosting), self._rts.topology)
+        state.tree = build_tree(
+            sorted(hosting), self._rts.topology,
+            node_aware=(self._rts.config.collective_routing
+                        == "hierarchical"))
 
     @staticmethod
     def _check_consistent(state: _RedState, op: str, target: Any,

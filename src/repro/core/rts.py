@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.chare import Chare
-from repro.core.collectives import send_bundled
+from repro.core.collectives import process_relay, send_bundled
 from repro.core.ids import ChareID, EntryRef, Index, normalize_index
 from repro.core.loadbalance.metrics import LBDatabase
 from repro.core.method import entry_info, invocation_bytes, payload_bytes
@@ -68,6 +68,14 @@ class RuntimeConfig:
     forward_overhead: float = 2e-6
     #: Cost of unpacking an arriving migrated chare.
     migration_overhead: float = 10e-6
+    #: Cost of re-fanning an arrived multicast relay at a cluster/node
+    #: root (hierarchical routing only).
+    relay_overhead: float = 2e-6
+    #: Collective downward routing: ``"flat"`` sends one bundle per
+    #: destination PE; ``"hierarchical"`` sends one relay per remote
+    #: cluster whose root PE re-fans locally (see
+    #: :mod:`repro.core.collectives`).
+    collective_routing: str = "flat"
     #: Use priority queues instead of FIFO (paper §4 allows both).
     prioritized_queues: bool = False
     #: §6 extension: auto-tag cross-cluster messages as high priority.
@@ -79,9 +87,14 @@ class RuntimeConfig:
 
     def __post_init__(self) -> None:
         for name in ("scheduler_overhead", "reduction_overhead",
-                     "forward_overhead", "migration_overhead"):
+                     "forward_overhead", "migration_overhead",
+                     "relay_overhead"):
             if getattr(self, name) < 0:
                 raise ConfigurationError(f"{name} must be >= 0")
+        if self.collective_routing not in ("flat", "hierarchical"):
+            raise ConfigurationError(
+                f"collective_routing must be 'flat' or 'hierarchical', "
+                f"got {self.collective_routing!r}")
         if self.expedite_wan and not self.prioritized_queues:
             raise ConfigurationError(
                 "expedite_wan requires prioritized_queues=True")
@@ -391,6 +404,10 @@ class Runtime:
             self.migrate(chare_id, new_pe)
             return
         ctx.migration_request = (chare_id, new_pe)
+
+    def _process_relay(self, pe: int, relay: Any) -> None:
+        """Re-fan an arrived multicast relay (scheduler hook)."""
+        process_relay(self, pe, relay)
 
     # -- reductions: runtime-internal hooks -----------------------------------------
 

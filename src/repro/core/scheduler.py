@@ -29,6 +29,7 @@ from repro.core.records import (
     Invocation,
     MigrationMsg,
     ReductionMsg,
+    RelayMsg,
 )
 from repro.errors import EntryMethodError, RuntimeSystemError
 from repro.network.message import Message
@@ -167,6 +168,10 @@ class Scheduler:
                 label_chare, label_entry = "<rts>", "reduction"
                 static_cost = rts.config.reduction_overhead
                 rts.reductions.on_partial(ps.pe, payload)
+            elif isinstance(payload, RelayMsg):
+                label_chare, label_entry = "<rts>", "relay"
+                static_cost = rts.config.relay_overhead
+                rts._process_relay(ps.pe, payload)
             elif isinstance(payload, MigrationMsg):
                 label_chare, label_entry = "<rts>", "migrate-in"
                 static_cost = rts.config.migration_overhead

@@ -20,6 +20,7 @@ grid environments) the delay/fault devices and the wide-area driver.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional, Union
 
 from repro.core.rts import RuntimeConfig
@@ -34,6 +35,7 @@ from repro.network.devices import LanDevice, LoopbackDevice, ShmemDevice, WanDev
 from repro.network.faults import FaultyDevice, LinkFlap
 from repro.network.links import LinkModel, myrinet_like, shared_memory
 from repro.network.reliable import RetransmitPolicy
+from repro.network.striping import StripedDevice
 from repro.network.topology import GridTopology
 from repro.sim.rand import RandomStreams
 
@@ -49,6 +51,30 @@ def _base_devices():
         ShmemDevice(shared_memory()),
         LanDevice(myrinet_like()),
     ]
+
+
+def _apply_routing(config: Optional[RuntimeConfig],
+                   routing: Optional[str]) -> Optional[RuntimeConfig]:
+    """Overlay a collective-routing choice on a (possibly None) config."""
+    if routing is None:
+        return config
+    return replace(config or RuntimeConfig(), collective_routing=routing)
+
+
+def _wan_device(link: LinkModel, wan_streams: int):
+    """Pick the WAN transport for a preset.
+
+    ``wan_streams == 0`` (the default) keeps the legacy uncontended
+    :class:`WanDevice` — concurrent cross-cluster messages do not share
+    anything, which is the paper's pure delay-device model and keeps
+    existing results bit-identical.  ``wan_streams >= 1`` models the WAN
+    as that many paced TCP streams via
+    :class:`~repro.network.striping.StripedDevice` (``1`` = a single
+    window-limited stream whose serialization queues FIFO).
+    """
+    if wan_streams >= 1:
+        return StripedDevice(link, streams=wan_streams)
+    return WanDevice(link)
 
 
 def single_cluster_env(num_pes: int, *, seed: int = 0,
@@ -68,6 +94,8 @@ def single_cluster_env(num_pes: int, *, seed: int = 0,
 
 def artificial_latency_env(num_pes: int, latency: float, *, seed: int = 0,
                            config: Optional[RuntimeConfig] = None,
+                           routing: Optional[str] = None,
+                           wan_streams: int = 0,
                            trace: bool = False, stats: bool = True,
                            max_events: Optional[int] = None,
                            sampling: Union[bool, SamplingPolicy, None] = None,
@@ -83,6 +111,13 @@ def artificial_latency_env(num_pes: int, latency: float, *, seed: int = 0,
     latency:
         Injected one-way cross-"cluster" latency in **seconds** (the
         paper sweeps 0-32 ms for the stencil, 1-256 ms for LeanMD).
+    routing:
+        Collective downward routing: ``None`` keeps whatever *config*
+        says (default flat), ``"flat"``/``"hierarchical"`` override it.
+    wan_streams:
+        ``0`` (default) keeps the legacy uncontended WAN transport;
+        ``>= 1`` models the wide area as that many paced TCP streams
+        (see :func:`_wan_device`).
 
     The "wide-area" transport is the same Myrinet-class link as the
     LAN — exactly the paper's setup, where both halves live in one real
@@ -93,9 +128,11 @@ def artificial_latency_env(num_pes: int, latency: float, *, seed: int = 0,
     topo = GridTopology.two_cluster(num_pes)
     devices = _base_devices()
     devices.append(DelayDevice(latency))
-    devices.append(WanDevice(myrinet_like(name="wan-artificial")))
+    devices.append(_wan_device(myrinet_like(name="wan-artificial"),
+                               wan_streams))
     chain = DeviceChain(devices)
-    return GridEnvironment(topo, chain, seed=seed, config=config,
+    return GridEnvironment(topo, chain, seed=seed,
+                           config=_apply_routing(config, routing),
                            trace=trace, stats=stats, max_events=max_events,
                            sampling=sampling, health=health)
 
@@ -108,6 +145,8 @@ def lossy_wan_env(num_pes: int, latency: float, *,
                   reliable: Union[bool, RetransmitPolicy] = True,
                   seed: int = 0,
                   config: Optional[RuntimeConfig] = None,
+                  routing: Optional[str] = None,
+                  wan_streams: int = 0,
                   trace: bool = False, stats: bool = True,
                   max_events: Optional[int] = None,
                   sampling: Union[bool, SamplingPolicy, None] = None,
@@ -154,9 +193,10 @@ def lossy_wan_env(num_pes: int, latency: float, *,
         rng=RandomStreams(seed).get("wan-faults"), flap=flap,
         name="wan-faults"))
     devices.append(DelayDevice(latency))
-    devices.append(WanDevice(myrinet_like(name="wan-lossy")))
+    devices.append(_wan_device(myrinet_like(name="wan-lossy"), wan_streams))
     chain = DeviceChain(devices)
-    return GridEnvironment(topo, chain, seed=seed, config=config,
+    return GridEnvironment(topo, chain, seed=seed,
+                           config=_apply_routing(config, routing),
                            trace=trace, stats=stats, max_events=max_events,
                            reliable=reliable,
                            sampling=sampling, health=health)

@@ -65,12 +65,21 @@ class DeviceChain:
         This is how the paper wires its delay device: "send and receive
         chains that consist of two network drivers with a 'delay device
         driver' in between".
+
+        Raises
+        ------
+        RoutingError
+            If the chain has no transport device: appending the filter
+            at the end would leave it after every possible claim point,
+            i.e. unreachable dead code.
         """
         for i, dev in enumerate(self._devices):
             if isinstance(dev, TransportDevice):
                 self._devices.insert(i, device)
                 return
-        self._devices.append(device)
+        raise RoutingError(
+            f"cannot insert {device.name!r}: chain has no transport "
+            f"device (devices: {[d.name for d in self._devices]})")
 
     def resolve(self, msg: Message, topo: GridTopology,
                 rng: Optional[np.random.Generator] = None, *,

@@ -14,7 +14,7 @@ and applications address processors.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.errors import TopologyError
@@ -45,10 +45,15 @@ class Cluster:
     index: int
     name: str
     nodes: Tuple[Node, ...]
+    #: Flattened PE list, precomputed once: ``cluster_pes`` sits on the
+    #: multicast-relay hot path, so rebuilding the tuple per call would
+    #: be paid once per collective hop.
+    pes: Tuple[int, ...] = field(init=False)
 
-    @property
-    def pes(self) -> Tuple[int, ...]:
-        return tuple(pe for node in self.nodes for pe in node.pes)
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "pes",
+            tuple(pe for node in self.nodes for pe in node.pes))
 
 
 class GridTopology:

@@ -4,11 +4,13 @@ import pytest
 
 from repro.bench.harness import (
     TERAGRID_ONE_WAY_MS,
+    collectives_point,
     leanmd_point,
+    routing_variant_label,
     stencil_ampi_point,
     stencil_point,
 )
-from repro.bench.sweep import sweep_fig3, sweep_table2
+from repro.bench.sweep import specs_fig3_collectives, sweep_fig3, sweep_table2
 
 
 def test_stencil_point_fields():
@@ -55,6 +57,53 @@ def test_stencil_ampi_point():
     assert p.app == "stencil-ampi"
     assert p.objects == 4
     assert p.time_per_step > 0
+
+
+def test_routing_variant_labels():
+    assert routing_variant_label("flat", 1) == "flat"
+    assert routing_variant_label("hierarchical", 1) == "hier"
+    assert routing_variant_label("hierarchical", 4) == "hier+striped"
+
+
+def test_collectives_point_fields():
+    p = collectives_point("t", pes=4, objects=8, latency_ms_value=2.0,
+                          routing="hierarchical", wan_streams=2,
+                          payload_bytes=32 * 1024, steps=4)
+    assert p.app == "collectives"
+    assert (p.pes, p.objects, p.latency_ms) == (4, 8, 2.0)
+    assert p.time_per_step > 0
+    assert p.extra["variant"] == "hier+striped"
+    assert p.extra["wan_messages"] > 0
+    assert p.extra["checksum"] == pytest.approx(4 * 8)
+
+
+def test_collectives_point_ampi():
+    p = collectives_point("t", pes=4, objects=8, latency_ms_value=2.0,
+                          ampi=True, payload_bytes=16 * 1024, steps=3)
+    assert p.app == "collectives-ampi"
+    assert p.extra["variant"] == "flat"
+    assert p.time_per_step > 0
+
+
+def test_hier_striped_dominates_flat_at_high_latency():
+    # The Figure-3c acceptance bar, at one 8 ms point: hierarchical
+    # routing over striped WAN strictly beats flat fan-out.
+    kwargs = dict(latency_ms_value=8.0, payload_bytes=256 * 1024, steps=4)
+    flat = collectives_point("t", 8, 64, routing="flat", wan_streams=1,
+                             **kwargs)
+    best = collectives_point("t", 8, 64, routing="hierarchical",
+                             wan_streams=4, **kwargs)
+    assert best.time_per_step < flat.time_per_step
+    assert best.extra["wan_messages"] < flat.extra["wan_messages"]
+    assert best.extra["checksum"] == flat.extra["checksum"]
+
+
+def test_specs_fig3_collectives_cover_all_variants():
+    specs = specs_fig3_collectives(latencies_ms=(0.0, 8.0), steps=2)
+    assert len(specs) == 2 * 3 * 2       # kinds x variants x latencies
+    assert {s.kind for s in specs} == {"collectives", "collectives-ampi"}
+    assert {(s.routing, s.wan_streams) for s in specs} == {
+        ("flat", 1), ("hierarchical", 1), ("hierarchical", 4)}
 
 
 def test_sweep_fig3_single_panel_structure():

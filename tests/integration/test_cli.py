@@ -166,6 +166,20 @@ def test_sweep_second_run_is_cache_served(tmp_path):
     assert s2["cache_fraction"] == 1.0 and s2["executed"] == 0
 
 
+def test_sweep_fig3c_renders_both_flavours(tmp_path):
+    stats = tmp_path / "stats.json"
+    code, text = run_cli(["sweep", "fig3c", "--latencies", "0", "8",
+                          "--steps", "2", "--no-cache", "--quiet",
+                          "--stats-out", str(stats)])
+    assert code == 0
+    assert "Figure 3c (collectives)" in text
+    assert "Figure 3c (collectives-ampi)" in text
+    for variant in ("flat", "hier", "hier+striped"):
+        assert variant in text
+    s = json.loads(stats.read_text())
+    assert s["total"] == 12 and s["errors"] == 0
+
+
 def test_sweep_rejects_bad_jobs_and_panel():
     with pytest.raises(SystemExit):
         run_cli(["sweep", "fig3", "--jobs", "0"])

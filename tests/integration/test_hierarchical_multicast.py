@@ -1,0 +1,218 @@
+"""Integration tests: topology-aware (hierarchical) collective routing.
+
+The tentpole invariant: with ``collective_routing = "hierarchical"`` a
+broadcast/multicast crosses the wide area exactly **once per remote
+cluster** (one relay each), instead of once per remote destination PE —
+while delivering bit-identical per-element semantics.  With flat routing
+(the default) behaviour and virtual timings are unchanged from the seed.
+"""
+
+import pytest
+
+from repro.ampi import ampi_run
+from repro.core.chare import Chare
+from repro.core.mapping import RoundRobinMapping
+from repro.core.method import entry
+from repro.core.rts import RuntimeConfig
+from repro.errors import ConfigurationError
+from repro.grid.environment import GridEnvironment
+from repro.grid.presets import artificial_latency_env
+from repro.network.chain import DeviceChain
+from repro.network.devices import (
+    LanDevice,
+    LoopbackDevice,
+    ShmemDevice,
+    WanDevice,
+)
+from repro.network.links import myrinet_like, shared_memory
+from repro.network.topology import GridTopology
+from repro.units import ms
+
+
+class Catcher(Chare):
+    def __init__(self):
+        super().__init__()
+        self.got = []
+
+    @entry
+    def take(self, *args):
+        self.got.append((self.now, args))
+
+
+def wan_messages(env):
+    return sum(d.messages_carried for d in env.chain.transports()
+               if "wan" in d.name)
+
+
+def build_array(env, n=None):
+    rts = env.runtime
+    n = n if n is not None else env.topology.num_pes
+    arr = rts.create_array(Catcher, range(n), RoundRobinMapping())
+    return rts, arr
+
+
+def received(rts, arr):
+    """{index: [(time, args), ...]} for every element of *arr*."""
+    objs = rts._collections[arr.collection].objects
+    return {idx: list(objs[idx].got) for idx in objs}
+
+
+# -- WAN crossing counts ------------------------------------------------------
+
+def test_flat_broadcast_crosses_wan_once_per_remote_pe():
+    env = artificial_latency_env(8, ms(2))
+    rts, arr = build_array(env)
+    arr.take("hello")
+    env.run()
+    assert wan_messages(env) == 4      # PEs 4..7, one bundle each
+
+
+def test_hierarchical_broadcast_crosses_wan_once_per_remote_cluster():
+    env = artificial_latency_env(8, ms(2), routing="hierarchical")
+    rts, arr = build_array(env)
+    arr.take("hello")
+    env.run()
+    assert wan_messages(env) == 1      # one relay to the cluster root
+    got = received(rts, arr)
+    assert all(len(v) == 1 and v[0][1] == ("hello",)
+               for v in got.values())
+    assert len(got) == 8
+
+
+def test_hierarchical_section_multicast_remote_subset():
+    env = artificial_latency_env(8, ms(2), routing="hierarchical")
+    rts, arr = build_array(env)
+    # 4, 5, 7: all in the remote cluster, spanning two nodes -> one WAN
+    # relay to PE 4, which re-fans (5 via shmem, 7 via a nested relay...
+    # no: node (6,7) holds a single destination, so 7 gets a direct LAN
+    # bundle from the relay root).
+    arr.section([4, 5, 7]).take(42)
+    env.run()
+    assert wan_messages(env) == 1
+    got = received(rts, arr)
+    for idx in ((4,), (5,), (7,)):
+        assert got[idx] == [(got[idx][0][0], (42,))]
+    for idx in ((0,), (1,), (2,), (3,), (6,)):
+        assert got[idx] == []
+
+
+def test_hierarchical_single_remote_pe_needs_no_relay():
+    env = artificial_latency_env(8, ms(2), routing="hierarchical")
+    rts, arr = build_array(env)
+    arr.section([0, 6]).take("x")
+    env.run()
+    assert wan_messages(env) == 1      # the direct bundle already crossed once
+    got = received(rts, arr)
+    assert got[(6,)][0][1] == ("x",)
+
+
+def test_hierarchical_three_clusters_one_relay_each():
+    topo = GridTopology([4, 4, 4], pes_per_node=2)
+    chain = DeviceChain([
+        LoopbackDevice(shared_memory(name="loopback")),
+        ShmemDevice(shared_memory()),
+        LanDevice(myrinet_like()),
+        WanDevice(myrinet_like(name="wan")),
+    ])
+    env = GridEnvironment(
+        topo, chain,
+        config=RuntimeConfig(collective_routing="hierarchical"))
+    rts, arr = build_array(env, n=12)
+    arr.take("tri")
+    env.run()
+    assert wan_messages(env) == 2      # clusters 1 and 2, one relay each
+    got = received(rts, arr)
+    assert len(got) == 12
+    assert all(v[0][1] == ("tri",) for v in got.values())
+
+
+# -- semantics preserved ------------------------------------------------------
+
+def test_hierarchical_delivers_same_payloads_as_flat():
+    def run(routing):
+        env = artificial_latency_env(8, ms(2), routing=routing)
+        rts, arr = build_array(env, n=16)
+        arr.take({"k": [1, 2]}, 7)
+        env.run()
+        return received(rts, arr)
+
+    flat, hier = run("flat"), run("hierarchical")
+    assert set(flat) == set(hier)
+    for idx in flat:
+        assert flat[idx][0][1] == hier[idx][0][1]
+
+
+def test_flat_routing_is_bit_identical_to_default():
+    def run(**kwargs):
+        env = artificial_latency_env(8, ms(4), **kwargs)
+        rts, arr = build_array(env, n=16)
+        arr.take("a")
+        arr.section([3, 9, 12]).take("b")
+        env.run()
+        return received(rts, arr)
+
+    assert run() == run(routing="flat")
+
+
+def test_invalid_routing_rejected():
+    with pytest.raises(ConfigurationError):
+        RuntimeConfig(collective_routing="diagonal")
+
+
+def test_negative_relay_overhead_rejected():
+    with pytest.raises(ConfigurationError):
+        RuntimeConfig(relay_overhead=-1.0)
+
+
+# -- AMPI collective results --------------------------------------------------
+
+def bcast_mutation_program(mpi):
+    data = yield mpi.bcast({"xs": [1, 2, 3]} if mpi.rank == 0 else None,
+                           root=0)
+    if mpi.rank == 1:
+        data["xs"].append(99)       # must not leak into other ranks
+    return data["xs"]
+
+
+@pytest.mark.parametrize("routing", ["flat", "hierarchical"])
+def test_bcast_result_mutation_stays_local(routing):
+    env = artificial_latency_env(4, ms(2), routing=routing)
+    world = ampi_run(env, bcast_mutation_program, num_ranks=4)
+    results = world.results_in_rank_order()
+    assert results[1] == [1, 2, 3, 99]
+    assert results[0] == results[2] == results[3] == [1, 2, 3]
+
+
+@pytest.mark.parametrize("routing", ["flat", "hierarchical"])
+def test_allgather_result_mutation_stays_local(routing):
+    def program(mpi):
+        out = yield mpi.allgather([mpi.rank])
+        if mpi.rank == 0:
+            out[0].append("dirty")
+        return out
+
+    env = artificial_latency_env(4, ms(2), routing=routing)
+    world = ampi_run(env, program, num_ranks=4)
+    results = world.results_in_rank_order()
+    assert results[0][0] == [0, "dirty"]
+    for r in (1, 2, 3):
+        assert results[r] == [[0], [1], [2], [3]]
+
+
+def test_ampi_hierarchical_matches_flat_values_with_fewer_wan_messages():
+    def program(mpi):
+        data = yield mpi.bcast(b"\0" * 65536 if mpi.rank == 0 else None,
+                               root=0)
+        total = yield mpi.allreduce(mpi.rank, op="sum")
+        return (len(data), total)
+
+    def run(routing):
+        env = artificial_latency_env(8, ms(2), routing=routing)
+        world = ampi_run(env, program, num_ranks=16,
+                         mapping=RoundRobinMapping())
+        return world.results_in_rank_order(), wan_messages(env)
+
+    flat_results, flat_wan = run("flat")
+    hier_results, hier_wan = run("hierarchical")
+    assert flat_results == hier_results == [(65536, 120)] * 16
+    assert hier_wan < flat_wan

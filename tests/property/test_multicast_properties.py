@@ -1,0 +1,149 @@
+"""Property tests: hierarchical multicast / grid-aware tree invariants.
+
+The load-bearing invariant from the collective-routing work: whatever
+the topology and whichever subset of PEs participates, the wide area is
+crossed exactly once per participating remote cluster — by the
+reduction tree's upward edges and by the multicast relay's downward
+hops alike.  And with flat routing (the default), virtual time is
+bit-identical to the seed behaviour.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.chare import Chare
+from repro.core.mapping import RoundRobinMapping
+from repro.core.method import entry
+from repro.core.reduction import build_tree
+from repro.core.rts import RuntimeConfig
+from repro.grid.environment import GridEnvironment
+from repro.network.chain import DeviceChain
+from repro.network.devices import (
+    LanDevice,
+    LoopbackDevice,
+    ShmemDevice,
+    WanDevice,
+)
+from repro.network.links import myrinet_like, shared_memory
+from repro.network.topology import GridTopology
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+
+#: Small but shape-diverse machines: 1-3 clusters, uneven sizes, node
+#: widths that do and do not divide the cluster sizes.
+topologies = st.builds(
+    GridTopology,
+    st.lists(st.integers(min_value=1, max_value=5),
+             min_size=1, max_size=3),
+    pes_per_node=st.integers(min_value=1, max_value=3),
+)
+
+
+@st.composite
+def topo_and_hosting(draw):
+    topo = draw(topologies)
+    hosting = draw(st.lists(
+        st.integers(min_value=0, max_value=topo.num_pes - 1),
+        min_size=1, max_size=topo.num_pes, unique=True))
+    return topo, sorted(hosting)
+
+
+def wan_edges(tree, topo):
+    return [(pe, par) for pe, par in tree.parent.items()
+            if par is not None and not topo.same_cluster(pe, par)]
+
+
+@given(topo_and_hosting(), st.booleans())
+@settings(**COMMON)
+def test_tree_crosses_wan_once_per_extra_cluster(case, node_aware):
+    topo, hosting = case
+    tree = build_tree(hosting, topo, node_aware=node_aware)
+    clusters_present = len({topo.cluster_of(pe) for pe in hosting})
+    assert len(wan_edges(tree, topo)) == clusters_present - 1
+    # Well-formed: every hosting PE reaches the root.
+    for pe in hosting:
+        seen = set()
+        cur = pe
+        while tree.parent[cur] is not None:
+            assert cur not in seen
+            seen.add(cur)
+            cur = tree.parent[cur]
+        assert cur == tree.root
+
+
+@given(topo_and_hosting(), st.booleans())
+@settings(**COMMON)
+def test_node_aware_tree_keeps_shmem_edges_on_node(case, _unused):
+    topo, hosting = case
+    tree = build_tree(hosting, topo, node_aware=True)
+    # A non-node-root PE always parents within its own node.
+    for pe, par in tree.parent.items():
+        if par is None or topo.same_node(pe, par):
+            continue
+        # Cross-node edge: then *pe* must be its node's lowest hosting PE.
+        node_hosting = [p for p in hosting
+                        if topo.node_of(p) == topo.node_of(pe)]
+        assert pe == min(node_hosting)
+
+
+# -- the relay path, simulated end to end -------------------------------------
+
+class Catcher(Chare):
+    def __init__(self):
+        super().__init__()
+        self.got = []
+
+    @entry
+    def take(self, *args):
+        self.got.append((self.now, args))
+
+
+def make_env(topo, routing):
+    chain = DeviceChain([
+        LoopbackDevice(shared_memory(name="loopback")),
+        ShmemDevice(shared_memory()),
+        LanDevice(myrinet_like()),
+        WanDevice(myrinet_like(name="wan")),
+    ])
+    config = RuntimeConfig(collective_routing=routing)
+    return GridEnvironment(topo, chain, config=config)
+
+
+def run_multicast(topo, dests, routing):
+    """Multicast to *dests* (one element per PE); returns (times, wan)."""
+    env = make_env(topo, routing)
+    rts = env.runtime
+    arr = rts.create_array(Catcher, range(topo.num_pes),
+                           RoundRobinMapping())
+    arr.section(dests).take("payload")
+    env.run()
+    objs = rts._collections[arr.collection].objects
+    times = {idx: list(objs[idx].got) for idx in objs}
+    wan = sum(d.messages_carried for d in env.chain.transports()
+              if "wan" in d.name)
+    return times, wan
+
+
+@given(topo_and_hosting())
+@settings(max_examples=25, **COMMON)
+def test_relay_crosses_wan_once_per_remote_cluster(case):
+    topo, dests = case
+    times, wan = run_multicast(topo, dests, "hierarchical")
+    # The driver-originated multicast starts on PE 0's cluster.
+    origin_cluster = topo.cluster_of(0)
+    remote_clusters = {topo.cluster_of(pe) for pe in dests} - {origin_cluster}
+    assert wan == len(remote_clusters)
+    # Exactly the addressed elements received the payload, once each.
+    for idx, got in times.items():
+        expected = [("payload",)] if idx[0] in dests else []
+        assert [args for _t, args in got] == expected
+
+
+@given(topo_and_hosting())
+@settings(max_examples=15, **COMMON)
+def test_flat_routing_bit_identical_to_default(case):
+    topo, dests = case
+    explicit, _ = run_multicast(topo, dests, "flat")
+    default, _ = run_multicast(topo, dests, RuntimeConfig().collective_routing)
+    assert explicit == default

@@ -62,6 +62,40 @@ def test_spec_rejects_unknown_kind():
         tiny_spec(kind="fluid")
 
 
+def test_classic_kind_keys_unchanged_by_routing_defaults():
+    # Pre-existing stencil/leanmd cache keys (and the committed
+    # trajectory digests) must survive the routing knobs: default
+    # routing/wan_streams stay out of a classic kind's config dict.
+    config = tiny_spec().config()
+    assert "routing" not in config
+    assert "wan_streams" not in config
+    assert "payload_bytes" not in config
+
+
+def test_classic_kind_keys_change_with_non_default_routing():
+    keys = {spec_key(tiny_spec()),
+            spec_key(tiny_spec(routing="hierarchical")),
+            spec_key(tiny_spec(routing="hierarchical", wan_streams=4))}
+    assert len(keys) == 3
+
+
+def test_collectives_spec_key_varies_by_variant():
+    def coll(**overrides):
+        base = dict(kind="collectives", experiment="fig3c", pes=8,
+                    objects=64, latency_ms=8.0, steps=4)
+        base.update(overrides)
+        return RunSpec(**base)
+
+    keys = {spec_key(coll()),
+            spec_key(coll(routing="hierarchical")),
+            spec_key(coll(routing="hierarchical", wan_streams=4)),
+            spec_key(coll(payload_bytes=1024))}
+    assert len(keys) == 4
+    config = coll().config()
+    assert config["routing"] == "flat"
+    assert config["wan_streams"] == 0
+
+
 # -- cache -------------------------------------------------------------------
 
 

@@ -197,6 +197,14 @@ def test_insert_before_transport(topo):
     assert chain.devices[0] is delay  # before the loopback transport
 
 
+def test_insert_before_transport_requires_transport():
+    chain = DeviceChain([DelayDevice(1e-3, name="only-delay")])
+    with pytest.raises(RoutingError) as exc:
+        chain.insert_before_transport(DelayDevice(2e-3, name="late"))
+    assert "only-delay" in str(exc.value)  # names the chain's devices
+    assert [d.name for d in chain.devices] == ["only-delay"]  # unchanged
+
+
 def test_chain_transports_listing():
     chain = make_chain(latency=1e-3)
     names = [d.name for d in chain.transports()]

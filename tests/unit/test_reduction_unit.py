@@ -143,6 +143,46 @@ def test_tree_empty_rejected():
         build_tree([], GridTopology.single_cluster(2))
 
 
+def wan_edges_of(tree, topo):
+    return [(pe, par) for pe, par in tree.parent.items()
+            if par is not None and not topo.same_cluster(pe, par)]
+
+
+def test_node_aware_tree_prefers_shmem_edges():
+    topo = GridTopology.two_cluster(8, pes_per_node=2)
+    hosting = list(range(8))
+    tree = build_tree(hosting, topo, node_aware=True)
+    check_tree_wellformed(tree, hosting)
+    # Every node's non-root PE parents to its node sibling (shmem edge).
+    for pe in (1, 3, 5, 7):
+        assert tree.parent[pe] == pe - 1
+        assert topo.same_node(pe, tree.parent[pe])
+    # Node roots form the LAN tree under the cluster root.
+    assert tree.parent[2] == 0
+    assert tree.parent[6] == 4
+
+
+def test_node_aware_tree_same_wan_edge_count():
+    topo = GridTopology([4, 4, 4], pes_per_node=2)
+    hosting = list(range(12))
+    flat = build_tree(hosting, topo)
+    aware = build_tree(hosting, topo, node_aware=True)
+    check_tree_wellformed(aware, hosting)
+    assert len(wan_edges_of(flat, topo)) == 2
+    assert len(wan_edges_of(aware, topo)) == 2
+
+
+def test_node_aware_tree_sparse_hosting():
+    topo = GridTopology.two_cluster(8, pes_per_node=2)
+    hosting = [1, 2, 3, 6]
+    tree = build_tree(hosting, topo, node_aware=True)
+    check_tree_wellformed(tree, hosting)
+    assert tree.root == 1
+    assert tree.parent[3] == 2      # node sibling (shmem)
+    assert tree.parent[2] == 1      # node root -> cluster root (LAN)
+    assert tree.parent[6] == 1      # remote cluster root -> global (WAN)
+
+
 def test_tree_duplicate_pes_deduped():
     topo = GridTopology.single_cluster(4)
     tree = build_tree([1, 1, 2], topo)

@@ -30,6 +30,16 @@ def test_two_cluster_rejects_zero():
         GridTopology.two_cluster(0)
 
 
+def test_cluster_pes_precomputed():
+    topo = GridTopology([5, 3], pes_per_node=2)
+    for cluster in topo.clusters:
+        flattened = tuple(pe for node in cluster.nodes for pe in node.pes)
+        assert cluster.pes == flattened
+        assert topo.cluster_pes(cluster.index) == flattened
+    assert topo.cluster_pes(0) == (0, 1, 2, 3, 4)
+    assert topo.cluster_pes(1) == (5, 6, 7)
+
+
 def test_cluster_of():
     topo = GridTopology.two_cluster(8)
     assert topo.cluster_of(0) == 0
