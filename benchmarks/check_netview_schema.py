@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""CI gate: validate the structure of ``repro netview --json`` output.
+
+Usage::
+
+    python benchmarks/check_netview_schema.py netview.json
+
+Checks that the ``net`` section — the network flight recorder's
+machine-readable digest — carries every documented key with the right
+type and that its internal invariants hold (busy fractions in [0, 1],
+lane roll-ups consistent with the per-lane rows, top messages sorted by
+descending wire time).  No third-party schema library: the checks are
+hand-rolled so the gate runs on a bare numpy-only CI image.
+"""
+
+import json
+import sys
+
+LANE_KEYS = {
+    "lane": str, "link": str, "crossings": int, "busy_s": float,
+    "queue_s": float, "flight_s": float, "p95_queue_depth": int,
+    "max_queue_depth": int, "wan": bool, "busy_fraction": float,
+}
+LINK_KEYS = {
+    "lanes": int, "crossings": int, "busy_s": float, "queue_s": float,
+    "wan": bool, "busy_fraction": float,
+}
+TOP_KEYS = {
+    "seq": int, "src_pe": int, "dst_pe": int, "tag": str, "size": int,
+    "wire_s": float, "sent_s": float, "arrival_s": float,
+    "relay_hop": int, "arq_attempt": int, "wan": bool, "hops": int,
+}
+
+
+def _fail(msg):
+    raise SystemExit(f"netview schema: {msg}")
+
+
+def _check_mapping(name, row, spec):
+    for key, typ in spec.items():
+        if key not in row:
+            _fail(f"{name} missing key {key!r}")
+        value = row[key]
+        if typ is float:
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool):
+                _fail(f"{name}[{key!r}] is {type(value).__name__}, "
+                      f"want number")
+        elif not isinstance(value, typ) or \
+                (typ is int and isinstance(value, bool)):
+            _fail(f"{name}[{key!r}] is {type(value).__name__}, "
+                  f"want {typ.__name__}")
+
+
+def check(doc):
+    net = doc.get("net")
+    if not isinstance(net, dict):
+        _fail("document has no 'net' object")
+    for key in ("makespan_s", "lanes", "links", "wan_crossings",
+                "top_messages"):
+        if key not in net:
+            _fail(f"net missing key {key!r}")
+    if not isinstance(net["lanes"], dict) or not net["lanes"]:
+        _fail("net.lanes must be a non-empty object")
+    for lane, row in net["lanes"].items():
+        _check_mapping(f"lanes[{lane!r}]", row, LANE_KEYS)
+        if not 0.0 <= row["busy_fraction"] <= 1.0:
+            _fail(f"lanes[{lane!r}].busy_fraction out of [0, 1]: "
+                  f"{row['busy_fraction']}")
+        if row["p95_queue_depth"] > row["max_queue_depth"]:
+            _fail(f"lanes[{lane!r}]: p95 queue depth exceeds max")
+    for link, row in net["links"].items():
+        _check_mapping(f"links[{link!r}]", row, LINK_KEYS)
+    lane_crossings = {}
+    for row in net["lanes"].values():
+        lane_crossings[row["link"]] = \
+            lane_crossings.get(row["link"], 0) + row["crossings"]
+    for link, row in net["links"].items():
+        if row["crossings"] != lane_crossings.get(link):
+            _fail(f"links[{link!r}].crossings != sum of its lanes")
+    wan_crossings = sum(row["crossings"] for row in net["lanes"].values()
+                        if row["wan"])
+    if net["wan_crossings"] != wan_crossings:
+        _fail(f"net.wan_crossings {net['wan_crossings']} != "
+              f"sum over WAN lanes {wan_crossings}")
+    top = net["top_messages"]
+    if not isinstance(top, list):
+        _fail("net.top_messages must be a list")
+    for i, row in enumerate(top):
+        _check_mapping(f"top_messages[{i}]", row, TOP_KEYS)
+        if row["wire_s"] < 0:
+            _fail(f"top_messages[{i}].wire_s negative")
+    for a, b in zip(top, top[1:]):
+        if a["wire_s"] < b["wire_s"]:
+            _fail("top_messages not sorted by descending wire time")
+    return net
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        _fail("usage: check_netview_schema.py NETVIEW_JSON")
+    with open(argv[0]) as fh:
+        doc = json.load(fh)
+    net = check(doc)
+    print(f"netview schema OK: {len(net['lanes'])} lanes, "
+          f"{len(net['links'])} links, {net['wan_crossings']} WAN "
+          f"crossings, {len(net['top_messages'])} top messages")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -352,6 +352,13 @@ def main(argv=None):
           f"({obs['full_vs_off']:+.1%} vs off); "
           f"self-reported obs.overhead_fraction "
           f"{obs['overhead_fraction_sampling']:.4f}")
+    # Acceptance bar: the flight recorder + telemetry sampler at
+    # ``sampling`` detail must stay under 5 % marginal wall-clock cost
+    # on top of the streaming-stats baseline.
+    if obs["sampling_vs_stats"] >= 0.05:
+        raise SystemExit(
+            f"observability overhead regression: sampling costs "
+            f"{obs['sampling_vs_stats']:+.1%} over stats (bar: < +5.0%)")
     print(f"throughput: {obs['events']} events -> "
           f"{obs['events_per_sec_off']:.0f} ev/s (obs off), "
           f"{obs['events_per_sec_stats']:.0f} ev/s (stats); "

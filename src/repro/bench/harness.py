@@ -41,12 +41,26 @@ def _obs_extra(env) -> dict:
     Empty when the environment was built with ``stats=False``; otherwise
     the streaming aggregator's summary (utilization, comm/compute split,
     masked-latency fraction) so every benchmark row carries the overlap
-    statistics alongside its time-per-step.
+    statistics alongside its time-per-step.  When the flight recorder
+    saw hop ledgers, a WAN roll-up (crossings, busy/queue seconds) rides
+    along under ``extra["net"]``.
     """
     agg = getattr(env, "aggregator", None)
     if agg is None:
         return {}
-    return {"obs": agg.summary()}
+    extra = {"obs": agg.summary()}
+    usage = getattr(agg, "link_usage", None)
+    links = usage() if usage is not None else {}
+    if links:
+        wan = [u for u in links.values() if u.wan]
+        extra["net"] = {
+            "lanes": len(links),
+            "wan_lanes": len(wan),
+            "wan_crossings": sum(u.crossings for u in wan),
+            "wan_busy_s": sum(u.busy_s for u in wan),
+            "wan_queue_s": sum(u.queue_s for u in wan),
+        }
+    return extra
 
 
 def _median_step_s(result) -> float:

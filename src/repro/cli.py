@@ -13,6 +13,9 @@ Usage (any artefact, directly from a shell)::
                              [--grid MS ...] [--per-step] [--json]
     python -m repro health [--app stencil|leanmd] [--latency MS]
                            [--loss P] [--budget F] [--json] [--out PATH]
+    python -m repro netview [--latency MS] [--routing flat|hierarchical]
+                            [--streams N] [--top K] [--json]
+                            [--trace-out PATH]
     python -m repro sweep {fig3,fig3c,fig4,table1,table2} [--jobs N]
                           [--no-cache] [--cache-dir DIR]
                           [--stats-out PATH] [--steps N] [...subset flags]
@@ -192,6 +195,31 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write a Chrome trace with health-event "
                          "markers here (enables full tracing)")
     hl.add_argument("--json", action="store_true",
+                    help="print the report as JSON instead of text")
+
+    nv = sub.add_parser("netview", help="network flight recorder: per-link "
+                        "utilization, queue depths and top wire-time "
+                        "messages from one traced run")
+    nv.add_argument("--pes", type=int, default=8)
+    nv.add_argument("--objects", type=int, default=64,
+                    help="virtualization degree")
+    nv.add_argument("--mesh", type=int, default=1024, metavar="N",
+                    help="stencil mesh edge (NxN; Figure 3 uses 2048)")
+    nv.add_argument("--latency", type=float, default=8.0,
+                    help="one-way WAN latency in ms")
+    nv.add_argument("--steps", type=int, default=10)
+    nv.add_argument("--routing", choices=("flat", "hierarchical"),
+                    default=None,
+                    help="collective downward routing (default: config's)")
+    nv.add_argument("--streams", type=int, default=0, metavar="N",
+                    help="stripe the WAN across N parallel streams "
+                         "(0 = no striping)")
+    nv.add_argument("--top", type=int, default=10, metavar="K",
+                    help="how many top-wire-time messages to list")
+    nv.add_argument("--trace-out", default=None, metavar="PATH",
+                    help="write a Chrome trace with one lane per WAN "
+                         "link/stream here")
+    nv.add_argument("--json", action="store_true",
                     help="print the report as JSON instead of text")
 
     sw = sub.add_parser("sweep", help="run a paper sweep through the "
@@ -533,6 +561,62 @@ def cmd_health(args, out) -> None:
               f"{args.trace_out}", file=out)
 
 
+def cmd_netview(args, out) -> None:
+    from repro.apps.stencil import StencilApp
+    from repro.grid import artificial_latency_env
+    from repro.obs.export import chrome_trace, validate_chrome_trace
+    from repro.obs.report import build_report, netview_section
+    from repro.units import ms
+
+    if args.pes < 2 or args.pes % 2:
+        raise SystemExit(f"--pes must be even and >= 2, got {args.pes}")
+    if args.latency < 0:
+        raise SystemExit(f"--latency must be >= 0, got {args.latency}")
+    if args.streams < 0:
+        raise SystemExit(f"--streams must be >= 0, got {args.streams}")
+    if args.top < 1:
+        raise SystemExit(f"--top must be >= 1, got {args.top}")
+    env = artificial_latency_env(args.pes, ms(args.latency), trace=True,
+                                 routing=args.routing,
+                                 wan_streams=args.streams)
+    app = StencilApp(env, mesh=(args.mesh, args.mesh),
+                     objects=args.objects, payload="modeled")
+    app.run(args.steps)
+
+    report = build_report(env.aggregator)
+    report.net = netview_section(env.tracer, top=args.top)
+    report.extra["app"] = "stencil"
+    report.extra["pes"] = args.pes
+    report.extra["objects"] = args.objects
+    report.extra["latency_ms"] = args.latency
+    report.extra["steps"] = args.steps
+    if args.routing is not None:
+        report.extra["routing"] = args.routing
+    if args.streams:
+        report.extra["wan_streams"] = args.streams
+    if args.trace_out is not None:
+        doc = chrome_trace(env.tracer)
+        validate_chrome_trace(doc)
+        with open(args.trace_out, "w") as fh:
+            json.dump(doc, fh)
+        report.extra["chrome_trace"] = args.trace_out
+
+    if args.json:
+        json.dump(report.to_dict(), out, indent=2)
+        print(file=out)
+        return
+    print(f"stencil: {args.pes} PEs, {args.objects} objects, "
+          f"{args.latency:g} ms one-way WAN"
+          + (f", routing {args.routing}" if args.routing else "")
+          + (f", {args.streams} WAN streams" if args.streams else "")
+          + f", {args.steps} steps", file=out)
+    print(file=out)
+    print(report.render(), file=out)
+    if args.trace_out is not None:
+        print(f"\nChrome trace (per-link network lanes) written to "
+              f"{args.trace_out}", file=out)
+
+
 def cmd_sweep(args, out) -> None:
     from repro.bench.cache import DEFAULT_CACHE_DIR, RunCache
     from repro.bench.executor import SweepStats, default_jobs, run_sweep
@@ -663,6 +747,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "critpath": cmd_critpath,
     "health": cmd_health,
+    "netview": cmd_netview,
     "sweep": cmd_sweep,
     "bench-diff": cmd_bench_diff,
 }

@@ -63,7 +63,8 @@ def group_targets_by_pe(rts: "Runtime", collection: int,
 def _dispatch_group(rts: "Runtime", collection: int, entry: str,
                     pe: int, targets: Sequence[Index], args: tuple,
                     kwargs: dict, size: Optional[int],
-                    priority: Optional[int], tag: str) -> None:
+                    priority: Optional[int], tag: str,
+                    relay_hop: int = 0) -> None:
     """Send one per-PE bundle covering *targets* on *pe*."""
     invocations = [Invocation(ChareID(collection, idx), entry,
                               args, dict(kwargs))
@@ -73,7 +74,7 @@ def _dispatch_group(rts: "Runtime", collection: int, entry: str,
     rts._dispatch_payload(
         dst_pe=pe, payload=Bundle(invocations), size=wire,
         priority=priority, tag=tag, entry_hint=entry,
-        collection_hint=collection)
+        collection_hint=collection, relay_hop=relay_hop)
 
 
 def send_bundled(rts: "Runtime", collection: int, entry: str,
@@ -128,9 +129,9 @@ def _send_hierarchical(rts: "Runtime", collection: int, entry: str,
             payload=RelayMsg(collection=collection, entry=entry,
                              args=args, kwargs=kwargs,
                              groups=cluster_groups, size=size,
-                             priority=priority, tag=tag),
+                             priority=priority, tag=tag, hop=1),
             size=wire, priority=priority, tag=tag, entry_hint=entry,
-            collection_hint=collection)
+            collection_hint=collection, relay_hop=1)
 
 
 def process_relay(rts: "Runtime", pe: int, relay: RelayMsg) -> None:
@@ -154,7 +155,8 @@ def process_relay(rts: "Runtime", pe: int, relay: RelayMsg) -> None:
             for dst_pe, idxs in entries:
                 _dispatch_group(rts, relay.collection, relay.entry,
                                 dst_pe, idxs, relay.args, relay.kwargs,
-                                relay.size, relay.priority, relay.tag)
+                                relay.size, relay.priority, relay.tag,
+                                relay_hop=relay.hop + 1)
             continue
         total = sum(len(idxs) for _pe, idxs in entries)
         wire = relay.size if relay.size is not None else bundle_size(
@@ -165,9 +167,10 @@ def process_relay(rts: "Runtime", pe: int, relay: RelayMsg) -> None:
                              entry=relay.entry, args=relay.args,
                              kwargs=relay.kwargs, groups=entries,
                              size=relay.size, priority=relay.priority,
-                             tag=relay.tag),
+                             tag=relay.tag, hop=relay.hop + 1),
             size=wire, priority=relay.priority, tag=relay.tag,
-            entry_hint=relay.entry, collection_hint=relay.collection)
+            entry_hint=relay.entry, collection_hint=relay.collection,
+            relay_hop=relay.hop + 1)
 
 
 class SectionEntry:

@@ -74,6 +74,10 @@ class RelayMsg:
     size: Optional[int]
     priority: Optional[int]
     tag: str
+    #: Relay depth of this hop in the multicast tree (1 = origin ->
+    #: cluster root, 2 = cluster root -> node root).  Recorded in hop
+    #: ledgers so wire-level attribution can separate relay tiers.
+    hop: int = 1
 
 
 @dataclass

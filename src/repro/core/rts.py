@@ -352,7 +352,8 @@ class Runtime:
                           dst_chare: Optional[ChareID] = None,
                           entry_hint: Optional[str] = None,
                           collection_hint: Optional[int] = None,
-                          src_pe: Optional[int] = None) -> None:
+                          src_pe: Optional[int] = None,
+                          relay_hop: int = 0) -> None:
         """Common exit point for every runtime-generated message."""
         ctx = self.scheduler.current_context
         origin = src_pe if src_pe is not None else self._originating_pe()
@@ -360,6 +361,8 @@ class Runtime:
             src_pe=origin, dst_pe=dst_pe, size_bytes=size, payload=payload,
             priority=priority if priority is not None else DEFAULT_PRIORITY,
             tag=tag)
+        if relay_hop:
+            msg.relay_hop = relay_hop
         if (self.config.collect_lb_stats and ctx is not None
                 and ctx.chare_id is not None and dst_chare is not None):
             self.lb_db.record_send(

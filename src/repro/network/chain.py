@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.errors import RoutingError
 from repro.network.devices import ChainDevice, TransportDevice
+from repro.network.hops import HopSpan
 from repro.network.message import Message
 from repro.network.topology import GridTopology
 
@@ -83,12 +84,18 @@ class DeviceChain:
 
     def resolve(self, msg: Message, topo: GridTopology,
                 rng: Optional[np.random.Generator] = None, *,
-                record: bool = True) -> Route:
+                record: bool = True, now: float = 0.0,
+                ledger: Optional[List[HopSpan]] = None) -> Route:
         """Walk the chain until a transport claims *msg*.
 
         ``record=False`` resolves a model-only probe: no device statistics
         are updated and fault devices behave as pure pass-throughs (see
         :meth:`~repro.network.fabric.NetworkFabric.one_way_time`).
+
+        When a *ledger* is supplied, every filter device that adds delay
+        stamps one :class:`~repro.network.hops.HopSpan` on it, anchored
+        at *now* (the send instant); the spans telescope so the last
+        span's ``arrive`` equals ``now + pre_transport_delay`` exactly.
 
         Raises
         ------
@@ -101,6 +108,11 @@ class DeviceChain:
         duplicates = 0
         for dev in self._devices:
             result = dev.process(current, topo, rng, record=record)
+            if result.added_delay and ledger is not None:
+                ledger.append(HopSpan(
+                    device=dev.name, link=dev.name, kind=dev.hop_kind,
+                    enqueue=now + delay, dequeue=now + delay,
+                    arrive=now + (delay + result.added_delay)))
             delay += result.added_delay
             current = result.message
             dropped = dropped or result.dropped

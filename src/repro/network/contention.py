@@ -15,8 +15,9 @@ pipeline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Tuple
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Tuple
 
 
 @dataclass
@@ -35,6 +36,12 @@ class SharedPipe:
     queue_delay_total: float = 0.0
     #: Number of reservations made.
     reservations: int = 0
+    #: End times of reservations not yet finished at the last ``reserve``
+    #: call (the occupancy window the gauges read).
+    _ends: Deque[float] = field(default_factory=deque, repr=False)
+    #: Largest occupancy (reservations queued or being served) ever
+    #: observed at a reservation's enqueue instant.
+    high_water: int = 0
 
     def reserve(self, now: float, duration: float) -> float:
         """Reserve the pipe for *duration* seconds starting at/after *now*.
@@ -44,22 +51,40 @@ class SharedPipe:
         """
         if duration < 0:
             raise ValueError(f"negative serialization time {duration}")
+        ends = self._ends
+        while ends and ends[0] <= now:
+            ends.popleft()
+        self.last_queue_depth = len(ends)
         start = max(now, self._next_free)
         self._next_free = start + duration
+        ends.append(self._next_free)
+        if len(ends) > self.high_water:
+            self.high_water = len(ends)
         self.queue_delay_total += start - now
         self.reservations += 1
         return start
+
+    #: Occupancy seen by the most recent reservation at its enqueue
+    #: instant (messages already holding or awaiting the pipe).
+    last_queue_depth: int = 0
 
     @property
     def next_free(self) -> float:
         """Virtual time at which the pipe becomes idle."""
         return self._next_free
 
+    def in_flight(self, now: float) -> int:
+        """Reservations still occupying (or queued for) the pipe at *now*."""
+        return sum(1 for end in self._ends if end > now)
+
     def reset(self) -> None:
         """Forget all reservations (between benchmark repetitions)."""
         self._next_free = 0.0
         self.queue_delay_total = 0.0
         self.reservations = 0
+        self._ends.clear()
+        self.high_water = 0
+        self.last_queue_depth = 0
 
 
 class PipePair:

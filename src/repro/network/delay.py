@@ -47,6 +47,9 @@ class DelayDevice(ChainDevice):
         Trace label.
     """
 
+    #: Injected latency is modeled propagation, not queueing.
+    hop_kind = "propagation"
+
     def __init__(self, delay: float,
                  applies_to: PairPredicate = cross_cluster_pairs,
                  name: str = "delay") -> None:
@@ -82,6 +85,8 @@ class PairwiseDelayDevice(ChainDevice):
     absent from the table pass through undelayed.  Lookups are by PE pair,
     directional (A→B may differ from B→A).
     """
+
+    hop_kind = "propagation"
 
     def __init__(self, table: dict, name: str = "pairwise-delay") -> None:
         for pair, delay in table.items():

@@ -15,11 +15,12 @@ filter devices (see :mod:`repro.network.delay` and
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.network.contention import PipePair
+from repro.network.hops import HopSpan
 from repro.network.links import LinkModel
 from repro.network.message import Message
 from repro.network.topology import GridTopology
@@ -67,6 +68,9 @@ class ChainDevice:
 
     #: Display name; transport devices reuse their link's name by default.
     name: str = "device"
+    #: Hop-ledger kind stamped for this device's added delay (filter
+    #: devices only; delay devices override with ``"propagation"``).
+    hop_kind: str = "device_queue"
 
     def process(self, msg: Message, topo: GridTopology,
                 rng: Optional[np.random.Generator], *,
@@ -81,11 +85,14 @@ class ChainDevice:
         raise NotImplementedError
 
     def transit(self, msg: Message, topo: GridTopology, now: float,
-                rng: Optional[np.random.Generator]) -> float:
+                rng: Optional[np.random.Generator],
+                ledger: Optional[List[HopSpan]] = None) -> float:
         """For claiming devices: seconds from transport start to delivery.
 
         *now* is the virtual time transport starts (after any filter
         delays); contended transports use it to queue on their pipe.
+        When a *ledger* is supplied the device appends one
+        :class:`~repro.network.hops.HopSpan` per wire lane it used.
         """
         raise NotImplementedError(f"{self.name} is not a transport device")
 
@@ -124,11 +131,17 @@ class TransportDevice(ChainDevice):
         return ProcessResult(message=msg)
 
     def transit(self, msg: Message, topo: GridTopology, now: float,
-                rng: Optional[np.random.Generator]) -> float:
+                rng: Optional[np.random.Generator],
+                ledger: Optional[List[HopSpan]] = None) -> float:
         self.messages_carried += 1
         self.bytes_carried += msg.size_bytes
         base = self.link.transit_time(msg.size_bytes, rng)
         if self.pipe is None:
+            if ledger is not None:
+                ledger.append(HopSpan(
+                    device=self.name, link=self.name, kind="wire",
+                    enqueue=now, dequeue=now, arrive=now + base,
+                    ser_s=self.link.serialization_time(msg.size_bytes)))
             return base
         # Contended path: serialization queues FIFO, propagation pipelines.
         ser = self.link.serialization_time(msg.size_bytes)
@@ -136,6 +149,11 @@ class TransportDevice(ChainDevice):
                                    topo.cluster_of(msg.dst_pe))
         start = pipe.reserve(now, ser)
         queue_wait = start - now
+        if ledger is not None:
+            ledger.append(HopSpan(
+                device=pipe.name, link=self.name, kind="wire",
+                enqueue=now, dequeue=start, arrive=now + (queue_wait + base),
+                ser_s=ser, queue_depth=pipe.last_queue_depth))
         return queue_wait + base
 
     def reset_stats(self) -> None:

@@ -149,9 +149,17 @@ class NetworkFabric:
         crossed_wan = self.topology.crosses_wan(msg.src_pe, msg.dst_pe)
         msg.crossed_wan = crossed_wan
 
-        route = self.chain.resolve(msg, self.topology, self.rng)
-        wire_msg = route.message
         tracer = self.tracer
+        # Flight recorder: collect per-device hop spans only when a live
+        # sink wants them.  With tracing off this send takes the exact
+        # code path (and float expressions) of the seed, so virtual-time
+        # results are bit-identical with observability disabled.
+        want_hops = (tracer is not None and tracer.enabled
+                     and hasattr(tracer, "message_hops"))
+        ledger: Optional[list] = [] if want_hops else None
+        route = self.chain.resolve(msg, self.topology, self.rng,
+                                   now=now, ledger=ledger)
+        wire_msg = route.message
 
         if tracer is not None:
             tracer.message_sent(now, msg.src_pe, msg.dst_pe,
@@ -178,11 +186,28 @@ class NetworkFabric:
         transport_start = now + route.pre_transport_delay
         first_arrival = math.inf
         for _copy in range(1 + route.duplicates):
-            transit = route.transport.transit(
-                wire_msg, self.topology, transport_start, self.rng)
+            if want_hops:
+                copy_ledger: list = list(ledger)
+                transit = route.transport.transit(
+                    wire_msg, self.topology, transport_start, self.rng,
+                    ledger=copy_ledger)
+            else:
+                copy_ledger = None
+                transit = route.transport.transit(
+                    wire_msg, self.topology, transport_start, self.rng)
             arrival = transport_start + transit
             if arrival < first_arrival:
                 first_arrival = arrival
+            if copy_ledger is not None:
+                # One flight-recorder record per *wire copy* actually
+                # put on the wire (drops returned earlier; duplicates
+                # each get their own ledger with their own jitter and
+                # contention spans).
+                tracer.message_hops(
+                    now, msg.src_pe, msg.dst_pe, wire_msg.size_bytes,
+                    msg.tag, crossed_wan, msg.seq, arrival,
+                    tuple(copy_ledger), relay_hop=msg.relay_hop,
+                    arq_attempt=msg.arq_attempt)
             stats.record(route.transport.name, wire_msg.size_bytes,
                          route.pre_transport_delay)
             self.in_flight += 1

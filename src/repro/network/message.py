@@ -88,7 +88,8 @@ class Message:
     """
 
     __slots__ = ("src_pe", "dst_pe", "size_bytes", "payload", "priority",
-                 "tag", "crossed_wan", "sent_at", "seq", "cause", "ack_for")
+                 "tag", "crossed_wan", "sent_at", "seq", "cause", "ack_for",
+                 "relay_hop", "arq_attempt")
 
     def __init__(self, src_pe: int, dst_pe: int, size_bytes: int,
                  payload: Any = None, priority: int = DEFAULT_PRIORITY,
@@ -108,6 +109,13 @@ class Message:
         self.seq = next(_seq_counter) if seq is None else seq
         self.cause = cause
         self.ack_for = ack_for
+        #: Relay depth in a hierarchical multicast tree (0 = direct send,
+        #: 1 = origin -> cluster relay, 2 = relay re-fan, ...).  Stamped
+        #: by the runtime's dispatch path; recorded in hop ledgers.
+        self.relay_hop = 0
+        #: ARQ transmission attempt (0 = not under the reliable layer or
+        #: first copy; >= 2 marks a retransmission's wire copy).
+        self.arq_attempt = 0
 
     def with_size(self, new_size: int) -> "Message":
         """Return a shallow copy with a different wire size.
@@ -128,6 +136,8 @@ class Message:
         )
         clone.crossed_wan = self.crossed_wan
         clone.sent_at = self.sent_at
+        clone.relay_hop = self.relay_hop
+        clone.arq_attempt = self.arq_attempt
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

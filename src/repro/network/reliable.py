@@ -229,6 +229,9 @@ class ReliableTransport:
         engine = self.engine
         pend.attempts += 1
         pend.last_sent = engine.now
+        # Stamp the attempt so the flight recorder can tell a
+        # retransmission's wire copy apart from the original's.
+        pend.msg.arq_attempt = pend.attempts
         if pend.attempts > 1:
             self.rstats.retransmits += 1
             if self.tracer is not None:

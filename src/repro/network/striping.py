@@ -33,6 +33,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.network.contention import SharedPipe
 from repro.network.devices import TransportDevice
+from repro.network.hops import HopSpan
 from repro.network.links import LinkModel
 from repro.network.message import Message
 from repro.network.topology import GridTopology
@@ -95,7 +96,8 @@ class StripedDevice(TransportDevice):
         return state
 
     def transit(self, msg: Message, topo: GridTopology, now: float,
-                rng: Optional[np.random.Generator]) -> float:
+                rng: Optional[np.random.Generator],
+                ledger: Optional[List[HopSpan]] = None) -> float:
         self.messages_carried += 1
         self.bytes_carried += msg.size_bytes
         size = msg.size_bytes
@@ -109,14 +111,20 @@ class StripedDevice(TransportDevice):
         link = self.link
         for i in range(n_chunks):
             chunk = base + (1 if i < rem else 0)
-            stream = state.streams[(state.next_stream + i)
-                                   % len(state.streams)]
+            stream_idx = (state.next_stream + i) % len(state.streams)
+            stream = state.streams[stream_idx]
             ser = link.serialization_time(chunk)
             start = stream.reserve(now, ser)
             arrival = (start + ser + link.latency
                        + link.per_message_overhead)
             if link.jitter is not None and rng is not None:
                 arrival += link.jitter.sample(rng)
+            if ledger is not None:
+                ledger.append(HopSpan(
+                    device=stream.name, link=self.name, kind="stream",
+                    enqueue=now, dequeue=start, arrive=arrival,
+                    ser_s=ser, queue_depth=stream.last_queue_depth,
+                    stream=stream_idx))
             if arrival > last_arrival:
                 last_arrival = arrival
         state.next_stream = ((state.next_stream + n_chunks)
@@ -128,6 +136,34 @@ class StripedDevice(TransportDevice):
         return sum(s.queue_delay_total
                    for state in self._directions.values()
                    for s in state.streams)
+
+    def in_flight(self, now: float) -> int:
+        """Chunks occupying (or queued on) any stream at *now*.
+
+        Mirrors the fabric's ``wan_in_flight`` gauge at stream
+        granularity: a chunk counts from its reservation until its
+        serialization window ends.
+        """
+        return sum(s.in_flight(now)
+                   for state in self._directions.values()
+                   for s in state.streams)
+
+    def stream_gauges(self) -> Dict[str, Dict[str, float]]:
+        """Per-stream occupancy gauges keyed by stream lane name.
+
+        Each value carries the stream's ``reservations`` (chunks
+        carried), ``queue_delay_total`` and ``high_water`` occupancy —
+        the observability surface of the MPWide-style pacing state.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for state in self._directions.values():
+            for s in state.streams:
+                out[s.name] = {
+                    "reservations": s.reservations,
+                    "queue_delay_total": s.queue_delay_total,
+                    "high_water": s.high_water,
+                }
+        return out
 
     def reset_stats(self) -> None:
         super().reset_stats()

@@ -19,11 +19,14 @@ into that argument, quantitatively:
   the analysed window — which yields the
 * **per-step attribution** (:func:`per_step_attribution`): wall time of
   each application step decomposed into ``compute`` (critical spans),
-  ``wan_flight`` (cross-cluster wire time on the path),
-  ``retransmit_stall`` (first-send to last-send of retransmitted
-  transfers on the path) and ``queue_serial`` (local wire time,
-  pre-transport serialization, and startup slack), with the invariant
-  that the components sum to the measured step time.
+  ``relay_overhead`` (hierarchical-multicast re-fan executions), the
+  four wire components refining WAN flight time via the network flight
+  recorder's hop ledgers (``propagation``, ``bandwidth_serialization``,
+  ``stripe_pacing``, ``device_queue``), ``retransmit_stall`` (first-send
+  to last-send of retransmitted transfers on the path) and
+  ``queue_serial`` (local wire time, pre-transport serialization, and
+  startup slack), with the invariant that the components sum to the
+  measured step time.
 * the **knee analyzer** (:func:`replay_with_latency`,
   :func:`predict_knee`): a what-if replay of the DAG that shifts every
   WAN edge by a hypothetical latency delta while preserving the observed
@@ -43,12 +46,32 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.network.hops import HopLedger
 from repro.sim.trace import Tracer
 
 _SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
-#: Attribution component labels, in rendering order.
-COMPONENTS = ("compute", "wan_flight", "queue_serial", "retransmit_stall")
+#: Attribution component labels, in rendering order.  The four wire
+#: components (see :data:`WIRE_COMPONENTS`) refine what used to be a
+#: single ``wan_flight`` bucket, using the per-hop ledger the network
+#: flight recorder stamps on every wire copy:
+#:
+#: * ``relay_overhead`` — execution time of ``<rts>.relay`` re-fan hops
+#:   in hierarchical multicasts (previously misfiled under ``compute``);
+#: * ``propagation`` — link latency: injected WAN delay plus the
+#:   latency/overhead share of transit;
+#: * ``bandwidth_serialization`` — bytes/bandwidth occupancy of the
+#:   serving lane;
+#: * ``stripe_pacing`` — waiting for a striped stream to free up;
+#: * ``device_queue`` — waiting in a contended (non-striped) pipe.
+COMPONENTS = ("compute", "relay_overhead", "propagation",
+              "bandwidth_serialization", "stripe_pacing", "device_queue",
+              "queue_serial", "retransmit_stall")
+
+#: The components that make up the derived ``wan_flight`` total (wire
+#: time of cross-cluster messages on the critical path).
+WIRE_COMPONENTS = ("propagation", "bandwidth_serialization",
+                   "stripe_pacing", "device_queue")
 
 
 @dataclass(frozen=True, **_SLOTS)
@@ -91,6 +114,10 @@ class MessageRecord:
     #: (duplicates are suppressed downstream).
     delivered: Optional[float] = None
     drops: int = 0
+    #: ``arrival -> hop ledger`` per wire copy (flight recorder).  The
+    #: arrival key is the exact float the delivery event carries, so the
+    #: delivered copy's ledger is ``ledgers[delivered]``.
+    ledgers: Dict[float, HopLedger] = field(default_factory=dict)
 
     @property
     def retransmitted(self) -> bool:
@@ -133,7 +160,11 @@ class StepAttribution:
     t_start: float
     t_end: float
     compute: float = 0.0
-    wan_flight: float = 0.0
+    relay_overhead: float = 0.0
+    propagation: float = 0.0
+    bandwidth_serialization: float = 0.0
+    stripe_pacing: float = 0.0
+    device_queue: float = 0.0
     queue_serial: float = 0.0
     retransmit_stall: float = 0.0
     #: The labelled path segments inside [t_start, t_end], in time order.
@@ -144,9 +175,18 @@ class StepAttribution:
         return self.t_end - self.t_start
 
     @property
+    def wan_flight(self) -> float:
+        """Derived: cross-WAN wire time on the path (sum of the four
+        wire components), kept for Figure-3 style reporting."""
+        return (self.propagation + self.bandwidth_serialization
+                + self.stripe_pacing + self.device_queue)
+
+    @property
     def total(self) -> float:
-        """Sum of the four components (the invariant's left side)."""
-        return (self.compute + self.wan_flight + self.queue_serial
+        """Sum of all components (the invariant's left side)."""
+        return (self.compute + self.relay_overhead + self.propagation
+                + self.bandwidth_serialization + self.stripe_pacing
+                + self.device_queue + self.queue_serial
                 + self.retransmit_stall)
 
     @property
@@ -155,18 +195,87 @@ class StepAttribution:
         return self.wall - self.total
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "step": self.step,
             "t_start_s": self.t_start,
             "t_end_s": self.t_end,
             "wall_s": self.wall,
-            "compute_s": self.compute,
-            "wan_flight_s": self.wan_flight,
-            "queue_serial_s": self.queue_serial,
-            "retransmit_stall_s": self.retransmit_stall,
-            "residual_s": self.residual,
-            "path_segments": len(self.segments),
         }
+        for k in COMPONENTS:
+            out[f"{k}_s"] = getattr(self, k)
+        out["wan_flight_s"] = self.wan_flight
+        out["residual_s"] = self.residual
+        out["path_segments"] = len(self.segments)
+        return out
+
+
+def _compute_kind(span: Span) -> str:
+    """Attribution bucket for a critical execution span.
+
+    The hierarchical multicast's ``<rts>.relay`` re-fan hops are runtime
+    overhead of the routing scheme, not application work; filing them
+    under ``compute`` (as the pre-ledger analysis did) hides exactly the
+    cost the routing comparison needs to expose.
+    """
+    if span.chare == "<rts>" and span.entry == "relay":
+        return "relay_overhead"
+    return "compute"
+
+
+def _emit_wire(emit, msg: MessageRecord, last_send: float,
+               cursor: float) -> None:
+    """Decompose one WAN wire window ``[last_send, cursor]`` by ledger.
+
+    ``cursor`` is the delivery instant of the copy that produced the
+    first delivery, so ``msg.ledgers[cursor]`` (exact float key) is that
+    copy's hop ledger.  Each wire hop splits into queueing (device or
+    stripe), bandwidth serialization and propagation sub-intervals; on a
+    striped link only the **critical chunk** (latest arrival) is walked
+    — the other chunks' wire time is overlapped, which is the point of
+    striping.  Emission telescopes a single ``cur`` across the window
+    (each piece starts where the previous ended, the last piece is
+    clamped to ``cursor``, any tail becomes propagation), so the pieces
+    tile ``[last_send, cursor]`` *exactly* regardless of float noise in
+    the intermediate hop timestamps.  A WAN message without a ledger
+    (recorder off for part of the run) falls back to one propagation
+    segment.
+    """
+    detail = f"{msg.tag} PE{msg.src_pe}->PE{msg.dst_pe}"
+    hops = msg.ledgers.get(cursor)
+    if not hops:
+        emit(last_send, cursor, "propagation", detail)
+        return
+    critical = None
+    for h in hops:
+        if h.kind == "stream" and (critical is None
+                                   or h.arrive > critical.arrive):
+            critical = h
+    intervals: List[tuple] = []
+    for h in hops:
+        if h.kind == "wire" or h is critical:
+            queue_kind = ("stripe_pacing" if h.kind == "stream"
+                          else "device_queue")
+            ser_end = h.dequeue + h.ser_s
+            intervals.append((h.enqueue, h.dequeue, queue_kind))
+            intervals.append((h.dequeue, ser_end, "bandwidth_serialization"))
+            intervals.append((ser_end, h.arrive, "propagation"))
+        elif h.kind == "stream":
+            continue  # non-critical chunk: fully overlapped
+        else:
+            # Filter-device span: the whole interval carries its kind.
+            intervals.append((h.enqueue, h.arrive, h.kind))
+    intervals.sort(key=lambda iv: (iv[0], iv[1]))
+    cur = last_send
+    for a, b, kind in intervals:
+        if cur >= cursor:
+            break
+        if b <= cur:
+            continue
+        hi = b if b < cursor else cursor
+        emit(cur, hi, kind, detail)
+        cur = hi
+    if cur < cursor:
+        emit(cur, cursor, "propagation", detail)
 
 
 class CausalGraph:
@@ -234,6 +343,12 @@ class CausalGraph:
                     rec.delivered = ev.time
             elif ev.kind == "drop":
                 rec.drops += 1
+        for ev in getattr(tracer, "hops", ()):
+            if ev.seq is None:
+                continue
+            rec = messages.get(ev.seq)
+            if rec is not None:
+                rec.ledgers.setdefault(ev.arrival, ev.hops)
         for rec in messages.values():
             rec.sends.sort()
         return cls(spans, messages)
@@ -295,7 +410,7 @@ class CausalGraph:
         if span.start < t_end:
             # Boundary fell inside the span (non-start anchor): count the
             # span's elapsed share as compute, then explain its start.
-            emit(span.start, t_end, "compute", span.label)
+            emit(span.start, t_end, _compute_kind(span), span.label)
             cursor = max(span.start, t_start)
 
         while cursor > t_start:
@@ -313,10 +428,12 @@ class CausalGraph:
                     cursor = d
                 last_send = msg.last_send_before_delivery()
                 first_send = msg.first_send
-                wire_kind = "wan_flight" if msg.crossed_wan else "queue_serial"
                 if last_send < cursor:
-                    emit(last_send, cursor, wire_kind,
-                         f"{msg.tag} PE{msg.src_pe}->PE{msg.dst_pe}")
+                    if msg.crossed_wan:
+                        _emit_wire(emit, msg, last_send, cursor)
+                    else:
+                        emit(last_send, cursor, "queue_serial",
+                             f"{msg.tag} PE{msg.src_pe}->PE{msg.dst_pe}")
                     cursor = max(last_send, t_start)
                 if first_send < cursor:
                     emit(first_send, cursor, "retransmit_stall",
@@ -334,7 +451,8 @@ class CausalGraph:
                     emit(parent.end, cursor, "queue_serial",
                          "serialization gap")
                     cursor = parent.end
-                emit(parent.start, cursor, "compute", parent.label)
+                emit(parent.start, cursor, _compute_kind(parent),
+                     parent.label)
                 cursor = max(parent.start, t_start)
                 span = parent
             elif pred is not None and p is not None and p <= cursor:
@@ -342,7 +460,7 @@ class CausalGraph:
                 if p < cursor:
                     emit(p, cursor, "queue_serial", "scheduler gap")
                     cursor = p
-                emit(pred.start, cursor, "compute", pred.label)
+                emit(pred.start, cursor, _compute_kind(pred), pred.label)
                 cursor = max(pred.start, t_start)
                 span = pred
             else:
@@ -393,6 +511,11 @@ def summarize_attribution(steps: Sequence[StepAttribution],
     for k in COMPONENTS:
         out[f"{k}_s"] = totals[k]
         out[f"{k}_share"] = totals[k] / wall if wall > 0 else 0.0
+    # Derived roll-up of the wire components, kept so Figure-3 style
+    # "how much is the WAN" reporting has one number to point at.
+    wan = sum(totals[k] for k in WIRE_COMPONENTS)
+    out["wan_flight_s"] = wan
+    out["wan_flight_share"] = wan / wall if wall > 0 else 0.0
     return out
 
 
@@ -538,12 +661,14 @@ def predict_knee(graph: CausalGraph, boundaries: Sequence[float],
 def render_attribution(steps: Sequence[StepAttribution],
                        warmup: int = 0) -> str:
     """Terminal table: per-step breakdown plus the steady-state shares."""
-    lines = [f"{'step':>4} {'wall(ms)':>10} {'compute':>10} "
+    lines = [f"{'step':>4} {'wall(ms)':>10} {'compute':>10} {'relay':>10} "
              f"{'wan':>10} {'queue':>10} {'stall':>10}"]
     for att in steps:
         lines.append(
             f"{att.step:>4} {att.wall * 1e3:>10.3f} "
-            f"{att.compute * 1e3:>10.3f} {att.wan_flight * 1e3:>10.3f} "
+            f"{att.compute * 1e3:>10.3f} "
+            f"{att.relay_overhead * 1e3:>10.3f} "
+            f"{att.wan_flight * 1e3:>10.3f} "
             f"{att.queue_serial * 1e3:>10.3f} "
             f"{att.retransmit_stall * 1e3:>10.3f}")
     summary = summarize_attribution(steps, warmup=warmup)
@@ -551,4 +676,9 @@ def render_attribution(steps: Sequence[StepAttribution],
     lines.append(
         "steady state: "
         + "  ".join(f"{k} {summary[f'{k}_share']:.1%}" for k in COMPONENTS))
+    lines.append(
+        "wire total (wan_flight): "
+        f"{summary['wan_flight_share']:.1%} "
+        "= " + " + ".join(
+            f"{k} {summary[f'{k}_share']:.1%}" for k in WIRE_COMPONENTS))
     return "\n".join(lines)

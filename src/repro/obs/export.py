@@ -58,7 +58,15 @@ def chrome_trace_events(tracer: Tracer,
       message send to the entry-method execution its delivery triggered,
       so the viewer draws cause -> effect arrows between PE tracks
       (requires a trace recorded with causal ids, i.e. any trace from
-      this runtime; absent ids simply emit no flows).
+      this runtime; absent ids simply emit no flows);
+    * a second ``network`` process (``pid=1``) with one thread per wire
+      lane — each WAN link, contended pipe direction and striped stream
+      gets its own track — carrying ``X`` slices (``cat="net"``) for
+      every hop span the flight recorder stamped (service start to
+      arrival), plus ``s``/``f`` flows (``cat="net-flow"``) tying each
+      striped chunk to its parent message's delivery on the destination
+      PE track (requires a trace recorded with the flight recorder on,
+      i.e. any full trace from this runtime).
     """
     events: List[Dict[str, Any]] = [{
         "ph": "M", "name": "process_name", "pid": 0, "tid": 0,
@@ -143,6 +151,48 @@ def chrome_trace_events(tracer: Tracer,
             "ts": iv.start * _SEC_TO_US,
             "args": {"sid": iv.sid},
         })
+
+    # Network flight-recorder lanes: a second process with one thread
+    # per wire lane, so link/stream occupancy renders under the PE rows.
+    hop_events = getattr(tracer, "hops", ())
+    if hop_events:
+        lanes = sorted({h.device for hev in hop_events for h in hev.hops})
+        lane_tid = {lane: tid for tid, lane in enumerate(lanes)}
+        events.append({"ph": "M", "name": "process_name", "pid": 1,
+                       "tid": 0, "args": {"name": "network"}})
+        for lane, tid in lane_tid.items():
+            events.append({"ph": "M", "name": "thread_name", "pid": 1,
+                           "tid": tid, "args": {"name": lane}})
+        for i, hop_ev in enumerate(hop_events):
+            for k, h in enumerate(hop_ev.hops):
+                args: Dict[str, Any] = {"seq": hop_ev.seq, "kind": h.kind,
+                                        "queue_depth": h.queue_depth,
+                                        "relay_hop": hop_ev.relay_hop}
+                if h.stream is not None:
+                    args["stream"] = h.stream
+                events.append({
+                    "ph": "X", "cat": "net",
+                    "name": hop_ev.tag or h.link,
+                    "pid": 1, "tid": lane_tid[h.device],
+                    "ts": h.dequeue * _SEC_TO_US,
+                    "dur": (h.arrive - h.dequeue) * _SEC_TO_US,
+                    "args": args,
+                })
+                if h.kind == "stream":
+                    # Tie each striped chunk to the parent message's
+                    # delivery on the destination PE track.
+                    ident = f"net-{i}-{k}"
+                    name = hop_ev.tag or "chunk"
+                    events.append({
+                        "ph": "s", "cat": "net-flow", "name": name,
+                        "pid": 1, "tid": lane_tid[h.device], "id": ident,
+                        "ts": h.dequeue * _SEC_TO_US,
+                        "args": {"seq": hop_ev.seq, "stream": h.stream}})
+                    events.append({
+                        "ph": "f", "bp": "e", "cat": "net-flow",
+                        "name": name, "pid": 0, "tid": hop_ev.dst_pe,
+                        "id": ident, "ts": hop_ev.arrival * _SEC_TO_US,
+                        "args": {"seq": hop_ev.seq}})
 
     for hev in (health_events or ()):
         events.append({
@@ -259,9 +309,10 @@ def write_event_log(tracer: Tracer,
                     path_or_file: Union[str, IO[str]]) -> int:
     """Write a JSON-lines structured event log; returns the line count.
 
-    One record per execution interval (``type="exec"``) and one per
-    message lifecycle event (``type="message"``), each a flat JSON
-    object with times in seconds.
+    One record per execution interval (``type="exec"``), one per
+    message lifecycle event (``type="message"``), and one per wire
+    copy's hop ledger (``type="hops"``, spans inlined), each a flat
+    JSON object with times in seconds.
     """
     lines: List[str] = []
     for iv in tracer.intervals:
@@ -276,6 +327,16 @@ def write_event_log(tracer: Tracer,
             "src_pe": ev.src_pe, "dst_pe": ev.dst_pe, "size": ev.size,
             "tag": ev.tag, "wan": ev.crossed_wan, "seq": ev.seq,
             "cause": ev.cause, "ack_for": ev.ack_for,
+        }))
+    for hop_ev in getattr(tracer, "hops", ()):
+        lines.append(json.dumps({
+            "type": "hops", "time_s": hop_ev.time,
+            "src_pe": hop_ev.src_pe, "dst_pe": hop_ev.dst_pe,
+            "size": hop_ev.size, "tag": hop_ev.tag,
+            "wan": hop_ev.crossed_wan, "seq": hop_ev.seq,
+            "arrival_s": hop_ev.arrival, "relay_hop": hop_ev.relay_hop,
+            "arq_attempt": hop_ev.arq_attempt,
+            "spans": [h.to_dict() for h in hop_ev.hops],
         }))
     text = "\n".join(lines) + ("\n" if lines else "")
     if hasattr(path_or_file, "write"):

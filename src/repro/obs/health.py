@@ -20,7 +20,12 @@ The telemetry sampler (:mod:`repro.obs.timeseries`) produces a stream of
     now *visible*, i.e. the Figure-3 knee observed online rather than
     post-hoc (warning).  The default threshold ``1 - 1/1.5`` is exactly
     the idle share at which step time reaches 1.5x the compute-bound
-    baseline — the same tolerance the knee analyzer uses.
+    baseline — the same tolerance the knee analyzer uses;
+  - **wan-saturation** — the busiest WAN lane's windowed busy fraction
+    exceeded ``wan_saturation_busy`` while the idle fraction was rising:
+    the run is bandwidth-bound, not latency-bound, so adding objects
+    will not mask it (warning).  Fed by the network flight recorder's
+    per-lane utilization series.
 
 * :class:`ObsGovernor` — keeps observability honest about its own cost.
   Sinks and samplers register wall-clock cost sources; the governor
@@ -94,6 +99,9 @@ class HealthSample:
     retransmits: int
     #: Online masked-latency fraction (``None`` when no aggregator).
     masked_fraction: Optional[float] = None
+    #: Busiest WAN lane's windowed busy fraction from the flight
+    #: recorder (``None`` when no aggregator / no hop ledgers yet).
+    max_link_busy: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -118,6 +126,11 @@ class HealthConfig:
     #: longer hidden.  ``1 - 1/1.5`` matches the knee analyzer's 1.5x
     #: step-time tolerance.
     unmasked_idle_threshold: float = 1.0 - 1.0 / 1.5
+    #: WAN saturation: a wire lane's windowed busy fraction above this
+    #: while the idle fraction is rising means the link itself — not the
+    #: latency — became the bottleneck (bandwidth-bound, not
+    #: latency-bound).
+    wan_saturation_busy: float = 0.8
     #: Samples ignored by the unmasking/imbalance rules while EMAs warm
     #: up (startup transients look like idleness).
     warmup_samples: int = 5
@@ -136,6 +149,10 @@ class HealthConfig:
             raise ConfigurationError(
                 "unmasked_idle_threshold must be in (0, 1): "
                 f"{self.unmasked_idle_threshold}")
+        if not (0.0 < self.wan_saturation_busy <= 1.0):
+            raise ConfigurationError(
+                "wan_saturation_busy must be in (0, 1]: "
+                f"{self.wan_saturation_busy}")
 
 
 class HealthMonitor:
@@ -162,6 +179,8 @@ class HealthMonitor:
         #: Windowed retransmit/send ratio from the latest sample (the
         #: sampler records it as the ``wan.retransmit_rate`` series).
         self.last_retransmit_rate = 0.0
+        # wan-saturation-rule state (idle trend needs last sample's value)
+        self._prev_idle: Optional[float] = None
 
     # -- rule evaluation --------------------------------------------------
 
@@ -173,6 +192,7 @@ class HealthMonitor:
         self._rule_storm(sample, fired)
         self._rule_imbalance(sample, fired)
         self._rule_unmasking(sample, fired)
+        self._rule_wan_saturation(sample, fired)
         self.events.extend(fired)
         return fired
 
@@ -260,6 +280,26 @@ class HealthMonitor:
                 message=f"idle fraction {s.idle_fraction:.1%} > "
                         f"{cfg.unmasked_idle_threshold:.1%}: WAN latency "
                         "is no longer masked (past the knee)"))
+
+    def _rule_wan_saturation(self, s: HealthSample,
+                             fired: List[HealthEvent]) -> None:
+        cfg = self.config
+        prev_idle = self._prev_idle
+        self._prev_idle = s.idle_fraction
+        if (self.samples_seen <= cfg.warmup_samples
+                or s.max_link_busy is None):
+            return
+        idle_rising = prev_idle is not None and s.idle_fraction > prev_idle
+        cond = s.max_link_busy > cfg.wan_saturation_busy and idle_rising
+        if self._episode("wan-saturation", cond):
+            fired.append(HealthEvent(
+                t=s.t, severity="warning", rule="wan-saturation",
+                metric="net.max_link_busy", value=s.max_link_busy,
+                threshold=cfg.wan_saturation_busy,
+                message=f"busiest WAN lane {s.max_link_busy:.1%} occupied "
+                        f"(> {cfg.wan_saturation_busy:.0%}) while idle "
+                        f"fraction rises to {s.idle_fraction:.1%}: "
+                        "bandwidth-bound, more objects will not mask it"))
 
     # -- introspection ----------------------------------------------------
 
@@ -453,3 +493,17 @@ class TimedSink:
         t0 = self._tick()
         self.inner.note_dup_suppressed()
         self._tock(t0)
+
+    def message_hops(self, now, src_pe, dst_pe, size, tag, crossed_wan,
+                     seq, arrival, hops, relay_hop=0, arq_attempt=0):
+        t0 = self._tick()
+        self.inner.message_hops(now, src_pe, dst_pe, size, tag,
+                                crossed_wan, seq, arrival, hops,
+                                relay_hop=relay_hop,
+                                arq_attempt=arq_attempt)
+        self._tock(t0)
+
+    def close(self):
+        close = getattr(self.inner, "close", None)
+        if close is not None:
+            close()

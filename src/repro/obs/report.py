@@ -74,6 +74,10 @@ class LatencyMaskingReport:
     #: Optional telemetry section: the
     #: :meth:`~repro.obs.timeseries.TelemetrySampler.summary` digest.
     timeseries: Optional[Dict[str, object]] = None
+    #: Optional network flight-recorder section (``repro netview`` fills
+    #: it): per-lane utilization, per-link roll-ups and the top wire
+    #: messages, from :func:`netview_section`.
+    net: Optional[Dict[str, object]] = None
     extra: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -136,6 +140,7 @@ class LatencyMaskingReport:
                if self.health is not None else {}),
             **({"timeseries": self.timeseries}
                if self.timeseries is not None else {}),
+            **({"net": self.net} if self.net is not None else {}),
             **self.extra,
         }
 
@@ -181,7 +186,12 @@ class LatencyMaskingReport:
         if self.critpath is not None:
             lines += ["", "Critical path (steady state)"]
             for key, title in (("compute", "compute"),
+                               ("relay_overhead", "relay overhead"),
                                ("wan_flight", "WAN in-flight"),
+                               ("propagation", "  propagation"),
+                               ("bandwidth_serialization", "  serialization"),
+                               ("stripe_pacing", "  stripe pacing"),
+                               ("device_queue", "  device queue"),
                                ("queue_serial", "queue/serialization"),
                                ("retransmit_stall", "retransmit stall")):
                 share = self.critpath.get(f"{key}_share")
@@ -222,6 +232,38 @@ class LatencyMaskingReport:
                     lines.append(
                         f"  {name:<{name_w}}  {float(s['last']):.4g} / "
                         f"{float(s['min']):.4g} / {float(s['max']):.4g}")
+        if self.net is not None:
+            lanes = self.net.get("lanes") or {}
+            if lanes:
+                lines += ["", "Network flight recorder",
+                          f"{'lane':28s} {'wan':>4} {'cross':>7} "
+                          f"{'busy(ms)':>10} {'busy%':>7} {'queue(ms)':>10} "
+                          f"{'p95 q':>6}"]
+                for lane in sorted(lanes):
+                    u = lanes[lane]
+                    lines.append(
+                        f"{lane:28s} {'wan' if u.get('wan') else '-':>4} "
+                        f"{int(u.get('crossings', 0)):>7} "
+                        f"{float(u.get('busy_s', 0.0)) * 1e3:>10.3f} "
+                        f"{float(u.get('busy_fraction', 0.0)):>7.1%} "
+                        f"{float(u.get('queue_s', 0.0)) * 1e3:>10.3f} "
+                        f"{int(u.get('p95_queue_depth', 0)):>6}")
+            top_msgs = self.net.get("top_messages") or []
+            if top_msgs:
+                lines += ["", f"top messages by wire time "
+                              f"({len(top_msgs)} shown)",
+                          f"{'seq':>8} {'route':14s} {'tag':16s} "
+                          f"{'bytes':>9} {'wire(ms)':>10} {'relay':>6} "
+                          f"{'arq':>4}"]
+                for m in top_msgs:
+                    route = f"PE{m.get('src_pe')}->PE{m.get('dst_pe')}"
+                    lines.append(
+                        f"{str(m.get('seq')):>8} {route:14s} "
+                        f"{str(m.get('tag', '')):16s} "
+                        f"{int(m.get('size', 0)):>9} "
+                        f"{float(m.get('wire_s', 0.0)) * 1e3:>10.3f} "
+                        f"{int(m.get('relay_hop', 0)):>6} "
+                        f"{int(m.get('arq_attempt', 0)):>4}")
         if self.top_entries:
             lines += ["", f"{'chare.entry':32s} {'calls':>8} {'time(ms)':>10}"]
             for chare, entry, calls, total in self.top_entries:
@@ -248,6 +290,58 @@ def health_section(events, governor=None) -> Dict[str, object]:
     if governor is not None:
         out["obs_level"] = governor.level
         out["obs_overhead_fraction"] = governor.overhead_fraction()
+    return out
+
+
+def netview_section(source: Union[Tracer, TraceAggregator],
+                    top: int = 10) -> Dict[str, object]:
+    """Build the report's ``net`` section from the flight recorder.
+
+    Works from either recorder: per-lane usage plus per-link roll-ups
+    (stream lanes summed under their owning device).  The top-*top*
+    wire messages are available only from a batch :class:`Tracer`
+    (the aggregator folds ledgers without storing them).
+    """
+    if isinstance(source, Tracer):
+        links = source.link_summary()
+    elif isinstance(source, TraceAggregator):
+        links = source.link_usage()
+    else:
+        raise ConfigurationError(
+            f"cannot build a netview from {type(source).__name__}")
+    makespan = source.makespan()
+    lanes: Dict[str, object] = {}
+    rollup: Dict[str, Dict[str, object]] = {}
+    for lane in sorted(links):
+        u = links[lane]
+        entry = u.to_dict()
+        entry["busy_fraction"] = u.busy_fraction(makespan)
+        lanes[lane] = entry
+        agg = rollup.setdefault(u.link, {
+            "lanes": 0, "crossings": 0, "busy_s": 0.0, "queue_s": 0.0,
+            "wan": False})
+        agg["lanes"] += 1
+        agg["crossings"] += u.crossings
+        agg["busy_s"] += u.busy_s
+        agg["queue_s"] += u.queue_s
+        agg["wan"] = agg["wan"] or u.wan
+    for agg in rollup.values():
+        agg["busy_fraction"] = (agg["busy_s"] / makespan
+                                if makespan > 0 else 0.0)
+    out: Dict[str, object] = {
+        "makespan_s": makespan,
+        "lanes": lanes,
+        "links": rollup,
+        "wan_crossings": sum(u.crossings for u in links.values() if u.wan),
+    }
+    if isinstance(source, Tracer):
+        out["top_messages"] = [{
+            "seq": ev.seq, "src_pe": ev.src_pe, "dst_pe": ev.dst_pe,
+            "tag": ev.tag, "size": ev.size, "wire_s": ev.wire_time,
+            "sent_s": ev.time, "arrival_s": ev.arrival,
+            "relay_hop": ev.relay_hop, "arq_attempt": ev.arq_attempt,
+            "wan": ev.crossed_wan, "hops": len(ev.hops),
+        } for ev in source.top_wire_messages(top)]
     return out
 
 

@@ -233,6 +233,10 @@ class TelemetrySampler:
         self._prev_busy: Dict[int, float] = {}
         self._util_ema: Dict[int, float] = {}
         self._idle_ema: Optional[float] = None
+        #: lane -> cumulative busy seconds at the previous tick (for
+        #: windowed per-link busy-fraction series from the flight
+        #: recorder's online link fold).
+        self._prev_link_busy: Dict[str, float] = {}
         if governor is not None:
             governor.add_cost_source("sampler", lambda: self.cost_s)
 
@@ -332,6 +336,24 @@ class TelemetrySampler:
             masked = self.aggregator.masked_latency_fraction
             self._series("wan.masked_fraction").add(now, masked)
 
+        # Per-WAN-lane windowed busy fraction from the flight recorder's
+        # online link fold (deltas of cumulative serialization seconds).
+        max_link_busy = None
+        link_usage = getattr(self.aggregator, "link_usage", None)
+        if link_usage is not None and self.aggregator.enabled:
+            for lane, usage in link_usage().items():
+                if not usage.wan:
+                    continue
+                prev = self._prev_link_busy.get(lane, 0.0)
+                self._prev_link_busy[lane] = usage.busy_s
+                frac = min((usage.busy_s - prev) / window, 1.0) \
+                    if window > 0 else 0.0
+                self._series(f"net.{lane}.busy").add(now, frac)
+                if max_link_busy is None or frac > max_link_busy:
+                    max_link_busy = frac
+            if max_link_busy is not None:
+                self._series("net.max_link_busy").add(now, max_link_busy)
+
         if self.monitor is not None:
             from repro.obs.health import HealthSample
             sample = HealthSample(
@@ -339,7 +361,8 @@ class TelemetrySampler:
                 utilization=dict(self._util_ema),
                 idle_fraction=idle, queue_depth=queue_depth,
                 wan_in_flight=wan_in_flight, wan_sends=wan_sent,
-                retransmits=retransmits, masked_fraction=masked)
+                retransmits=retransmits, masked_fraction=masked,
+                max_link_busy=max_link_busy)
             events = self.monitor.observe(sample)
             if events:
                 self.health_events.extend(events)

@@ -49,6 +49,8 @@ from typing import (
     Tuple,
 )
 
+from repro.network.hops import HopLedger
+
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
     from repro.obs.metrics import MetricsRegistry
 
@@ -104,6 +106,125 @@ class MessageEvent:
     cause: Optional[int] = None
     #: For reliable-transport acks: the data-message seq acknowledged.
     ack_for: Optional[int] = None
+
+
+@dataclass(frozen=True, **_SLOTS)
+class HopEvent:
+    """One wire copy's finished hop ledger (the flight recorder record).
+
+    Emitted by the fabric once per *non-dropped* wire copy, at send
+    time, with the copy's already-computed arrival.  ``hops`` holds the
+    per-device :class:`~repro.network.hops.HopSpan` tuple in traversal
+    order.
+    """
+
+    time: float
+    src_pe: int
+    dst_pe: int
+    size: int
+    tag: str
+    crossed_wan: bool
+    seq: Optional[int]
+    arrival: float
+    hops: HopLedger
+    #: Relay depth of the message in a hierarchical multicast (0=direct).
+    relay_hop: int = 0
+    #: ARQ attempt that produced this copy (0/1 = first, >=2 = retx).
+    arq_attempt: int = 0
+
+    @property
+    def wire_time(self) -> float:
+        """Send-to-arrival seconds for this copy."""
+        return self.arrival - self.time
+
+
+@dataclass
+class LinkUsage:
+    """Folded per-lane statistics from hop ledgers.
+
+    One instance per wire lane: a transport device, a contended pipe
+    direction, or a single striped stream.  ``link`` names the owning
+    device so stream lanes can be rolled up per link.
+    """
+
+    lane: str
+    link: str
+    #: Wire/stream spans folded (chunks count individually on striped
+    #: links; filter-device spans count separately under their own lane).
+    crossings: int = 0
+    #: Seconds the lane was occupied serializing bytes.
+    busy_s: float = 0.0
+    #: Seconds messages spent queued for the lane before service.
+    queue_s: float = 0.0
+    #: Total enqueue-to-arrive seconds across spans.
+    flight_s: float = 0.0
+    #: Queue-depth-at-enqueue histogram: depth -> observations.
+    depth_counts: Optional[Dict[int, int]] = None
+    #: True once any cross-WAN wire copy used this lane.
+    wan: bool = False
+
+    def observe(self, depth: int) -> None:
+        if self.depth_counts is None:
+            self.depth_counts = {}
+        self.depth_counts[depth] = self.depth_counts.get(depth, 0) + 1
+
+    def queue_depth_quantile(self, q: float) -> int:
+        """Exact quantile of observed enqueue-time queue depths."""
+        counts = self.depth_counts or {}
+        total = sum(counts.values())
+        if total == 0:
+            return 0
+        rank = q * (total - 1)
+        seen = 0
+        for depth in sorted(counts):
+            seen += counts[depth]
+            if seen - 1 >= rank:
+                return depth
+        return max(counts)
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max(self.depth_counts) if self.depth_counts else 0
+
+    def busy_fraction(self, makespan: float) -> float:
+        if makespan <= 0.0:
+            return 0.0
+        return self.busy_s / makespan
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "lane": self.lane,
+            "link": self.link,
+            "crossings": self.crossings,
+            "busy_s": self.busy_s,
+            "queue_s": self.queue_s,
+            "flight_s": self.flight_s,
+            "p95_queue_depth": self.queue_depth_quantile(0.95),
+            "max_queue_depth": self.max_queue_depth,
+            "wan": self.wan,
+        }
+
+
+def fold_hops(links: Dict[str, LinkUsage], hops: HopLedger,
+              wan: bool = False) -> None:
+    """Fold one ledger into per-lane usage, shared by both recorders.
+
+    Both :class:`Tracer` (post-hoc, over stored :class:`HopEvent`
+    records in recorded order) and :class:`TraceAggregator` (online)
+    call this exact function, so their per-lane sums are **bit
+    identical** — same additions in the same order.
+    """
+    for h in hops:
+        u = links.get(h.device)
+        if u is None:
+            u = links[h.device] = LinkUsage(lane=h.device, link=h.link)
+        u.crossings += 1
+        u.busy_s += h.ser_s
+        u.queue_s += h.dequeue - h.enqueue
+        u.flight_s += h.arrive - h.enqueue
+        u.observe(h.queue_depth)
+        if wan:
+            u.wan = True
 
 
 @dataclass
@@ -173,6 +294,12 @@ class TraceSink(Protocol):
     def note_retransmit(self) -> None: ...
 
     def note_dup_suppressed(self) -> None: ...
+
+    def message_hops(self, now: float, src_pe: int, dst_pe: int, size: int,
+                     tag: str, crossed_wan: bool, seq: Optional[int],
+                     arrival: float, hops: HopLedger,
+                     relay_hop: int = 0,
+                     arq_attempt: int = 0) -> None: ...
 
 
 class TraceFanout:
@@ -259,6 +386,44 @@ class TraceFanout:
     def note_dup_suppressed(self) -> None:
         self._fanout(lambda s: s.note_dup_suppressed())
 
+    def message_hops(self, now: float, src_pe: int, dst_pe: int, size: int,
+                     tag: str, crossed_wan: bool, seq: Optional[int],
+                     arrival: float, hops: HopLedger,
+                     relay_hop: int = 0, arq_attempt: int = 0) -> None:
+        # Pre-ledger sinks (external TraceSink implementations) simply
+        # never see hop events; everything else fans out as usual.
+        self._fanout(lambda s: s.message_hops(
+            now, src_pe, dst_pe, size, tag, crossed_wan, seq, arrival,
+            hops, relay_hop=relay_hop, arq_attempt=arq_attempt)
+            if hasattr(s, "message_hops") else None)
+
+    def close(self) -> None:
+        """Close every healthy sink that supports closing.
+
+        Quarantined sinks are *skipped* — a sink that already raised
+        mid-run is in an unknown state and closing it would at best
+        raise again and at worst flush corrupt partial data.  Sinks
+        without a ``close`` method are fine (the protocol does not
+        require one); a close that raises quarantines the sink like any
+        recording call, and the first error is re-raised after the rest
+        have been closed.
+        """
+        err: Optional[BaseException] = None
+        for s in self.sinks:
+            if id(s) in self._failed:
+                continue
+            close = getattr(s, "close", None)
+            if close is None:
+                continue
+            try:
+                close()
+            except Exception as exc:
+                self._failed.add(id(s))
+                if err is None:
+                    err = exc
+        if err is not None:
+            raise err
+
 
 class Tracer:
     """Collects execution intervals and message events (batch sink).
@@ -275,6 +440,9 @@ class Tracer:
         self.enabled = enabled
         self.intervals: List[ExecInterval] = []
         self.messages: List[MessageEvent] = []
+        #: Flight-recorder records: one per delivered wire copy, in the
+        #: order the fabric emitted them.
+        self.hops: List[HopEvent] = []
         self._open: Dict[int, Tuple[float, str, str, Optional[int],
                                     Optional[int], Optional[int]]] = {}
         #: Reliable-transport counters (cheap; kept even in big sweeps).
@@ -356,6 +524,17 @@ class Tracer:
         """Count one duplicate delivery suppressed by the reliable layer."""
         if self.enabled:
             self.dups_suppressed += 1
+
+    def message_hops(self, now: float, src_pe: int, dst_pe: int, size: int,
+                     tag: str, crossed_wan: bool, seq: Optional[int],
+                     arrival: float, hops: HopLedger,
+                     relay_hop: int = 0, arq_attempt: int = 0) -> None:
+        """Record one wire copy's hop ledger (see :class:`HopEvent`)."""
+        if not self.enabled:
+            return
+        self.hops.append(HopEvent(
+            now, src_pe, dst_pe, size, tag, crossed_wan, seq, arrival,
+            hops, relay_hop=relay_hop, arq_attempt=arq_attempt))
 
     # -- analysis --------------------------------------------------------
 
@@ -482,6 +661,44 @@ class Tracer:
                         windows.append((first_send[key], ev.time,
                                         ev.src_pe, ev.dst_pe))
         return windows
+
+    def link_summary(self) -> Dict[str, LinkUsage]:
+        """Per-lane usage folded from the recorded hop ledgers.
+
+        Folds with :func:`fold_hops` over :attr:`hops` in recorded
+        order, so the result is bit-identical to a streaming
+        :class:`TraceAggregator`'s :meth:`~TraceAggregator.link_usage`
+        fed the same events.
+        """
+        self._require_data()
+        links: Dict[str, LinkUsage] = {}
+        for ev in self.hops:
+            fold_hops(links, ev.hops, ev.crossed_wan)
+        return links
+
+    def top_wire_messages(self, k: int = 10) -> List[HopEvent]:
+        """The *k* wire copies with the largest send-to-arrival time.
+
+        Ties break deterministically toward the earlier-recorded event.
+        """
+        self._require_data()
+        order = sorted(range(len(self.hops)),
+                       key=lambda i: (-self.hops[i].wire_time, i))
+        return [self.hops[i] for i in order[:k]]
+
+    def hop_ledgers(self) -> Dict[Tuple[Optional[int], float], HopLedger]:
+        """``(seq, arrival) -> ledger`` for causal/critical-path lookup.
+
+        The arrival time disambiguates duplicate wire copies of one
+        sequence id (ARQ retransmissions, fault-injected dups); the
+        delivery event the causal graph pairs against carries the same
+        float, so lookups are exact.
+        """
+        self._require_data()
+        out: Dict[Tuple[Optional[int], float], HopLedger] = {}
+        for ev in self.hops:
+            out.setdefault((ev.seq, ev.arrival), ev.hops)
+        return out
 
     def timeline(self, pes: Optional[Iterable[int]] = None
                  ) -> Dict[int, List[ExecInterval]]:
@@ -649,10 +866,13 @@ class TraceAggregator:
         self._wan_fifo: Dict[int, Dict[int, List[_OpenWindow]]] = {}
         #: (src, dst, seq) triples already delivered (dup suppression).
         self._wan_delivered: set = set()
+        #: Per-lane usage folded online from hop ledgers (flight recorder).
+        self._links: Dict[str, LinkUsage] = {}
         self._metrics = metrics
         if metrics is not None:
             self._h_exec = metrics.histogram("trace.exec_duration_s")
             self._h_flight = metrics.histogram("trace.wan_flight_s")
+            self._h_depth = metrics.histogram("net.queue_depth")
             metrics.register_collector("trace", self._metric_values)
 
     # -- recording -------------------------------------------------------
@@ -799,7 +1019,28 @@ class TraceAggregator:
         if self.enabled:
             self.dups_suppressed += 1
 
+    def message_hops(self, now: float, src_pe: int, dst_pe: int, size: int,
+                     tag: str, crossed_wan: bool, seq: Optional[int],
+                     arrival: float, hops: HopLedger,
+                     relay_hop: int = 0, arq_attempt: int = 0) -> None:
+        """Fold one wire copy's hop ledger into per-lane usage.
+
+        Uses :func:`fold_hops` — the same function, in the same event
+        order, as :meth:`Tracer.link_summary` — so both sinks produce
+        bit-identical per-lane sums from one recording stream.
+        """
+        if not self.enabled:
+            return
+        fold_hops(self._links, hops, crossed_wan)
+        if self._metrics is not None:
+            for h in hops:
+                self._h_depth.record(float(h.queue_depth))
+
     # -- analysis --------------------------------------------------------
+
+    def link_usage(self) -> Dict[str, LinkUsage]:
+        """Per-lane usage folded from hop ledgers (live view)."""
+        return self._links
 
     def makespan(self) -> float:
         """Virtual time spanned by the completed execution intervals."""
@@ -858,11 +1099,13 @@ class TraceAggregator:
                 "retransmits": self.retransmits,
                 "dups_suppressed": self.dups_suppressed,
             },
+            "links": {lane: self._links[lane].to_dict()
+                      for lane in sorted(self._links)},
         }
 
     def _metric_values(self) -> Dict[str, float]:
         """Derived values pulled into the metrics registry snapshot."""
-        return {
+        values = {
             "trace.makespan_s": self.makespan(),
             "trace.executions": float(
                 sum(u.executions for u in self._usage.values())),
@@ -873,6 +1116,14 @@ class TraceAggregator:
             "trace.wan_masked_time_s": self.wan.masked_time,
             "trace.masked_fraction": self.wan.masked_fraction,
         }
+        values["net.lanes"] = float(len(self._links))
+        values["net.crossings"] = float(
+            sum(u.crossings for u in self._links.values()))
+        values["net.busy_time_s"] = sum(
+            u.busy_s for u in self._links.values())
+        values["net.queue_time_s"] = sum(
+            u.queue_s for u in self._links.values())
+        return values
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"TraceAggregator(pes={len(self._usage)}, "

@@ -113,7 +113,9 @@ def test_trace_exports_valid_files(tmp_path):
     assert any(ev.get("cat") == "wan" for ev in doc["traceEvents"])
     records = [json.loads(line)
                for line in events_path.read_text().splitlines()]
-    assert {r["type"] for r in records} == {"exec", "message"}
+    assert {r["type"] for r in records} == {"exec", "message", "hops"}
+    hops = [r for r in records if r["type"] == "hops"]
+    assert all(r["spans"] for r in hops)
 
 
 def test_trace_leanmd():

@@ -1,14 +1,17 @@
 """The attribution invariant: components sum exactly to step wall time.
 
-:func:`repro.obs.critpath.per_step_attribution` claims its four
-components (compute, WAN in-flight, queueing/serialization, retransmit
-stall) *partition* each step window — the backward walk emits contiguous
-clipped segments, so their durations telescope to exactly the window's
-length.  Hypothesis generates randomized causally-consistent runs —
-multi-PE span chains, driver roots, WAN and local messages, drops,
-retransmissions, reordered deliveries, queue gaps, pre-causal legacy
-events — records them into a batch Tracer, and checks the invariant on
-arbitrary step boundaries.
+:func:`repro.obs.critpath.per_step_attribution` claims its components
+(compute, relay overhead, the wire-level WAN decomposition —
+propagation / bandwidth serialization / stripe pacing / device queue —
+queueing/serialization, retransmit stall) *partition* each step window
+— the backward walk emits contiguous clipped segments, so their
+durations telescope to exactly the window's length.  Hypothesis
+generates randomized causally-consistent runs — multi-PE span chains,
+driver roots, WAN and local messages, hop ledgers shaped like flat,
+hierarchical (relay spans) and striped (multi-chunk stream) chains,
+drops, retransmissions, reordered deliveries, queue gaps, pre-causal
+legacy events — records them into a batch Tracer, and checks the
+invariant on arbitrary step boundaries.
 
 Times live on a 1/16 grid, so every duration and subtraction is exact
 in binary floating point and the invariant can be asserted *exactly*
@@ -18,8 +21,10 @@ in binary floating point and the invariant can be asserted *exactly*
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.network.hops import HopSpan
 from repro.obs.critpath import (
     COMPONENTS,
+    WIRE_COMPONENTS,
     CausalGraph,
     per_step_attribution,
     replay_with_latency,
@@ -29,6 +34,47 @@ from repro.sim.trace import Tracer
 
 COMMON = dict(deadline=None, max_examples=80,
               suppress_health_check=[HealthCheck.too_slow])
+
+
+def _draw_wan_ledger(draw, sent_i, arr_i):
+    """A chain-shaped WAN hop ledger on the 1/16 grid.
+
+    A delay-filter span first (the artificial-latency device), then the
+    transport: either one plain wire span, or 1-3 striped stream chunks
+    whose slowest chunk lands exactly at the arrival — the three chain
+    shapes the Figure-3c variants produce.
+    """
+    cut = draw(st.integers(min_value=sent_i, max_value=arr_i))
+    spans = []
+    if cut > sent_i:
+        spans.append(HopSpan(
+            device="delay", link="delay",
+            kind=draw(st.sampled_from(("propagation", "device_queue"))),
+            enqueue=sent_i / 16.0, dequeue=sent_i / 16.0,
+            arrive=cut / 16.0))
+    if draw(st.booleans()):     # plain (flat/hierarchical) wire hop
+        dq = draw(st.integers(min_value=cut, max_value=arr_i))
+        ser = draw(st.integers(min_value=0, max_value=arr_i - dq))
+        spans.append(HopSpan(
+            device="wan", link="wan", kind="wire",
+            enqueue=cut / 16.0, dequeue=dq / 16.0, arrive=arr_i / 16.0,
+            ser_s=ser / 16.0,
+            queue_depth=draw(st.integers(min_value=0, max_value=4))))
+    else:                       # striped: slowest chunk defines arrival
+        n_chunks = draw(st.integers(min_value=1, max_value=3))
+        arrivals = [arr_i] + draw(st.lists(
+            st.integers(min_value=cut, max_value=arr_i),
+            min_size=n_chunks - 1, max_size=n_chunks - 1))
+        for j, aj in enumerate(arrivals):
+            dq = draw(st.integers(min_value=cut, max_value=aj))
+            ser = draw(st.integers(min_value=0, max_value=aj - dq))
+            spans.append(HopSpan(
+                device=f"wan/s{j}", link="wan", kind="stream",
+                enqueue=cut / 16.0, dequeue=dq / 16.0, arrive=aj / 16.0,
+                ser_s=ser / 16.0,
+                queue_depth=draw(st.integers(min_value=0, max_value=4)),
+                stream=j))
+    return tuple(spans)
 
 
 @st.composite
@@ -86,6 +132,13 @@ def causal_runs(draw):
                                     seq=trigger, cause=parent)
             tracer.message_delivered(delivered, src_pe, pe, 8, tag, wan,
                                      seq=trigger, cause=parent)
+            if wan and draw(st.booleans()):
+                # The fabric stamps a hop ledger on the carrying copy.
+                tracer.message_hops(
+                    sends[-1], src_pe, pe, 8, tag, True, trigger,
+                    delivered,
+                    _draw_wan_ledger(draw, int(sends[-1] * 16),
+                                     int(delivered * 16)))
             if draw(st.booleans()):
                 # Duplicate delivery of a slower copy, reordered behind.
                 tracer.message_delivered(
@@ -98,8 +151,9 @@ def causal_runs(draw):
         start = floor + queue_gap
         duration = draw(st.integers(min_value=1, max_value=32)) / 16.0
         end = start + duration
-        tracer.begin_execute(pe, start, "C",
-                             draw(st.sampled_from(["a", "b"])),
+        chare, entry_name = draw(st.sampled_from(
+            [("C", "a"), ("C", "b"), ("<rts>", "relay")]))
+        tracer.begin_execute(pe, start, chare, entry_name,
                              sid=sid, parent=parent, trigger=trigger)
         tracer.end_execute(pe, end)
         pe_clock[pe] = end
@@ -158,6 +212,33 @@ def test_summary_shares_sum_to_one(run):
     if summary["wall_s"] > 0:
         assert abs(sum(summary[f"{k}_share"] for k in COMPONENTS)
                    - 1.0) < 1e-9
+
+
+@given(causal_runs())
+@settings(**COMMON)
+def test_wire_decomposition_sums_to_wan_flight(run):
+    """The derived wan_flight is exactly its four wire components.
+
+    Exact on the dyadic grid, per step and in the summary — the
+    extended decomposition refines the old wan_flight bucket without
+    ever inventing or losing time.
+    """
+    tracer, boundaries = run
+    graph = CausalGraph.from_tracer(tracer)
+    steps = per_step_attribution(graph, boundaries)
+    for att in steps:
+        assert att.wan_flight == sum(getattr(att, k)
+                                     for k in WIRE_COMPONENTS)
+        doc = att.to_dict()
+        assert doc["wan_flight_s"] == sum(doc[f"{k}_s"]
+                                          for k in WIRE_COMPONENTS)
+    summary = summarize_attribution(steps)
+    assert summary["wan_flight_s"] == sum(summary[f"{k}_s"]
+                                          for k in WIRE_COMPONENTS)
+    if summary["wall_s"] > 0:
+        assert abs(summary["wan_flight_share"]
+                   - sum(summary[f"{k}_share"]
+                         for k in WIRE_COMPONENTS)) < 1e-9
 
 
 @given(causal_runs())

@@ -18,6 +18,7 @@ from hypothesis import strategies as st
 
 import pytest
 
+from repro.network.hops import HOP_KINDS, HopSpan
 from repro.obs.report import masked_latency_fraction
 from repro.sim.trace import TraceAggregator, Tracer
 
@@ -25,6 +26,36 @@ COMMON = dict(deadline=None, max_examples=60,
               suppress_health_check=[HealthCheck.too_slow])
 
 APPROX = dict(rel=1e-9, abs=1e-12)
+
+#: (lane, owning link) pairs the synthetic hop ledgers draw from —
+#: the shape a striped two-cluster chain produces.
+HOP_LANES = (("delay", "delay"), ("wan/s0", "wan"), ("wan/s1", "wan"),
+             ("shmem", "shmem"))
+
+
+def _draw_ledger(draw, t0_ticks, t1_ticks):
+    """A hop ledger tiling [t0, t1] with 1-3 spans on the 1/16 grid.
+
+    Mirrors what a DeviceChain stamps: contiguous spans whose first
+    enqueue is the send time and whose last arrive is the arrival.
+    """
+    interior = draw(st.lists(
+        st.integers(min_value=t0_ticks, max_value=t1_ticks),
+        min_size=0, max_size=2, unique=True))
+    cuts = sorted({t0_ticks, t1_ticks, *interior})
+    spans = []
+    for a, b in zip(cuts, cuts[1:]):
+        lane, link = draw(st.sampled_from(HOP_LANES))
+        dq = draw(st.integers(min_value=a, max_value=b))
+        ser = draw(st.integers(min_value=0, max_value=b - dq))
+        spans.append(HopSpan(
+            device=lane, link=link,
+            kind=draw(st.sampled_from(HOP_KINDS)),
+            enqueue=a / 16.0, dequeue=dq / 16.0, arrive=b / 16.0,
+            ser_s=ser / 16.0,
+            queue_depth=draw(st.integers(min_value=0, max_value=5)),
+            stream=draw(st.sampled_from((None, 0, 1)))))
+    return tuple(spans)
 
 
 @st.composite
@@ -63,40 +94,61 @@ def schedules(draw):
         dst = draw(st.integers(min_value=0, max_value=n_pes - 1))
         wan = draw(st.booleans())
         size = draw(st.integers(min_value=0, max_value=4096))
-        t0 = draw(st.integers(min_value=0, max_value=1500)) / 16.0
-        flight = draw(st.integers(min_value=1, max_value=400)) / 16.0
+        t0i = draw(st.integers(min_value=0, max_value=1500))
+        fli = draw(st.integers(min_value=1, max_value=400))
+        t0, flight = t0i / 16.0, fli / 16.0
         use_seq = draw(st.booleans())
         sq = seq if use_seq else None
+        # The fabric stamps a hop ledger on every non-dropped wire copy;
+        # with_hops=False models a run whose sinks predate the recorder.
+        with_hops = draw(st.booleans())
+        relay = draw(st.integers(min_value=0, max_value=2))
         fate = draw(st.sampled_from(
             ["deliver", "deliver", "deliver", "drop", "dup", "retransmit",
              "drop_retx", "drop_retx_reorder"]))
         args = (src, dst, size, f"m{seq}", wan)
+
+        def emit_hops(sent_i, arr_i, attempt):
+            if with_hops:
+                ledger = _draw_ledger(draw, sent_i, arr_i)
+                events.append((sent_i / 16.0, "hops",
+                               args + (sq, arr_i / 16.0, ledger,
+                                       relay, attempt)))
+
         events.append((t0, "send", args + (sq,)))
         if fate == "drop":
             events.append((t0, "drop", args + (sq,)))
             continue
         if fate in ("drop_retx", "drop_retx_reorder"):
             events.append((t0, "drop", args + (sq,)))
-            tr = t0 + draw(st.integers(min_value=1, max_value=64)) / 16.0
-            events.append((tr, "send", args + (sq,)))
+            tri = t0i + draw(st.integers(min_value=1, max_value=64))
+            attempt = 1
+            events.append((tri / 16.0, "send", args + (sq,)))
             if draw(st.booleans()):
                 # Second copy lost too; a further retransmission carries.
-                events.append((tr, "drop", args + (sq,)))
-                tr += draw(st.integers(min_value=1, max_value=64)) / 16.0
-                events.append((tr, "send", args + (sq,)))
-            deliver_at = tr + flight
-            events.append((deliver_at, "deliver", args + (sq,)))
+                events.append((tri / 16.0, "drop", args + (sq,)))
+                tri += draw(st.integers(min_value=1, max_value=64))
+                attempt = 2
+                events.append((tri / 16.0, "send", args + (sq,)))
+            deliver_i = tri + fli
+            emit_hops(tri, deliver_i, attempt)
+            events.append((deliver_i / 16.0, "deliver", args + (sq,)))
             if fate == "drop_retx_reorder":
-                gap = draw(st.integers(min_value=1, max_value=64)) / 16.0
+                gapi = draw(st.integers(min_value=1, max_value=64))
                 # Duplicate delivery of an earlier (slow) copy ...
-                events.append((deliver_at + gap, "deliver", args + (sq,)))
+                events.append(((deliver_i + gapi) / 16.0, "deliver",
+                               args + (sq,)))
                 # ... and a spurious retransmission after delivery (the
                 # ack was itself lost or reordered).
-                events.append((deliver_at + 2 * gap, "send", args + (sq,)))
+                spur_i = deliver_i + 2 * gapi
+                events.append((spur_i / 16.0, "send", args + (sq,)))
+                emit_hops(spur_i, spur_i + fli, attempt + 1)
             continue
+        emit_hops(t0i, t0i + fli, 0)
         if fate == "retransmit":
-            tr = t0 + draw(st.integers(min_value=1, max_value=64)) / 16.0
-            events.append((tr, "send", args + (sq,)))
+            tri = t0i + draw(st.integers(min_value=1, max_value=64))
+            events.append((tri / 16.0, "send", args + (sq,)))
+            emit_hops(tri, tri + fli, 1)
         deliver_at = t0 + flight
         events.append((deliver_at, "deliver", args + (sq,)))
         if fate == "dup":
@@ -121,6 +173,10 @@ def replay(events, sink):
     for time, op, args in events:
         if op in ("begin", "end"):
             ops[op](*args)
+        elif op == "hops":
+            src, dst, size, tag, wan, sq, arr, ledger, relay, att = args
+            sink.message_hops(time, src, dst, size, tag, wan, sq, arr,
+                              ledger, relay_hop=relay, arq_attempt=att)
         else:
             src, dst, size, tag, wan, sq = args
             ops[op](time, src, dst, size, tag, wan, seq=sq)
@@ -181,3 +237,61 @@ def test_streaming_counters_match_batch(events):
 
     # Open (never-delivered) windows: WAN sends that produced no window.
     assert live.wan.open_windows >= 0
+
+
+@given(schedules())
+@settings(**COMMON)
+def test_link_folds_bit_identical(events):
+    """Both sinks fold hop ledgers into identical per-lane usage.
+
+    Exact ``==``, not approx: the post-hoc Tracer and the streaming
+    TraceAggregator share :func:`fold_hops` and see the same event
+    order, so every float sum must agree to the last bit — including
+    under drops, retransmissions, duplicates and reordered deliveries.
+    """
+    batch = replay(events, Tracer())
+    live = replay(events, TraceAggregator())
+
+    b_links = batch.link_summary()
+    l_links = live.link_usage()
+    assert set(l_links) == set(b_links)
+    for lane, bu in b_links.items():
+        lu = l_links[lane]
+        assert lu.to_dict() == bu.to_dict()
+        assert lu.depth_counts == bu.depth_counts
+        assert lu.wan == bu.wan
+    assert live.summary()["links"] == {
+        lane: bu.to_dict() for lane, bu in sorted(b_links.items())}
+
+
+@given(schedules())
+@settings(**COMMON)
+def test_hop_ledgers_consistent_with_events(events):
+    """Recorded ledgers stay internally consistent under fault fates.
+
+    Every hop event's ledger tiles exactly from its send time to its
+    arrival (the fabric's contract), every wire copy of a retransmitted
+    id carries a distinct (seq, arrival) key, and the ledger lookup
+    table resolves each key to the first-recorded copy.
+    """
+    batch = replay(events, Tracer())
+
+    for ev in batch.hops:
+        assert ev.hops, "hop event with an empty ledger"
+        assert ev.hops[0].enqueue == ev.time
+        assert max(h.arrive for h in ev.hops) == ev.arrival
+        assert ev.wire_time == ev.arrival - ev.time
+        for h in ev.hops:
+            assert h.enqueue <= h.dequeue <= h.arrive
+            assert h.ser_s <= h.arrive - h.dequeue
+            assert h.queue_s >= 0.0 and h.total_s >= 0.0
+
+    ledgers = batch.hop_ledgers()
+    for ev in batch.hops:
+        assert (ev.seq, ev.arrival) in ledgers
+    # Dropped copies never stamp a ledger: each hop event pairs with a
+    # send at the same instant that was not dropped at emission time.
+    sends = {(ev.time, ev.src_pe, ev.dst_pe, ev.seq)
+             for ev in batch.messages if ev.kind == "send"}
+    for ev in batch.hops:
+        assert (ev.time, ev.src_pe, ev.dst_pe, ev.seq) in sends

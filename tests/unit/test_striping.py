@@ -135,6 +135,64 @@ def test_transit_is_deterministic(topo):
     assert run() == run()
 
 
+# -- occupancy gauges ---------------------------------------------------------
+
+def test_in_flight_counts_active_and_queued_chunks(topo):
+    dev = StripedDevice(make_link(latency=10e-3, bandwidth=1e6), streams=1)
+    size = 100_000                  # 0.1 s serialization each
+    dev.transit(wan_msg(size), topo, 0.0, None)
+    dev.transit(wan_msg(size), topo, 0.0, None)
+    # At t=0.05 the first chunk is being serialized, the second queued.
+    assert dev.in_flight(0.05) == 2
+    # At t=0.15 only the queued chunk still holds the stream.
+    assert dev.in_flight(0.15) == 1
+    # After both serialization windows (0.2 s) nothing is in flight.
+    assert dev.in_flight(0.25) == 0
+
+
+def test_in_flight_sums_across_streams(topo):
+    dev = StripedDevice(make_link(latency=10e-3, bandwidth=1e6),
+                        streams=4, min_chunk_bytes=4096)
+    dev.transit(wan_msg(4 * 100_000), topo, 0.0, None)
+    assert dev.in_flight(0.05) == 4     # one 0.1 s chunk on each stream
+    assert dev.in_flight(0.15) == 0
+
+
+def test_stream_gauges_report_high_water_and_queueing(topo):
+    dev = StripedDevice(make_link(latency=10e-3, bandwidth=1e6), streams=1)
+    size = 100_000
+    dev.transit(wan_msg(size), topo, 0.0, None)
+    dev.transit(wan_msg(size), topo, 0.0, None)
+    gauges = dev.stream_gauges()
+    assert list(gauges) == ["wanx1[0->1]/s0"]
+    g = gauges["wanx1[0->1]/s0"]
+    assert g["reservations"] == 2
+    assert g["high_water"] == 2          # second chunk queued behind first
+    assert g["queue_delay_total"] == pytest.approx(0.1)
+
+
+def test_stream_gauges_idle_streams_have_no_high_water(topo):
+    dev = StripedDevice(make_link(latency=10e-3, bandwidth=1e6),
+                        streams=4, min_chunk_bytes=4096)
+    dev.transit(wan_msg(4 * 4096), topo, 0.0, None)
+    gauges = dev.stream_gauges()
+    assert len(gauges) == 4
+    for g in gauges.values():
+        assert g["reservations"] == 1
+        assert g["high_water"] == 1      # never more than one chunk deep
+        assert g["queue_delay_total"] == 0.0
+
+
+def test_last_queue_depth_tracks_enqueue_instant(topo):
+    dev = StripedDevice(make_link(latency=10e-3, bandwidth=1e6), streams=1)
+    size = 100_000
+    dev.transit(wan_msg(size), topo, 0.0, None)
+    state = dev._direction(0, 1)
+    assert state.streams[0].last_queue_depth == 0   # pipe was empty
+    dev.transit(wan_msg(size), topo, 0.0, None)
+    assert state.streams[0].last_queue_depth == 1   # behind the first
+
+
 def test_reset_stats_clears_streams(topo):
     dev = StripedDevice(make_link(latency=10e-3, bandwidth=1e6), streams=1)
     dev.transit(wan_msg(100_000), topo, 0.0, None)

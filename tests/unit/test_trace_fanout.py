@@ -135,3 +135,64 @@ def test_all_event_kinds_fan_out():
     fan.note_dup_suppressed()
     assert a.events == b.events
     assert len(a.events) == 7
+
+
+# -- hop-ledger fan-out -------------------------------------------------------
+
+class _HopAwareSink(_RecordingSink):
+    def message_hops(self, now, src_pe, dst_pe, size, tag, crossed_wan,
+                     seq, arrival, hops, relay_hop=0, arq_attempt=0):
+        self.events.append(("hops", seq, len(hops)))
+
+
+def test_message_hops_skips_sinks_without_the_method():
+    plain, aware = _RecordingSink(), _HopAwareSink()
+    fan = TraceFanout([plain, aware])
+    fan.message_hops(0.1, 0, 4, 64, "t", True, 7, 0.2, ())
+    assert aware.events == [("hops", 7, 0)]
+    assert plain.events == []            # no AttributeError, just skipped
+
+
+# -- close() ------------------------------------------------------------------
+
+class _ClosableSink(_RecordingSink):
+    def close(self):
+        self.events.append(("close",))
+
+
+class _BrokenCloseSink(_RecordingSink):
+    def close(self):
+        raise RuntimeError("close exploded")
+
+
+def test_close_reaches_every_closable_sink():
+    a, b, plain = _ClosableSink(), _ClosableSink(), _RecordingSink()
+    fan = TraceFanout([a, plain, b])     # plain has no close(): skipped
+    fan.close()
+    assert a.events == [("close",)]
+    assert b.events == [("close",)]
+    assert plain.events == []
+
+
+def test_close_skips_quarantined_sinks():
+    broken, closable = _BrokenSink(), _ClosableSink()
+    broken.close = lambda: (_ for _ in ()).throw(
+        RuntimeError("must not be closed"))
+    fan = TraceFanout([broken, closable])
+    with pytest.raises(RuntimeError, match="sink exploded"):
+        fan.note_retransmit()            # quarantines `broken`
+    fan.close()                          # must not call broken.close
+    assert closable.events == [("retransmit",), ("close",)]
+
+
+def test_close_error_quarantines_but_closes_the_rest():
+    broken, closable = _BrokenCloseSink(), _ClosableSink()
+    fan = TraceFanout([broken, closable])
+    with pytest.raises(RuntimeError, match="close exploded"):
+        fan.close()
+    # The sibling was still closed despite the earlier failure.
+    assert closable.events == [("close",)]
+    # The offender is quarantined for any further traffic.
+    fan.note_retransmit()
+    assert closable.events == [("close",), ("retransmit",)]
+    assert broken.events == []
