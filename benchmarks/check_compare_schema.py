@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""CI gate: validate the structure of ``repro compare --json`` output.
+
+Usage::
+
+    python benchmarks/check_compare_schema.py compare.json [--require-neutral]
+
+Checks the comparison document carries every documented key with the
+right type and that its arithmetic invariants hold: the component table
+covers every critical-path component exactly once, the per-component
+deltas sum to the total delta up to the reported residual, and each
+verdict is consistent with its delta and the threshold.  With
+``--require-neutral`` the gate additionally fails unless the comparison
+is an exact, all-neutral self-compare — the CI smoke runs the same
+configuration twice, so anything non-neutral means the attribution
+pipeline itself drifted.  No third-party schema library: the checks are
+hand-rolled so the gate runs on a bare numpy-only CI image.
+"""
+
+import json
+import sys
+
+COMPONENTS = ("compute", "relay_overhead", "propagation",
+              "bandwidth_serialization", "stripe_pacing", "device_queue",
+              "queue_serial", "retransmit_stall")
+
+SIDE_KEYS = ("name", "digest", "schema", "time_per_step_s", "steps")
+COMPONENT_KEYS = ("component", "baseline_s", "candidate_s", "delta_s",
+                  "verdict")
+VERDICTS = ("regressed", "improved", "neutral")
+
+
+def _fail(msg):
+    raise SystemExit(f"compare schema: {msg}")
+
+
+def _number(name, value):
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        _fail(f"{name} is {type(value).__name__}, want number")
+    return float(value)
+
+
+def check(doc, require_neutral=False):
+    if doc.get("schema") != 1:
+        _fail(f"schema is {doc.get('schema')!r}, want 1")
+    for side in ("baseline", "candidate"):
+        row = doc.get(side)
+        if not isinstance(row, dict):
+            _fail(f"missing {side!r} object")
+        for key in SIDE_KEYS:
+            if key not in row:
+                _fail(f"{side} missing key {key!r}")
+        if row["schema"] < 2:
+            _fail(f"{side} record schema {row['schema']} < 2 — no "
+                  f"critpath payload to have diffed")
+
+    components = doc.get("components")
+    if not isinstance(components, list):
+        _fail("components must be a list")
+    seen = []
+    delta_sum = 0.0
+    for i, row in enumerate(components):
+        for key in COMPONENT_KEYS:
+            if key not in row:
+                _fail(f"components[{i}] missing key {key!r}")
+        if row["verdict"] not in VERDICTS:
+            _fail(f"components[{i}].verdict {row['verdict']!r} invalid")
+        delta = _number(f"components[{i}].delta_s", row["delta_s"])
+        b = _number(f"components[{i}].baseline_s", row["baseline_s"])
+        c = _number(f"components[{i}].candidate_s", row["candidate_s"])
+        if abs((c - b) - delta) > 1e-12:
+            _fail(f"components[{i}].delta_s inconsistent with its sides")
+        seen.append(row["component"])
+        delta_sum += delta
+    if tuple(seen) != COMPONENTS:
+        _fail(f"component order {seen} != {list(COMPONENTS)}")
+
+    total = doc.get("total")
+    if not isinstance(total, dict) or total.get("verdict") not in VERDICTS:
+        _fail("total must be an object with a valid verdict")
+    total_delta = _number("total.delta_s", total["delta_s"])
+    residual = _number("residual_s", doc.get("residual_s"))
+    # The headline invariant: deltas + residual == total delta.
+    if abs(total_delta - (delta_sum + residual)) > 1e-15:
+        _fail(f"component deltas {delta_sum} + residual {residual} "
+              f"!= total delta {total_delta}")
+    if doc.get("exact") != (residual == 0.0):
+        _fail("exact flag inconsistent with residual_s")
+    for key in ("all_neutral", "config_changed"):
+        if not isinstance(doc.get(key), bool):
+            _fail(f"{key} must be a bool")
+    if not isinstance(doc.get("phases"), dict):
+        _fail("phases must be an object")
+    if not isinstance(doc.get("net"), dict):
+        _fail("net must be an object")
+
+    if require_neutral:
+        if not doc["all_neutral"]:
+            bad = [r["component"] for r in components
+                   if r["verdict"] != "neutral"]
+            _fail(f"self-compare not all-neutral: total "
+                  f"{total['verdict']}, components {bad}")
+        if not doc["exact"]:
+            _fail(f"self-compare residual not exact: {residual!r}")
+        if doc["config_changed"]:
+            _fail("self-compare config digests differ")
+    return doc
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    require_neutral = "--require-neutral" in argv
+    paths = [a for a in argv if a != "--require-neutral"]
+    if len(paths) != 1:
+        _fail("usage: check_compare_schema.py COMPARE_JSON "
+              "[--require-neutral]")
+    with open(paths[0]) as fh:
+        doc = json.load(fh)
+    check(doc, require_neutral=require_neutral)
+    print(f"compare schema OK: total {doc['total']['verdict']}, "
+          f"{len(doc['components'])} components, "
+          f"residual {doc['residual_s']:+.3e} s"
+          + (", all neutral" if doc["all_neutral"] else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,7 +16,7 @@ from repro.apps.collectives import AmpiCollectiveBenchApp, CollectiveBenchApp
 from repro.apps.leanmd import LeanMDApp
 from repro.apps.stencil import AmpiStencilApp, StencilApp
 from repro.bench.records import ExperimentPoint
-from repro.bench.trajectory import RunRecord, append_record
+from repro.bench.trajectory import append_record
 from repro.grid.presets import artificial_latency_env, teragrid_env
 from repro.units import ms
 
@@ -45,21 +45,18 @@ def _obs_extra(env) -> dict:
     saw hop ledgers, a WAN roll-up (crossings, busy/queue seconds) rides
     along under ``extra["net"]``.
     """
+    # Imported here, not at module top: repro.obs.ledger imports
+    # repro.bench.trajectory, whose package __init__ imports this
+    # module — a top-level import would close that cycle.
+    from repro.obs.ledger import net_rollup
+
     agg = getattr(env, "aggregator", None)
     if agg is None:
         return {}
     extra = {"obs": agg.summary()}
-    usage = getattr(agg, "link_usage", None)
-    links = usage() if usage is not None else {}
-    if links:
-        wan = [u for u in links.values() if u.wan]
-        extra["net"] = {
-            "lanes": len(links),
-            "wan_lanes": len(wan),
-            "wan_crossings": sum(u.crossings for u in wan),
-            "wan_busy_s": sum(u.busy_s for u in wan),
-            "wan_queue_s": sum(u.queue_s for u in wan),
-        }
+    net = net_rollup(env)
+    if net is not None:
+        extra["net"] = net
     return extra
 
 
@@ -76,41 +73,49 @@ def _median_step_s(result) -> float:
 
 def maybe_log_trajectory(point: ExperimentPoint, result, env,
                          compute_share: Optional[float] = None,
-                         extra: Optional[dict] = None) -> None:
+                         extra: Optional[dict] = None,
+                         steps_attribution=None,
+                         dedup: bool = True) -> None:
     """Append a perf-trajectory record when ``REPRO_BENCH_LOG`` is set.
 
     Off by default so ordinary test/benchmark runs stay side-effect
     free; ``benchmarks/conftest.py`` and the perf-smoke CI job turn it
-    on.  The record carries the config digest, the *median* steady-state
-    step time (robust against one slow warm-up step leaking into the
-    window), the streaming masked-latency fraction, and — when the
-    caller ran critical-path analysis — the compute share of step time.
-    *extra* entries are merged into the record's ``extra`` dict (the
-    perf-smoke job stores its measured observability overheads there).
+    on.  Records are schema-2 ledger records
+    (:func:`repro.obs.ledger.build_run_record`): config digest, median
+    steady-state step time, masked-latency fraction, net/health
+    roll-ups, the wall-clock profile when the environment ran with
+    ``profile=True``, and — when the caller passes *steps_attribution*
+    — the full critical-path decomposition.  *extra* entries merge into
+    the record's ``extra`` dict (the perf-smoke job stores its measured
+    observability overheads there).
+
+    Identical consecutive re-runs are deduplicated by default (virtual
+    time is bit-reproducible, so a true re-run adds no information);
+    pass ``dedup=False`` — perf-smoke's ``--keep-dups`` — to keep every
+    append.
     """
+    # Function-local for the same import-cycle reason as _obs_extra.
+    from repro.obs.ledger import build_run_record
+
     dest = os.environ.get(BENCH_LOG_ENV)
     if not dest:
         return
     path_kwargs = {} if dest == "1" else {"path": dest}
-    agg = getattr(env, "aggregator", None)
     config = {
         "experiment": point.experiment, "app": point.app,
         "environment": point.environment, "pes": point.pes,
         "objects": point.objects, "latency_ms": point.latency_ms,
         "steps": point.steps,
     }
-    record = RunRecord(
+    record = build_run_record(
         name=f"{point.app}:{point.pes}x{point.objects}"
              f"@{point.latency_ms:g}ms",
-        config=config,
-        time_per_step_s=_median_step_s(result),
-        masked_fraction=(agg.masked_latency_fraction
-                         if agg is not None else None),
-        critpath_compute_share=compute_share,
-        extra={"time_per_step_mean_s": point.time_per_step,
-               **(extra or {})},
-    )
-    append_record(record, **path_kwargs)
+        config=config, result=result, env=env,
+        steps_attribution=steps_attribution, extra=extra)
+    record.time_per_step_s = _median_step_s(result)
+    if record.critpath_compute_share is None:
+        record.critpath_compute_share = compute_share
+    append_record(record, dedup=dedup, **path_kwargs)
 
 
 def stencil_point(experiment: str, pes: int, objects: int,

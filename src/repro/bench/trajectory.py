@@ -14,6 +14,22 @@ writers (parallel sweep workers all log here) by an advisory lock on a
 ``.lock`` sidecar plus an atomic tempfile + rename of the array itself,
 so two simultaneous appends serialize instead of losing records or
 tearing the JSON.
+
+Records come in two schemas.  v1 carries the headline numbers only;
+v2 (``schema == 2``, built by :mod:`repro.obs.ledger`) additionally
+carries the full critical-path component decomposition (``critpath``)
+and the wall-clock phase profile (``profile``), which is what lets
+``repro compare`` explain *why* two runs differ instead of just that
+they do.  ``from_dict`` accepts both, so old trajectory files keep
+loading forever.
+
+Appends can deduplicate: with ``dedup=True`` a record identical to the
+file's last one (same digest and same deterministic metrics — virtual
+time is bit-reproducible, so a true re-run *is* byte-identical where it
+matters) is silently skipped, keeping repeated local perf-smoke runs
+from bloating the committed trajectory.  Wall-clock-dependent fields
+(``created``, overhead measurements in ``extra``) are deliberately
+ignored by the identity check.
 """
 
 from __future__ import annotations
@@ -65,21 +81,57 @@ class RunRecord:
     #: Unix timestamp of the run (0 when the caller wants determinism).
     created: float = 0.0
     extra: Dict[str, Any] = field(default_factory=dict)
+    #: Record schema: 1 = headline numbers only; 2 adds the critpath
+    #: decomposition and wall-clock profile (the run-ledger format).
+    schema: int = 1
+    #: v2: critical-path component totals over the attributed window
+    #: (``{component}_s`` per component, plus ``wall_s`` / ``steps`` /
+    #: ``residual_s``); ``None`` on v1 records.
+    critpath: Optional[Dict[str, Any]] = None
+    #: v2: wall-clock phase profile from the self-profiler
+    #: (:meth:`repro.obs.profiler.WallProfiler.summary`); optional.
+    profile: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if not self.digest:
             self.digest = config_digest(self.config)
 
     def to_dict(self) -> Dict[str, Any]:
-        return asdict(self)
+        d = asdict(self)
+        # v2 payloads are omitted when absent so v1 records round-trip
+        # to the same compact shape they always had.
+        if d.get("critpath") is None:
+            d.pop("critpath", None)
+        if d.get("profile") is None:
+            d.pop("profile", None)
+        return d
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "RunRecord":
         known = {k: d[k] for k in
                  ("name", "config", "time_per_step_s", "masked_fraction",
-                  "critpath_compute_share", "digest", "created", "extra")
+                  "critpath_compute_share", "digest", "created", "extra",
+                  "schema", "critpath", "profile")
                  if k in d}
         return cls(**known)
+
+    def same_run(self, other: "RunRecord") -> bool:
+        """Whether *other* is a byte-identical re-run of this record.
+
+        Compares the config digest and every *deterministic* metric —
+        virtual time is bit-reproducible, so two honest runs of the same
+        config agree exactly on all of these.  Wall-clock-dependent
+        payloads (``created``, the profile, overheads in ``extra``) are
+        excluded: they differ on every run without meaning anything.
+        """
+        return (self.digest == other.digest
+                and self.schema == other.schema
+                and self.name == other.name
+                and self.time_per_step_s == other.time_per_step_s
+                and self.masked_fraction == other.masked_fraction
+                and self.critpath_compute_share
+                == other.critpath_compute_share
+                and self.critpath == other.critpath)
 
 
 def load_records(path: str = DEFAULT_PATH) -> List[RunRecord]:
@@ -115,18 +167,26 @@ def _append_lock(path: str):
 
 
 def append_record(record: RunRecord, path: str = DEFAULT_PATH,
-                  stamp: bool = True) -> int:
-    """Append *record* to *path*; returns the new record count.
+                  stamp: bool = True, dedup: bool = False) -> int:
+    """Append *record* to *path*; returns the resulting record count.
 
     Safe under concurrent writers: the read-modify-write cycle runs
     under an advisory file lock, and the new array lands via tempfile +
     ``os.replace`` so a reader (or a crash) never observes a partial
     write.
+
+    With ``dedup=True``, a record that is the same deterministic run as
+    the file's **last** record (see :meth:`RunRecord.same_run`) is not
+    appended — repeated local perf-smoke runs stop bloating the
+    trajectory.  A genuine change to any metric breaks the identity and
+    appends as usual, so regression detection is unaffected.
     """
     if stamp and not record.created:
         record.created = time.time()
     with _append_lock(path):
         records = load_records(path)
+        if dedup and records and records[-1].same_run(record):
+            return len(records)
         records.append(record)
         directory = os.path.dirname(os.path.abspath(path))
         fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")

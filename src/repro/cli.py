@@ -21,6 +21,8 @@ Usage (any artefact, directly from a shell)::
                           [--stats-out PATH] [--steps N] [...subset flags]
     python -m repro bench-diff [--path BENCH_critpath.json]
                                [--digest HEX | --baseline I --candidate J]
+    python -m repro compare BASELINE CANDIDATE [--path FILE] [--json]
+                            [--trace-out PATH] [--threshold F]
 
 The full default sweeps take a few minutes; the subsetting flags let
 you reproduce a single panel or row in seconds.  ``repro trace`` runs
@@ -35,7 +37,15 @@ telemetry sampler and rule-based watchdog enabled, then prints the
 health digest (sparklines, fired alerts, observability overhead);
 ``--out`` appends the structured health events as JSON lines.  ``repro
 bench-diff`` compares two perf-trajectory records and
-exits non-zero on a >10 % step-time regression.  ``repro sweep`` runs
+exits non-zero on a >10 % step-time regression; when both records are
+schema-2 ledger records it also prints the per-component critical-path
+diff.  ``repro compare`` is the full differential view: given two
+ledger records (by index into a trajectory file, or as standalone
+files), it attributes the step-time delta to critical-path components
+exactly, diffs the wall-clock phase profiles and net roll-ups, and can
+write a side-by-side Chrome trace; ``repro critpath`` and ``repro
+netview`` grow ``--ledger-out PATH`` to emit those records (with the
+self-profiler enabled for the run).  ``repro sweep`` runs
 any artefact's configurations through the parallel executor — ``--jobs
 N`` fans out over N worker processes, the content-addressed run cache
 skips configurations already computed, and the rendered artefact is
@@ -164,6 +174,11 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--out", default=None, metavar="PATH",
                     help="write the Chrome trace (with causal flow "
                          "events) here")
+    cp.add_argument("--ledger-out", default=None, metavar="PATH",
+                    help="append a schema-2 run-ledger record (full "
+                         "critpath decomposition + wall-clock profile) "
+                         "here for 'repro compare'; enables the "
+                         "self-profiler for the run")
     cp.add_argument("--json", action="store_true",
                     help="print the report as JSON instead of text")
 
@@ -219,6 +234,11 @@ def build_parser() -> argparse.ArgumentParser:
     nv.add_argument("--trace-out", default=None, metavar="PATH",
                     help="write a Chrome trace with one lane per WAN "
                          "link/stream here")
+    nv.add_argument("--ledger-out", default=None, metavar="PATH",
+                    help="append a schema-2 run-ledger record (full "
+                         "critpath decomposition + wall-clock profile) "
+                         "here for 'repro compare'; enables the "
+                         "self-profiler for the run")
     nv.add_argument("--json", action="store_true",
                     help="print the report as JSON instead of text")
 
@@ -266,6 +286,27 @@ def build_parser() -> argparse.ArgumentParser:
                     help="regression threshold as a fraction "
                          "(default 0.10)")
     bd.add_argument("--json", action="store_true",
+                    help="print the comparison as JSON instead of text")
+
+    cm = sub.add_parser("compare", help="differential run analysis: "
+                        "attribute a step-time delta to critical-path "
+                        "components exactly")
+    cm.add_argument("baseline", metavar="BASELINE",
+                    help="baseline record: an index into --path "
+                         "(0-based, negatives allowed) or a JSON file "
+                         "holding a record / ledger entry")
+    cm.add_argument("candidate", metavar="CANDIDATE",
+                    help="candidate record, same forms as BASELINE")
+    cm.add_argument("--path", default=None, metavar="FILE",
+                    help="trajectory/ledger file indices refer into "
+                         "(default BENCH_critpath.json)")
+    cm.add_argument("--threshold", type=float, default=None,
+                    help="neutral band as a fraction of the baseline's "
+                         "total step time (default 0.02)")
+    cm.add_argument("--trace-out", default=None, metavar="PATH",
+                    help="write a side-by-side Chrome trace (one "
+                         "process per run, critpath slices) here")
+    cm.add_argument("--json", action="store_true",
                     help="print the comparison as JSON instead of text")
     return parser
 
@@ -403,6 +444,36 @@ def cmd_trace(args, out) -> None:
                   f"({report.extra['event_log_lines']} records)", file=out)
 
 
+def _emit_ledger(args, experiment: str, result, env, steps_attribution,
+                 path: str) -> None:
+    """Append one schema-2 ledger record for a CLI run to *path*.
+
+    The record also lands content-addressed under ``.repro-cache/``
+    (same fanout as the run cache).  Dedup is off: A/B ledger files
+    built for ``repro compare`` want both records even when the runs
+    are bit-identical — the all-neutral self-compare is the CI smoke.
+    """
+    from repro.obs.ledger import append_ledger, build_run_record
+
+    app = getattr(args, "app", "stencil")
+    config = {
+        "experiment": experiment, "app": app,
+        "environment": "artificial", "pes": args.pes,
+        "objects": getattr(args, "objects", None),
+        "latency_ms": args.latency, "steps": args.steps,
+    }
+    for key in ("mesh", "routing", "streams"):
+        value = getattr(args, key, None)
+        if value:
+            config[key] = value
+    record = build_run_record(
+        name=f"{experiment}:{app}:{args.pes}x"
+             f"{getattr(args, 'objects', 0)}@{args.latency:g}ms",
+        config=config, result=result, env=env,
+        steps_attribution=steps_attribution)
+    append_ledger(record, path, cache_root=".repro-cache")
+
+
 def cmd_critpath(args, out) -> None:
     from repro.grid import artificial_latency_env
     from repro.obs.critpath import (
@@ -420,7 +491,8 @@ def cmd_critpath(args, out) -> None:
         raise SystemExit(f"--pes must be even and >= 2, got {args.pes}")
     if args.latency < 0:
         raise SystemExit(f"--latency must be >= 0, got {args.latency}")
-    env = artificial_latency_env(args.pes, ms(args.latency), trace=True)
+    env = artificial_latency_env(args.pes, ms(args.latency), trace=True,
+                                 profile=args.ledger_out is not None)
     t0 = env.now
     if args.app == "stencil":
         from repro.apps.stencil import StencilApp
@@ -454,6 +526,9 @@ def cmd_critpath(args, out) -> None:
         with open(args.out, "w") as fh:
             json.dump(doc, fh)
         report.extra["chrome_trace"] = args.out
+    if args.ledger_out is not None:
+        _emit_ledger(args, "critpath", result, env, steps, args.ledger_out)
+        report.extra["ledger"] = args.ledger_out
 
     if args.json:
         doc = report.to_dict()
@@ -578,13 +653,23 @@ def cmd_netview(args, out) -> None:
         raise SystemExit(f"--top must be >= 1, got {args.top}")
     env = artificial_latency_env(args.pes, ms(args.latency), trace=True,
                                  routing=args.routing,
-                                 wan_streams=args.streams)
+                                 wan_streams=args.streams,
+                                 profile=args.ledger_out is not None)
+    t0 = env.now
     app = StencilApp(env, mesh=(args.mesh, args.mesh),
                      objects=args.objects, payload="modeled")
-    app.run(args.steps)
+    result = app.run(args.steps)
 
     report = build_report(env.aggregator)
     report.net = netview_section(env.tracer, top=args.top)
+    if args.ledger_out is not None:
+        from repro.obs.critpath import CausalGraph, per_step_attribution
+
+        graph = CausalGraph.from_tracer(env.tracer)
+        boundaries = [t0] + [t0 + float(t) for t in result.step_times]
+        steps = per_step_attribution(graph, boundaries)
+        _emit_ledger(args, "netview", result, env, steps, args.ledger_out)
+        report.extra["ledger"] = args.ledger_out
     report.extra["app"] = "stencil"
     report.extra["pes"] = args.pes
     report.extra["objects"] = args.objects
@@ -729,13 +814,96 @@ def cmd_bench_diff(args, out) -> None:
     threshold = (args.threshold if args.threshold is not None
                  else trajectory.REGRESSION_THRESHOLD)
     cmp = trajectory.compare(pair[0], pair[1], threshold=threshold)
+    # v2 ledger records carry the full critpath decomposition, so the
+    # headline ratio can be *explained*: delegate to repro.obs.diff for
+    # the per-component breakdown (what `repro compare` prints).
+    diffed = None
+    if pair[0].critpath and pair[1].critpath:
+        from repro.obs.diff import compare_records
+
+        diffed = compare_records(pair[0], pair[1])
     if args.json:
-        json.dump(cmp.to_dict(), out, indent=2)
+        doc = cmp.to_dict()
+        if diffed is not None:
+            doc["critpath_diff"] = diffed.to_dict()
+        json.dump(doc, out, indent=2)
         print(file=out)
     else:
         print(cmp.render(), file=out)
+        if diffed is not None:
+            print(file=out)
+            print(diffed.render_components(), file=out)
     if cmp.regressed:
         raise SystemExit(1)
+
+
+def _resolve_compare_record(spec: str, records, path: str):
+    """A compare operand: an index into *records* or a record file."""
+    from repro.obs.ledger import records_from_file
+
+    try:
+        index = int(spec)
+    except ValueError:
+        try:
+            loaded = records_from_file(spec)
+        except OSError as exc:
+            raise SystemExit(f"{spec!r}: not an integer index or a "
+                             f"readable record file ({exc})")
+        if len(loaded) != 1:
+            raise SystemExit(f"{spec}: holds {len(loaded)} records; pass "
+                             f"it as --path and select by index instead")
+        return loaded[0]
+    if records is None:
+        raise SystemExit(f"no trajectory file at {path} to index into")
+    try:
+        return records[index]
+    except IndexError:
+        raise SystemExit(f"record index {index} out of range "
+                         f"(have {len(records)} in {path})")
+
+
+def cmd_compare(args, out) -> None:
+    from repro.bench import trajectory
+    from repro.obs.diff import (
+        DEFAULT_THRESHOLD,
+        compare_records,
+        write_compare_trace,
+    )
+
+    path = args.path if args.path else trajectory.DEFAULT_PATH
+    needs_index = any(_is_int(s) for s in (args.baseline, args.candidate))
+    records = trajectory.load_records(path) if needs_index else None
+    if needs_index and not records:
+        raise SystemExit(f"no trajectory records in {path}")
+    baseline = _resolve_compare_record(args.baseline, records, path)
+    candidate = _resolve_compare_record(args.candidate, records, path)
+    threshold = (args.threshold if args.threshold is not None
+                 else DEFAULT_THRESHOLD)
+    try:
+        comparison = compare_records(baseline, candidate,
+                                     threshold=threshold)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.trace_out is not None:
+        write_compare_trace(comparison, args.trace_out)
+    if args.json:
+        json.dump(comparison.to_dict(), out, indent=2)
+        print(file=out)
+    else:
+        print(comparison.render(), file=out)
+        if args.trace_out is not None:
+            print(f"\nSide-by-side Chrome trace written to "
+                  f"{args.trace_out}", file=out)
+    if comparison.verdict == "regressed":
+        raise SystemExit(1)
+
+
+def _is_int(spec: str) -> bool:
+    try:
+        int(spec)
+    except ValueError:
+        return False
+    return True
 
 
 COMMANDS = {
@@ -750,6 +918,7 @@ COMMANDS = {
     "netview": cmd_netview,
     "sweep": cmd_sweep,
     "bench-diff": cmd_bench_diff,
+    "compare": cmd_compare,
 }
 
 

@@ -23,6 +23,7 @@ from repro.obs.health import (
     TimedSink,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import WallProfiler
 from repro.obs.timeseries import SamplingPolicy, TelemetrySampler
 from repro.sim.engine import Engine
 from repro.sim.rand import RandomStreams
@@ -72,6 +73,16 @@ class GridEnvironment:
         default :class:`~repro.obs.health.HealthConfig`, or a config to
         tune thresholds.  Implies ``sampling`` (the watchdog feeds on
         sampler snapshots).  Fired events are at :attr:`health_events`.
+    profile:
+        Enable the wall-clock self-profiler
+        (:class:`~repro.obs.profiler.WallProfiler`): the engine's
+        dispatch loop times every fired event into coarse phases
+        (scheduler / network / telemetry / app); when a sampling budget
+        has the governor stride-sampling the trace sinks anyway, that
+        cost rides along as a nested source.  Virtual
+        time is bit-identical with the profiler on or off; wall-clock
+        cost is bounded < 5 % by the perf-smoke bar.  Available as
+        :attr:`profiler` (``None`` when off).
     """
 
     def __init__(self, topology: GridTopology, chain: DeviceChain, *,
@@ -80,11 +91,16 @@ class GridEnvironment:
                  max_events: Optional[int] = None,
                  reliable: Union[bool, RetransmitPolicy, None] = None,
                  sampling: Union[bool, SamplingPolicy, None] = None,
-                 health: Union[bool, HealthConfig, None] = None) -> None:
+                 health: Union[bool, HealthConfig, None] = None,
+                 profile: bool = False) -> None:
         self.topology = topology
         self.chain = chain
         self.streams = RandomStreams(seed)
         self.engine = Engine(max_events=max_events)
+        self.profiler: Optional[WallProfiler] = \
+            WallProfiler() if profile else None
+        if self.profiler is not None:
+            self.engine.profiler = self.profiler
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(enabled=trace)
         self.aggregator: Optional[TraceAggregator] = (
@@ -113,14 +129,23 @@ class GridEnvironment:
             sink = sinks[0]
         else:
             sink = TraceFanout(sinks)
-        if (sink is not None and sampling_policy is not None
-                and sampling_policy.overhead_budget is not None):
+        want_sink_timing = (
+            sampling_policy is not None
+            and sampling_policy.overhead_budget is not None)
+        if sink is not None and want_sink_timing:
             # Per-event sink self-timing is itself overhead (an extra
             # indirection on every trace event), so it is paid only when
-            # a budget makes the governor need the measurement.
+            # a budget makes the governor need the measurement.  When the
+            # profiler is also on it *reuses* that estimate as a nested
+            # phase at zero extra cost; a profiler without a budget gets
+            # no trace.sinks refinement — the sinks' time still lands
+            # inside the dispatch phases that call them.
             sink = TimedSink(sink)
             self.governor.add_cost_source(
                 "sinks", lambda s=sink: s.cost_s)
+            if self.profiler is not None:
+                self.profiler.add_nested_source(
+                    "trace.sinks", lambda s=sink: s.cost_s)
         self.fabric = NetworkFabric(
             self.engine, topology, chain,
             rng=self.streams.get("network"),
@@ -146,11 +171,14 @@ class GridEnvironment:
             self.sampler.start()
         else:
             self.sampler = None
+        self._trace_requested = trace
         self.governor.on_downgrade("sampling", self._obs_to_sampling)
         self.governor.on_downgrade("counters", self._obs_to_counters)
+        self.governor.on_upgrade("sampling", self._obs_recover_sampling)
+        self.governor.on_upgrade("full", self._obs_recover_full)
         self._register_collectors()
 
-    # -- governor downgrade ladder ---------------------------------------
+    # -- governor downgrade/recovery ladder ------------------------------
 
     def _obs_to_sampling(self) -> None:
         """Level "sampling": drop full per-event tracing."""
@@ -158,11 +186,32 @@ class GridEnvironment:
 
     def _obs_to_counters(self) -> None:
         """Level "counters": drop sampling and streaming aggregation too;
-        only the O(1) counters/gauges keep updating."""
+        only the O(1) counters/gauges keep updating.  The sampler is
+        *paused*, not stopped: its tick heartbeat (two clock reads, no
+        recording) keeps driving the governor's check so a later calm
+        stretch can climb back up the ladder."""
         if self.sampler is not None:
-            self.sampler.stop()
+            self.sampler.pause()
         if self.aggregator is not None:
             self.aggregator.enabled = False
+
+    def _obs_recover_sampling(self) -> None:
+        """Recovery to "sampling": restart recording + aggregation.
+
+        Inverse of :meth:`_obs_to_counters`.  The stretch spent at
+        "counters" leaves a gap in the series and the aggregator's
+        streaming statistics — degradation loses data by design; only
+        the O(1) counters were complete throughout."""
+        if self.sampler is not None:
+            self.sampler.resume()
+        if self.aggregator is not None:
+            self.aggregator.enabled = True
+
+    def _obs_recover_full(self) -> None:
+        """Recovery to "full": re-enable per-event tracing, but only if
+        this environment was built with it in the first place."""
+        if self._trace_requested:
+            self.tracer.enabled = True
 
     @property
     def health_events(self):

@@ -82,14 +82,16 @@ def single_cluster_env(num_pes: int, *, seed: int = 0,
                        trace: bool = False, stats: bool = True,
                        max_events: Optional[int] = None,
                        sampling: Union[bool, SamplingPolicy, None] = None,
-                       health: Union[bool, HealthConfig, None] = None
+                       health: Union[bool, HealthConfig, None] = None,
+                       profile: bool = False
                        ) -> GridEnvironment:
     """A conventional cluster: no wide area anywhere."""
     topo = GridTopology.single_cluster(num_pes)
     chain = DeviceChain(_base_devices())
     return GridEnvironment(topo, chain, seed=seed, config=config,
                            trace=trace, stats=stats, max_events=max_events,
-                           sampling=sampling, health=health)
+                           sampling=sampling, health=health,
+                           profile=profile)
 
 
 def artificial_latency_env(num_pes: int, latency: float, *, seed: int = 0,
@@ -99,7 +101,8 @@ def artificial_latency_env(num_pes: int, latency: float, *, seed: int = 0,
                            trace: bool = False, stats: bool = True,
                            max_events: Optional[int] = None,
                            sampling: Union[bool, SamplingPolicy, None] = None,
-                           health: Union[bool, HealthConfig, None] = None
+                           health: Union[bool, HealthConfig, None] = None,
+                           profile: bool = False
                            ) -> GridEnvironment:
     """The paper's simulated Grid: delay device between two halves.
 
@@ -134,7 +137,8 @@ def artificial_latency_env(num_pes: int, latency: float, *, seed: int = 0,
     return GridEnvironment(topo, chain, seed=seed,
                            config=_apply_routing(config, routing),
                            trace=trace, stats=stats, max_events=max_events,
-                           sampling=sampling, health=health)
+                           sampling=sampling, health=health,
+                           profile=profile)
 
 
 def lossy_wan_env(num_pes: int, latency: float, *,
@@ -150,7 +154,8 @@ def lossy_wan_env(num_pes: int, latency: float, *,
                   trace: bool = False, stats: bool = True,
                   max_events: Optional[int] = None,
                   sampling: Union[bool, SamplingPolicy, None] = None,
-                  health: Union[bool, HealthConfig, None] = None
+                  health: Union[bool, HealthConfig, None] = None,
+                  profile: bool = False
                   ) -> GridEnvironment:
     """The artificial-latency grid over a *hostile* wide area.
 
@@ -199,7 +204,8 @@ def lossy_wan_env(num_pes: int, latency: float, *,
                            config=_apply_routing(config, routing),
                            trace=trace, stats=stats, max_events=max_events,
                            reliable=reliable,
-                           sampling=sampling, health=health)
+                           sampling=sampling, health=health,
+                           profile=profile)
 
 
 def teragrid_env(num_pes: int, *, seed: int = 0,
@@ -208,7 +214,8 @@ def teragrid_env(num_pes: int, *, seed: int = 0,
                  trace: bool = False, stats: bool = True,
                  max_events: Optional[int] = None,
                  sampling: Union[bool, SamplingPolicy, None] = None,
-                 health: Union[bool, HealthConfig, None] = None
+                 health: Union[bool, HealthConfig, None] = None,
+                 profile: bool = False
                  ) -> GridEnvironment:
     """The real co-allocated NCSA+ANL environment (jitter + contention)."""
     topo = GridTopology.two_cluster(num_pes, names=("ncsa", "anl"))
@@ -217,4 +224,5 @@ def teragrid_env(num_pes: int, *, seed: int = 0,
     chain = DeviceChain(devices)
     return GridEnvironment(topo, chain, seed=seed, config=config,
                            trace=trace, stats=stats, max_events=max_events,
-                           sampling=sampling, health=health)
+                           sampling=sampling, health=health,
+                           profile=profile)

@@ -28,7 +28,23 @@ Projections-grade surface:
   (:class:`HealthMonitor` emitting structured :class:`HealthEvent`\\ s:
   stall, retransmit storm, load imbalance, online unmasking) and the
   :class:`ObsGovernor` that degrades observability when its own
-  wall-clock cost exceeds a configured budget.
+  wall-clock cost exceeds a configured budget — and recovers it when
+  the cost stays calm;
+* :mod:`repro.obs.profiler` — the wall-clock self-profiler
+  (:class:`WallProfiler`): phase-bucketed timing of the engine's
+  dispatch loop (scheduler / network / telemetry / app) with a
+  flamegraph-shaped Chrome-trace export, < 5 % overhead by the
+  perf-smoke bar and zero when off;
+* :mod:`repro.obs.ledger` — the run ledger: schema-2
+  :class:`~repro.bench.trajectory.RunRecord`\\ s carrying the full
+  critical-path decomposition, net/health roll-ups and the wall-clock
+  profile, appended flock-safe to the trajectory log and optionally
+  content-addressed beside the run cache;
+* :mod:`repro.obs.diff` — differential analysis
+  (:func:`compare_records`, ``repro compare``): aligns two ledger
+  records and attributes their step-time delta to critical-path
+  components *exactly* (the component deltas sum to the total delta
+  with zero residual under exact arithmetic).
 """
 
 from repro.obs.critpath import (
@@ -70,6 +86,41 @@ from repro.obs.timeseries import (
     render_sparkline,
 )
 
+from repro.obs.profiler import (
+    WallProfiler,
+    classify_action,
+    install_profiler,
+)
+
+#: Ledger/diff names resolve lazily (PEP 562): those modules import
+#: repro.bench.trajectory, whose package pulls the application drivers,
+#: which import repro.grid.environment, which imports *this* package —
+#: an eager import here deadlocks the whole chain at startup.
+_LAZY_EXPORTS = {
+    "append_ledger": "repro.obs.ledger",
+    "attribution_totals": "repro.obs.ledger",
+    "build_run_record": "repro.obs.ledger",
+    "health_rollup": "repro.obs.ledger",
+    "ledger_key": "repro.obs.ledger",
+    "load_stored": "repro.obs.ledger",
+    "net_rollup": "repro.obs.ledger",
+    "records_from_file": "repro.obs.ledger",
+    "store_record": "repro.obs.ledger",
+    "ComponentDelta": "repro.obs.diff",
+    "RunComparison": "repro.obs.diff",
+    "compare_records": "repro.obs.diff",
+    "write_compare_trace": "repro.obs.diff",
+}
+
+
+def __getattr__(name):
+    module = _LAZY_EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)
+
 __all__ = [
     "CausalGraph",
     "KneePrediction",
@@ -102,4 +153,20 @@ __all__ = [
     "TelemetrySampler",
     "TimeSeries",
     "render_sparkline",
+    "WallProfiler",
+    "classify_action",
+    "install_profiler",
+    "append_ledger",
+    "attribution_totals",
+    "build_run_record",
+    "health_rollup",
+    "ledger_key",
+    "load_stored",
+    "net_rollup",
+    "records_from_file",
+    "store_record",
+    "ComponentDelta",
+    "RunComparison",
+    "compare_records",
+    "write_compare_trace",
 ]

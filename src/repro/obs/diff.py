@@ -1,0 +1,310 @@
+"""Differential run analysis: explain *why* two runs differ.
+
+``repro bench-diff`` says a run got 12 % slower; this module says the
+12 % is 9 % retransmit stall and 3 % stripe pacing.  Given two ledger
+records (:mod:`repro.obs.ledger`, trajectory schema 2),
+:func:`compare_records` aligns their critical-path decompositions and
+diffs them with **exact attribution**: the per-component virtual-time
+deltas sum to the total time-per-step delta with ``residual == 0.0``
+wherever the underlying arithmetic is exact (dyadic grids in the
+property tests; identical records in the CI self-compare), and the
+residual is *reported*, never absorbed, everywhere else.
+
+The exactness is by construction, not hope: per-step values divide each
+component's window total by the window's step count, the totals on each
+side are the same fixed-order sum over
+:data:`~repro.obs.critpath.COMPONENTS`, and the comparison's residual
+is ``(candidate_total - baseline_total) - sum(component deltas)`` — the
+same telescoping discipline the single-run attribution invariant uses.
+
+Each component gets a verdict — ``regressed`` / ``improved`` /
+``neutral`` — against a threshold scaled by the baseline's total step
+time (a 2 % swing of the *step* is interesting; 2 % of a nanoseconds-
+sized component is noise).  Wall-clock phase profiles and network
+roll-ups diff alongside, informationally: wall time is honest about
+being machine-dependent, so it never drives a verdict.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.bench.trajectory import RunRecord
+from repro.obs.critpath import COMPONENTS
+
+#: Relative threshold: a component delta within this fraction of the
+#: baseline's total step time is neutral.
+DEFAULT_THRESHOLD = 0.02
+
+#: Absolute floor under which any delta is neutral regardless of the
+#: relative threshold (guards zero-ish baselines).
+DEFAULT_ABS_FLOOR_S = 1e-9
+
+REGRESSED, IMPROVED, NEUTRAL = "regressed", "improved", "neutral"
+
+
+def _verdict(delta_s: float, scale_s: float) -> str:
+    if abs(delta_s) <= scale_s:
+        return NEUTRAL
+    return REGRESSED if delta_s > 0 else IMPROVED
+
+
+@dataclass
+class ComponentDelta:
+    """One critical-path component's per-step diff."""
+
+    component: str
+    baseline_s: float
+    candidate_s: float
+    delta_s: float
+    verdict: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"component": self.component,
+                "baseline_s": self.baseline_s,
+                "candidate_s": self.candidate_s,
+                "delta_s": self.delta_s,
+                "verdict": self.verdict}
+
+
+@dataclass
+class RunComparison:
+    """Outcome of aligning two ledger records.
+
+    All component values are virtual seconds *per step* (each side's
+    window totals divided by its own step count, so runs of different
+    lengths compare honestly).
+    """
+
+    baseline: RunRecord
+    candidate: RunRecord
+    components: List[ComponentDelta]
+    baseline_step_s: float
+    candidate_step_s: float
+    delta_step_s: float
+    #: (candidate_total - baseline_total) - sum(component deltas):
+    #: exactly 0.0 under exact arithmetic, float noise otherwise.
+    residual_s: float
+    verdict: str
+    threshold: float
+    abs_floor_s: float
+    #: phase -> {baseline_s, candidate_s, delta_s} wall-clock diffs
+    #: (informational: never drives a verdict).
+    phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: net-rollup key -> {baseline, candidate, delta}.
+    net: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def config_changed(self) -> bool:
+        return self.baseline.digest != self.candidate.digest
+
+    @property
+    def all_neutral(self) -> bool:
+        """True when the total and every component verdict is neutral."""
+        return (self.verdict == NEUTRAL
+                and all(c.verdict == NEUTRAL for c in self.components))
+
+    @property
+    def exact(self) -> bool:
+        """Whether the attribution closed with zero residual."""
+        return self.residual_s == 0.0
+
+    # -- rendering --------------------------------------------------------
+
+    def render_components(self) -> str:
+        """The per-component table alone (bench-diff embeds this)."""
+        width = max(len(c.component) for c in self.components)
+        lines = [f"{'component':<{width}}  {'baseline':>12}  "
+                 f"{'candidate':>12}  {'delta':>12}  verdict"]
+        for c in self.components:
+            lines.append(
+                f"{c.component:<{width}}  {c.baseline_s * 1e3:9.4f} ms"
+                f"  {c.candidate_s * 1e3:9.4f} ms"
+                f"  {c.delta_s * 1e3:+9.4f} ms  {c.verdict}")
+        lines.append(
+            f"{'total/step':<{width}}  {self.baseline_step_s * 1e3:9.4f} ms"
+            f"  {self.candidate_step_s * 1e3:9.4f} ms"
+            f"  {self.delta_step_s * 1e3:+9.4f} ms  {self.verdict}")
+        lines.append(f"residual {self.residual_s:+.3e} s"
+                     + ("  (exact)" if self.exact else ""))
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        lines = [
+            f"baseline  {self.baseline.name}  "
+            f"(digest {self.baseline.digest})",
+            f"candidate {self.candidate.name}  "
+            f"(digest {self.candidate.digest})",
+        ]
+        if self.config_changed:
+            lines.append("note      config digests differ: the comparison "
+                         "crosses configurations")
+        lines.append("")
+        lines.append(self.render_components())
+        lines.append("")
+        lines.append(
+            f"measured median step "
+            f"{self.baseline.time_per_step_s * 1e3:.3f} ms -> "
+            f"{self.candidate.time_per_step_s * 1e3:.3f} ms")
+        if self.phases:
+            lines.append("wall-clock phases (informational):")
+            for name in sorted(self.phases):
+                row = self.phases[name]
+                lines.append(
+                    f"  {name:<16} {row['baseline_s'] * 1e3:9.2f} ms -> "
+                    f"{row['candidate_s'] * 1e3:9.2f} ms "
+                    f"({row['delta_s'] * 1e3:+8.2f} ms)")
+        if self.net:
+            lines.append("net roll-up:")
+            for name in sorted(self.net):
+                row = self.net[name]
+                lines.append(f"  {name:<16} {row['baseline']:g} -> "
+                             f"{row['candidate']:g} ({row['delta']:+g})")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        def _side(rec: RunRecord) -> Dict[str, Any]:
+            return {"name": rec.name, "digest": rec.digest,
+                    "schema": rec.schema,
+                    "time_per_step_s": rec.time_per_step_s,
+                    "masked_fraction": rec.masked_fraction,
+                    "steps": (rec.critpath or {}).get("steps")}
+
+        return {
+            "schema": 1,
+            "baseline": _side(self.baseline),
+            "candidate": _side(self.candidate),
+            "threshold": self.threshold,
+            "abs_floor_s": self.abs_floor_s,
+            "components": [c.to_dict() for c in self.components],
+            "total": {
+                "baseline_s": self.baseline_step_s,
+                "candidate_s": self.candidate_step_s,
+                "delta_s": self.delta_step_s,
+                "verdict": self.verdict,
+            },
+            "residual_s": self.residual_s,
+            "exact": self.exact,
+            "all_neutral": self.all_neutral,
+            "config_changed": self.config_changed,
+            "phases": self.phases,
+            "net": self.net,
+        }
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """Side-by-side trace: one process per run, component slices.
+
+        Each process shows one *average step* tiled by its critical-path
+        components (virtual µs), so chrome://tracing / Perfetto renders
+        the diff as two stacked bars to eyeball against each other.
+        """
+        events: List[dict] = []
+        sides = ((1, "baseline", self.baseline, True),
+                 (2, "candidate", self.candidate, False))
+        for pid, label, rec, is_base in sides:
+            events.append({"name": "process_name", "ph": "M", "pid": pid,
+                           "tid": 0, "args": {"name": f"{label}: {rec.name}"}})
+            events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                           "tid": 0, "args": {"name": "critpath / step"}})
+            total = (self.baseline_step_s if is_base
+                     else self.candidate_step_s)
+            events.append({"name": "step", "ph": "X", "pid": pid, "tid": 0,
+                           "ts": 0.0, "dur": total * 1e6,
+                           "args": {"digest": rec.digest}})
+            cursor = 0.0
+            for c in self.components:
+                dur = (c.baseline_s if is_base else c.candidate_s) * 1e6
+                if dur <= 0.0:
+                    continue
+                events.append({"name": c.component, "ph": "X", "pid": pid,
+                               "tid": 0, "ts": cursor, "dur": dur,
+                               "args": {"delta_s": c.delta_s,
+                                        "verdict": c.verdict}})
+                cursor += dur
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _per_step(critpath: Dict[str, Any], key: str) -> float:
+    steps = max(int(critpath.get("steps", 0)), 1)
+    return float(critpath.get(key, 0.0)) / steps
+
+
+def compare_records(baseline: RunRecord, candidate: RunRecord, *,
+                    threshold: float = DEFAULT_THRESHOLD,
+                    abs_floor_s: float = DEFAULT_ABS_FLOOR_S
+                    ) -> RunComparison:
+    """Align two ledger records and diff their critpath decompositions.
+
+    Raises
+    ------
+    ValueError
+        If either record lacks the v2 ``critpath`` payload (v1 records
+        can only be compared by ``repro bench-diff``'s headline ratio).
+    """
+    for label, rec in (("baseline", baseline), ("candidate", candidate)):
+        if not rec.critpath:
+            raise ValueError(
+                f"{label} record {rec.name!r} has no critpath payload "
+                f"(schema {rec.schema}); re-run it with --ledger-out or "
+                f"a v2-aware harness to enable component diffing")
+    b_cp, c_cp = baseline.critpath, candidate.critpath
+
+    b_vals = [_per_step(b_cp, f"{k}_s") for k in COMPONENTS]
+    c_vals = [_per_step(c_cp, f"{k}_s") for k in COMPONENTS]
+    b_total = 0.0
+    for v in b_vals:
+        b_total += v
+    c_total = 0.0
+    for v in c_vals:
+        c_total += v
+    delta_total = c_total - b_total
+    deltas = [c - b for b, c in zip(b_vals, c_vals)]
+    delta_sum = 0.0
+    for d in deltas:
+        delta_sum += d
+    residual = delta_total - delta_sum
+
+    scale = max(abs_floor_s, threshold * b_total)
+    components = [
+        ComponentDelta(component=k, baseline_s=b, candidate_s=c,
+                       delta_s=d, verdict=_verdict(d, scale))
+        for k, b, c, d in zip(COMPONENTS, b_vals, c_vals, deltas)
+    ]
+
+    phases: Dict[str, Dict[str, float]] = {}
+    b_ph = (baseline.profile or {}).get("phases", {})
+    c_ph = (candidate.profile or {}).get("phases", {})
+    for name in sorted(set(b_ph) | set(c_ph)):
+        b_s = float(b_ph.get(name, {}).get("wall_s", 0.0))
+        c_s = float(c_ph.get(name, {}).get("wall_s", 0.0))
+        phases[name] = {"baseline_s": b_s, "candidate_s": c_s,
+                        "delta_s": c_s - b_s}
+
+    net: Dict[str, Dict[str, float]] = {}
+    b_net = baseline.extra.get("net") or {}
+    c_net = candidate.extra.get("net") or {}
+    for name in sorted(set(b_net) | set(c_net)):
+        b_v, c_v = b_net.get(name, 0), c_net.get(name, 0)
+        if isinstance(b_v, (int, float)) and isinstance(c_v, (int, float)):
+            net[name] = {"baseline": b_v, "candidate": c_v,
+                         "delta": c_v - b_v}
+
+    return RunComparison(
+        baseline=baseline, candidate=candidate, components=components,
+        baseline_step_s=b_total, candidate_step_s=c_total,
+        delta_step_s=delta_total, residual_s=residual,
+        verdict=_verdict(delta_total, scale),
+        threshold=threshold, abs_floor_s=abs_floor_s,
+        phases=phases, net=net)
+
+
+def write_compare_trace(comparison: RunComparison, path: str) -> None:
+    """Validate and write the comparison's Chrome trace to *path*."""
+    from repro.obs.export import validate_chrome_trace
+
+    doc = comparison.chrome_trace()
+    validate_chrome_trace(doc)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)

@@ -33,8 +33,15 @@ The telemetry sampler (:mod:`repro.obs.timeseries`) produces a stream of
   budget is exceeded, degrades one level at a time
   (``full`` tracing → ``sampling``-only → ``counters``-only), invoking
   a callback per level and logging the downgrade as a health event.
-  The clock is injectable, so downgrade behaviour is deterministic
-  under test.
+  Degradation also *recovers*: once the overhead fraction has stayed
+  below ``recovery_headroom x budget`` for ``recovery_patience``
+  consecutive checks, the governor upgrades one level back up the same
+  ladder (with per-level ``on_upgrade`` callbacks and an info-severity
+  event), so a transient load spike does not permanently blind the
+  run.  The hysteresis — a fraction of the budget, held for several
+  checks — prevents downgrade/upgrade flapping right at the threshold.
+  The clock is injectable, so downgrade and recovery behaviour are
+  deterministic under test.
 """
 
 from __future__ import annotations
@@ -323,17 +330,36 @@ class ObsGovernor:
     clock:
         Wall-clock source (injectable: tests drive a fake clock and get
         bit-deterministic downgrade sequences).
+    recovery_headroom:
+        Upgrade hysteresis: recovery arms only while the overhead
+        fraction sits below ``recovery_headroom x budget`` (default half
+        the budget), so a level bouncing right at the threshold never
+        flaps.
+    recovery_patience:
+        Consecutive calm checks required before one upgrade step.
     """
 
     def __init__(self, budget: Optional[float] = None,
-                 clock: Callable[[], float] = time.perf_counter) -> None:
+                 clock: Callable[[], float] = time.perf_counter,
+                 recovery_headroom: float = 0.5,
+                 recovery_patience: int = 3) -> None:
         if budget is not None and budget <= 0:
             raise ConfigurationError(f"governor budget must be > 0: {budget}")
+        if not (0.0 < recovery_headroom <= 1.0):
+            raise ConfigurationError(
+                f"recovery_headroom must be in (0, 1]: {recovery_headroom}")
+        if recovery_patience < 1:
+            raise ConfigurationError(
+                f"recovery_patience must be >= 1: {recovery_patience}")
         self.budget = budget
         self.clock = clock
+        self.recovery_headroom = recovery_headroom
+        self.recovery_patience = recovery_patience
         self._t0 = clock()
         self._sources: Dict[str, Callable[[], float]] = {}
         self._on_downgrade: Dict[str, Callable[[], None]] = {}
+        self._on_upgrade: Dict[str, Callable[[], None]] = {}
+        self._calm_checks = 0
         self.level = OBS_LEVELS[0]
         self.events: List[HealthEvent] = []
 
@@ -350,6 +376,13 @@ class ObsGovernor:
             raise ConfigurationError(f"unknown obs level {level!r}; "
                                      f"valid: {OBS_LEVELS}")
         self._on_downgrade[level] = callback
+
+    def on_upgrade(self, level: str, callback: Callable[[], None]) -> None:
+        """Run *callback* when the governor recovers *to* level."""
+        if level not in OBS_LEVELS:
+            raise ConfigurationError(f"unknown obs level {level!r}; "
+                                     f"valid: {OBS_LEVELS}")
+        self._on_upgrade[level] = callback
 
     # -- accounting -------------------------------------------------------
 
@@ -378,30 +411,58 @@ class ObsGovernor:
     # -- enforcement ------------------------------------------------------
 
     def check(self, sim_now: float) -> Optional[HealthEvent]:
-        """Degrade one level if over budget; returns the downgrade event.
+        """Adjust one level if warranted; returns the transition event.
 
-        Called once per sampler tick.  Degradation is one level per call
-        so a single pathological tick cannot skip straight to
-        counters-only before the cheaper remedy was tried.
+        Called once per sampler tick.  Over budget, degrade one level
+        per call so a single pathological tick cannot skip straight to
+        counters-only before the cheaper remedy was tried.  Under
+        ``recovery_headroom x budget`` for ``recovery_patience``
+        consecutive checks, upgrade one level back — recovery climbs
+        the same ladder it descended, one rung per transition.
         """
         if self.budget is None:
             return None
         fraction = self.overhead_fraction()
-        if fraction <= self.budget:
-            return None
+        if fraction > self.budget:
+            self._calm_checks = 0
+            idx = self.level_index
+            if idx + 1 >= len(OBS_LEVELS):
+                return None  # already at the floor
+            self.level = OBS_LEVELS[idx + 1]
+            callback = self._on_downgrade.get(self.level)
+            if callback is not None:
+                callback()
+            event = HealthEvent(
+                t=sim_now, severity="warning", rule="obs-governor",
+                metric="obs.overhead_fraction", value=fraction,
+                threshold=self.budget,
+                message=f"observability overhead {fraction:.1%} > budget "
+                        f"{self.budget:.1%}: degraded "
+                        f"{OBS_LEVELS[idx]} -> {self.level}")
+            self.events.append(event)
+            return event
         idx = self.level_index
-        if idx + 1 >= len(OBS_LEVELS):
-            return None  # already at the floor
-        self.level = OBS_LEVELS[idx + 1]
-        callback = self._on_downgrade.get(self.level)
+        if idx == 0:
+            self._calm_checks = 0
+            return None  # nothing to recover
+        if fraction > self.budget * self.recovery_headroom:
+            self._calm_checks = 0
+            return None  # under budget but not calm enough to climb
+        self._calm_checks += 1
+        if self._calm_checks < self.recovery_patience:
+            return None
+        self._calm_checks = 0
+        self.level = OBS_LEVELS[idx - 1]
+        callback = self._on_upgrade.get(self.level)
         if callback is not None:
             callback()
         event = HealthEvent(
-            t=sim_now, severity="warning", rule="obs-governor",
+            t=sim_now, severity="info", rule="obs-governor",
             metric="obs.overhead_fraction", value=fraction,
-            threshold=self.budget,
-            message=f"observability overhead {fraction:.1%} > budget "
-                    f"{self.budget:.1%}: degraded "
+            threshold=self.budget * self.recovery_headroom,
+            message=f"observability overhead {fraction:.1%} stayed below "
+                    f"{self.recovery_headroom:.0%} of budget for "
+                    f"{self.recovery_patience} checks: recovered "
                     f"{OBS_LEVELS[idx]} -> {self.level}")
         self.events.append(event)
         return event

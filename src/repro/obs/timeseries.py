@@ -223,6 +223,10 @@ class TelemetrySampler:
         self.governor = governor
         self.clock = clock
         self.enabled = True
+        #: False while paused: the tick heartbeat keeps firing (so the
+        #: governor still gets its periodic check and can recover) but
+        #: nothing is recorded.
+        self.recording = True
         self.series: Dict[str, TimeSeries] = {}
         self.health_events: List = []
         self.ticks = 0
@@ -254,6 +258,21 @@ class TelemetrySampler:
         does not reschedule."""
         self.enabled = False
 
+    def pause(self) -> None:
+        """Stop *recording* but keep the tick heartbeat alive.
+
+        The governor's downgrade-to-counters remedy uses this instead of
+        :meth:`stop`: sampling cost drops to two clock reads per tick,
+        yet :meth:`~repro.obs.health.ObsGovernor.check` still runs every
+        interval — without the heartbeat the governor could never
+        observe the overhead fraction falling and recover.
+        """
+        self.recording = False
+
+    def resume(self) -> None:
+        """Resume recording after :meth:`pause` (idempotent)."""
+        self.recording = True
+
     # -- sampling ---------------------------------------------------------
 
     def _series(self, name: str) -> TimeSeries:
@@ -273,8 +292,9 @@ class TelemetrySampler:
             return
         t0 = self.clock()
         now = self.engine.now
-        self._sample(now)
-        self.ticks += 1
+        if self.recording:
+            self._sample(now)
+            self.ticks += 1
         self.cost_s += self.clock() - t0
         if self.governor is not None:
             event = self.governor.check(now)

@@ -79,6 +79,63 @@ def test_governor_degrades_traced_run_under_tiny_budget():
     assert "obs.overhead_fraction" in snap
 
 
+def test_governor_recovery_restores_environment_ladder():
+    """Down the ladder and back: the governor's upgrade callbacks must
+    re-enable exactly what the downgrade callbacks disabled — sampler
+    recording and aggregation at "sampling", per-event tracing at
+    "full" (because this env requested tracing)."""
+    env = artificial_latency_env(4, ms(2.0), trace=True, health=True,
+                                 sampling=True)
+    state = {"t": 0.0, "cost": 0.0}
+    gov = env.governor
+    gov.clock = lambda: state["t"]
+    gov._t0 = 0.0
+    gov.budget = 0.10
+    gov.recovery_headroom = 0.5
+    gov.recovery_patience = 2
+    gov.add_cost_source("test", lambda: state["cost"])
+
+    # Overspend: two checks walk full -> sampling -> counters and the
+    # environment callbacks switch off tracing, recording, aggregation.
+    for i in range(2):
+        state["t"] += 1.0
+        state["cost"] += 0.9
+        gov.check(float(i))
+    assert gov.level == "counters"
+    assert not env.tracer.enabled
+    assert not env.sampler.recording
+    assert not env.aggregator.enabled
+
+    # Calm: cost frozen while wall time advances; after patience x 2
+    # calm checks the same ladder climbs back up.
+    state["t"] = 200.0
+    ticks = 0
+    while gov.level != "full" and ticks < 10:
+        state["t"] += 50.0
+        gov.check(100.0 + ticks)
+        ticks += 1
+    assert gov.level == "full"
+    assert env.tracer.enabled          # trace was requested at build time
+    assert env.sampler.recording
+    assert env.aggregator.enabled
+    transitions = [e.severity for e in gov.events]
+    assert transitions == ["warning", "warning", "info", "info"]
+
+
+def test_governor_recovery_respects_trace_not_requested():
+    """An env built *without* tracing must stay untraced after a full
+    recovery — the governor restores the requested level, not more."""
+    env = artificial_latency_env(4, ms(2.0), health=True, sampling=True)
+    assert not env.tracer.enabled
+    env._obs_to_sampling()
+    env._obs_to_counters()
+    env._obs_recover_sampling()
+    env._obs_recover_full()
+    assert not env.tracer.enabled
+    assert env.sampler.recording
+    assert env.aggregator.enabled
+
+
 def test_every_snapshot_reports_overhead_fraction():
     """obs.overhead_fraction is present even with observability off."""
     env = artificial_latency_env(4, ms(2.0), stats=False)

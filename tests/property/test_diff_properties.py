@@ -1,0 +1,130 @@
+"""The differential attribution invariant: deltas close exactly.
+
+:func:`repro.obs.diff.compare_records` claims its per-component deltas
+sum to the total step-time delta with ``residual == 0.0`` wherever the
+underlying arithmetic is exact.  Reusing the causally-consistent run
+generator from the single-run invariant suite (flat, hierarchical and
+striped hop ledgers, drops, retransmissions, reordered deliveries on
+the 1/16 dyadic grid), we build ledger records out of real
+:func:`~repro.obs.critpath.per_step_attribution` output and check the
+comparison closes exactly — against itself, against an independently
+generated run, and under latency-like scaling.
+
+Step counts are trimmed to powers of two so the per-step division is
+itself exact; every quantity then lives on a dyadic grid where sums and
+differences are lossless, making ``== 0.0`` a legitimate assertion
+rather than an approximation.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.bench.trajectory import RunRecord
+from repro.obs.critpath import COMPONENTS, CausalGraph, per_step_attribution
+from repro.obs.diff import compare_records
+from repro.obs.ledger import attribution_totals
+from test_critpath_properties import causal_runs
+
+COMMON = dict(deadline=None, max_examples=80,
+              suppress_health_check=[HealthCheck.too_slow])
+
+
+def dyadic_boundaries(boundaries):
+    """Trim to a power-of-two step count (>= 1 step where possible).
+
+    Dyadic window totals divided by a power of two stay dyadic, so the
+    per-step division inside compare_records is exact and the residual
+    assertion can be ``== 0.0`` instead of approximate.
+    """
+    n = len(boundaries) - 1
+    if n < 1:
+        return boundaries
+    k = 1
+    while k * 2 <= n:
+        k *= 2
+    return boundaries[:k + 1]
+
+
+def record_from_run(run, name="run"):
+    tracer, boundaries = run
+    boundaries = dyadic_boundaries(boundaries)
+    graph = CausalGraph.from_tracer(tracer)
+    steps = per_step_attribution(graph, boundaries)
+    cp = attribution_totals(steps)
+    tps = cp["wall_s"] / max(cp["steps"], 1)
+    return RunRecord(name=name, config={"name": name}, schema=2,
+                     time_per_step_s=tps, critpath=cp)
+
+
+@given(causal_runs())
+@settings(**COMMON)
+def test_self_compare_closes_exactly_and_is_neutral(run):
+    rec = record_from_run(run)
+    cmp = compare_records(rec, rec)
+    assert cmp.residual_s == 0.0
+    assert cmp.exact
+    assert cmp.delta_step_s == 0.0
+    assert all(c.delta_s == 0.0 for c in cmp.components)
+    assert cmp.all_neutral
+    assert not cmp.config_changed
+
+
+@given(causal_runs(), causal_runs())
+@settings(**COMMON)
+def test_cross_run_deltas_sum_exactly_to_total_delta(run_a, run_b):
+    """Two unrelated runs — different fates, shapes, step counts — still
+    diff with zero residual on the dyadic grid."""
+    base = record_from_run(run_a, "base")
+    cand = record_from_run(run_b, "cand")
+    cmp = compare_records(base, cand)
+    assert cmp.residual_s == 0.0
+    delta_sum = 0.0
+    for c in cmp.components:
+        delta_sum += c.delta_s
+    assert cmp.delta_step_s == delta_sum
+    assert cmp.delta_step_s == cmp.candidate_step_s - cmp.baseline_step_s
+
+
+@given(causal_runs())
+@settings(**COMMON)
+def test_doubled_components_attribute_the_whole_delta(run):
+    """Scaling every component by 2 (a power of two: lossless) must show
+    up as a delta equal to the baseline total, attributed component by
+    component with nothing left over."""
+    base = record_from_run(run)
+    cp2 = dict(base.critpath)
+    for k in COMPONENTS:
+        cp2[f"{k}_s"] = cp2[f"{k}_s"] * 2.0
+    cp2["wall_s"] = cp2["wall_s"] * 2.0
+    cand = RunRecord(name="x2", config={"name": "x2"}, schema=2,
+                     time_per_step_s=base.time_per_step_s * 2.0,
+                     critpath=cp2)
+    cmp = compare_records(base, cand)
+    assert cmp.residual_s == 0.0
+    assert cmp.delta_step_s == cmp.baseline_step_s
+    for c in cmp.components:
+        assert c.delta_s == c.baseline_s
+        if c.baseline_s > 0.0:
+            assert c.candidate_s == 2.0 * c.baseline_s
+
+
+@given(causal_runs())
+@settings(**COMMON)
+def test_ledger_totals_match_per_step_attribution(run):
+    """attribution_totals is a faithful roll-up: each component total is
+    the exact sum of the per-step values and the partition survives."""
+    tracer, boundaries = run
+    boundaries = dyadic_boundaries(boundaries)
+    graph = CausalGraph.from_tracer(tracer)
+    steps = per_step_attribution(graph, boundaries)
+    cp = attribution_totals(steps)
+    assert cp["steps"] == len(steps)
+    assert cp["residual_s"] == 0.0
+    for k in COMPONENTS:
+        total = 0.0
+        for att in steps:
+            total += getattr(att, k)
+        assert cp[f"{k}_s"] == total
+    comp_sum = 0.0
+    for k in COMPONENTS:
+        comp_sum += cp[f"{k}_s"]
+    assert cp["wall_s"] == comp_sum

@@ -1,0 +1,200 @@
+"""Unit tests for the wall-clock self-profiler.
+
+The two contracts that matter: aggregation is exact under an injected
+clock, and the profiler is *invisible* to the simulation — virtual-time
+results are bit-identical with it on or off.
+"""
+
+import pytest
+
+from repro.apps.stencil import StencilApp
+from repro.grid.presets import artificial_latency_env
+from repro.obs.export import validate_chrome_trace
+from repro.obs.profiler import (
+    WallProfiler,
+    classify_action,
+    install_profiler,
+)
+from repro.sim.engine import Engine
+from repro.units import ms
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+# -- classification --------------------------------------------------------
+
+
+def test_classify_action_by_defining_module():
+    from repro.core.scheduler import Scheduler
+    from repro.network.fabric import NetworkFabric
+    from repro.obs.timeseries import TelemetrySampler
+
+    assert classify_action(Scheduler.deliver) == "scheduler"
+    assert classify_action(NetworkFabric.send) == "network"
+    assert classify_action(TelemetrySampler._tick) == "obs.telemetry"
+
+    def local():
+        return None
+
+    assert classify_action(local) == "other"
+
+
+def test_dispatch_buckets_key_on_the_underlying_function():
+    prof = WallProfiler(clock=FakeClock())
+
+    class Thing:
+        def act(self):
+            return None
+
+    a, b = Thing(), Thing()
+    prof.record_action(a.act, 1.0)
+    prof.record_action(b.act, 2.0)
+    # Two bound methods, one underlying function: one bucket, and both
+    # events fold into the same phase at reporting time.
+    assert len(prof._buckets) == 1
+    (phase,) = prof.phase_table()
+    assert prof.phase_table()[phase] == [2, 3.0]
+
+
+# -- aggregation under an injected clock -----------------------------------
+
+
+def test_summary_exact_with_fake_clock():
+    clock = FakeClock()
+    prof = WallProfiler(clock=clock)
+
+    def act():
+        return None
+
+    prof.record_action(act, 2.0)
+    prof.record_action(act, 1.0)
+    with prof.section("analysis"):
+        clock.t += 3.0
+    clock.t = 10.0
+    doc = prof.summary()
+    assert doc["total_wall_s"] == 10.0
+    assert doc["phases"]["other"] == {"calls": 2, "wall_s": 3.0,
+                                      "share": 0.3}
+    assert doc["phases"]["analysis"]["wall_s"] == 3.0
+    assert doc["unaccounted_s"] == pytest.approx(4.0)
+    assert doc["unaccounted_share"] == pytest.approx(0.4)
+
+
+def test_nested_sources_excluded_from_unaccounted():
+    clock = FakeClock()
+    prof = WallProfiler(clock=clock)
+
+    def act():
+        return None
+
+    prof.record_action(act, 8.0)
+    prof.add_nested_source("trace.sinks", lambda: 5.0)
+    clock.t = 10.0
+    doc = prof.summary()
+    # The nested 5 s refines the 8 s of dispatch, it does not add to it:
+    # unaccounted is 10 - 8, not 10 - 13.
+    assert doc["unaccounted_s"] == pytest.approx(2.0)
+    assert doc["phases"]["trace.sinks"] == {"wall_s": 5.0, "share": 0.5,
+                                            "nested": True}
+
+
+def test_render_lists_phases_largest_first():
+    clock = FakeClock()
+    prof = WallProfiler(clock=clock)
+    with prof.section("small"):
+        clock.t += 1.0
+    with prof.section("big"):
+        clock.t += 5.0
+    clock.t = 10.0
+    text = prof.render()
+    assert text.index("big") < text.index("small")
+    assert "(unaccounted)" in text
+
+
+# -- Chrome-trace export ---------------------------------------------------
+
+
+def test_chrome_trace_events_validate_and_tile():
+    clock = FakeClock()
+    prof = WallProfiler(clock=clock)
+    with prof.section("alpha"):
+        clock.t += 4.0
+    with prof.section("beta"):
+        clock.t += 2.0
+    prof.add_nested_source("trace.sinks", lambda: 1.0)
+    clock.t = 10.0
+    events = prof.chrome_trace_events(pid=7)
+    validate_chrome_trace({"traceEvents": events})
+    slices = [e for e in events if e["ph"] == "X" and e["tid"] == 0]
+    root, phases = slices[0], slices[1:]
+    assert root["name"] == "run" and root["dur"] == 10.0 * 1e6
+    # Phase slices tile left-to-right, largest first, inside the root.
+    assert [p["name"] for p in phases] == ["alpha", "beta"]
+    cursor = 0.0
+    for p in phases:
+        assert p["ts"] == pytest.approx(cursor)
+        cursor += p["dur"]
+    assert cursor <= root["dur"]
+    nested = [e for e in events if e.get("args", {}).get("nested")]
+    assert [n["name"] for n in nested] == ["trace.sinks"]
+    assert all(n["tid"] == 1 for n in nested)
+
+
+# -- engine integration ----------------------------------------------------
+
+
+def test_install_profiler_attaches_and_detaches():
+    engine = Engine()
+    prof = WallProfiler()
+    install_profiler(engine, prof)
+    assert engine.profiler is prof
+    install_profiler(engine, None)
+    assert engine.profiler is None
+
+
+def test_profiled_engine_counts_every_event():
+    engine = Engine()
+    prof = WallProfiler()
+    engine.profiler = prof
+    fired = []
+    for i in range(5):
+        engine.post(float(i), fired.append, args=(i,))
+    engine.run()
+    assert fired == [0, 1, 2, 3, 4]
+    calls = sum(int(b[0]) for b in prof.phase_table().values())
+    assert calls == engine.events_processed == 5
+
+
+def test_profiler_does_not_change_virtual_results():
+    """The acceptance invariant: profiler off => bit-identical virtual
+    time, and on => still bit-identical (it only reads the wall clock).
+    """
+    results = {}
+    for profile in (False, True):
+        env = artificial_latency_env(4, ms(2.0), profile=profile)
+        app = StencilApp(env, mesh=(256, 256), objects=16,
+                         payload="modeled")
+        res = app.run(4)
+        results[profile] = (list(res.step_times), env.now,
+                            env.engine.events_processed)
+    assert results[False] == results[True]
+    # And the profiled run actually profiled something.
+    env = artificial_latency_env(4, ms(2.0), profile=True)
+    app = StencilApp(env, mesh=(256, 256), objects=16, payload="modeled")
+    app.run(2)
+    assert env.profiler is not None
+    table = env.profiler.phase_table()
+    assert sum(int(b[0]) for b in table.values()) > 0
+    assert "scheduler" in table
+
+
+def test_profiler_off_engine_has_no_hook_cost_path():
+    env = artificial_latency_env(4, ms(2.0))
+    assert env.profiler is None
+    assert env.engine.profiler is None
