@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""CI gate: validate the structure of ``repro objview --json`` output.
+
+Usage::
+
+    python benchmarks/check_objview_schema.py objview.json
+
+Checks that the ``objects`` section — the Projections-style object
+view's machine-readable digest — carries every documented key with the
+right type and that its internal invariants hold (top objects sorted by
+descending compute, grain quantiles ordered p50 <= p95 <= max, blame
+rows internally consistent, advisor suggestions ranked by predicted
+savings).  No third-party schema library: the checks are hand-rolled so
+the gate runs on a bare numpy-only CI image.
+"""
+
+import json
+import sys
+
+TOTALS_KEYS = {
+    "objects": int, "executions": int, "compute_s": float,
+    "queue_wait_s": float, "bytes_sent": int, "wan_bytes_sent": int,
+    "matrix_edges": int, "makespan_s": float,
+}
+TOP_KEYS = {
+    "obj": str, "executions": int, "compute_s": float,
+    "p50_grain_s": float, "p95_grain_s": float, "max_grain_s": float,
+    "queue_wait_s": float, "wan_bytes_sent": int, "wan_bytes_recv": int,
+}
+BLAME_KEYS = {
+    "compute_s": float, "wan_wait_s": float, "queue_s": float,
+    "total_s": float,
+}
+SUGGESTION_KEYS = {
+    "obj": str, "action": str, "reason": str,
+    "predicted_savings_s": float,
+}
+ACTIONS = {"split", "merge", "migrate"}
+DIRECTIONS = {"finer", "coarser", "keep"}
+
+
+def _fail(msg):
+    raise SystemExit(f"objview schema: {msg}")
+
+
+def _check_mapping(name, row, spec):
+    for key, typ in spec.items():
+        if key not in row:
+            _fail(f"{name} missing key {key!r}")
+        value = row[key]
+        if typ is float:
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool):
+                _fail(f"{name}[{key!r}] is {type(value).__name__}, "
+                      f"want number")
+        elif not isinstance(value, typ) or \
+                (typ is int and isinstance(value, bool)):
+            _fail(f"{name}[{key!r}] is {type(value).__name__}, "
+                  f"want {typ.__name__}")
+
+
+def check(doc):
+    objects = doc.get("objects")
+    if not isinstance(objects, dict):
+        _fail("document has no 'objects' object")
+    for key in ("totals", "top_by_compute"):
+        if key not in objects:
+            _fail(f"objects missing key {key!r}")
+    totals = objects["totals"]
+    _check_mapping("totals", totals, TOTALS_KEYS)
+    if totals["objects"] <= 0:
+        _fail("totals.objects must be positive in a traced run")
+    if totals["compute_s"] < 0:
+        _fail("totals.compute_s negative")
+
+    top = objects["top_by_compute"]
+    if not isinstance(top, list) or not top:
+        _fail("objects.top_by_compute must be a non-empty list")
+    for i, row in enumerate(top):
+        _check_mapping(f"top_by_compute[{i}]", row, TOP_KEYS)
+        if not (0.0 <= row["p50_grain_s"] <= row["p95_grain_s"]
+                <= row["max_grain_s"]):
+            _fail(f"top_by_compute[{i}]: grain quantiles out of order")
+        if row["compute_s"] > totals["compute_s"]:
+            _fail(f"top_by_compute[{i}]: object compute exceeds total")
+    for a, b in zip(top, top[1:]):
+        if a["compute_s"] < b["compute_s"]:
+            _fail("top_by_compute not sorted by descending compute")
+
+    blame = objects.get("blame")
+    if blame is not None:
+        if not isinstance(blame, dict):
+            _fail("objects.blame must be an object")
+        for obj, row in blame.items():
+            _check_mapping(f"blame[{obj!r}]", row, BLAME_KEYS)
+            parts = row["compute_s"] + row["wan_wait_s"] + row["queue_s"]
+            if abs(row["total_s"] - parts) > 1e-9 * max(1.0, parts):
+                _fail(f"blame[{obj!r}]: total_s != sum of components")
+
+    advice = objects.get("advice")
+    if advice is not None:
+        if advice.get("direction") not in DIRECTIONS:
+            _fail(f"advice.direction {advice.get('direction')!r} not in "
+                  f"{sorted(DIRECTIONS)}")
+        rec = advice.get("recommended_objects")
+        if rec is not None and (not isinstance(rec, int) or rec <= 0):
+            _fail("advice.recommended_objects must be a positive int")
+        suggestions = advice.get("suggestions")
+        if not isinstance(suggestions, list):
+            _fail("advice.suggestions must be a list")
+        for i, s in enumerate(suggestions):
+            _check_mapping(f"suggestions[{i}]", s, SUGGESTION_KEYS)
+            if s["action"] not in ACTIONS:
+                _fail(f"suggestions[{i}].action {s['action']!r} not in "
+                      f"{sorted(ACTIONS)}")
+            if s["action"] == "migrate" and "partner" not in s:
+                _fail(f"suggestions[{i}]: migrate without a partner")
+        for a, b in zip(suggestions, suggestions[1:]):
+            if a["predicted_savings_s"] < b["predicted_savings_s"]:
+                _fail("suggestions not ranked by predicted savings")
+    return objects
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        _fail("usage: check_objview_schema.py OBJVIEW_JSON")
+    with open(argv[0]) as fh:
+        doc = json.load(fh)
+    objects = check(doc)
+    advice = objects.get("advice") or {}
+    print(f"objview schema OK: {objects['totals']['objects']} objects, "
+          f"{len(objects['top_by_compute'])} top rows, "
+          f"{len(objects.get('blame') or {})} blame rows, "
+          f"direction={advice.get('direction', 'n/a')}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

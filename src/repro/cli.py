@@ -16,6 +16,9 @@ Usage (any artefact, directly from a shell)::
     python -m repro netview [--latency MS] [--routing flat|hierarchical]
                             [--streams N] [--top K] [--json]
                             [--trace-out PATH]
+    python -m repro objview [--app stencil|leanmd] [--latency MS]
+                            [--top K] [--json] [--trace-out PATH]
+                            [--ledger-out PATH]
     python -m repro sweep {fig3,fig3c,fig4,table1,table2} [--jobs N]
                           [--no-cache] [--cache-dir DIR]
                           [--stats-out PATH] [--steps N] [...subset flags]
@@ -45,7 +48,11 @@ files), it attributes the step-time delta to critical-path components
 exactly, diffs the wall-clock phase profiles and net roll-ups, and can
 write a side-by-side Chrome trace; ``repro critpath`` and ``repro
 netview`` grow ``--ledger-out PATH`` to emit those records (with the
-self-profiler enabled for the run).  ``repro sweep`` runs
+self-profiler enabled for the run).  ``repro objview`` is the
+Projections-style object view: per-chare compute/grain/traffic
+profiles, the object×object communication matrix, per-object
+critical-path blame, and the decomposition advisor's split / merge /
+migrate suggestions ranked by predicted savings.  ``repro sweep`` runs
 any artefact's configurations through the parallel executor — ``--jobs
 N`` fans out over N worker processes, the content-addressed run cache
 skips configurations already computed, and the rendered artefact is
@@ -97,6 +104,51 @@ def _parse_rows(values: Sequence[str]) -> Tuple[Tuple[int, int], ...]:
     return tuple(rows)
 
 
+def _add_output_options(p, *, trace_flag: str = "--trace-out",
+                        trace_help: str = "write Chrome trace-event JSON "
+                        "here (open in chrome://tracing or Perfetto)",
+                        ledger: bool = False,
+                        json_help: str = "print the report as JSON "
+                        "instead of text") -> None:
+    """Shared output plumbing for the one-run subcommands.
+
+    Registers the Chrome-trace path (``--out`` or ``--trace-out``,
+    whichever the command historically used — both land in
+    ``args.trace_out``), the optional ``--ledger-out`` run-ledger path,
+    and ``--json``, so every subcommand's output surface shares one
+    dest naming and one help voice.
+    """
+    p.add_argument(trace_flag, dest="trace_out", default=None,
+                   metavar="PATH", help=trace_help)
+    if ledger:
+        p.add_argument("--ledger-out", default=None, metavar="PATH",
+                       help="append a schema-2 run-ledger record (full "
+                            "critpath decomposition + wall-clock profile "
+                            "+ per-object blame) here for 'repro "
+                            "compare'; enables the self-profiler for "
+                            "the run")
+    p.add_argument("--json", action="store_true", help=json_help)
+
+
+def _validate_run(args) -> None:
+    """Common sanity checks for the one-run subcommands."""
+    if args.pes < 2 or args.pes % 2:
+        raise SystemExit(f"--pes must be even and >= 2, got {args.pes}")
+    if args.latency < 0:
+        raise SystemExit(f"--latency must be >= 0, got {args.latency}")
+
+
+def _write_chrome_trace(env, path, report, health_events=None) -> None:
+    """Validate and write the run's Chrome trace; note it in the report."""
+    from repro.obs.export import chrome_trace, validate_chrome_trace
+
+    doc = chrome_trace(env.tracer, health_events)
+    validate_chrome_trace(doc)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    report.extra["chrome_trace"] = path
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -142,13 +194,9 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--latency", type=float, default=8.0,
                     help="one-way WAN latency in ms")
     tr.add_argument("--steps", type=int, default=10)
-    tr.add_argument("--out", default=None, metavar="PATH",
-                    help="write Chrome trace-event JSON here "
-                         "(open in chrome://tracing or Perfetto)")
     tr.add_argument("--events-out", default=None, metavar="PATH",
                     help="write a JSON-lines structured event log here")
-    tr.add_argument("--json", action="store_true",
-                    help="print the report as JSON instead of text")
+    _add_output_options(tr, trace_flag="--out")
 
     cp = sub.add_parser("critpath", help="critical-path attribution and "
                         "knee prediction from one traced run")
@@ -171,16 +219,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "T(L) <= tolerance x baseline (default 1.5)")
     cp.add_argument("--per-step", action="store_true",
                     help="print the per-step attribution table too")
-    cp.add_argument("--out", default=None, metavar="PATH",
-                    help="write the Chrome trace (with causal flow "
-                         "events) here")
-    cp.add_argument("--ledger-out", default=None, metavar="PATH",
-                    help="append a schema-2 run-ledger record (full "
-                         "critpath decomposition + wall-clock profile) "
-                         "here for 'repro compare'; enables the "
-                         "self-profiler for the run")
-    cp.add_argument("--json", action="store_true",
-                    help="print the report as JSON instead of text")
+    _add_output_options(cp, trace_flag="--out",
+                        trace_help="write the Chrome trace (with causal "
+                                   "flow events) here",
+                        ledger=True)
 
     hl = sub.add_parser("health", help="run one configuration with "
                         "telemetry + watchdog and print the health digest")
@@ -206,11 +248,8 @@ def build_parser() -> argparse.ArgumentParser:
                          "full tracing -> sampling -> counters")
     hl.add_argument("--out", default=None, metavar="PATH",
                     help="append structured health events here (JSONL)")
-    hl.add_argument("--trace-out", default=None, metavar="PATH",
-                    help="write a Chrome trace with health-event "
-                         "markers here (enables full tracing)")
-    hl.add_argument("--json", action="store_true",
-                    help="print the report as JSON instead of text")
+    _add_output_options(hl, trace_help="write a Chrome trace with "
+                        "health-event markers here (enables full tracing)")
 
     nv = sub.add_parser("netview", help="network flight recorder: per-link "
                         "utilization, queue depths and top wire-time "
@@ -231,16 +270,27 @@ def build_parser() -> argparse.ArgumentParser:
                          "(0 = no striping)")
     nv.add_argument("--top", type=int, default=10, metavar="K",
                     help="how many top-wire-time messages to list")
-    nv.add_argument("--trace-out", default=None, metavar="PATH",
-                    help="write a Chrome trace with one lane per WAN "
-                         "link/stream here")
-    nv.add_argument("--ledger-out", default=None, metavar="PATH",
-                    help="append a schema-2 run-ledger record (full "
-                         "critpath decomposition + wall-clock profile) "
-                         "here for 'repro compare'; enables the "
-                         "self-profiler for the run")
-    nv.add_argument("--json", action="store_true",
-                    help="print the report as JSON instead of text")
+    _add_output_options(nv, trace_help="write a Chrome trace with one "
+                        "lane per WAN link/stream here", ledger=True)
+
+    ov = sub.add_parser("objview", help="Projections-style object view: "
+                        "per-chare profiles, comm matrix, grain "
+                        "analysis, blame and the decomposition advisor")
+    ov.add_argument("--app", choices=("stencil", "leanmd"),
+                    default="stencil")
+    ov.add_argument("--pes", type=int, default=8)
+    ov.add_argument("--objects", type=int, default=64,
+                    help="virtualization degree (stencil only)")
+    ov.add_argument("--mesh", type=int, default=1024, metavar="N",
+                    help="stencil mesh edge (NxN; Figure 3 uses 2048)")
+    ov.add_argument("--latency", type=float, default=8.0,
+                    help="one-way WAN latency in ms")
+    ov.add_argument("--steps", type=int, default=10)
+    ov.add_argument("--top", type=int, default=10, metavar="K",
+                    help="objects listed in each table")
+    _add_output_options(ov, trace_help="write a Chrome trace with one "
+                        "lane per object and comm-matrix counters here",
+                        ledger=True)
 
     sw = sub.add_parser("sweep", help="run a paper sweep through the "
                         "parallel executor with the run cache")
@@ -303,11 +353,11 @@ def build_parser() -> argparse.ArgumentParser:
     cm.add_argument("--threshold", type=float, default=None,
                     help="neutral band as a fraction of the baseline's "
                          "total step time (default 0.02)")
-    cm.add_argument("--trace-out", default=None, metavar="PATH",
-                    help="write a side-by-side Chrome trace (one "
-                         "process per run, critpath slices) here")
-    cm.add_argument("--json", action="store_true",
-                    help="print the comparison as JSON instead of text")
+    _add_output_options(cm, trace_help="write a side-by-side Chrome "
+                        "trace (one process per run, critpath slices) "
+                        "here",
+                        json_help="print the comparison as JSON instead "
+                                  "of text")
     return parser
 
 
@@ -384,19 +434,13 @@ def cmd_demo(args, out) -> None:
 
 def cmd_trace(args, out) -> None:
     from repro.grid import artificial_latency_env
-    from repro.obs.export import (
-        chrome_trace,
-        validate_chrome_trace,
-        write_event_log,
-    )
+    from repro.obs.export import write_event_log
     from repro.obs.report import build_report
     from repro.units import ms
 
-    if args.pes < 2 or args.pes % 2:
-        raise SystemExit(f"--pes must be even and >= 2, got {args.pes}")
-    if args.latency < 0:
-        raise SystemExit(f"--latency must be >= 0, got {args.latency}")
-    want_events = args.out is not None or args.events_out is not None
+    _validate_run(args)
+    want_events = (args.trace_out is not None
+                   or args.events_out is not None)
     env = artificial_latency_env(args.pes, ms(args.latency),
                                  trace=want_events)
     if args.app == "stencil":
@@ -415,12 +459,8 @@ def cmd_trace(args, out) -> None:
     report.extra["pes"] = args.pes
     report.extra["latency_ms"] = args.latency
     report.extra["steps"] = args.steps
-    if args.out is not None:
-        doc = chrome_trace(env.tracer)
-        validate_chrome_trace(doc)
-        with open(args.out, "w") as fh:
-            json.dump(doc, fh)
-        report.extra["chrome_trace"] = args.out
+    if args.trace_out is not None:
+        _write_chrome_trace(env, args.trace_out, report)
     if args.events_out is not None:
         lines = write_event_log(env.tracer, args.events_out)
         report.extra["event_log"] = args.events_out
@@ -435,8 +475,8 @@ def cmd_trace(args, out) -> None:
               file=out)
         print(file=out)
         print(report.render(), file=out)
-        if args.out is not None:
-            print(f"\nChrome trace written to {args.out} "
+        if args.trace_out is not None:
+            print(f"\nChrome trace written to {args.trace_out} "
                   "(open in chrome://tracing or https://ui.perfetto.dev)",
                   file=out)
         if args.events_out is not None:
@@ -445,7 +485,7 @@ def cmd_trace(args, out) -> None:
 
 
 def _emit_ledger(args, experiment: str, result, env, steps_attribution,
-                 path: str) -> None:
+                 path: str, objects_blame=None) -> None:
     """Append one schema-2 ledger record for a CLI run to *path*.
 
     The record also lands content-addressed under ``.repro-cache/``
@@ -470,7 +510,7 @@ def _emit_ledger(args, experiment: str, result, env, steps_attribution,
         name=f"{experiment}:{app}:{args.pes}x"
              f"{getattr(args, 'objects', 0)}@{args.latency:g}ms",
         config=config, result=result, env=env,
-        steps_attribution=steps_attribution)
+        steps_attribution=steps_attribution, objects_blame=objects_blame)
     append_ledger(record, path, cache_root=".repro-cache")
 
 
@@ -483,14 +523,10 @@ def cmd_critpath(args, out) -> None:
         render_attribution,
         summarize_attribution,
     )
-    from repro.obs.export import chrome_trace, validate_chrome_trace
     from repro.obs.report import build_report
     from repro.units import ms
 
-    if args.pes < 2 or args.pes % 2:
-        raise SystemExit(f"--pes must be even and >= 2, got {args.pes}")
-    if args.latency < 0:
-        raise SystemExit(f"--latency must be >= 0, got {args.latency}")
+    _validate_run(args)
     env = artificial_latency_env(args.pes, ms(args.latency), trace=True,
                                  profile=args.ledger_out is not None)
     t0 = env.now
@@ -520,12 +556,8 @@ def cmd_critpath(args, out) -> None:
     report.extra["pes"] = args.pes
     report.extra["latency_ms"] = args.latency
     report.extra["steps"] = args.steps
-    if args.out is not None:
-        doc = chrome_trace(env.tracer)
-        validate_chrome_trace(doc)
-        with open(args.out, "w") as fh:
-            json.dump(doc, fh)
-        report.extra["chrome_trace"] = args.out
+    if args.trace_out is not None:
+        _write_chrome_trace(env, args.trace_out, report)
     if args.ledger_out is not None:
         _emit_ledger(args, "critpath", result, env, steps, args.ledger_out)
         report.extra["ledger"] = args.ledger_out
@@ -553,22 +585,18 @@ def cmd_critpath(args, out) -> None:
     print(f"predicted knee: {knee.knee_s * 1e3:g} ms "
           f"(largest L with T(L) <= {knee.tolerance:g}x baseline)",
           file=out)
-    if args.out is not None:
-        print(f"Chrome trace (with causal flows) written to {args.out}",
-              file=out)
+    if args.trace_out is not None:
+        print(f"Chrome trace (with causal flows) written to "
+              f"{args.trace_out}", file=out)
 
 
 def cmd_health(args, out) -> None:
     from repro.grid import artificial_latency_env, lossy_wan_env
-    from repro.obs.export import chrome_trace, validate_chrome_trace
     from repro.obs.report import build_report, health_section
     from repro.obs.timeseries import SamplingPolicy
     from repro.units import ms
 
-    if args.pes < 2 or args.pes % 2:
-        raise SystemExit(f"--pes must be even and >= 2, got {args.pes}")
-    if args.latency < 0:
-        raise SystemExit(f"--latency must be >= 0, got {args.latency}")
+    _validate_run(args)
     if not (0.0 <= args.loss < 1.0):
         raise SystemExit(f"--loss must be in [0, 1), got {args.loss}")
     if args.interval <= 0:
@@ -610,11 +638,8 @@ def cmd_health(args, out) -> None:
                 fh.write(json.dumps(event.to_dict()) + "\n")
         report.extra["events_out"] = args.out
     if args.trace_out is not None:
-        doc = chrome_trace(env.tracer, env.health_events)
-        validate_chrome_trace(doc)
-        with open(args.trace_out, "w") as fh:
-            json.dump(doc, fh)
-        report.extra["chrome_trace"] = args.trace_out
+        _write_chrome_trace(env, args.trace_out, report,
+                            health_events=env.health_events)
 
     if args.json:
         json.dump(report.to_dict(), out, indent=2)
@@ -639,14 +664,10 @@ def cmd_health(args, out) -> None:
 def cmd_netview(args, out) -> None:
     from repro.apps.stencil import StencilApp
     from repro.grid import artificial_latency_env
-    from repro.obs.export import chrome_trace, validate_chrome_trace
     from repro.obs.report import build_report, netview_section
     from repro.units import ms
 
-    if args.pes < 2 or args.pes % 2:
-        raise SystemExit(f"--pes must be even and >= 2, got {args.pes}")
-    if args.latency < 0:
-        raise SystemExit(f"--latency must be >= 0, got {args.latency}")
+    _validate_run(args)
     if args.streams < 0:
         raise SystemExit(f"--streams must be >= 0, got {args.streams}")
     if args.top < 1:
@@ -680,11 +701,7 @@ def cmd_netview(args, out) -> None:
     if args.streams:
         report.extra["wan_streams"] = args.streams
     if args.trace_out is not None:
-        doc = chrome_trace(env.tracer)
-        validate_chrome_trace(doc)
-        with open(args.trace_out, "w") as fh:
-            json.dump(doc, fh)
-        report.extra["chrome_trace"] = args.trace_out
+        _write_chrome_trace(env, args.trace_out, report)
 
     if args.json:
         json.dump(report.to_dict(), out, indent=2)
@@ -700,6 +717,89 @@ def cmd_netview(args, out) -> None:
     if args.trace_out is not None:
         print(f"\nChrome trace (per-link network lanes) written to "
               f"{args.trace_out}", file=out)
+
+
+def cmd_objview(args, out) -> None:
+    from repro.grid import artificial_latency_env
+    from repro.obs.critpath import (
+        CausalGraph,
+        per_object_blame,
+        per_step_attribution,
+        render_blame,
+    )
+    from repro.obs.objview import ObjectView, recommend_decomposition
+    from repro.obs.report import build_report, objview_section
+    from repro.units import ms
+
+    _validate_run(args)
+    if args.top < 1:
+        raise SystemExit(f"--top must be >= 1, got {args.top}")
+    env = artificial_latency_env(args.pes, ms(args.latency), trace=True,
+                                 profile=args.ledger_out is not None)
+    t0 = env.now
+    if args.app == "stencil":
+        from repro.apps.stencil import StencilApp
+        app = StencilApp(env, mesh=(args.mesh, args.mesh),
+                         objects=args.objects, payload="modeled")
+        result = app.run(args.steps)
+    else:
+        from repro.apps.leanmd import LeanMDApp
+        app = LeanMDApp(env, cells=(4, 4, 4), atoms_per_cell=16,
+                        payload="modeled")
+        result = app.run(args.steps)
+
+    graph = CausalGraph.from_tracer(env.tracer)
+    boundaries = [t0] + [t0 + float(t) for t in result.step_times]
+    steps = per_step_attribution(graph, boundaries)
+    blame = per_object_blame(
+        [seg for att in steps for seg in att.segments])
+    view = ObjectView.from_source(env.tracer)
+    advice = recommend_decomposition(
+        view, ms(args.latency),
+        overhead_s=env.runtime.config.scheduler_overhead,
+        num_pes=args.pes, steps=args.steps, blame=blame)
+
+    report = build_report(env.aggregator)
+    report.objects = objview_section(view, top=args.top, blame=blame,
+                                     advice=advice)
+    report.extra["app"] = args.app
+    report.extra["pes"] = args.pes
+    report.extra["latency_ms"] = args.latency
+    report.extra["steps"] = args.steps
+    if args.trace_out is not None:
+        _write_chrome_trace(env, args.trace_out, report)
+    if args.ledger_out is not None:
+        _emit_ledger(args, "objview", result, env, steps, args.ledger_out,
+                     objects_blame=blame)
+        report.extra["ledger"] = args.ledger_out
+
+    if args.json:
+        json.dump(report.to_dict(), out, indent=2)
+        print(file=out)
+        return
+    print(f"{args.app}: {args.pes} PEs, {args.objects} objects, "
+          f"{args.latency:g} ms one-way WAN, {args.steps} steps",
+          file=out)
+    print(file=out)
+    print(view.render(top=args.top), file=out)
+    print(file=out)
+    print(render_blame(blame, top=args.top), file=out)
+    print(file=out)
+    rec = advice.recommended_objects
+    print("advisor: direction=" + advice.direction
+          + (f", recommended objects={rec}" if rec is not None else ""),
+          file=out)
+    for s in advice.suggestions[:args.top]:
+        print(f"  [{s.action.upper():7s}] {s.obj}: {s.reason} "
+              f"(saves ~{s.predicted_savings_s * 1e3:.3f} ms)", file=out)
+    if not advice.suggestions:
+        print("  no per-object findings: the decomposition looks healthy",
+              file=out)
+    if args.trace_out is not None:
+        print(f"\nChrome trace (with per-object lanes) written to "
+              f"{args.trace_out}", file=out)
+    if args.ledger_out is not None:
+        print(f"Ledger record appended to {args.ledger_out}", file=out)
 
 
 def cmd_sweep(args, out) -> None:
@@ -916,6 +1016,7 @@ COMMANDS = {
     "critpath": cmd_critpath,
     "health": cmd_health,
     "netview": cmd_netview,
+    "objview": cmd_objview,
     "sweep": cmd_sweep,
     "bench-diff": cmd_bench_diff,
     "compare": cmd_compare,

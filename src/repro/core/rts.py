@@ -157,6 +157,9 @@ class Runtime:
         #: the getattr + entry_info walk is paid once per entry, not once
         #: per send.
         self._declared_prio: Dict[Tuple[int, str], Optional[int]] = {}
+        #: Memoized ``ChareID -> str(ChareID)`` labels for trace object
+        #: attribution; consulted only when tracing is enabled.
+        self._obj_labels: Dict[ChareID, str] = {}
 
     # -- basic accessors -------------------------------------------------------
 
@@ -347,6 +350,19 @@ class Runtime:
         ctx = self.scheduler.current_context
         return ctx.pe if ctx is not None else self.config.driver_pe
 
+    def _obj_label(self, chare_id: ChareID) -> str:
+        """Memoized, location-independent trace label for a chare.
+
+        ``str(ChareID)`` never mentions a PE, so the label is stable
+        across migration — per-object trace aggregation keyed on it
+        follows the *object* wherever load balancing moves it.
+        """
+        label = self._obj_labels.get(chare_id)
+        if label is None:
+            label = str(chare_id)
+            self._obj_labels[chare_id] = label
+        return label
+
     def _dispatch_payload(self, dst_pe: int, payload: Any, size: int,
                           priority: Optional[int], tag: str,
                           dst_chare: Optional[ChareID] = None,
@@ -363,6 +379,15 @@ class Runtime:
             tag=tag)
         if relay_hop:
             msg.relay_hop = relay_hop
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            # Object attribution for the trace sinks.  Labels are stamped
+            # only when tracing is on, so the obs-off hot path is
+            # byte-for-byte the seed's (two None slot writes aside).
+            if ctx is not None and ctx.chare_id is not None:
+                msg.src_obj = self._obj_label(ctx.chare_id)
+            if dst_chare is not None:
+                msg.dst_obj = self._obj_label(dst_chare)
         if (self.config.collect_lb_stats and ctx is not None
                 and ctx.chare_id is not None and dst_chare is not None):
             self.lb_db.record_send(
@@ -485,6 +510,10 @@ class Runtime:
         fwd = Message(src_pe=from_pe, dst_pe=to_pe,
                       size_bytes=msg.size_bytes, payload=msg.payload,
                       priority=msg.priority, tag=msg.tag)
+        # Preserve object attribution across the forwarding hop so
+        # per-object aggregation keeps following the migrated chare.
+        fwd.src_obj = msg.src_obj
+        fwd.dst_obj = msg.dst_obj
         ctx = self.scheduler.current_context
         if ctx is not None:
             ctx.outbox.append(fwd)

@@ -188,9 +188,14 @@ class Scheduler:
 
         total = rts.config.scheduler_overhead + static_cost + ctx.charged
         if tracing and rts.tracer.enabled:
+            # Object label: set only for entry methods that actually ran
+            # on a chare here (ctx.chare_id is filled by _run_invocation);
+            # runtime-internal work (<rts>, <driver>) stays unattributed.
+            obj = (rts._obj_label(ctx.chare_id)
+                   if ctx.chare_id is not None else None)
             rts.tracer.begin_execute(ps.pe, t0, label_chare, label_entry,
                                      sid=ctx.exec_id, parent=msg.cause,
-                                     trigger=msg.seq)
+                                     trigger=msg.seq, obj=obj)
         engine.post(t0 + total, self._finish, args=(ps, ctx, total))
 
     def _run_invocation(self, ps: PeState, ctx: ExecutionContext,

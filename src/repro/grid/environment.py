@@ -52,6 +52,13 @@ class GridEnvironment:
         utilization, per-entry profiles and the masked-latency fraction
         computed online in O(PEs + entries) memory, cheap enough for
         full benchmark sweeps.  Available as :attr:`aggregator`.
+    object_stats:
+        Keep per-object profiles and the object×object communication
+        matrix inside the streaming aggregator (default on; see
+        :class:`~repro.sim.trace.ObjectFold`).  Turn off to measure the
+        aggregator at its pre-object-view cost (perf-smoke baseline) or
+        to shed the per-object memory in enormous sweeps.  Ignored when
+        ``stats`` is off.
     max_events:
         Engine safety valve against livelock; ``None`` disables.
     reliable:
@@ -88,6 +95,7 @@ class GridEnvironment:
     def __init__(self, topology: GridTopology, chain: DeviceChain, *,
                  seed: int = 0, config: Optional[RuntimeConfig] = None,
                  trace: bool = False, stats: bool = True,
+                 object_stats: bool = True,
                  max_events: Optional[int] = None,
                  reliable: Union[bool, RetransmitPolicy, None] = None,
                  sampling: Union[bool, SamplingPolicy, None] = None,
@@ -104,7 +112,8 @@ class GridEnvironment:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(enabled=trace)
         self.aggregator: Optional[TraceAggregator] = (
-            TraceAggregator(metrics=self.metrics) if stats else None)
+            TraceAggregator(metrics=self.metrics, objects=object_stats)
+            if stats else None)
         if health and sampling is None:
             sampling = True
         sampling_policy: Optional[SamplingPolicy]

@@ -80,6 +80,7 @@ def _wan_device(link: LinkModel, wan_streams: int):
 def single_cluster_env(num_pes: int, *, seed: int = 0,
                        config: Optional[RuntimeConfig] = None,
                        trace: bool = False, stats: bool = True,
+                       object_stats: bool = True,
                        max_events: Optional[int] = None,
                        sampling: Union[bool, SamplingPolicy, None] = None,
                        health: Union[bool, HealthConfig, None] = None,
@@ -89,7 +90,9 @@ def single_cluster_env(num_pes: int, *, seed: int = 0,
     topo = GridTopology.single_cluster(num_pes)
     chain = DeviceChain(_base_devices())
     return GridEnvironment(topo, chain, seed=seed, config=config,
-                           trace=trace, stats=stats, max_events=max_events,
+                           trace=trace, stats=stats,
+                           object_stats=object_stats,
+                           max_events=max_events,
                            sampling=sampling, health=health,
                            profile=profile)
 
@@ -99,6 +102,7 @@ def artificial_latency_env(num_pes: int, latency: float, *, seed: int = 0,
                            routing: Optional[str] = None,
                            wan_streams: int = 0,
                            trace: bool = False, stats: bool = True,
+                           object_stats: bool = True,
                            max_events: Optional[int] = None,
                            sampling: Union[bool, SamplingPolicy, None] = None,
                            health: Union[bool, HealthConfig, None] = None,
@@ -136,7 +140,9 @@ def artificial_latency_env(num_pes: int, latency: float, *, seed: int = 0,
     chain = DeviceChain(devices)
     return GridEnvironment(topo, chain, seed=seed,
                            config=_apply_routing(config, routing),
-                           trace=trace, stats=stats, max_events=max_events,
+                           trace=trace, stats=stats,
+                           object_stats=object_stats,
+                           max_events=max_events,
                            sampling=sampling, health=health,
                            profile=profile)
 

@@ -165,7 +165,8 @@ class NetworkFabric:
             tracer.message_sent(now, msg.src_pe, msg.dst_pe,
                                 wire_msg.size_bytes, msg.tag,
                                 crossed_wan, seq=msg.seq,
-                                cause=msg.cause, ack_for=msg.ack_for)
+                                cause=msg.cause, ack_for=msg.ack_for,
+                                src_obj=msg.src_obj, dst_obj=msg.dst_obj)
 
         if route.dropped:
             self.stats.record_drop(route.transport.name)
@@ -174,7 +175,9 @@ class NetworkFabric:
                                        wire_msg.size_bytes, msg.tag,
                                        crossed_wan, seq=msg.seq,
                                        cause=msg.cause,
-                                       ack_for=msg.ack_for)
+                                       ack_for=msg.ack_for,
+                                       src_obj=msg.src_obj,
+                                       dst_obj=msg.dst_obj)
             return math.inf
 
         if route.duplicates:
@@ -239,7 +242,9 @@ class NetworkFabric:
                                       wire_bytes, msg.tag,
                                       msg.crossed_wan, seq=msg.seq,
                                       cause=msg.cause,
-                                      ack_for=msg.ack_for)
+                                      ack_for=msg.ack_for,
+                                      src_obj=msg.src_obj,
+                                      dst_obj=msg.dst_obj)
         deliver(msg)
 
     def _land(self, msg: Message) -> None:

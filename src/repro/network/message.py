@@ -89,7 +89,7 @@ class Message:
 
     __slots__ = ("src_pe", "dst_pe", "size_bytes", "payload", "priority",
                  "tag", "crossed_wan", "sent_at", "seq", "cause", "ack_for",
-                 "relay_hop", "arq_attempt")
+                 "relay_hop", "arq_attempt", "src_obj", "dst_obj")
 
     def __init__(self, src_pe: int, dst_pe: int, size_bytes: int,
                  payload: Any = None, priority: int = DEFAULT_PRIORITY,
@@ -109,6 +109,13 @@ class Message:
         self.seq = next(_seq_counter) if seq is None else seq
         self.cause = cause
         self.ack_for = ack_for
+        #: Location-independent object labels (``str(ChareID)``) stamped
+        #: by the runtime *only when tracing is enabled*; ``None`` for
+        #: protocol traffic (acks), collective internals, and obs-off
+        #: runs.  Plain attribute writes — no float math — so the obs-off
+        #: hot path stays bit-identical.
+        self.src_obj: Optional[str] = None
+        self.dst_obj: Optional[str] = None
         #: Relay depth in a hierarchical multicast tree (0 = direct send,
         #: 1 = origin -> cluster relay, 2 = relay re-fan, ...).  Stamped
         #: by the runtime's dispatch path; recorded in hop ledgers.
@@ -138,6 +145,8 @@ class Message:
         clone.sent_at = self.sent_at
         clone.relay_hop = self.relay_hop
         clone.arq_attempt = self.arq_attempt
+        clone.src_obj = self.src_obj
+        clone.dst_obj = self.dst_obj
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

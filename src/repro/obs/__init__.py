@@ -48,13 +48,16 @@ Projections-grade surface:
 """
 
 from repro.obs.critpath import (
+    UNATTRIBUTED,
     CausalGraph,
     KneePrediction,
     PathSegment,
     StepAttribution,
+    per_object_blame,
     per_step_attribution,
     predict_knee,
     render_attribution,
+    render_blame,
     replay_with_latency,
     summarize_attribution,
 )
@@ -74,10 +77,18 @@ from repro.obs.health import (
     TimedSink,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.objview import (
+    Advice,
+    ObjectView,
+    Suggestion,
+    fold_from_tracer,
+    recommend_decomposition,
+)
 from repro.obs.report import (
     LatencyMaskingReport,
     build_report,
     masked_latency_fraction,
+    objview_section,
 )
 from repro.obs.timeseries import (
     SamplingPolicy,
@@ -104,6 +115,7 @@ _LAZY_EXPORTS = {
     "ledger_key": "repro.obs.ledger",
     "load_stored": "repro.obs.ledger",
     "net_rollup": "repro.obs.ledger",
+    "objects_rollup": "repro.obs.ledger",
     "records_from_file": "repro.obs.ledger",
     "store_record": "repro.obs.ledger",
     "ComponentDelta": "repro.obs.diff",
@@ -122,10 +134,13 @@ def __getattr__(name):
     return getattr(importlib.import_module(module), name)
 
 __all__ = [
+    "UNATTRIBUTED",
     "CausalGraph",
     "KneePrediction",
     "PathSegment",
     "StepAttribution",
+    "per_object_blame",
+    "render_blame",
     "per_step_attribution",
     "predict_knee",
     "render_attribution",
@@ -135,6 +150,11 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Advice",
+    "ObjectView",
+    "Suggestion",
+    "fold_from_tracer",
+    "recommend_decomposition",
     "chrome_trace_events",
     "export_chrome_trace",
     "validate_chrome_trace",
@@ -142,6 +162,7 @@ __all__ = [
     "LatencyMaskingReport",
     "build_report",
     "masked_latency_fraction",
+    "objview_section",
     "OBS_LEVELS",
     "HealthConfig",
     "HealthEvent",
@@ -163,6 +184,7 @@ __all__ = [
     "ledger_key",
     "load_stored",
     "net_rollup",
+    "objects_rollup",
     "records_from_file",
     "store_record",
     "ComponentDelta",

@@ -86,6 +86,9 @@ class Span:
     entry: str
     parent: Optional[int]
     trigger: Optional[int]
+    #: Location-independent object label (``str(ChareID)``), ``None``
+    #: for runtime-internal spans (``<rts>``, ``<driver>``).
+    obj: Optional[str] = None
 
     @property
     def duration(self) -> float:
@@ -146,6 +149,11 @@ class PathSegment:
     end: float
     kind: str       # one of COMPONENTS
     detail: str     # human-readable: span label or message tag
+    #: Object blamed for this slice: compute segments blame the chare
+    #: that executed; wait segments (wire, queue, stalls, gaps) blame
+    #: the *downstream* chare whose start they delayed.  ``None`` for
+    #: runtime-internal work and startup filler.
+    obj: Optional[str] = None
 
     @property
     def duration(self) -> float:
@@ -223,7 +231,7 @@ def _compute_kind(span: Span) -> str:
 
 
 def _emit_wire(emit, msg: MessageRecord, last_send: float,
-               cursor: float) -> None:
+               cursor: float, obj: Optional[str] = None) -> None:
     """Decompose one WAN wire window ``[last_send, cursor]`` by ledger.
 
     ``cursor`` is the delivery instant of the copy that produced the
@@ -243,7 +251,7 @@ def _emit_wire(emit, msg: MessageRecord, last_send: float,
     detail = f"{msg.tag} PE{msg.src_pe}->PE{msg.dst_pe}"
     hops = msg.ledgers.get(cursor)
     if not hops:
-        emit(last_send, cursor, "propagation", detail)
+        emit(last_send, cursor, "propagation", detail, obj)
         return
     critical = None
     for h in hops:
@@ -272,10 +280,10 @@ def _emit_wire(emit, msg: MessageRecord, last_send: float,
         if b <= cur:
             continue
         hi = b if b < cursor else cursor
-        emit(cur, hi, kind, detail)
+        emit(cur, hi, kind, detail, obj)
         cur = hi
     if cur < cursor:
-        emit(cur, cursor, "propagation", detail)
+        emit(cur, cursor, "propagation", detail, obj)
 
 
 class CausalGraph:
@@ -325,7 +333,8 @@ class CausalGraph:
             if iv.sid is None:
                 continue  # pre-causal producer; no node identity
             spans[iv.sid] = Span(iv.sid, iv.pe, iv.start, iv.end,
-                                 iv.chare, iv.entry, iv.parent, iv.trigger)
+                                 iv.chare, iv.entry, iv.parent, iv.trigger,
+                                 obj=iv.obj)
         messages: Dict[int, MessageRecord] = {}
         for ev in tracer.messages:
             if ev.seq is None:
@@ -393,14 +402,23 @@ class CausalGraph:
         local wire time, retransmit stall — so the result tiles the
         window exactly; holes the trace cannot explain (driver startup,
         missing causal ids) become ``queue_serial`` filler.
+
+        Every segment also carries an object blame label: compute
+        blames the chare that executed, wait segments blame the
+        *downstream* chare whose start they delayed (its inbound WAN
+        wire time, queue wait, retransmit stalls), startup filler stays
+        unattributed.  Because the labels merely annotate the same
+        tiling, per-object blame sums preserve the attribution
+        invariant exactly (see :func:`per_object_blame`).
         """
         segments: List[PathSegment] = []
 
-        def emit(lo: float, hi: float, kind: str, detail: str) -> None:
+        def emit(lo: float, hi: float, kind: str, detail: str,
+                 obj: Optional[str] = None) -> None:
             lo = max(lo, t_start)
             hi = min(hi, t_end)
             if hi > lo:
-                segments.append(PathSegment(lo, hi, kind, detail))
+                segments.append(PathSegment(lo, hi, kind, detail, obj=obj))
 
         span = self.terminal_span(t_end)
         cursor = t_end
@@ -410,7 +428,8 @@ class CausalGraph:
         if span.start < t_end:
             # Boundary fell inside the span (non-start anchor): count the
             # span's elapsed share as compute, then explain its start.
-            emit(span.start, t_end, _compute_kind(span), span.label)
+            emit(span.start, t_end, _compute_kind(span), span.label,
+                 span.obj)
             cursor = max(span.start, t_start)
 
         while cursor > t_start:
@@ -419,25 +438,28 @@ class CausalGraph:
             d = msg.delivered if msg is not None else None
             pred = self.pe_pred(span.sid)
             p = pred.end if pred is not None else None
+            # Wait time explained below delayed *this* span's start.
+            consumer = span.obj
 
             if d is not None and d <= cursor and (p is None or d >= p):
                 # Message edge: the trigger's arrival was binding.
                 if d < cursor:
                     emit(d, cursor, "queue_serial",
-                         f"queue wait ({msg.tag})")
+                         f"queue wait ({msg.tag})", consumer)
                     cursor = d
                 last_send = msg.last_send_before_delivery()
                 first_send = msg.first_send
                 if last_send < cursor:
                     if msg.crossed_wan:
-                        _emit_wire(emit, msg, last_send, cursor)
+                        _emit_wire(emit, msg, last_send, cursor, consumer)
                     else:
                         emit(last_send, cursor, "queue_serial",
-                             f"{msg.tag} PE{msg.src_pe}->PE{msg.dst_pe}")
+                             f"{msg.tag} PE{msg.src_pe}->PE{msg.dst_pe}",
+                             consumer)
                     cursor = max(last_send, t_start)
                 if first_send < cursor:
                     emit(first_send, cursor, "retransmit_stall",
-                         f"{msg.tag} x{len(msg.sends)} sends")
+                         f"{msg.tag} x{len(msg.sends)} sends", consumer)
                     cursor = max(first_send, t_start)
                 parent = (self.spans.get(msg.cause)
                           if msg.cause is not None else None)
@@ -449,18 +471,20 @@ class CausalGraph:
                     break
                 if parent.end < cursor:
                     emit(parent.end, cursor, "queue_serial",
-                         "serialization gap")
+                         "serialization gap", consumer)
                     cursor = parent.end
                 emit(parent.start, cursor, _compute_kind(parent),
-                     parent.label)
+                     parent.label, parent.obj)
                 cursor = max(parent.start, t_start)
                 span = parent
             elif pred is not None and p is not None and p <= cursor:
                 # Same-PE edge: the processor, not the wire, was binding.
                 if p < cursor:
-                    emit(p, cursor, "queue_serial", "scheduler gap")
+                    emit(p, cursor, "queue_serial", "scheduler gap",
+                         consumer)
                     cursor = p
-                emit(pred.start, cursor, _compute_kind(pred), pred.label)
+                emit(pred.start, cursor, _compute_kind(pred), pred.label,
+                     pred.obj)
                 cursor = max(pred.start, t_start)
                 span = pred
             else:
@@ -517,6 +541,67 @@ def summarize_attribution(steps: Sequence[StepAttribution],
     out["wan_flight_s"] = wan
     out["wan_flight_share"] = wan / wall if wall > 0 else 0.0
     return out
+
+
+#: Blame bucket for path time no chare is responsible for: runtime
+#: spans (``<rts>``/``<driver>`` work), startup filler, and waits whose
+#: consuming span is runtime-internal.
+UNATTRIBUTED = "<runtime>"
+
+
+def per_object_blame(segments: Sequence[PathSegment]
+                     ) -> Dict[str, Dict[str, float]]:
+    """Fold labelled path segments into per-object blame.
+
+    Accepts the segments of one :meth:`CausalGraph.critical_path` walk
+    or the concatenation of many step windows
+    (``[s for att in steps for s in att.segments]``).  Returns, per
+    blamed object (runtime-internal time under :data:`UNATTRIBUTED`):
+
+    * ``compute_s`` — the object's own executions on the path (plus
+      relay overhead for the runtime bucket);
+    * ``wan_wait_s`` — inbound WAN wire time and retransmit stalls that
+      delayed the object's starts (the wait finer decomposition would
+      mask);
+    * ``queue_s`` — local wire/queue/scheduler time charged to it;
+    * ``total_s`` — the sum of the above.
+
+    Because the segments tile the analysed window and the labels merely
+    partition that tiling, the objects' ``total_s`` values sum to the
+    window's length — exactly (residual 0.0) when all event times are
+    dyadic rationals, to float addition error otherwise.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for seg in segments:
+        obj = seg.obj if seg.obj is not None else UNATTRIBUTED
+        row = out.get(obj)
+        if row is None:
+            row = out[obj] = {"compute_s": 0.0, "wan_wait_s": 0.0,
+                              "queue_s": 0.0, "total_s": 0.0}
+        if seg.kind in ("compute", "relay_overhead"):
+            bucket = "compute_s"
+        elif seg.kind == "queue_serial":
+            bucket = "queue_s"
+        else:  # wire components + retransmit_stall: inbound WAN waits
+            bucket = "wan_wait_s"
+        row[bucket] += seg.duration
+        row["total_s"] += seg.duration
+    return out
+
+
+def render_blame(blame: Dict[str, Dict[str, float]],
+                 top: int = 10) -> str:
+    """Terminal table of per-object critical-path blame, largest first."""
+    ranked = sorted(blame.items(),
+                    key=lambda kv: (-kv[1]["total_s"], kv[0]))[:top]
+    lines = [f"{'object':<16} {'total_ms':>9} {'compute_ms':>11} "
+             f"{'wan_wait_ms':>12} {'queue_ms':>9}"]
+    for obj, row in ranked:
+        lines.append(f"{obj:<16} {row['total_s'] * 1e3:>9.3f} "
+                     f"{row['compute_s'] * 1e3:>11.3f} "
+                     f"{row['wan_wait_s'] * 1e3:>12.3f} "
+                     f"{row['queue_s'] * 1e3:>9.3f}")
+    return "\n".join(lines)
 
 
 # -- the knee analyzer -----------------------------------------------------

@@ -95,6 +95,13 @@ class RunComparison:
     phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: net-rollup key -> {baseline, candidate, delta}.
     net: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: object label -> per-object critical-path blame diff (virtual
+    #: seconds over each side's whole window):
+    #: {total_baseline_s, total_candidate_s, total_delta_s,
+    #:  wan_baseline_s, wan_candidate_s, wan_delta_s}.  Present only
+    #: when both ledger records carry the ``extra["objects"]["blame"]``
+    #: roll-up; informational, never drives a verdict.
+    objects: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def config_changed(self) -> bool:
@@ -162,6 +169,16 @@ class RunComparison:
                 row = self.net[name]
                 lines.append(f"  {name:<16} {row['baseline']:g} -> "
                              f"{row['candidate']:g} ({row['delta']:+g})")
+        if self.objects:
+            moved = sorted(self.objects.items(),
+                           key=lambda kv: (-abs(kv[1]["wan_delta_s"]),
+                                           kv[0]))[:10]
+            lines.append("per-object blame (wan wait, informational):")
+            for obj, row in moved:
+                lines.append(
+                    f"  {obj:<16} {row['wan_baseline_s'] * 1e3:9.4f} ms -> "
+                    f"{row['wan_candidate_s'] * 1e3:9.4f} ms "
+                    f"({row['wan_delta_s'] * 1e3:+9.4f} ms)")
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -191,6 +208,7 @@ class RunComparison:
             "config_changed": self.config_changed,
             "phases": self.phases,
             "net": self.net,
+            "objects": self.objects,
         }
 
     def chrome_trace(self) -> Dict[str, Any]:
@@ -291,13 +309,30 @@ def compare_records(baseline: RunRecord, candidate: RunRecord, *,
             net[name] = {"baseline": b_v, "candidate": c_v,
                          "delta": c_v - b_v}
 
+    objects: Dict[str, Dict[str, float]] = {}
+    b_blame = (baseline.extra.get("objects") or {}).get("blame") or {}
+    c_blame = (candidate.extra.get("objects") or {}).get("blame") or {}
+    if b_blame and c_blame:
+        for obj in sorted(set(b_blame) | set(c_blame)):
+            b_row, c_row = b_blame.get(obj, {}), c_blame.get(obj, {})
+            b_tot = float(b_row.get("total_s", 0.0))
+            c_tot = float(c_row.get("total_s", 0.0))
+            b_wan = float(b_row.get("wan_wait_s", 0.0))
+            c_wan = float(c_row.get("wan_wait_s", 0.0))
+            objects[obj] = {
+                "total_baseline_s": b_tot, "total_candidate_s": c_tot,
+                "total_delta_s": c_tot - b_tot,
+                "wan_baseline_s": b_wan, "wan_candidate_s": c_wan,
+                "wan_delta_s": c_wan - b_wan,
+            }
+
     return RunComparison(
         baseline=baseline, candidate=candidate, components=components,
         baseline_step_s=b_total, candidate_step_s=c_total,
         delta_step_s=delta_total, residual_s=residual,
         verdict=_verdict(delta_total, scale),
         threshold=threshold, abs_floor_s=abs_floor_s,
-        phases=phases, net=net)
+        phases=phases, net=net, objects=objects)
 
 
 def write_compare_trace(comparison: RunComparison, path: str) -> None:

@@ -29,7 +29,7 @@ from repro.obs.health import HealthEvent
 from repro.sim.trace import Tracer
 
 #: Event phases this exporter emits (subset of the trace-event format).
-_PHASES = {"X", "b", "e", "i", "M", "s", "t", "f"}
+_PHASES = {"X", "b", "e", "i", "M", "s", "t", "f", "C"}
 
 _SEC_TO_US = 1e6
 
@@ -66,6 +66,14 @@ def chrome_trace_events(tracer: Tracer,
       arrival), plus ``s``/``f`` flows (``cat="net-flow"``) tying each
       striped chunk to its parent message's delivery on the destination
       PE track (requires a trace recorded with the flight recorder on,
+      i.e. any full trace from this runtime);
+    * a third ``objects`` process (``pid=2``) with one thread per chare
+      — the Projections object view — carrying ``X`` slices
+      (``cat="obj"``) for every entry execution on that object's own
+      lane regardless of which PE ran it (so migrations read as a
+      continuous lane), plus ``C`` counter tracks accumulating the
+      object×object communication matrix (total and WAN kB delivered)
+      over virtual time (requires a trace recorded with object labels,
       i.e. any full trace from this runtime).
     """
     events: List[Dict[str, Any]] = [{
@@ -194,6 +202,43 @@ def chrome_trace_events(tracer: Tracer,
                         "id": ident, "ts": hop_ev.arrival * _SEC_TO_US,
                         "args": {"seq": hop_ev.seq}})
 
+    # Object lanes: one thread per chare, every execution on its own
+    # track no matter which PE ran it — migrations stay one lane.
+    objs = sorted({iv.obj for iv in tracer.intervals if iv.obj is not None})
+    if objs:
+        obj_tid = {obj: tid for tid, obj in enumerate(objs)}
+        events.append({"ph": "M", "name": "process_name", "pid": 2,
+                       "tid": 0, "args": {"name": "objects"}})
+        for obj, tid in obj_tid.items():
+            events.append({"ph": "M", "name": "thread_name", "pid": 2,
+                           "tid": tid, "args": {"name": obj}})
+        for iv in tracer.intervals:
+            if iv.obj is None:
+                continue
+            events.append({
+                "ph": "X", "cat": "obj",
+                "name": f"{iv.chare}.{iv.entry}",
+                "pid": 2, "tid": obj_tid[iv.obj],
+                "ts": iv.start * _SEC_TO_US,
+                "dur": iv.duration * _SEC_TO_US,
+                "args": {"pe": iv.pe},
+            })
+        # Comm-matrix counters: cumulative object->object traffic as a
+        # counter track under the objects process, one sample per
+        # labeled delivery.
+        cum_bytes = cum_wan = 0
+        for ev in tracer.messages:
+            if ev.kind != "deliver" or ev.dst_obj is None:
+                continue
+            cum_bytes += ev.size
+            if ev.crossed_wan:
+                cum_wan += ev.size
+            events.append({
+                "ph": "C", "cat": "obj", "name": "object comm",
+                "pid": 2, "tid": 0, "ts": ev.time * _SEC_TO_US,
+                "args": {"kB": cum_bytes / 1e3, "wan_kB": cum_wan / 1e3},
+            })
+
     for hev in (health_events or ()):
         events.append({
             "ph": "i", "cat": "health", "name": hev.rule, "s": "g",
@@ -282,6 +327,15 @@ def validate_chrome_trace(doc: Dict[str, Any]) -> None:
             if ev.get("s") not in ("g", "p", "t"):
                 raise ConfigurationError(
                     f"{where}: instant event needs scope 's' in g/p/t")
+        elif ph == "C":
+            series = ev.get("args")
+            if not isinstance(series, dict) or not series:
+                raise ConfigurationError(
+                    f"{where}: counter event needs non-empty 'args'")
+            for k, v in series.items():
+                if not isinstance(v, (int, float)):
+                    raise ConfigurationError(
+                        f"{where}: counter series {k!r} must be numeric")
         elif ph in ("s", "t", "f"):
             if "id" not in ev:
                 raise ConfigurationError(f"{where}: flow event needs 'id'")
@@ -320,6 +374,7 @@ def write_event_log(tracer: Tracer,
             "type": "exec", "pe": iv.pe, "start_s": iv.start,
             "end_s": iv.end, "chare": iv.chare, "entry": iv.entry,
             "sid": iv.sid, "parent": iv.parent, "trigger": iv.trigger,
+            "obj": iv.obj,
         }))
     for ev in tracer.messages:
         lines.append(json.dumps({
@@ -327,6 +382,7 @@ def write_event_log(tracer: Tracer,
             "src_pe": ev.src_pe, "dst_pe": ev.dst_pe, "size": ev.size,
             "tag": ev.tag, "wan": ev.crossed_wan, "seq": ev.seq,
             "cause": ev.cause, "ack_for": ev.ack_for,
+            "src_obj": ev.src_obj, "dst_obj": ev.dst_obj,
         }))
     for hop_ev in getattr(tracer, "hops", ()):
         lines.append(json.dumps({

@@ -109,6 +109,11 @@ class HealthSample:
     #: Busiest WAN lane's windowed busy fraction from the flight
     #: recorder (``None`` when no aggregator / no hop ledgers yet).
     max_link_busy: Optional[float] = None
+    #: Longest single entry-method execution in this sampling window
+    #: from the object fold (``None`` when object stats are off).
+    top_grain_s: Optional[float] = None
+    #: The object that ran that longest execution.
+    top_grain_obj: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -138,6 +143,11 @@ class HealthConfig:
     #: latency — became the bottleneck (bandwidth-bound, not
     #: latency-bound).
     wan_saturation_busy: float = 0.8
+    #: Grain anomaly: while unmasked idleness persists, one object's
+    #: single execution covering more than this fraction of the sampling
+    #: window means the decomposition — one over-coarse chare — is why
+    #: the latency shows (the advisor's split candidate, seen online).
+    grain_dominance: float = 0.5
     #: Samples ignored by the unmasking/imbalance rules while EMAs warm
     #: up (startup transients look like idleness).
     warmup_samples: int = 5
@@ -160,6 +170,9 @@ class HealthConfig:
             raise ConfigurationError(
                 "wan_saturation_busy must be in (0, 1]: "
                 f"{self.wan_saturation_busy}")
+        if not (0.0 < self.grain_dominance <= 1.0):
+            raise ConfigurationError(
+                f"grain_dominance must be in (0, 1]: {self.grain_dominance}")
 
 
 class HealthMonitor:
@@ -188,6 +201,8 @@ class HealthMonitor:
         self.last_retransmit_rate = 0.0
         # wan-saturation-rule state (idle trend needs last sample's value)
         self._prev_idle: Optional[float] = None
+        # grain-anomaly-rule state (window length needs last sample's t)
+        self._prev_t: Optional[float] = None
 
     # -- rule evaluation --------------------------------------------------
 
@@ -200,6 +215,8 @@ class HealthMonitor:
         self._rule_imbalance(sample, fired)
         self._rule_unmasking(sample, fired)
         self._rule_wan_saturation(sample, fired)
+        self._rule_grain_anomaly(sample, fired)
+        self._prev_t = sample.t
         self.events.extend(fired)
         return fired
 
@@ -307,6 +324,32 @@ class HealthMonitor:
                         f"(> {cfg.wan_saturation_busy:.0%}) while idle "
                         f"fraction rises to {s.idle_fraction:.1%}: "
                         "bandwidth-bound, more objects will not mask it"))
+
+    def _rule_grain_anomaly(self, s: HealthSample,
+                            fired: List[HealthEvent]) -> None:
+        cfg = self.config
+        if (self.samples_seen <= cfg.warmup_samples or s.wan_sends == 0
+                or s.top_grain_s is None or self._prev_t is None):
+            return
+        window = s.t - self._prev_t
+        if window <= 0:
+            return
+        dominance = s.top_grain_s / window
+        # Fires only while latency is visibly unmasked: a big grain
+        # under full overlap is the paper's ideal, not an anomaly.
+        cond = (s.idle_fraction > cfg.unmasked_idle_threshold
+                and dominance > cfg.grain_dominance)
+        if self._episode("grain-anomaly", cond):
+            obj = s.top_grain_obj or "?"
+            fired.append(HealthEvent(
+                t=s.t, severity="warning", rule="grain-anomaly",
+                metric="obj.top_grain_s", value=s.top_grain_s,
+                threshold=cfg.grain_dominance * window,
+                message=f"object {obj} ran one {s.top_grain_s * 1e3:.3f} ms "
+                        f"entry ({dominance:.0%} of the window) while idle "
+                        f"fraction is {s.idle_fraction:.1%}: over-coarse "
+                        "grain is unmasking the WAN latency (consider a "
+                        "split)"))
 
     # -- introspection ----------------------------------------------------
 
@@ -511,10 +554,10 @@ class TimedSink:
             self.cost_s += (self.clock() - t0) * self.stride
 
     def begin_execute(self, pe, now, chare, entry, sid=None, parent=None,
-                      trigger=None):
+                      trigger=None, obj=None):
         t0 = self._tick()
         self.inner.begin_execute(pe, now, chare, entry, sid=sid,
-                                 parent=parent, trigger=trigger)
+                                 parent=parent, trigger=trigger, obj=obj)
         self._tock(t0)
 
     def end_execute(self, pe, now):
@@ -523,26 +566,32 @@ class TimedSink:
         self._tock(t0)
 
     def message_sent(self, now, src_pe, dst_pe, size, tag, crossed_wan,
-                     seq=None, cause=None, ack_for=None):
+                     seq=None, cause=None, ack_for=None,
+                     src_obj=None, dst_obj=None):
         t0 = self._tick()
         self.inner.message_sent(now, src_pe, dst_pe, size, tag, crossed_wan,
-                                seq, cause=cause, ack_for=ack_for)
+                                seq, cause=cause, ack_for=ack_for,
+                                src_obj=src_obj, dst_obj=dst_obj)
         self._tock(t0)
 
     def message_delivered(self, now, src_pe, dst_pe, size, tag, crossed_wan,
-                          seq=None, cause=None, ack_for=None):
+                          seq=None, cause=None, ack_for=None,
+                          src_obj=None, dst_obj=None):
         t0 = self._tick()
         self.inner.message_delivered(now, src_pe, dst_pe, size, tag,
                                      crossed_wan, seq, cause=cause,
-                                     ack_for=ack_for)
+                                     ack_for=ack_for,
+                                     src_obj=src_obj, dst_obj=dst_obj)
         self._tock(t0)
 
     def message_dropped(self, now, src_pe, dst_pe, size, tag, crossed_wan,
-                        seq=None, cause=None, ack_for=None):
+                        seq=None, cause=None, ack_for=None,
+                        src_obj=None, dst_obj=None):
         t0 = self._tick()
         self.inner.message_dropped(now, src_pe, dst_pe, size, tag,
                                    crossed_wan, seq, cause=cause,
-                                   ack_for=ack_for)
+                                   ack_for=ack_for,
+                                   src_obj=src_obj, dst_obj=dst_obj)
         self._tock(t0)
 
     def note_retransmit(self):

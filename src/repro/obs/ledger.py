@@ -96,6 +96,37 @@ def net_rollup(env) -> Optional[Dict[str, Any]]:
     }
 
 
+def objects_rollup(env, blame=None) -> Optional[Dict[str, Any]]:
+    """Per-object roll-up from the aggregator's streaming object fold.
+
+    Compact enough to commit — totals plus the top objects by compute —
+    and, when per-object critical-path *blame* is supplied
+    (:func:`repro.obs.critpath.per_object_blame` output), the full
+    blame mapping rides along so ``repro compare`` can diff which
+    object's exposed WAN wait moved.  ``None`` when the environment
+    kept no object statistics (``stats=False`` or ``object_stats=False``
+    runs).
+    """
+    agg = getattr(env, "aggregator", None)
+    fold = getattr(agg, "objview", None)
+    if fold is None or not fold.profiles:
+        return None
+    out: Dict[str, Any] = {
+        "tracked": len(fold.profiles),
+        "compute_s": fold.total_compute_s(),
+        "matrix_edges": len(fold.matrix),
+        "top_by_compute": [
+            {"obj": p.obj, "compute_s": p.compute_s,
+             "executions": p.executions,
+             "p95_grain_s": p.grain_quantile(0.95)}
+            for p in fold.top_by_compute(5)],
+    }
+    if blame is not None:
+        out["blame"] = {obj: dict(parts)
+                        for obj, parts in sorted(blame.items())}
+    return out
+
+
 def health_rollup(events) -> Optional[Dict[str, Any]]:
     """Compact digest of watchdog/governor episodes; ``None`` if none.
 
@@ -132,6 +163,7 @@ def _median_step_s(result) -> float:
 
 def build_run_record(*, name: str, config: Dict[str, Any], result, env,
                      steps_attribution=None, profiler=None,
+                     objects_blame=None,
                      extra: Optional[Dict[str, Any]] = None) -> RunRecord:
     """Assemble a schema-2 ledger record from one completed run.
 
@@ -154,6 +186,10 @@ def build_run_record(*, name: str, config: Dict[str, Any], result, env,
         A :class:`~repro.obs.profiler.WallProfiler` whose summary rides
         along as the record's ``profile``; defaults to the
         environment's own, when one is attached.
+    objects_blame:
+        Optional per-object critical-path blame
+        (:func:`repro.obs.critpath.per_object_blame` output); folded
+        into the record's ``extra["objects"]`` roll-up.
     extra:
         Additional entries merged into the record's ``extra`` dict.
     """
@@ -173,6 +209,9 @@ def build_run_record(*, name: str, config: Dict[str, Any], result, env,
     health = health_rollup(getattr(env, "health_events", ()))
     if health is not None:
         rec_extra.setdefault("health", health)
+    objects = objects_rollup(env, blame=objects_blame)
+    if objects is not None:
+        rec_extra.setdefault("objects", objects)
     if profiler is None:
         profiler = getattr(env, "profiler", None)
     return RunRecord(

@@ -78,6 +78,11 @@ class LatencyMaskingReport:
     #: it): per-lane utilization, per-link roll-ups and the top wire
     #: messages, from :func:`netview_section`.
     net: Optional[Dict[str, object]] = None
+    #: Optional object-view section (``repro objview`` fills it): the
+    #: per-chare totals, top objects by compute, per-object
+    #: critical-path blame and the decomposition advisor's verdict,
+    #: from :func:`objview_section`.
+    objects: Optional[Dict[str, object]] = None
     extra: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -141,6 +146,8 @@ class LatencyMaskingReport:
             **({"timeseries": self.timeseries}
                if self.timeseries is not None else {}),
             **({"net": self.net} if self.net is not None else {}),
+            **({"objects": self.objects}
+               if self.objects is not None else {}),
             **self.extra,
         }
 
@@ -264,6 +271,41 @@ class LatencyMaskingReport:
                         f"{float(m.get('wire_s', 0.0)) * 1e3:>10.3f} "
                         f"{int(m.get('relay_hop', 0)):>6} "
                         f"{int(m.get('arq_attempt', 0)):>4}")
+        if self.objects is not None:
+            totals = self.objects.get("totals") or {}
+            lines += ["", "Object view",
+                      f"  objects tracked     "
+                      f"{int(totals.get('objects', 0)):10d}",
+                      f"  object compute      "
+                      f"{float(totals.get('compute_s', 0.0)) * 1e3:10.3f} ms",
+                      f"  comm-matrix edges   "
+                      f"{int(totals.get('matrix_edges', 0)):10d}"]
+            top_objs = self.objects.get("top_by_compute") or []
+            if top_objs:
+                lines.append(f"  {'object':<16} {'execs':>6} "
+                             f"{'compute(ms)':>12} {'p95 grain(us)':>14} "
+                             f"{'wan wait(ms)':>13}")
+                for row in top_objs:
+                    wan_wait = row.get("blame_wan_wait_s")
+                    lines.append(
+                        f"  {str(row.get('obj')):<16} "
+                        f"{int(row.get('executions', 0)):>6} "
+                        f"{float(row.get('compute_s', 0.0)) * 1e3:>12.3f} "
+                        f"{float(row.get('p95_grain_s', 0.0)) * 1e6:>14.1f} "
+                        + (f"{float(wan_wait) * 1e3:>13.3f}"
+                           if wan_wait is not None else f"{'-':>13}"))
+            advice = self.objects.get("advice")
+            if isinstance(advice, dict):
+                rec = advice.get("recommended_objects")
+                lines.append(
+                    f"  advisor             direction={advice.get('direction')}"
+                    + (f", recommended objects={int(rec)}"
+                       if rec is not None else ""))
+                for s in (advice.get("suggestions") or [])[:5]:
+                    lines.append(
+                        f"    [{str(s.get('action')).upper():7s}] "
+                        f"{s.get('obj')}: {s.get('reason')} "
+                        f"(saves ~{float(s.get('predicted_savings_s', 0.0)) * 1e3:.3f} ms)")
         if self.top_entries:
             lines += ["", f"{'chare.entry':32s} {'calls':>8} {'time(ms)':>10}"]
             for chare, entry, calls, total in self.top_entries:
@@ -342,6 +384,59 @@ def netview_section(source: Union[Tracer, TraceAggregator],
             "relay_hop": ev.relay_hop, "arq_attempt": ev.arq_attempt,
             "wan": ev.crossed_wan, "hops": len(ev.hops),
         } for ev in source.top_wire_messages(top)]
+    return out
+
+
+def objview_section(source, top: int = 5, blame=None,
+                    advice=None) -> Dict[str, object]:
+    """Build the report's ``objects`` section from the object fold.
+
+    Parameters
+    ----------
+    source:
+        Anything :class:`~repro.obs.objview.ObjectView` accepts: a
+        batch :class:`Tracer`, a :class:`TraceAggregator` with object
+        stats on, or an :class:`~repro.sim.trace.ObjectFold`.
+    top:
+        Objects listed in ``top_by_compute``.
+    blame:
+        Optional per-object critical-path blame
+        (:func:`repro.obs.critpath.per_object_blame` output); rides
+        along verbatim and annotates each top object's row.
+    advice:
+        Optional :class:`~repro.obs.objview.Advice`; its digest lands
+        under ``"advice"``.
+    """
+    from repro.obs.objview import ObjectView
+
+    view = source if isinstance(source, ObjectView) \
+        else ObjectView.from_source(source)
+    rows = []
+    for p in view.fold.top_by_compute(top):
+        row = {
+            "obj": p.obj,
+            "executions": p.executions,
+            "compute_s": p.compute_s,
+            "p50_grain_s": p.grain_quantile(0.5),
+            "p95_grain_s": p.grain_quantile(0.95),
+            "max_grain_s": p.max_grain_s,
+            "queue_wait_s": p.queue_wait_s,
+            "wan_bytes_sent": p.bytes_sent_wan,
+            "wan_bytes_recv": p.bytes_recv_wan,
+        }
+        if blame is not None and p.obj in blame:
+            row["blame_wan_wait_s"] = float(blame[p.obj]["wan_wait_s"])
+            row["blame_total_s"] = float(blame[p.obj]["total_s"])
+        rows.append(row)
+    out: Dict[str, object] = {
+        "totals": view.totals(),
+        "top_by_compute": rows,
+    }
+    if blame is not None:
+        out["blame"] = {obj: dict(parts)
+                        for obj, parts in sorted(blame.items())}
+    if advice is not None:
+        out["advice"] = advice.to_dict()
     return out
 
 

@@ -374,6 +374,14 @@ class TelemetrySampler:
             if max_link_busy is not None:
                 self._series("net.max_link_busy").add(now, max_link_busy)
 
+        # Longest single execution in this window from the object fold
+        # (harvested every tick so the window always spans one interval).
+        top_grain = top_grain_obj = None
+        objview = getattr(self.aggregator, "objview", None)
+        if objview is not None and self.aggregator.enabled:
+            top_grain, top_grain_obj = objview.harvest_window()
+            self._series("obj.top_grain_s").add(now, top_grain)
+
         if self.monitor is not None:
             from repro.obs.health import HealthSample
             sample = HealthSample(
@@ -382,7 +390,8 @@ class TelemetrySampler:
                 idle_fraction=idle, queue_depth=queue_depth,
                 wan_in_flight=wan_in_flight, wan_sends=wan_sent,
                 retransmits=retransmits, masked_fraction=masked,
-                max_link_busy=max_link_busy)
+                max_link_busy=max_link_busy,
+                top_grain_s=top_grain, top_grain_obj=top_grain_obj)
             events = self.monitor.observe(sample)
             if events:
                 self.health_events.extend(events)

@@ -35,6 +35,7 @@ The trace is the raw material for
 
 from __future__ import annotations
 
+import math
 import sys
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
@@ -80,6 +81,12 @@ class ExecInterval:
     #: Sequence id of the message whose delivery triggered this
     #: execution; pairs the span with its incoming wire edge.
     trigger: Optional[int] = None
+    #: Location-independent object label (``str(ChareID)``) of the chare
+    #: this execution ran on, or ``None`` for runtime-internal work
+    #: (``<rts>`` forwards/relays/reductions, ``<driver>`` callbacks).
+    #: Keyed by chare identity, not PE, so per-object aggregation is
+    #: stable across migrations.
+    obj: Optional[str] = None
 
     @property
     def duration(self) -> float:
@@ -106,6 +113,12 @@ class MessageEvent:
     cause: Optional[int] = None
     #: For reliable-transport acks: the data-message seq acknowledged.
     ack_for: Optional[int] = None
+    #: Object label of the sending chare (``None`` for driver/protocol
+    #: messages and pre-object traces).
+    src_obj: Optional[str] = None
+    #: Object label of the destination chare for point-to-point sends
+    #: (``None`` for bundles, reductions, relays, migrations and acks).
+    dst_obj: Optional[str] = None
 
 
 @dataclass(frozen=True, **_SLOTS)
@@ -227,6 +240,465 @@ def fold_hops(links: Dict[str, LinkUsage], hops: HopLedger,
             u.wan = True
 
 
+#: Grain-histogram bucket used for zero-duration executions.  Every
+#: positive float's ``frexp`` exponent is >= -1073, so this sorts first.
+_ZERO_GRAIN_BUCKET = -1075
+
+
+def _grain_bucket(duration: float) -> int:
+    """Log2 histogram bucket: ``e`` such that duration in [2^(e-1), 2^e)."""
+    if duration <= 0.0:
+        return _ZERO_GRAIN_BUCKET
+    return math.frexp(duration)[1]
+
+
+class ObjectProfile:
+    """Per-chare execution/communication profile (Projections object view).
+
+    Keyed by the chare's location-independent label, so all statistics
+    follow the *object* across migrations, not the PE it happened to be
+    on.  Byte/message counters are split three ways by what the wire
+    copy crossed: ``local`` (same PE), ``lan`` (cross-PE inside one
+    cluster) and ``wan`` (cross-cluster).
+
+    Execution statistics are stored as ONE ``(entry, duration) ->
+    count`` dict (:attr:`entry_grains`) and everything else —
+    executions, total compute, exact max grain, the log2 grain
+    histogram, per-entry counts — is *derived* on query.  This is the
+    record-side half of the < 5 % perf-smoke bar: the per-execution hot
+    path is a single dict increment, and the derivations iterate the
+    dict in sorted key order, so they are deterministic and identical
+    between the streaming and batch folds.  A simulator's grain sizes
+    come from its cost model and repeat heavily, so the dict stays
+    O(entry kinds x distinct grains), far below O(executions).
+    """
+
+    __slots__ = ("obj", "entry_grains", "queue_wait_s", "queue_waits",
+                 "msgs_sent_local", "msgs_sent_lan", "msgs_sent_wan",
+                 "bytes_sent_local", "bytes_sent_lan", "bytes_sent_wan",
+                 "msgs_recv_local", "msgs_recv_lan", "msgs_recv_wan",
+                 "bytes_recv_local", "bytes_recv_lan", "bytes_recv_wan",
+                 "drops")
+
+    def __init__(self, obj: str) -> None:
+        self.obj = obj
+        #: (entry name, grain seconds) -> execution count.
+        self.entry_grains: Dict[Tuple[str, float], int] = {}
+        self.queue_wait_s = 0.0
+        self.queue_waits = 0
+        self.msgs_sent_local = 0
+        self.msgs_sent_lan = 0
+        self.msgs_sent_wan = 0
+        self.bytes_sent_local = 0
+        self.bytes_sent_lan = 0
+        self.bytes_sent_wan = 0
+        self.msgs_recv_local = 0
+        self.msgs_recv_lan = 0
+        self.msgs_recv_wan = 0
+        self.bytes_recv_local = 0
+        self.bytes_recv_lan = 0
+        self.bytes_recv_wan = 0
+        self.drops = 0
+
+    @property
+    def executions(self) -> int:
+        return sum(self.entry_grains.values())
+
+    @property
+    def compute_s(self) -> float:
+        """Total compute: sum of grain x count over sorted keys.
+
+        The sorted iteration order makes the float sum a pure function
+        of the dict *contents*, so the streaming and batch folds agree
+        bitwise no matter how their updates interleaved.
+        """
+        return sum(k[1] * n for k, n in sorted(self.entry_grains.items()))
+
+    @property
+    def max_grain_s(self) -> float:
+        if not self.entry_grains:
+            return 0.0
+        return max(d for _e, d in self.entry_grains)
+
+    @property
+    def grain_buckets(self) -> Dict[int, int]:
+        """log2 bucket -> execution count (see :func:`_grain_bucket`)."""
+        out: Dict[int, int] = {}
+        for (_entry, d), n in self.entry_grains.items():
+            b = _grain_bucket(d)
+            out[b] = out.get(b, 0) + n
+        return out
+
+    @property
+    def entries(self) -> Dict[str, int]:
+        """Entry name -> execution count."""
+        out: Dict[str, int] = {}
+        for (entry, _d), n in self.entry_grains.items():
+            out[entry] = out.get(entry, 0) + n
+        return out
+
+    @property
+    def mean_grain_s(self) -> float:
+        execs = self.executions
+        return self.compute_s / execs if execs else 0.0
+
+    @property
+    def bytes_sent(self) -> int:
+        return (self.bytes_sent_local + self.bytes_sent_lan
+                + self.bytes_sent_wan)
+
+    @property
+    def bytes_recv(self) -> int:
+        return (self.bytes_recv_local + self.bytes_recv_lan
+                + self.bytes_recv_wan)
+
+    @property
+    def msgs_sent(self) -> int:
+        return self.msgs_sent_local + self.msgs_sent_lan + self.msgs_sent_wan
+
+    @property
+    def msgs_recv(self) -> int:
+        return self.msgs_recv_local + self.msgs_recv_lan + self.msgs_recv_wan
+
+    def grain_quantile(self, q: float,
+                       buckets: Optional[Dict[int, int]] = None) -> float:
+        """Histogram quantile of grain sizes (bucket lower edge).
+
+        Derived purely from integer bucket counts, so it is order-free
+        and exactly reproducible; resolution is one octave (the
+        histogram's bucket width), with :attr:`max_grain_s` exact.
+        Pass a precomputed :attr:`grain_buckets` to amortize the
+        derivation across several quantiles.
+        """
+        if buckets is None:
+            buckets = self.grain_buckets
+        total = sum(buckets.values())
+        if total == 0:
+            return 0.0
+        rank = q * (total - 1)
+        seen = 0
+        for bucket in sorted(buckets):
+            seen += buckets[bucket]
+            if seen - 1 >= rank:
+                if bucket == _ZERO_GRAIN_BUCKET:
+                    return 0.0
+                return math.ldexp(1.0, bucket - 1)
+        return self.max_grain_s
+
+    def to_dict(self) -> Dict[str, object]:
+        buckets = self.grain_buckets
+        return {
+            "obj": self.obj,
+            "executions": self.executions,
+            "compute_s": self.compute_s,
+            "mean_grain_s": self.mean_grain_s,
+            "p50_grain_s": self.grain_quantile(0.50, buckets),
+            "p95_grain_s": self.grain_quantile(0.95, buckets),
+            "max_grain_s": self.max_grain_s,
+            "queue_wait_s": self.queue_wait_s,
+            "queue_waits": self.queue_waits,
+            "entries": {k: self.entries[k] for k in sorted(self.entries)},
+            "sent": {
+                "local_msgs": self.msgs_sent_local,
+                "local_bytes": self.bytes_sent_local,
+                "lan_msgs": self.msgs_sent_lan,
+                "lan_bytes": self.bytes_sent_lan,
+                "wan_msgs": self.msgs_sent_wan,
+                "wan_bytes": self.bytes_sent_wan,
+            },
+            "recv": {
+                "local_msgs": self.msgs_recv_local,
+                "local_bytes": self.bytes_recv_local,
+                "lan_msgs": self.msgs_recv_lan,
+                "lan_bytes": self.bytes_recv_lan,
+                "wan_msgs": self.msgs_recv_wan,
+                "wan_bytes": self.bytes_recv_wan,
+            },
+            "drops": self.drops,
+        }
+
+
+class CommEdge:
+    """One sparse object x object communication-matrix cell."""
+
+    __slots__ = ("src", "dst", "messages", "bytes", "wan_messages",
+                 "wan_bytes")
+
+    def __init__(self, src: str, dst: str) -> None:
+        self.src = src
+        self.dst = dst
+        self.messages = 0
+        self.bytes = 0
+        self.wan_messages = 0
+        self.wan_bytes = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "wan_messages": self.wan_messages,
+            "wan_bytes": self.wan_bytes,
+        }
+
+
+class ObjectFold:
+    """Shared per-object fold behind the Projections object view.
+
+    Like :func:`fold_hops` for lanes, this is the *single* fold both
+    recorders drive: :class:`TraceAggregator` records events into this
+    fold as it goes (see the buffer protocol below), and
+    :func:`repro.obs.objview.fold_from_tracer` replays a batch
+    :class:`Tracer`'s stored streams through the same hooks.  Every
+    per-object float accumulator is updated in the same per-object order
+    on both paths (a chare's begin/end events are totally ordered, and
+    message counters are integers), so the two folds are **bit
+    identical** — hypothesis-tested in
+    ``tests/property/test_objview_streaming.py``.
+
+    The hooks' fold work is *not* performed per event on the live path:
+    :class:`TraceAggregator` appends one small tuple per relevant event
+    to :attr:`_buf` (a single ``list.append``, the cheapest record the
+    runtime can make — the perf-smoke bar holds the whole fold under
+    5 % marginal wall-clock cost over stats-only aggregation) and the
+    buffered stream is replayed through the reference hooks by
+    :meth:`_drain` the first time anyone asks for :attr:`profiles` or
+    :attr:`matrix`.  Replay preserves record order, so the result is
+    the same fold the hooks would have produced event by event.
+
+    Buffer protocol (first element tags the hook; the rest are its
+    positional arguments in order)::
+
+        (0, now, obj, trigger)                         -> on_begin
+        (1, obj, entry, duration)                      -> on_exec
+        (2, size, crossed_wan, local, src_obj, dst_obj)-> on_send
+        (3, now, seq, size, crossed_wan, local, dst_obj)-> on_deliver
+        (4, src_obj)                                   -> on_drop
+
+    The recorder applies each hook's cheap early-out *before*
+    appending (e.g. no tuple for an unlabelled execution), and feeds
+    :attr:`window_max_grain_s` inline at record time so the telemetry
+    sampler's :meth:`harvest_window` never forces a drain mid-run.
+
+    Folded memory is O(objects + distinct (entry, grain) pairs +
+    comm-matrix nonzeros); the undrained buffer adds O(events since the
+    last profile query).  Long monitoring runs that want the buffer
+    bounded can call :meth:`flush` at any checkpoint — draining is
+    idempotent and never perturbs the fold's semantics.
+    """
+
+    __slots__ = ("_profiles", "_matrix", "_buf", "_pending",
+                 "window_max_grain_s", "window_max_grain_obj")
+
+    def __init__(self) -> None:
+        #: obj label -> profile (access via :attr:`profiles`).
+        self._profiles: Dict[str, ObjectProfile] = {}
+        #: (src_obj, dst_obj) -> matrix cell (access via :attr:`matrix`).
+        self._matrix: Dict[Tuple[str, str], CommEdge] = {}
+        #: Recorded-but-not-yet-folded events (see the buffer protocol
+        #: in the class docstring).  :class:`TraceAggregator` appends
+        #: to this directly on its hot path.
+        self._buf: List[tuple] = []
+        #: seq -> delivery time(s) not yet consumed by a triggered
+        #: execution (queue-wait pairing).  A bare float for the common
+        #: single-copy case, promoted to a FIFO list only when a second
+        #: copy of the same seq arrives before the first is consumed.
+        self._pending: Dict[int, object] = {}
+        #: Largest single-execution grain since the last
+        #: :meth:`harvest_window` (telemetry/watchdog feed, updated at
+        #: *record* time by the aggregator; not part of the profile
+        #: state the bit-identity tests compare).
+        self.window_max_grain_s = 0.0
+        self.window_max_grain_obj: Optional[str] = None
+
+    @property
+    def profiles(self) -> Dict[str, ObjectProfile]:
+        """obj label -> profile, with any buffered events folded in."""
+        if self._buf:
+            self._drain()
+        return self._profiles
+
+    @property
+    def matrix(self) -> Dict[Tuple[str, str], CommEdge]:
+        """(src_obj, dst_obj) -> cell, with buffered events folded in."""
+        if self._buf:
+            self._drain()
+        return self._matrix
+
+    def _drain(self) -> None:
+        """Replay the record buffer through the reference hooks."""
+        buf = self._buf
+        on_begin = self.on_begin
+        on_exec = self.on_exec
+        on_send = self.on_send
+        on_deliver = self.on_deliver
+        on_drop = self.on_drop
+        for ev in buf:
+            tag = ev[0]
+            if tag == 1:
+                on_exec(ev[1], ev[2], ev[3])
+            elif tag == 3:
+                on_deliver(ev[1], ev[2], ev[3], ev[4], ev[5], ev[6])
+            elif tag == 2:
+                on_send(ev[1], ev[2], ev[3], ev[4], ev[5])
+            elif tag == 0:
+                on_begin(ev[1], ev[2], ev[3])
+            else:
+                on_drop(ev[1])
+        buf.clear()
+
+    def flush(self) -> None:
+        """Fold any buffered events now (bounds buffer memory)."""
+        if self._buf:
+            self._drain()
+
+    def _prof(self, obj: str) -> ObjectProfile:
+        p = self._profiles.get(obj)
+        if p is None:
+            p = self._profiles[obj] = ObjectProfile(obj)
+        return p
+
+    # -- recording hooks -------------------------------------------------
+
+    def on_begin(self, now: float, obj: Optional[str],
+                 trigger: Optional[int]) -> None:
+        """An execution began; pair it with its trigger's delivery.
+
+        The pending delivery for *trigger* is popped even when the
+        execution has no object label (``<rts>`` work), keeping the
+        FIFO pairing aligned between both folds.
+        """
+        if trigger is None:
+            return
+        cur = self._pending.pop(trigger, None)
+        if cur is None:
+            return
+        if type(cur) is list:
+            delivered = cur.pop(0)
+            if cur:
+                self._pending[trigger] = cur
+        else:
+            delivered = cur
+        if obj is not None:
+            try:
+                p = self._profiles[obj]
+            except KeyError:
+                p = self._profiles[obj] = ObjectProfile(obj)
+            p.queue_wait_s += now - delivered
+            p.queue_waits += 1
+
+    def on_exec(self, obj: Optional[str], entry: str,
+                duration: float) -> None:
+        """An execution of *duration* seconds completed on *obj*.
+
+        The grain window (:attr:`window_max_grain_s`) is deliberately
+        *not* updated here: it is an online telemetry channel fed at
+        record time by :class:`TraceAggregator`, so a deferred drain
+        cannot resurrect grains a sampler already harvested.
+        """
+        if obj is None:
+            return
+        try:
+            p = self._profiles[obj]
+        except KeyError:
+            p = self._profiles[obj] = ObjectProfile(obj)
+        key = (entry, duration)
+        grains = p.entry_grains
+        try:
+            grains[key] += 1
+        except KeyError:
+            grains[key] = 1
+
+    def on_send(self, size: int, crossed_wan: bool, local: bool,
+                src_obj: Optional[str], dst_obj: Optional[str]) -> None:
+        if src_obj is None:
+            return
+        try:
+            p = self._profiles[src_obj]
+        except KeyError:
+            p = self._profiles[src_obj] = ObjectProfile(src_obj)
+        if crossed_wan:
+            p.msgs_sent_wan += 1
+            p.bytes_sent_wan += size
+        elif local:
+            p.msgs_sent_local += 1
+            p.bytes_sent_local += size
+        else:
+            p.msgs_sent_lan += 1
+            p.bytes_sent_lan += size
+        if dst_obj is not None:
+            key = (src_obj, dst_obj)
+            try:
+                cell = self._matrix[key]
+            except KeyError:
+                cell = self._matrix[key] = CommEdge(src_obj, dst_obj)
+            cell.messages += 1
+            cell.bytes += size
+            if crossed_wan:
+                cell.wan_messages += 1
+                cell.wan_bytes += size
+
+    def on_deliver(self, now: float, seq: Optional[int], size: int,
+                   crossed_wan: bool, local: bool,
+                   dst_obj: Optional[str]) -> None:
+        if seq is not None:
+            pending = self._pending
+            if seq in pending:
+                cur = pending[seq]
+                if type(cur) is list:
+                    cur.append(now)
+                else:
+                    pending[seq] = [cur, now]
+            else:
+                pending[seq] = now
+        if dst_obj is None:
+            return
+        try:
+            p = self._profiles[dst_obj]
+        except KeyError:
+            p = self._profiles[dst_obj] = ObjectProfile(dst_obj)
+        if crossed_wan:
+            p.msgs_recv_wan += 1
+            p.bytes_recv_wan += size
+        elif local:
+            p.msgs_recv_local += 1
+            p.bytes_recv_local += size
+        else:
+            p.msgs_recv_lan += 1
+            p.bytes_recv_lan += size
+
+    def on_drop(self, src_obj: Optional[str]) -> None:
+        if src_obj is not None:
+            self._prof(src_obj).drops += 1
+
+    # -- queries ---------------------------------------------------------
+
+    def harvest_window(self) -> Tuple[float, Optional[str]]:
+        """Return and reset the since-last-harvest max grain (sampler)."""
+        out = (self.window_max_grain_s, self.window_max_grain_obj)
+        self.window_max_grain_s = 0.0
+        self.window_max_grain_obj = None
+        return out
+
+    def total_compute_s(self) -> float:
+        return sum(p.compute_s for p in self.profiles.values())
+
+    def top_by_compute(self, k: int = 10) -> List[ObjectProfile]:
+        """The *k* objects with the most compute; deterministic ties."""
+        return sorted(self.profiles.values(),
+                      key=lambda p: (-p.compute_s, p.obj))[:k]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly dump: profiles and matrix in sorted key order."""
+        return {
+            "objects": {obj: self.profiles[obj].to_dict()
+                        for obj in sorted(self.profiles)},
+            "matrix": [self.matrix[key].to_dict()
+                       for key in sorted(self.matrix)],
+        }
+
+
 @dataclass
 class PeUsage:
     """Aggregated busy/idle statistics for one PE."""
@@ -269,7 +741,8 @@ class TraceSink(Protocol):
     def begin_execute(self, pe: int, now: float, chare: str,
                       entry: str, sid: Optional[int] = None,
                       parent: Optional[int] = None,
-                      trigger: Optional[int] = None) -> None: ...
+                      trigger: Optional[int] = None,
+                      obj: Optional[str] = None) -> None: ...
 
     def end_execute(self, pe: int, now: float) -> None: ...
 
@@ -277,19 +750,25 @@ class TraceSink(Protocol):
                      tag: str, crossed_wan: bool,
                      seq: Optional[int] = None,
                      cause: Optional[int] = None,
-                     ack_for: Optional[int] = None) -> None: ...
+                     ack_for: Optional[int] = None,
+                     src_obj: Optional[str] = None,
+                     dst_obj: Optional[str] = None) -> None: ...
 
     def message_delivered(self, now: float, src_pe: int, dst_pe: int,
                           size: int, tag: str, crossed_wan: bool,
                           seq: Optional[int] = None,
                           cause: Optional[int] = None,
-                          ack_for: Optional[int] = None) -> None: ...
+                          ack_for: Optional[int] = None,
+                          src_obj: Optional[str] = None,
+                          dst_obj: Optional[str] = None) -> None: ...
 
     def message_dropped(self, now: float, src_pe: int, dst_pe: int,
                         size: int, tag: str, crossed_wan: bool,
                         seq: Optional[int] = None,
                         cause: Optional[int] = None,
-                        ack_for: Optional[int] = None) -> None: ...
+                        ack_for: Optional[int] = None,
+                        src_obj: Optional[str] = None,
+                        dst_obj: Optional[str] = None) -> None: ...
 
     def note_retransmit(self) -> None: ...
 
@@ -343,10 +822,11 @@ class TraceFanout:
     def begin_execute(self, pe: int, now: float, chare: str,
                       entry: str, sid: Optional[int] = None,
                       parent: Optional[int] = None,
-                      trigger: Optional[int] = None) -> None:
+                      trigger: Optional[int] = None,
+                      obj: Optional[str] = None) -> None:
         self._fanout(lambda s: s.begin_execute(pe, now, chare, entry,
                                                sid=sid, parent=parent,
-                                               trigger=trigger))
+                                               trigger=trigger, obj=obj))
 
     def end_execute(self, pe: int, now: float) -> None:
         self._fanout(lambda s: s.end_execute(pe, now))
@@ -355,30 +835,42 @@ class TraceFanout:
                      tag: str, crossed_wan: bool,
                      seq: Optional[int] = None,
                      cause: Optional[int] = None,
-                     ack_for: Optional[int] = None) -> None:
+                     ack_for: Optional[int] = None,
+                     src_obj: Optional[str] = None,
+                     dst_obj: Optional[str] = None) -> None:
         self._fanout(lambda s: s.message_sent(now, src_pe, dst_pe, size,
                                               tag, crossed_wan, seq,
-                                              cause=cause, ack_for=ack_for))
+                                              cause=cause, ack_for=ack_for,
+                                              src_obj=src_obj,
+                                              dst_obj=dst_obj))
 
     def message_delivered(self, now: float, src_pe: int, dst_pe: int,
                           size: int, tag: str, crossed_wan: bool,
                           seq: Optional[int] = None,
                           cause: Optional[int] = None,
-                          ack_for: Optional[int] = None) -> None:
+                          ack_for: Optional[int] = None,
+                          src_obj: Optional[str] = None,
+                          dst_obj: Optional[str] = None) -> None:
         self._fanout(lambda s: s.message_delivered(now, src_pe, dst_pe,
                                                    size, tag, crossed_wan,
                                                    seq, cause=cause,
-                                                   ack_for=ack_for))
+                                                   ack_for=ack_for,
+                                                   src_obj=src_obj,
+                                                   dst_obj=dst_obj))
 
     def message_dropped(self, now: float, src_pe: int, dst_pe: int,
                         size: int, tag: str, crossed_wan: bool,
                         seq: Optional[int] = None,
                         cause: Optional[int] = None,
-                        ack_for: Optional[int] = None) -> None:
+                        ack_for: Optional[int] = None,
+                        src_obj: Optional[str] = None,
+                        dst_obj: Optional[str] = None) -> None:
         self._fanout(lambda s: s.message_dropped(now, src_pe, dst_pe, size,
                                                  tag, crossed_wan, seq,
                                                  cause=cause,
-                                                 ack_for=ack_for))
+                                                 ack_for=ack_for,
+                                                 src_obj=src_obj,
+                                                 dst_obj=dst_obj))
 
     def note_retransmit(self) -> None:
         self._fanout(lambda s: s.note_retransmit())
@@ -444,7 +936,8 @@ class Tracer:
         #: order the fabric emitted them.
         self.hops: List[HopEvent] = []
         self._open: Dict[int, Tuple[float, str, str, Optional[int],
-                                    Optional[int], Optional[int]]] = {}
+                                    Optional[int], Optional[int],
+                                    Optional[str]]] = {}
         #: Reliable-transport counters (cheap; kept even in big sweeps).
         self.retransmits = 0
         self.dups_suppressed = 0
@@ -459,61 +952,69 @@ class Tracer:
     def begin_execute(self, pe: int, now: float, chare: str, entry: str,
                       sid: Optional[int] = None,
                       parent: Optional[int] = None,
-                      trigger: Optional[int] = None) -> None:
+                      trigger: Optional[int] = None,
+                      obj: Optional[str] = None) -> None:
         """Mark the start of an entry-method execution on *pe*."""
         if not self.enabled:
             return
         if pe in self._open:
             raise ValueError(f"PE {pe} already executing {self._open[pe]!r}")
-        self._open[pe] = (now, chare, entry, sid, parent, trigger)
+        self._open[pe] = (now, chare, entry, sid, parent, trigger, obj)
 
     def end_execute(self, pe: int, now: float) -> None:
         """Mark the end of the currently open execution on *pe*."""
         if not self.enabled:
             return
         try:
-            start, chare, entry, sid, parent, trigger = self._open.pop(pe)
+            start, chare, entry, sid, parent, trigger, obj = \
+                self._open.pop(pe)
         except KeyError:
             raise ValueError(f"PE {pe} has no open execution interval")
         self.intervals.append(ExecInterval(pe, start, now, chare, entry,
                                            sid=sid, parent=parent,
-                                           trigger=trigger))
+                                           trigger=trigger, obj=obj))
 
     def message_sent(self, now: float, src_pe: int, dst_pe: int, size: int,
                      tag: str, crossed_wan: bool,
                      seq: Optional[int] = None,
                      cause: Optional[int] = None,
-                     ack_for: Optional[int] = None) -> None:
+                     ack_for: Optional[int] = None,
+                     src_obj: Optional[str] = None,
+                     dst_obj: Optional[str] = None) -> None:
         """Record a message leaving its source PE."""
         if not self.enabled:
             return
         self.messages.append(MessageEvent(
             "send", now, src_pe, dst_pe, size, tag, crossed_wan, seq,
-            cause=cause, ack_for=ack_for))
+            cause=cause, ack_for=ack_for, src_obj=src_obj, dst_obj=dst_obj))
 
     def message_delivered(self, now: float, src_pe: int, dst_pe: int,
                           size: int, tag: str, crossed_wan: bool,
                           seq: Optional[int] = None,
                           cause: Optional[int] = None,
-                          ack_for: Optional[int] = None) -> None:
+                          ack_for: Optional[int] = None,
+                          src_obj: Optional[str] = None,
+                          dst_obj: Optional[str] = None) -> None:
         """Record a message arriving at its destination PE's queue."""
         if not self.enabled:
             return
         self.messages.append(MessageEvent(
             "deliver", now, src_pe, dst_pe, size, tag, crossed_wan, seq,
-            cause=cause, ack_for=ack_for))
+            cause=cause, ack_for=ack_for, src_obj=src_obj, dst_obj=dst_obj))
 
     def message_dropped(self, now: float, src_pe: int, dst_pe: int,
                         size: int, tag: str, crossed_wan: bool,
                         seq: Optional[int] = None,
                         cause: Optional[int] = None,
-                        ack_for: Optional[int] = None) -> None:
+                        ack_for: Optional[int] = None,
+                        src_obj: Optional[str] = None,
+                        dst_obj: Optional[str] = None) -> None:
         """Record a message lost on the wire (fault injection)."""
         if not self.enabled:
             return
         self.messages.append(MessageEvent(
             "drop", now, src_pe, dst_pe, size, tag, crossed_wan, seq,
-            cause=cause, ack_for=ack_for))
+            cause=cause, ack_for=ack_for, src_obj=src_obj, dst_obj=dst_obj))
 
     def note_retransmit(self) -> None:
         """Count one reliable-layer retransmission."""
@@ -838,11 +1339,28 @@ class TraceAggregator:
         given, the aggregator records execution-duration and WAN
         flight-time histograms into it and registers a collector for
         its derived values under ``trace.*``.
+    objects:
+        Fold per-object profiles and the object x object communication
+        matrix online (default on; an :class:`ObjectFold` at
+        :attr:`objview`).  Off saves the per-event object bookkeeping
+        for stats-only sweeps (the perf-smoke bar holds the fold's
+        overhead under 5 %).
     """
 
-    def __init__(self, metrics: Optional["MetricsRegistry"] = None) -> None:
+    def __init__(self, metrics: Optional["MetricsRegistry"] = None,
+                 objects: bool = True) -> None:
         self.enabled = True
-        self._open_exec: Dict[int, Tuple[float, str, str]] = {}
+        #: Streaming per-object fold (``None`` when ``objects=False``).
+        self.objview: Optional[ObjectFold] = ObjectFold() if objects \
+            else None
+        # Pre-bound append onto the fold's record buffer: the per-event
+        # record is a single call through this binding.  Valid for the
+        # aggregator's lifetime because ObjectFold._drain empties the
+        # buffer in place (list.clear) rather than replacing it.
+        self._ov_record = None if self.objview is None \
+            else self.objview._buf.append
+        self._open_exec: Dict[int, Tuple[float, str, str,
+                                         Optional[str]]] = {}
         self._usage: Dict[int, PeUsage] = {}
         self._profiles: Dict[Tuple[str, str], EntryProfile] = {}
         self._t_min: Optional[float] = None
@@ -880,25 +1398,43 @@ class TraceAggregator:
     def begin_execute(self, pe: int, now: float, chare: str,
                       entry: str, sid: Optional[int] = None,
                       parent: Optional[int] = None,
-                      trigger: Optional[int] = None) -> None:
-        # Causal ids (sid/parent/trigger) are accepted for sink
-        # compatibility but not aggregated: every streaming statistic is
-        # independent of the causal structure.
+                      trigger: Optional[int] = None,
+                      obj: Optional[str] = None) -> None:
+        # Causal ids (sid/parent) are accepted for sink compatibility
+        # but not aggregated: every streaming statistic except the
+        # object fold's queue-wait pairing (which consumes ``trigger``)
+        # is independent of the causal structure.
         if not self.enabled:
             return
         if pe in self._open_exec:
             raise ValueError(
                 f"PE {pe} already executing {self._open_exec[pe]!r}")
-        self._open_exec[pe] = (now, chare, entry)
+        self._open_exec[pe] = (now, chare, entry, obj)
+        rec = self._ov_record
+        if rec is not None and trigger is not None:
+            # Fold work is deferred: recording is one buffered append
+            # (see the ObjectFold buffer protocol); the fold replays the
+            # buffer through its reference hooks on first query.
+            rec((0, now, obj, trigger))
 
     def end_execute(self, pe: int, now: float) -> None:
         if not self.enabled:
             return
         try:
-            start, chare, entry = self._open_exec.pop(pe)
+            start, chare, entry, obj = self._open_exec.pop(pe)
         except KeyError:
             raise ValueError(f"PE {pe} has no open execution interval")
         duration = now - start
+        rec = self._ov_record
+        if rec is not None and obj is not None:
+            # Deferred fold (see begin_execute's note).  The grain
+            # window alone is fed inline: the telemetry sampler harvests
+            # it mid-run, so it cannot wait for a drain.
+            rec((1, obj, entry, duration))
+            ov = self.objview
+            if duration > ov.window_max_grain_s:
+                ov.window_max_grain_s = duration
+                ov.window_max_grain_obj = obj
         usage = self._usage.get(pe)
         if usage is None:
             usage = self._usage[pe] = PeUsage(pe)
@@ -937,11 +1473,18 @@ class TraceAggregator:
                      tag: str, crossed_wan: bool,
                      seq: Optional[int] = None,
                      cause: Optional[int] = None,
-                     ack_for: Optional[int] = None) -> None:
+                     ack_for: Optional[int] = None,
+                     src_obj: Optional[str] = None,
+                     dst_obj: Optional[str] = None) -> None:
         if not self.enabled:
             return
         self.sends += 1
         self.bytes_sent += size
+        rec = self._ov_record
+        if rec is not None and src_obj is not None:
+            # Deferred fold (see begin_execute's note).
+            rec((2, size, crossed_wan, src_pe == dst_pe,
+                 src_obj, dst_obj))
         if not crossed_wan:
             return
         self.wan_sends += 1
@@ -963,10 +1506,17 @@ class TraceAggregator:
                           size: int, tag: str, crossed_wan: bool,
                           seq: Optional[int] = None,
                           cause: Optional[int] = None,
-                          ack_for: Optional[int] = None) -> None:
+                          ack_for: Optional[int] = None,
+                          src_obj: Optional[str] = None,
+                          dst_obj: Optional[str] = None) -> None:
         if not self.enabled:
             return
         self.delivers += 1
+        rec = self._ov_record
+        if rec is not None and (seq is not None or dst_obj is not None):
+            # Deferred fold (see begin_execute's note).
+            rec((3, now, seq, size, crossed_wan,
+                 src_pe == dst_pe, dst_obj))
         if not crossed_wan:
             return
         self.wan_delivers += 1
@@ -1004,10 +1554,15 @@ class TraceAggregator:
                         size: int, tag: str, crossed_wan: bool,
                         seq: Optional[int] = None,
                         cause: Optional[int] = None,
-                        ack_for: Optional[int] = None) -> None:
+                        ack_for: Optional[int] = None,
+                        src_obj: Optional[str] = None,
+                        dst_obj: Optional[str] = None) -> None:
         if not self.enabled:
             return
         self.drops += 1
+        rec = self._ov_record
+        if rec is not None and src_obj is not None:
+            rec((4, src_obj))
         if crossed_wan:
             self.wan_drops += 1
 
@@ -1071,7 +1626,7 @@ class TraceAggregator:
         span = self.makespan()
         utils = sorted(u.utilization(span) for u in self._usage.values())
         busy_total = sum(u.busy for u in self._usage.values())
-        return {
+        out: Dict[str, object] = {
             "makespan_s": span,
             "pes_active": len(self._usage),
             "executions": sum(u.executions for u in self._usage.values()),
@@ -1102,6 +1657,18 @@ class TraceAggregator:
             "links": {lane: self._links[lane].to_dict()
                       for lane in sorted(self._links)},
         }
+        if self.objview is not None:
+            out["objects"] = {
+                "tracked": len(self.objview.profiles),
+                "compute_s": self.objview.total_compute_s(),
+                "matrix_edges": len(self.objview.matrix),
+                "top_by_compute": [
+                    {"obj": p.obj, "compute_s": p.compute_s,
+                     "executions": p.executions}
+                    for p in self.objview.top_by_compute(5)
+                ],
+            }
+        return out
 
     def _metric_values(self) -> Dict[str, float]:
         """Derived values pulled into the metrics registry snapshot."""

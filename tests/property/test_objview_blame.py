@@ -1,0 +1,259 @@
+"""The per-object blame invariant: object totals sum to the window.
+
+:func:`repro.obs.critpath.per_object_blame` folds the labelled critical
+path segments of :func:`~repro.obs.critpath.per_step_attribution` into
+per-chare rows (compute / exposed WAN wait / queueing).  Because the
+segments *tile* each step window and the object labels merely partition
+that tiling, the rows' ``total_s`` values must sum to the window's
+length — exactly, with residual ``0.0``, when event times are dyadic
+rationals.
+
+Hypothesis generates randomized causally-consistent runs with object
+labels: multi-PE span chains, driver roots, WAN and local messages, hop
+ledgers shaped like flat, hierarchical (relay spans) and striped
+(multi-chunk stream) chains, drops, retransmissions, reordered
+duplicate deliveries, queue gaps, and unlabelled ``<rts>`` relay work
+(blamed to :data:`~repro.obs.critpath.UNATTRIBUTED`).  Times live on a
+1/16 grid so every assertion here is exact ``==``.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.network.hops import HopSpan
+from repro.obs.critpath import (
+    UNATTRIBUTED,
+    CausalGraph,
+    per_object_blame,
+    per_step_attribution,
+    render_blame,
+)
+from repro.sim.trace import Tracer
+
+COMMON = dict(deadline=None, max_examples=80,
+              suppress_health_check=[HealthCheck.too_slow])
+
+#: Labelled chares the runs draw from; ``<rts>`` relay spans carry no
+#: object label and must land in the UNATTRIBUTED bucket.
+CHARES = (("C", "a", "c0[0]"), ("C", "b", "c0[0]"), ("C", "a", "c0[1]"),
+          ("C", "b", "c0[2]"), ("<rts>", "relay", None))
+
+OBJ_LABELS = {obj for _c, _e, obj in CHARES if obj is not None}
+
+
+def _draw_wan_ledger(draw, sent_i, arr_i):
+    """A chain-shaped WAN hop ledger on the 1/16 grid.
+
+    A delay-filter span first (the artificial-latency device), then the
+    transport: either one plain wire span (flat/hierarchical chains) or
+    1-3 striped stream chunks whose slowest chunk lands exactly at the
+    arrival — the three chain shapes the Figure-3c variants produce.
+    """
+    cut = draw(st.integers(min_value=sent_i, max_value=arr_i))
+    spans = []
+    if cut > sent_i:
+        spans.append(HopSpan(
+            device="delay", link="delay",
+            kind=draw(st.sampled_from(("propagation", "device_queue"))),
+            enqueue=sent_i / 16.0, dequeue=sent_i / 16.0,
+            arrive=cut / 16.0))
+    if draw(st.booleans()):     # plain (flat/hierarchical) wire hop
+        dq = draw(st.integers(min_value=cut, max_value=arr_i))
+        ser = draw(st.integers(min_value=0, max_value=arr_i - dq))
+        spans.append(HopSpan(
+            device="wan", link="wan", kind="wire",
+            enqueue=cut / 16.0, dequeue=dq / 16.0, arrive=arr_i / 16.0,
+            ser_s=ser / 16.0,
+            queue_depth=draw(st.integers(min_value=0, max_value=4))))
+    else:                       # striped: slowest chunk defines arrival
+        n_chunks = draw(st.integers(min_value=1, max_value=3))
+        arrivals = [arr_i] + draw(st.lists(
+            st.integers(min_value=cut, max_value=arr_i),
+            min_size=n_chunks - 1, max_size=n_chunks - 1))
+        for j, aj in enumerate(arrivals):
+            dq = draw(st.integers(min_value=cut, max_value=aj))
+            ser = draw(st.integers(min_value=0, max_value=aj - dq))
+            spans.append(HopSpan(
+                device=f"wan/s{j}", link="wan", kind="stream",
+                enqueue=cut / 16.0, dequeue=dq / 16.0, arrive=aj / 16.0,
+                ser_s=ser / 16.0,
+                queue_depth=draw(st.integers(min_value=0, max_value=4)),
+                stream=j))
+    return tuple(spans)
+
+
+@st.composite
+def labelled_causal_runs(draw):
+    """A random causally-consistent labelled run plus step boundaries.
+
+    Mirrors what the engine guarantees: per-PE spans never overlap; a
+    span triggered by a message starts at or after both its delivery
+    and its same-PE predecessor's end; messages are sent when their
+    causal parent finishes; drops precede retransmissions.
+    """
+    n_pes = draw(st.integers(min_value=1, max_value=3))
+    n_spans = draw(st.integers(min_value=1, max_value=16))
+    tracer = Tracer()
+    pe_clock = [0.0] * n_pes
+    spans = []          # (sid, pe, start, end, obj) in creation order
+    seq = 0
+
+    for sid in range(n_spans):
+        pe = draw(st.integers(min_value=0, max_value=n_pes - 1))
+        trigger = None
+        parent = None
+        delivered = None
+        chare, entry_name, obj = draw(st.sampled_from(CHARES))
+
+        kind = draw(st.sampled_from(
+            ["root", "untriggered"] + (["caused"] * 4 if spans else [])))
+        if kind != "untriggered":
+            trigger = seq
+            seq += 1
+            if kind == "caused":
+                psid, ppe, _pstart, pend, pobj = spans[
+                    draw(st.integers(min_value=0, max_value=len(spans) - 1))]
+                parent = psid
+                src_pe, first_send, src_obj = ppe, pend, pobj
+            else:   # driver-originated root message
+                src_pe = draw(st.integers(min_value=0, max_value=n_pes - 1))
+                first_send = draw(st.integers(min_value=0,
+                                              max_value=64)) / 16.0
+                src_obj = None
+            wan = draw(st.booleans())
+            tag = f"m{trigger}"
+            sends = [first_send]
+            n_retx = draw(st.integers(min_value=0, max_value=2))
+            for _ in range(n_retx):
+                # Each lost copy is dropped, then retransmitted later.
+                tracer.message_dropped(sends[-1], src_pe, pe, 8, tag, wan,
+                                      seq=trigger, cause=parent,
+                                      src_obj=src_obj, dst_obj=obj)
+                sends.append(sends[-1]
+                             + draw(st.integers(min_value=1,
+                                                max_value=32)) / 16.0)
+            flight = draw(st.integers(min_value=1, max_value=64)) / 16.0
+            delivered = sends[-1] + flight
+            for t in sends:
+                tracer.message_sent(t, src_pe, pe, 8, tag, wan,
+                                    seq=trigger, cause=parent,
+                                    src_obj=src_obj, dst_obj=obj)
+            tracer.message_delivered(delivered, src_pe, pe, 8, tag, wan,
+                                     seq=trigger, cause=parent,
+                                     src_obj=src_obj, dst_obj=obj)
+            if wan and draw(st.booleans()):
+                # The fabric stamps a hop ledger on the carrying copy.
+                tracer.message_hops(
+                    sends[-1], src_pe, pe, 8, tag, True, trigger,
+                    delivered,
+                    _draw_wan_ledger(draw, int(sends[-1] * 16),
+                                     int(delivered * 16)))
+            if draw(st.booleans()):
+                # Duplicate delivery of a slower copy, reordered behind.
+                tracer.message_delivered(
+                    delivered + draw(st.integers(min_value=1,
+                                                 max_value=32)) / 16.0,
+                    src_pe, pe, 8, tag, wan, seq=trigger, cause=parent,
+                    src_obj=src_obj, dst_obj=obj)
+
+        floor = max(pe_clock[pe], delivered or 0.0)
+        queue_gap = draw(st.integers(min_value=0, max_value=8)) / 16.0
+        start = floor + queue_gap
+        duration = draw(st.integers(min_value=1, max_value=32)) / 16.0
+        end = start + duration
+        tracer.begin_execute(pe, start, chare, entry_name,
+                             sid=sid, parent=parent, trigger=trigger,
+                             obj=obj)
+        tracer.end_execute(pe, end)
+        pe_clock[pe] = end
+        spans.append((sid, pe, start, end, obj))
+
+    t_min = min(s[2] for s in spans)
+    t_max = max(s[3] for s in spans)
+    ticks = sorted(set(
+        [int(s[2] * 16) for s in spans]
+        + draw(st.lists(st.integers(min_value=int(t_min * 16),
+                                    max_value=int(t_max * 16) + 32),
+                        min_size=0, max_size=6))))
+    boundaries = [t / 16.0 for t in ticks]
+    return tracer, boundaries
+
+
+@given(labelled_causal_runs())
+@settings(**COMMON)
+def test_blame_totals_partition_each_step_exactly(run):
+    tracer, boundaries = run
+    graph = CausalGraph.from_tracer(tracer)
+    steps = per_step_attribution(graph, boundaries)
+    for att in steps:
+        blame = per_object_blame(att.segments)
+        # The headline invariant: object totals sum to the step's wall
+        # time, exactly (residual == 0.0 on the dyadic grid).
+        assert sum(row["total_s"] for row in blame.values()) == att.wall
+        for obj, row in blame.items():
+            assert obj in OBJ_LABELS or obj == UNATTRIBUTED
+            assert row["total_s"] == \
+                row["compute_s"] + row["wan_wait_s"] + row["queue_s"]
+            for v in row.values():
+                assert v >= 0.0
+
+
+@given(labelled_causal_runs())
+@settings(**COMMON)
+def test_blame_over_window_equals_merged_steps(run):
+    """Folding all windows at once == summing per-step folds, exactly."""
+    tracer, boundaries = run
+    graph = CausalGraph.from_tracer(tracer)
+    steps = per_step_attribution(graph, boundaries)
+    whole = per_object_blame(
+        [seg for att in steps for seg in att.segments])
+    merged = {}
+    for att in steps:
+        for obj, row in per_object_blame(att.segments).items():
+            acc = merged.setdefault(obj, dict.fromkeys(row, 0.0))
+            for k, v in row.items():
+                acc[k] += v
+    assert whole == merged
+    # And the global invariant across the whole analysed window.
+    assert sum(row["total_s"] for row in whole.values()) == \
+        sum(att.wall for att in steps)
+
+
+@given(labelled_causal_runs())
+@settings(**COMMON)
+def test_compute_blame_lands_on_the_executing_object(run):
+    """Compute blame only ever lands on objects that executed.
+
+    The walk's segments tile the window (trailing idle is clipped into
+    the last on-path span's bucket), so no *duration* bound holds — but
+    the labels must route correctly: an object that never executed can
+    accrue no compute blame, and unlabelled ``<rts>`` relay work lands
+    in the runtime bucket, never on a chare.
+    """
+    tracer, boundaries = run
+    graph = CausalGraph.from_tracer(tracer)
+    steps = per_step_attribution(graph, boundaries)
+    blame = per_object_blame(
+        [seg for att in steps for seg in att.segments])
+    executed = {iv.obj for iv in tracer.intervals if iv.obj is not None}
+    for obj, row in blame.items():
+        if row["compute_s"] > 0.0 or row["queue_s"] > 0.0:
+            assert obj == UNATTRIBUTED or obj in executed
+
+
+@given(labelled_causal_runs())
+@settings(**COMMON)
+def test_render_blame_lists_heaviest_first(run):
+    tracer, boundaries = run
+    graph = CausalGraph.from_tracer(tracer)
+    steps = per_step_attribution(graph, boundaries)
+    blame = per_object_blame(
+        [seg for att in steps for seg in att.segments])
+    text = render_blame(blame, top=3)
+    lines = text.splitlines()
+    assert lines[0].startswith("object")
+    assert len(lines) <= 1 + min(3, len(blame))
+    ranked = sorted(blame.items(),
+                    key=lambda kv: (-kv[1]["total_s"], kv[0]))
+    for line, (obj, _row) in zip(lines[1:], ranked):
+        assert line.startswith(obj)

@@ -153,7 +153,8 @@ def test_event_log_round_trip(tmp_path):
     assert len(execs) == 2
     assert execs[0] == {"type": "exec", "pe": 0, "start_s": 0.001,
                         "end_s": 0.003, "chare": "Block", "entry": "ghost",
-                        "sid": None, "parent": None, "trigger": None}
+                        "sid": None, "parent": None, "trigger": None,
+                        "obj": None}
     kinds = sorted(r["kind"] for r in msgs)
     assert kinds == ["deliver", "deliver", "drop", "send", "send", "send"]
 

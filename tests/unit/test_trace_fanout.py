@@ -16,22 +16,25 @@ class _RecordingSink:
         self.events = []
 
     def begin_execute(self, pe, now, chare, entry, sid=None, parent=None,
-                      trigger=None):
+                      trigger=None, obj=None):
         self.events.append(("begin", pe, now))
 
     def end_execute(self, pe, now):
         self.events.append(("end", pe, now))
 
     def message_sent(self, now, src_pe, dst_pe, size, tag, crossed_wan,
-                     seq=None, cause=None, ack_for=None):
+                     seq=None, cause=None, ack_for=None,
+                     src_obj=None, dst_obj=None):
         self.events.append(("sent", src_pe, dst_pe))
 
     def message_delivered(self, now, src_pe, dst_pe, size, tag,
-                          crossed_wan, seq=None, cause=None, ack_for=None):
+                          crossed_wan, seq=None, cause=None, ack_for=None,
+                          src_obj=None, dst_obj=None):
         self.events.append(("delivered", src_pe, dst_pe))
 
     def message_dropped(self, now, src_pe, dst_pe, size, tag, crossed_wan,
-                        seq=None, cause=None, ack_for=None):
+                        seq=None, cause=None, ack_for=None,
+                        src_obj=None, dst_obj=None):
         self.events.append(("dropped", src_pe, dst_pe))
 
     def note_retransmit(self):
