@@ -55,6 +55,101 @@ def total_forces(positions: np.ndarray, charges: np.ndarray,
     return forces, potential
 
 
+def _scalar_interaction(dx: float, dy: float, dz: float, qq: float,
+                        params: MdParams) -> Tuple[float, float]:
+    """Force scalar and potential of one (i, j) pair in Python floats."""
+    r2 = dx * dx + dy * dy + dz * dz
+    if not (0.0 < r2 < params.cutoff * params.cutoff):
+        return 0.0, 0.0
+    inv_r2 = 1.0 / r2
+    s2 = (params.sigma * params.sigma) * inv_r2
+    s6 = s2 * s2 * s2
+    lj_scalar = 24.0 * params.epsilon * (2.0 * s6 * s6 - s6) * inv_r2
+    lj_pot = 4.0 * params.epsilon * (s6 * s6 - s6)
+    inv_r = inv_r2 ** 0.5
+    coul_scalar = qq * inv_r * inv_r2
+    coul_pot = qq * inv_r
+    return lj_scalar + coul_scalar, lj_pot + coul_pot
+
+
+def pair_forces_percell(pos_a: np.ndarray, pos_b: np.ndarray,
+                        q_a: np.ndarray, q_b: np.ndarray, box: np.ndarray,
+                        params: MdParams
+                        ) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Per-atom scalar version of :func:`~repro.apps.leanmd.forces.pair_forces`.
+
+    The ground truth the vectorized block kernel is validated against: a
+    plain double loop over (i, j) atom pairs with minimum-image applied
+    per component.  Agreement with the broadcast tensor kernel is up to
+    summation reassociation only (row sums vs sequential accumulation),
+    which the equivalence tests bound tightly.
+    """
+    bx, by, bz = (float(box[0]), float(box[1]), float(box[2]))
+    f_a = np.zeros_like(pos_a)
+    f_b = np.zeros_like(pos_b)
+    potential = 0.0
+    a = pos_a.tolist()
+    b = pos_b.tolist()
+    for i, (axi, ayi, azi) in enumerate(a):
+        for j, (bxj, byj, bzj) in enumerate(b):
+            dx = axi - bxj
+            dy = ayi - byj
+            dz = azi - bzj
+            dx -= bx * round(dx / bx)
+            dy -= by * round(dy / by)
+            dz -= bz * round(dz / bz)
+            qq = params.coulomb_k * float(q_a[i]) * float(q_b[j])
+            scalar, pot = _scalar_interaction(dx, dy, dz, qq, params)
+            if scalar == 0.0 and pot == 0.0:
+                continue
+            fx, fy, fz = scalar * dx, scalar * dy, scalar * dz
+            f_a[i, 0] += fx
+            f_a[i, 1] += fy
+            f_a[i, 2] += fz
+            f_b[j, 0] -= fx
+            f_b[j, 1] -= fy
+            f_b[j, 2] -= fz
+            potential += pot
+    return f_a, f_b, potential
+
+
+def self_forces_percell(pos: np.ndarray, q: np.ndarray, box: np.ndarray,
+                        params: MdParams) -> Tuple[np.ndarray, float]:
+    """Per-atom scalar version of :func:`~repro.apps.leanmd.forces.self_forces`.
+
+    Each unordered pair is visited once; Newton's third law is applied
+    explicitly, and the potential is counted once per pair (matching the
+    halved double-counted tensor sum of the block kernel).
+    """
+    bx, by, bz = (float(box[0]), float(box[1]), float(box[2]))
+    forces = np.zeros_like(pos)
+    potential = 0.0
+    p = pos.tolist()
+    n = len(p)
+    for i in range(n):
+        axi, ayi, azi = p[i]
+        for j in range(i + 1, n):
+            dx = axi - p[j][0]
+            dy = ayi - p[j][1]
+            dz = azi - p[j][2]
+            dx -= bx * round(dx / bx)
+            dy -= by * round(dy / by)
+            dz -= bz * round(dz / bz)
+            qq = params.coulomb_k * float(q[i]) * float(q[j])
+            scalar, pot = _scalar_interaction(dx, dy, dz, qq, params)
+            if scalar == 0.0 and pot == 0.0:
+                continue
+            fx, fy, fz = scalar * dx, scalar * dy, scalar * dz
+            forces[i, 0] += fx
+            forces[i, 1] += fy
+            forces[i, 2] += fz
+            forces[j, 0] -= fx
+            forces[j, 1] -= fy
+            forces[j, 2] -= fz
+            potential += pot
+    return forces, potential
+
+
 def run_reference(system: MdSystem, steps: int) -> ReferenceTrajectory:
     """Advance the whole system *steps* steps sequentially."""
     params = system.params

@@ -27,7 +27,8 @@ import numpy as np
 
 from repro.apps.stencil.costs import DEFAULT_STENCIL_COSTS, StencilCostModel
 from repro.apps.stencil.decomposition import OPPOSITE, BlockDecomposition
-from repro.apps.stencil.kernel import jacobi_step
+from repro.apps.stencil.kernel import jacobi_step_into
+from repro.apps.stencil.reference import jacobi_step_percell
 from repro.core.chare import Chare
 from repro.core.ids import ChareID
 from repro.core.method import entry
@@ -36,6 +37,12 @@ from repro.errors import ConfigurationError
 #: Payload modes: "real" moves and updates actual numbers; "modeled"
 #: skips the arithmetic but keeps every message, size and cost identical.
 PAYLOAD_MODES = ("real", "modeled")
+
+#: Kernel flavors: "numpy" runs the vectorized block kernel into a
+#: preallocated scratch buffer; "percell" runs the scalar per-cell
+#: reference arithmetic (bit-identical values, orders of magnitude
+#: slower — the baseline the kernel speedup is measured against).
+KERNEL_MODES = ("numpy", "percell")
 
 
 @dataclass(frozen=True)
@@ -47,6 +54,9 @@ class StencilRunConfig:
     costs: StencilCostModel = field(default_factory=lambda: DEFAULT_STENCIL_COSTS)
     #: Gather the final interiors back to the driver (validation runs).
     gather_mesh: bool = False
+    #: Which implementation performs the Jacobi arithmetic (real payload
+    #: only; virtual-time cost always comes from ``costs``).
+    kernel: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.steps < 0:
@@ -54,6 +64,9 @@ class StencilRunConfig:
         if self.payload not in PAYLOAD_MODES:
             raise ConfigurationError(
                 f"payload must be one of {PAYLOAD_MODES}, got {self.payload!r}")
+        if self.kernel not in KERNEL_MODES:
+            raise ConfigurationError(
+                f"kernel must be one of {KERNEL_MODES}, got {self.kernel!r}")
 
 
 class StencilBlock(Chare):
@@ -85,9 +98,12 @@ class StencilBlock(Chare):
             self.u = np.zeros((h + 2, w + 2), dtype=np.float64)
             self.u[1:-1, 1:-1] = initial
             self._fixed = self._capture_fixed_boundary()
+            #: Reused per-step output buffer for the in-place kernel.
+            self._scratch = np.empty((h, w), dtype=np.float64)
         else:
             self.u = None
             self._fixed = {}
+            self._scratch = None
 
         self.step = 0
         self._started = False
@@ -178,8 +194,11 @@ class StencilBlock(Chare):
                 self._install_ghost(side, vec)
 
         if cfg.payload == "real":
-            new_interior = jacobi_step(self.u)
-            self.u[1:-1, 1:-1] = new_interior
+            if cfg.kernel == "percell":
+                self.u[1:-1, 1:-1] = jacobi_step_percell(self.u)
+            else:
+                jacobi_step_into(self.u, self._scratch)
+                self.u[1:-1, 1:-1] = self._scratch
             self._reapply_fixed_boundary()
         self.charge(cfg.costs.compute_cost(
             self.decomp.block_rows, self.decomp.block_cols))

@@ -82,13 +82,23 @@ class StencilApp:
         mapping along mesh columns.
     seed:
         Initial-condition seed (real payload only).
+    kernel:
+        Jacobi arithmetic flavor (``"numpy"`` block kernel or
+        ``"percell"`` scalar reference; real payload only).
+    target_wrapper:
+        Optional callable applied to each reduction callback before it
+        is handed to the blocks.  The sharded runner uses this to swap
+        the app's bound methods for picklable stand-ins that cross
+        process boundaries inside ``ReductionMsg`` payloads; serial runs
+        leave it ``None`` and the callbacks travel as-is.
     """
 
     def __init__(self, env: GridEnvironment, mesh: Tuple[int, int] = (2048, 2048),
                  objects: int = 64, payload: str = "real",
                  costs: Optional[StencilCostModel] = None,
                  mapping=None, seed: int = 0,
-                 gather_mesh: bool = False) -> None:
+                 gather_mesh: bool = False, kernel: str = "numpy",
+                 target_wrapper=None) -> None:
         self.env = env
         self.decomp = BlockDecomposition.regular(mesh, objects)
         self.payload = payload
@@ -96,7 +106,11 @@ class StencilApp:
         self.mapping = mapping
         self.seed = seed
         self.gather_mesh = gather_mesh
+        self.kernel = kernel
+        self.target_wrapper = target_wrapper
         self._results: Dict[str, object] = {}
+        self._t0 = 0.0
+        self._warmup = 0
 
     # -- reduction callbacks -------------------------------------------------
 
@@ -111,8 +125,13 @@ class StencilApp:
 
     # -- the run ---------------------------------------------------------------
 
-    def run(self, steps: int, warmup: Optional[int] = None) -> StencilResult:
-        """Execute *steps* Jacobi iterations; returns the measurements."""
+    def launch(self, steps: int, warmup: Optional[int] = None) -> None:
+        """Build the chare array and send the start broadcast.
+
+        The run itself is driven by the caller — ``env.run()`` serially,
+        or the sharded sync loop — and :meth:`collect` then assembles the
+        measurements.  :meth:`run` chains all three for the common case.
+        """
         if steps <= 0:
             raise ConfigurationError(f"steps must be positive, got {steps}")
         if warmup is None:
@@ -122,7 +141,8 @@ class StencilApp:
                 f"warmup {warmup} must be < steps {steps}")
 
         cfg_kwargs = {"steps": steps, "payload": self.payload,
-                      "gather_mesh": self.gather_mesh}
+                      "gather_mesh": self.gather_mesh,
+                      "kernel": self.kernel}
         if self.costs is not None:
             cfg_kwargs["costs"] = self.costs
         config = StencilRunConfig(**cfg_kwargs)
@@ -133,6 +153,8 @@ class StencilApp:
 
         decomp = self.decomp
         targets = (self._on_times, self._on_checksum, self._on_mesh)
+        if self.target_wrapper is not None:
+            targets = tuple(self.target_wrapper(cb) for cb in targets)
 
         def args_of(idx):
             bi, bj = idx
@@ -149,14 +171,17 @@ class StencilApp:
         blocks = self.env.runtime.create_array(
             StencilBlock, decomp.indices(), mapping, args_of=args_of)
 
-        t0 = self.env.now
+        self._t0 = self.env.now
+        self._warmup = warmup
         blocks.start()
-        self.env.run()
 
+    def collect(self) -> StencilResult:
+        """Assemble the :class:`StencilResult` after the run completed."""
         if "times" not in self._results:
             raise ConfigurationError(
                 "run ended without completing (deadlock or zero blocks?)")
-        times = np.asarray(self._results["times"], dtype=np.float64) - t0
+        times = (np.asarray(self._results["times"], dtype=np.float64)
+                 - self._t0)
 
         final_mesh = None
         if self.gather_mesh and self.payload == "real":
@@ -166,9 +191,15 @@ class StencilApp:
             step_times=times,
             checksum=float(self._results.get("checksum", 0.0)),
             final_mesh=final_mesh,
-            makespan=self.env.now - t0,
-            warmup=warmup,
+            makespan=self.env.now - self._t0,
+            warmup=self._warmup,
         )
+
+    def run(self, steps: int, warmup: Optional[int] = None) -> StencilResult:
+        """Execute *steps* Jacobi iterations; returns the measurements."""
+        self.launch(steps, warmup=warmup)
+        self.env.run()
+        return self.collect()
 
     def _reassemble(self, pairs: List) -> np.ndarray:
         mesh = np.zeros((self.decomp.mesh_rows, self.decomp.mesh_cols))
@@ -181,8 +212,9 @@ class StencilApp:
 def run_stencil(env: GridEnvironment, mesh: Tuple[int, int], objects: int,
                 steps: int, payload: str = "modeled",
                 costs: Optional[StencilCostModel] = None,
-                warmup: Optional[int] = None) -> StencilResult:
+                warmup: Optional[int] = None,
+                kernel: str = "numpy") -> StencilResult:
     """One-call convenience wrapper used by the benchmark sweeps."""
     app = StencilApp(env, mesh=mesh, objects=objects, payload=payload,
-                     costs=costs)
+                     costs=costs, kernel=kernel)
     return app.run(steps, warmup=warmup)

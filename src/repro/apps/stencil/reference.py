@@ -31,6 +31,52 @@ def run_reference(mesh: np.ndarray, steps: int) -> np.ndarray:
     return current
 
 
+def jacobi_step_percell(padded: np.ndarray) -> np.ndarray:
+    """Per-cell scalar Jacobi update of a ghost-padded block.
+
+    The ground truth the numpy block kernels are validated against: a
+    plain double loop in Python floats, no vectorization, applying the
+    identical ``((north + south) + west + east) * 0.25`` association so
+    the result is bit-equal to :func:`~repro.apps.stencil.kernel.jacobi_step`
+    on any shape.  Orders of magnitude slower than the block kernel —
+    that gap is exactly what the kernel benchmark measures — so it is
+    only ever run on small blocks in tests and in the ``kernel="percell"``
+    flavor of the stencil app.
+    """
+    if padded.ndim != 2 or padded.shape[0] < 3 or padded.shape[1] < 3:
+        raise ValueError(f"padded block too small: {padded.shape}")
+    h, w = padded.shape[0] - 2, padded.shape[1] - 2
+    out = np.empty((h, w), dtype=np.float64)
+    cells = padded.tolist()
+    for i in range(h):
+        north = cells[i]
+        mid = cells[i + 1]
+        south = cells[i + 2]
+        row = out[i]
+        for j in range(w):
+            row[j] = ((north[j + 1] + south[j + 1])
+                      + mid[j] + mid[j + 2]) * 0.25
+    return out
+
+
+def run_reference_percell(mesh: np.ndarray, steps: int) -> np.ndarray:
+    """:func:`run_reference` computed through :func:`jacobi_step_percell`.
+
+    Used by equivalence tests to certify the vectorized whole-mesh update
+    against scalar arithmetic; bit-identical to :func:`run_reference`.
+    """
+    if steps < 0:
+        raise ValueError(f"negative step count {steps}")
+    current = np.array(mesh, dtype=np.float64, copy=True)
+    if min(current.shape) < 3 or steps == 0:
+        return current
+    for _ in range(steps):
+        nxt = current.copy()
+        nxt[1:-1, 1:-1] = jacobi_step_percell(current)
+        current = nxt
+    return current
+
+
 def checksum(mesh: np.ndarray) -> float:
     """Deterministic scalar fingerprint used by drivers and tests."""
     return float(np.sum(mesh)) + float(np.sum(mesh[::7, ::13]))

@@ -1,0 +1,554 @@
+"""Sharded conservative-PDES runner.
+
+One simulation, many event heaps: the PE space is partitioned into
+cluster-aligned shards (:mod:`repro.network.shard`), each worker owns
+one shard's PEs, and the workers advance in conservative synchronous
+windows.  The 2–64 ms cross-cluster latency the paper injects *is* the
+lookahead — exactly the slack message-driven execution hides, recycled
+here to keep shards from ever having to wait on each other within a
+window.
+
+Determinism contract
+--------------------
+Every worker builds the *full* environment and application from the
+same :class:`PdesJob` (identical construction, identical launch
+broadcasts), then installs an ownership filter on its fabric: sends
+whose source PE belongs to another shard are skipped outright (the
+owning shard performs them), and wire copies bound for a foreign PE are
+exported with their already-computed arrival time instead of being
+posted locally.  The coordinator routes exports each round and grants
+every shard a safe horizon
+
+    T[w] = min over v != w of ( min(E[v], T[w's view of v]) + L[v][w] )
+
+computed to fixpoint, where ``E[v]`` is shard *v*'s earliest pending
+event (including imports just routed to it) and ``L`` the static chain
+floor.  Shards fire events strictly *below* their horizon and never
+force their clock forward, so an import can still land anywhere in the
+next window.  Lookahead floors are strictly positive (loopback/shmem
+edges pin PEs into one shard), so every round advances global virtual
+time by at least ``2 * min(L)`` — the protocol cannot deadlock.
+
+The product is certified, not assumed: each worker records a
+:class:`~repro.sim.shardlog.ShardLog`, and the deterministic merge of
+those logs must be bit-identical to the one-shard (serial) trajectory.
+
+Reduction targets travel *inside* ``ReductionMsg`` payloads, so a bound
+method of a driver-side object would drag the whole environment through
+every cross-shard pickle.  :class:`WorkerCallback` is the picklable
+stand-in: a name key resolved against a per-worker registry, installed
+via the app's ``target_wrapper`` hook.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.records import MigrationMsg
+from repro.errors import ConfigurationError
+from repro.network.shard import ShardPlan, assert_shardable, plan_shards
+from repro.sim.shardlog import ShardLog, log_digest, merge_logs
+from repro.sim.trace import TraceFanout
+
+_INF = float("inf")
+
+# -- picklable reduction targets -------------------------------------------
+
+#: Per-process registry of reduction callbacks, keyed (worker scope, name).
+#: Worker processes live in scope 0; the in-process runner flips the
+#: active scope around every interaction with a worker so that N workers
+#: sharing one interpreter stay isolated.
+_CALLBACKS: Dict[Tuple[int, str], Callable] = {}
+_ACTIVE_SCOPE = 0
+
+
+def _set_scope(scope: int) -> int:
+    global _ACTIVE_SCOPE
+    previous = _ACTIVE_SCOPE
+    _ACTIVE_SCOPE = scope
+    return previous
+
+
+def register_callback(name: str, fn: Callable) -> "WorkerCallback":
+    """Register *fn* under *name* in the active worker scope."""
+    _CALLBACKS[(_ACTIVE_SCOPE, name)] = fn
+    return WorkerCallback(name)
+
+
+class WorkerCallback:
+    """Picklable stand-in for a reduction/driver callback.
+
+    Carries only its name across process boundaries; calling it looks
+    the real callable up in the active scope's registry, so the callback
+    that runs is always the one the *receiving* worker registered.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __call__(self, *args, **kwargs):
+        try:
+            fn = _CALLBACKS[(_ACTIVE_SCOPE, self.name)]
+        except KeyError:
+            raise ConfigurationError(
+                f"WorkerCallback {self.name!r} is not registered in this "
+                "worker (register_callback must run during job launch)"
+            ) from None
+        return fn(*args, **kwargs)
+
+    def __reduce__(self):
+        return (WorkerCallback, (self.name,))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WorkerCallback({self.name!r})"
+
+
+# -- jobs -------------------------------------------------------------------
+
+class PdesJob:
+    """What the runner needs to know about one simulation.
+
+    A job must be picklable *before* :meth:`launch` (it is shipped to
+    worker processes) and deterministic: every worker's
+    :meth:`environment` + :meth:`launch` must reproduce the identical
+    initial event state, or the shards are simulating different worlds.
+    """
+
+    def environment(self):
+        """Build and return a fresh :class:`GridEnvironment`."""
+        raise NotImplementedError
+
+    def launch(self, env) -> None:
+        """Create the application and send its start messages."""
+        raise NotImplementedError
+
+    def collect(self, env):
+        """Assemble the result after the run completes.
+
+        Called on every shard; shards that did not receive the final
+        reduction should raise or return ``None`` — the coordinator
+        keeps the first non-``None`` product.
+        """
+        raise NotImplementedError
+
+
+@dataclass
+class StencilPdesJob(PdesJob):
+    """The stencil experiment as a shardable job."""
+
+    cluster_sizes: Tuple[int, ...]
+    latency: float
+    mesh: Tuple[int, int] = (2048, 2048)
+    objects: int = 64
+    steps: int = 10
+    payload: str = "modeled"
+    kernel: str = "numpy"
+    seed: int = 0
+    stats: bool = True
+
+    def environment(self):
+        from repro.grid.presets import multi_cluster_env
+        return multi_cluster_env(self.cluster_sizes, self.latency,
+                                 seed=self.seed, stats=self.stats)
+
+    def launch(self, env) -> None:
+        from repro.apps.stencil.driver import StencilApp
+
+        def wrap(cb):
+            return register_callback(cb.__name__, cb)
+
+        app = StencilApp(env, mesh=self.mesh, objects=self.objects,
+                         payload=self.payload, kernel=self.kernel,
+                         target_wrapper=wrap)
+        app.launch(self.steps)
+        # Stashed on the env, not on self: the job must stay picklable
+        # (it is shipped to every worker) and reusable across runs.
+        env.pdes_app = app
+
+    def collect(self, env):
+        return env.pdes_app.collect()
+
+
+# -- per-shard worker -------------------------------------------------------
+
+def attach_shard_log(env) -> ShardLog:
+    """Attach a :class:`ShardLog` to *env*'s trace sink chain.
+
+    Works for serial and sharded runs alike — certification compares
+    trajectories recorded through this same path on both sides.
+    """
+    log = ShardLog()
+    existing = env.fabric.tracer
+    env.fabric.tracer = log if existing is None \
+        else TraceFanout([existing, log])
+    return log
+
+
+class ShardWorker:
+    """One shard's state: environment, ownership filter, export buffer.
+
+    Used directly by the in-process runner and inside each child process
+    of the multiprocessing runner — the synchronization protocol is the
+    same object either way.
+    """
+
+    def __init__(self, job: PdesJob, owned: Sequence[int]) -> None:
+        self.job = job
+        self.env = job.environment()
+        # Content-deterministic same-instant delivery ordering: without
+        # it, an import posted at a round boundary would pop before a
+        # same-time local delivery that serial execution ordered first.
+        self.env.engine.enable_ordered_ties()
+        self.log = attach_shard_log(self.env)
+        self.owned = frozenset(owned)
+        self.exports: List[tuple] = []
+        fabric = self.env.fabric
+        if self.env.transport is not fabric:
+            raise ConfigurationError(
+                "sharded runs require the plain NetworkFabric transport")
+        if len(self.owned) < self.env.topology.num_pes:
+            fabric.shard_owned = self.owned
+            fabric.shard_export = self._export
+        self._deliver = self.env.runtime.scheduler.deliver
+        job.launch(self.env)
+
+    def _export(self, arrival: float, msg, wire_bytes: int) -> None:
+        if isinstance(msg.payload, MigrationMsg):
+            raise ConfigurationError(
+                "cross-shard chare migration is not supported: a live "
+                "chare cannot be pickled between shard processes "
+                "(rebalance within a shard, or run serial)")
+        self.exports.append((arrival, msg, wire_bytes))
+
+    def report(self) -> Tuple[float, list]:
+        """``(earliest pending event time, exports since last report)``."""
+        eot = self.env.engine.next_event_time()
+        out, self.exports = self.exports, []
+        return (_INF if eot is None else eot), out
+
+    def advance(self, bound: float, imports: list) -> None:
+        """Inject this round's imports, then run the granted window."""
+        fabric = self.env.fabric
+        deliver = self._deliver
+        for arrival, msg, wire_bytes in imports:
+            fabric.inject(arrival, msg, wire_bytes, deliver)
+        self.env.engine.run_window(bound)
+
+    def run_all(self) -> None:
+        """Degenerate single-shard mode: plain serial drain."""
+        self.env.engine.run(None)
+
+    def finish(self):
+        """Final payload: ``(result-or-None, log, events, final time)``."""
+        try:
+            result = self.job.collect(self.env)
+        except Exception:
+            result = None
+        return (result, self.log, self.env.engine.events_processed,
+                self.env.now)
+
+
+def run_serial_baseline(job: PdesJob) -> "ShardedResult":
+    """Run *job* serially under certification ordering.
+
+    One engine, one heap — the ground truth every sharded execution must
+    reproduce bit-for-bit.  Ordered ties are enabled here too: at
+    tie-free instants this is the seed's exact trajectory, and at
+    same-instant delivery ties both sides use the same canonical
+    (message-content) order instead of the seed's post order, which no
+    multi-heap execution could reconstruct.
+    """
+    t_wall = time.perf_counter()
+    env = job.environment()
+    env.engine.enable_ordered_ties()
+    log = attach_shard_log(env)
+    previous = _set_scope(0)
+    try:
+        job.launch(env)
+        env.run()
+        result = job.collect(env)
+    finally:
+        _set_scope(previous)
+    records = merge_logs([log])
+    events = env.engine.events_processed
+    return ShardedResult(
+        result=result,
+        records=records,
+        digest=log_digest(records),
+        shards=1,
+        rounds=0,
+        events=events,
+        events_per_shard=[events],
+        makespan=env.now,
+        wall_s=time.perf_counter() - t_wall,
+    )
+
+
+# -- the conservative window protocol --------------------------------------
+
+def compute_horizons(eff_eot: Sequence[float],
+                     lookahead: Sequence[Sequence[float]]
+                     ) -> List[float]:
+    """Fixpoint of the per-shard safe horizons.
+
+    ``T[w] = min over v != w of (min(E[v], T[v]) + L[v][w])``: shard *v*
+    cannot emit anything before its earliest event *or* before anything
+    it may yet receive — whichever is sooner — and the message then
+    needs at least ``L[v][w]`` on the wire.  Iterating to fixpoint
+    propagates multi-hop feedback (w -> v -> w), so a lone busy shard is
+    still bounded by its own echo, ``E[w] + L[w][v] + L[v][w]``.
+    Monotone non-increasing in each step, hence convergent; with any
+    finite ``E`` all horizons are finite and strictly above ``min(E)``.
+    """
+    n = len(eff_eot)
+    horizons = [_INF] * n
+    changed = True
+    while changed:
+        changed = False
+        for w in range(n):
+            best = _INF
+            for v in range(n):
+                if v == w:
+                    continue
+                bound = min(eff_eot[v], horizons[v]) + lookahead[v][w]
+                if bound < best:
+                    best = bound
+            if best < horizons[w]:
+                horizons[w] = best
+                changed = True
+    return horizons
+
+
+@dataclass
+class ShardedResult:
+    """Outcome of one sharded run."""
+
+    #: The job's product (e.g. a ``StencilResult``), from whichever
+    #: shard received the final reduction.
+    result: Any
+    #: Canonical merged trajectory (``merge_logs`` of the shard logs).
+    records: list
+    #: ``log_digest`` of the merged trajectory.
+    digest: str
+    #: Shards actually used (after cluster clamping).
+    shards: int
+    #: Conservative sync rounds executed (0 for a single shard).
+    rounds: int
+    #: Engine events fired, summed over shards.
+    events: int
+    events_per_shard: List[int] = field(default_factory=list)
+    #: Final virtual time (max over shards).
+    makespan: float = 0.0
+    #: Wall-clock seconds of the sharded execution.
+    wall_s: float = 0.0
+
+
+def _roundtrip(payload):
+    """Pickle round-trip, mimicking the process boundary in-process."""
+    return pickle.loads(pickle.dumps(payload))
+
+
+class _InprocPeer:
+    """Drives a :class:`ShardWorker` in this process, in its own scope."""
+
+    def __init__(self, job_blob: bytes, index: int, owned) -> None:
+        self.scope = index + 1  # scope 0 belongs to the caller/serial runs
+        previous = _set_scope(self.scope)
+        try:
+            self.worker = ShardWorker(pickle.loads(job_blob), owned)
+        finally:
+            _set_scope(previous)
+
+    def _call(self, fn, *args):
+        previous = _set_scope(self.scope)
+        try:
+            return fn(*args)
+        finally:
+            _set_scope(previous)
+
+    def recv_report(self):
+        eot, exports = self._call(self.worker.report)
+        return eot, _roundtrip(exports)
+
+    def post_advance(self, bound, imports):
+        self._call(self.worker.advance, bound, _roundtrip(imports))
+
+    def finish(self):
+        return self._call(self.worker.finish)
+
+    def run_all(self):
+        self._call(self.worker.run_all)
+
+    def close(self) -> None:
+        pass
+
+
+def _worker_main(conn, job_blob: bytes, owned) -> None:
+    """Child-process loop of the multiprocessing runner."""
+    try:
+        worker = ShardWorker(pickle.loads(job_blob), owned)
+        conn.send(("report",) + worker.report())
+        while True:
+            cmd = conn.recv()
+            if cmd[0] == "advance":
+                worker.advance(cmd[1], cmd[2])
+                conn.send(("report",) + worker.report())
+            elif cmd[0] == "finish":
+                conn.send(("done", worker.finish()))
+                return
+    except BaseException:
+        import traceback
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class _ProcessPeer:
+    """Drives a :class:`ShardWorker` in a child process over a pipe."""
+
+    def __init__(self, ctx, job_blob: bytes, owned) -> None:
+        self.conn, child = ctx.Pipe()
+        self.proc = ctx.Process(target=_worker_main,
+                                args=(child, job_blob, tuple(owned)),
+                                daemon=True)
+        self.proc.start()
+        child.close()
+
+    def _recv(self, want: str):
+        reply = self.conn.recv()
+        if reply[0] == "error":
+            raise ConfigurationError(f"shard worker failed:\n{reply[1]}")
+        if reply[0] != want:
+            raise ConfigurationError(
+                f"shard worker protocol error: got {reply[0]!r}")
+        return reply[1:]
+
+    def recv_report(self):
+        # Reports arrive unprompted: right after worker init, and after
+        # each advance.  Posting all advances before collecting any
+        # report is what lets the shards run their windows concurrently.
+        return self._recv("report")
+
+    def post_advance(self, bound, imports):
+        self.conn.send(("advance", bound, imports))
+
+    def finish(self):
+        self.conn.send(("finish",))
+        (payload,) = self._recv("done")
+        return payload
+
+    def close(self) -> None:
+        self.conn.close()
+        self.proc.join(timeout=30)
+        if self.proc.is_alive():  # pragma: no cover - hang backstop
+            self.proc.terminate()
+            self.proc.join()
+
+
+def run_sharded(job: PdesJob, shards: int, *, parallel: bool = False,
+                mp_start_method: Optional[str] = None) -> ShardedResult:
+    """Run *job* under the sharded conservative engine.
+
+    Parameters
+    ----------
+    job:
+        The simulation; must be picklable and deterministic.
+    shards:
+        Requested shard count; clamped to the number of clusters (one
+        shard is the serial degenerate case and needs no protocol).
+    parallel:
+        ``False`` (default) drives all shards in this process — same
+        protocol, same pickled message batches, no process startup;
+        this is the mode tests use.  ``True`` runs one OS process per
+        shard over ``multiprocessing`` pipes for real multi-core speed.
+    mp_start_method:
+        Start-method override for ``parallel=True`` (default: fork when
+        available, else the platform default).
+    """
+    t_wall = time.perf_counter()
+    probe_env = job.environment()
+    assert_shardable(probe_env.chain,
+                     probe_env.transport is probe_env.fabric)
+    plan: ShardPlan = plan_shards(probe_env.topology, probe_env.chain,
+                                  shards)
+    del probe_env
+    n = plan.num_shards
+    job_blob = pickle.dumps(job)
+
+    if parallel and n > 1:
+        import multiprocessing as mp
+        method = mp_start_method
+        if method is None:
+            method = "fork" if "fork" in mp.get_all_start_methods() \
+                else None
+        ctx = mp.get_context(method)
+        peers = [_ProcessPeer(ctx, job_blob, plan.shards[i])
+                 for i in range(n)]
+    else:
+        peers = [_InprocPeer(job_blob, i, plan.shards[i])
+                 for i in range(n)]
+
+    rounds = 0
+    try:
+        if n == 1:
+            # Single shard: no ownership filter, no protocol — a plain
+            # serial drain (the degenerate case, e.g. one cluster).
+            peers[0].run_all()
+        else:
+            reports = [peer.recv_report() for peer in peers]
+            while True:
+                # Route this round's exports to their owning shards.
+                imports: List[list] = [[] for _ in range(n)]
+                for src_shard, (_eot, exports) in enumerate(reports):
+                    for export_index, item in enumerate(exports):
+                        arrival, msg = item[0], item[1]
+                        dst = plan.owner_of(msg.dst_pe)
+                        imports[dst].append(
+                            (arrival, src_shard, export_index, item))
+                eff_eot = []
+                for w, (eot, _exports) in enumerate(reports):
+                    pending = min((i[0] for i in imports[w]), default=_INF)
+                    eff_eot.append(min(eot, pending))
+                if all(e == _INF for e in eff_eot):
+                    break
+                horizons = compute_horizons(eff_eot, plan.lookahead)
+                rounds += 1
+                for w, peer in enumerate(peers):
+                    # Deterministic injection order: arrival time, then
+                    # source shard, then that shard's export order.
+                    batch = [i[3] for i in sorted(imports[w],
+                                                  key=lambda i: i[:3])]
+                    peer.post_advance(horizons[w], batch)
+                reports = [peer.recv_report() for peer in peers]
+
+        finals = [peer.finish() for peer in peers]
+    finally:
+        for peer in peers:
+            peer.close()
+
+    result = next((f[0] for f in finals if f[0] is not None), None)
+    if result is None:
+        raise ConfigurationError(
+            "sharded run ended without any shard producing a result "
+            "(deadlock, or the job never reduces to a driver callback?)")
+    logs = [f[1] for f in finals]
+    records = merge_logs(logs)
+    return ShardedResult(
+        result=result,
+        records=records,
+        digest=log_digest(records),
+        shards=n,
+        rounds=rounds,
+        events=sum(f[2] for f in finals),
+        events_per_shard=[f[2] for f in finals],
+        makespan=max(f[3] for f in finals),
+        wall_s=time.perf_counter() - t_wall,
+    )

@@ -1,0 +1,177 @@
+"""Shard partitioning and conservative lookahead extraction.
+
+The sharded PDES runner splits the event space along *cluster*
+boundaries: loopback and shared-memory edges have sub-microsecond
+floors, so the PEs of one cluster are pinned into the same shard, while
+the cross-cluster hop — the paper's 2–64 ms artificial WAN delay — is
+exactly the conservative synchronization window.
+
+Lookahead between two shards is the *static floor* of the cross-shard
+:class:`~repro.network.chain.DeviceChain` latency: the chain is resolved
+for a zero-byte probe with ``record=False`` (pure model query, no stats,
+no faults, no contention), and the floor is the pre-transport delay plus
+the transport link's size-zero transit time.  Link transit is monotone
+in size, contention and duplication only add delay, and jittered links
+are rejected for sharded runs, so no real message can ever beat the
+probe — the property conservative synchronization rests on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.network.chain import DeviceChain
+from repro.network.devices import TransportDevice
+from repro.network.message import Message
+from repro.network.topology import GridTopology
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A cluster-aligned partition of the PEs plus its lookahead matrix."""
+
+    #: Per-shard PE tuples (disjoint, covering all PEs, cluster-aligned).
+    shards: Tuple[Tuple[int, ...], ...]
+    #: ``lookahead[v][w]``: minimum chain-latency floor of any message a
+    #: PE of shard *v* can send to a PE of shard *w* (``inf`` on the
+    #: diagonal; never consulted for v == w).
+    lookahead: Tuple[Tuple[float, ...], ...]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def owner_of(self, pe: int) -> int:
+        """Shard index owning *pe*."""
+        for index, pes in enumerate(self.shards):
+            if pe in pes:
+                return index
+        raise ConfigurationError(f"PE {pe} not in any shard")
+
+    @property
+    def min_lookahead(self) -> float:
+        """Smallest cross-shard lookahead (``inf`` for a single shard)."""
+        best = math.inf
+        for v, row in enumerate(self.lookahead):
+            for w, value in enumerate(row):
+                if v != w and value < best:
+                    best = value
+        return best
+
+
+def chain_floor(chain: DeviceChain, topo: GridTopology,
+                src_pe: int, dst_pe: int) -> float:
+    """Static latency floor of the chain for a (src, dst) PE pair.
+
+    A zero-byte ``record=False`` probe: fault devices pass it through,
+    nothing is charged, and the transport's stateless
+    ``link.transit_time(0)`` is the un-contended minimum — every real
+    copy (any size, any queueing, any duplication) arrives at or after
+    ``send_time + floor``.
+    """
+    probe = Message(src_pe=src_pe, dst_pe=dst_pe, size_bytes=0)
+    route = chain.resolve(probe, topo, None, record=False)
+    return route.pre_transport_delay + route.transport.link.transit_time(0)
+
+
+def _split_clusters(num_clusters: int, shards: int) -> List[List[int]]:
+    """Deal *num_clusters* cluster indices into *shards* contiguous groups."""
+    base, extra = divmod(num_clusters, shards)
+    groups: List[List[int]] = []
+    start = 0
+    for index in range(shards):
+        width = base + (1 if index < extra else 0)
+        groups.append(list(range(start, start + width)))
+        start += width
+    return groups
+
+
+def plan_shards(topo: GridTopology, chain: DeviceChain,
+                shards: int) -> ShardPlan:
+    """Partition the topology into at most *shards* cluster-aligned shards.
+
+    More shards than clusters degenerates gracefully: the plan is
+    clamped to one shard per cluster (a single-cluster topology always
+    yields one shard — the zero-lookahead degenerate case, which simply
+    runs serially inside one worker).
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    shards = min(shards, topo.num_clusters)
+    groups = _split_clusters(topo.num_clusters, shards)
+    clusters = topo.clusters
+    pe_groups = tuple(
+        tuple(pe for ci in group for pe in clusters[ci].pes)
+        for group in groups)
+
+    # Cross-shard floors, memoized per cluster pair; PairwiseDelayDevice
+    # keys delays by PE pair, so in its presence every pair is probed.
+    pairwise = any(type(d).__name__ == "PairwiseDelayDevice"
+                   for d in chain.devices)
+    cache: Dict[Tuple[int, int], float] = {}
+    lookahead = []
+    for v, src_pes in enumerate(pe_groups):
+        row = []
+        for w, dst_pes in enumerate(pe_groups):
+            if v == w:
+                row.append(math.inf)
+                continue
+            best = math.inf
+            for src in src_pes:
+                for dst in dst_pes:
+                    key = ((src, dst) if pairwise
+                           else (topo.cluster_of(src), topo.cluster_of(dst)))
+                    floor = cache.get(key)
+                    if floor is None:
+                        floor = chain_floor(chain, topo, src, dst)
+                        cache[key] = floor
+                    if floor < best:
+                        best = floor
+            row.append(best)
+        lookahead.append(tuple(row))
+
+    plan = ShardPlan(shards=pe_groups, lookahead=tuple(lookahead))
+    if plan.num_shards > 1 and plan.min_lookahead <= 0.0:
+        raise ConfigurationError(
+            "cross-shard lookahead floor is not strictly positive; "
+            "conservative sharding cannot make progress on this chain")
+    return plan
+
+
+def assert_shardable(chain: DeviceChain, transport_is_fabric: bool) -> None:
+    """Reject configurations the sharded runner cannot reproduce exactly.
+
+    Sharded execution requires every cross-shard delay to be a pure
+    function of the message — no shared mutable wire state, no RNG
+    draws — because the sending shard computes the arrival time alone.
+    Stochastic fault devices, jittered links, contended striped pipes
+    and the ack/retransmit transport (whose timers react to traffic both
+    shards see) therefore stay serial-only.
+    """
+    if not transport_is_fabric:
+        raise ConfigurationError(
+            "sharded runs require the plain NetworkFabric transport "
+            "(reliable ack/retransmit state is not shard-partitionable)")
+    for device in chain.devices:
+        kind = type(device).__name__
+        if kind == "FaultyDevice":
+            raise ConfigurationError(
+                "sharded runs cannot include FaultyDevice (its RNG draw "
+                "order depends on global traffic interleaving)")
+        if kind == "StripedDevice":
+            raise ConfigurationError(
+                "sharded runs cannot include StripedDevice (stream pipes "
+                "are shared mutable state across shards)")
+        if isinstance(device, TransportDevice):
+            if device.link.jitter is not None:
+                raise ConfigurationError(
+                    "sharded runs cannot use jittered link "
+                    f"{device.link.name!r}")
+            if device.pipe is not None:
+                raise ConfigurationError(
+                    f"sharded runs cannot use contended device "
+                    f"{device.name!r} (pipe reservations are shared "
+                    "mutable state across shards)")

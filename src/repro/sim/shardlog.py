@@ -1,0 +1,171 @@
+"""Compact per-shard trajectory logs and their deterministic merge.
+
+The sharded conservative-PDES runner certifies itself against the serial
+engine through *trajectory identity*: every trace-visible event — entry
+executions, message sends, deliveries, drops — is recorded as a compact
+tuple in virtual time, the per-shard logs are merged under one canonical
+order, and the merged sequences must match bit-for-bit (same virtual
+times, same events, same per-PE order) whatever the shard count.
+
+:class:`ShardLog` is a :class:`~repro.sim.trace.TraceSink`; it can be
+attached to any run (serial or sharded), so the serial baseline and
+every sharded execution are logged through the same code path.  Each
+record is keyed ``(time, pe, index)`` where *index* is a per-PE monotone
+counter: all records of one PE come from the single shard that owns it,
+so the per-PE subsequences are totally ordered and the global merge is
+deterministic.
+
+Records deliberately hold only *semantic* fields — virtual time, PEs,
+entry/object labels, sizes, tags.  Bookkeeping identifiers (message
+``seq``, execution ids, trace sids) are process-local counters: a shard
+only numbers the events it simulates, so those labels cannot match the
+serial numbering and are not part of the trajectory.
+
+:func:`merge_logs` produces the canonical sequence, :func:`log_digest`
+fingerprints it, and :func:`replay_into` drives a fresh
+:class:`~repro.sim.trace.TraceAggregator` from a merged sequence — the
+"deterministic merge of shard logs" that yields shard-count-independent
+folds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Optional, Tuple
+
+#: Record kinds (slot 3 of a record tuple).
+BEGIN, END, SENT, DELIVERED, DROPPED = range(5)
+
+Record = Tuple  # (time, pe, per_pe_index, kind, *fields)
+
+
+class ShardLog:
+    """Trace sink recording the virtual-time trajectory as plain tuples.
+
+    Cheap enough to leave on for certification runs (one tuple append
+    per event), picklable (sent back from worker processes), and
+    strictly append-only in engine order.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self.records: List[Record] = []
+        self._index = {}  # pe -> number of records keyed to that PE
+
+    def _push(self, pe: int, now: float, rest: tuple) -> None:
+        index = self._index.get(pe, 0)
+        self._index[pe] = index + 1
+        self.records.append((now, pe, index) + rest)
+
+    # -- TraceSink surface --------------------------------------------------
+
+    def begin_execute(self, pe: int, now: float, chare: str, entry: str,
+                      sid: Optional[int] = None,
+                      parent: Optional[int] = None,
+                      trigger: Optional[int] = None,
+                      obj: Optional[str] = None) -> None:
+        self._push(pe, now, (BEGIN, chare, entry, obj))
+
+    def end_execute(self, pe: int, now: float) -> None:
+        self._push(pe, now, (END,))
+
+    def message_sent(self, now: float, src_pe: int, dst_pe: int, size: int,
+                     tag: str, crossed_wan: bool,
+                     seq: Optional[int] = None,
+                     cause: Optional[int] = None,
+                     ack_for: Optional[int] = None,
+                     src_obj: Optional[str] = None,
+                     dst_obj: Optional[str] = None) -> None:
+        self._push(src_pe, now, (SENT, dst_pe, size, tag, crossed_wan,
+                                 src_obj, dst_obj))
+
+    def message_delivered(self, now: float, src_pe: int, dst_pe: int,
+                          size: int, tag: str, crossed_wan: bool,
+                          seq: Optional[int] = None,
+                          cause: Optional[int] = None,
+                          ack_for: Optional[int] = None,
+                          src_obj: Optional[str] = None,
+                          dst_obj: Optional[str] = None) -> None:
+        self._push(dst_pe, now, (DELIVERED, src_pe, size, tag, crossed_wan,
+                                 src_obj, dst_obj))
+
+    def message_dropped(self, now: float, src_pe: int, dst_pe: int,
+                        size: int, tag: str, crossed_wan: bool,
+                        seq: Optional[int] = None,
+                        cause: Optional[int] = None,
+                        ack_for: Optional[int] = None,
+                        src_obj: Optional[str] = None,
+                        dst_obj: Optional[str] = None) -> None:
+        self._push(src_pe, now, (DROPPED, dst_pe, size, tag, crossed_wan,
+                                 src_obj, dst_obj))
+
+    def note_retransmit(self) -> None:
+        pass
+
+    def note_dup_suppressed(self) -> None:
+        pass
+
+
+def merge_logs(logs: Iterable[ShardLog]) -> List[Record]:
+    """Merge shard logs into the canonical global trajectory.
+
+    Records are sorted by ``(time, pe, per_pe_index)``.  Each PE's
+    records come from exactly one log and carry a monotone index, so the
+    key is a total order and the result does not depend on how the event
+    space was sharded — which is precisely the property the bit-identity
+    tests assert.
+    """
+    merged: List[Record] = []
+    for log in logs:
+        merged.extend(log.records)
+    merged.sort(key=lambda r: (r[0], r[1], r[2]))
+    return merged
+
+
+def log_digest(records: List[Record]) -> str:
+    """Stable fingerprint of a merged trajectory.
+
+    Floats are rendered with ``repr`` (shortest round-trip), so two
+    digests match iff every virtual time and field is bit-equal.
+    """
+    h = hashlib.sha256()
+    for record in records:
+        h.update(repr(record).encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def replay_into(aggregator, records: List[Record]):
+    """Feed a merged trajectory through a ``TraceAggregator``.
+
+    Reconstructs shard-count-independent folds (PE usage, entry
+    profiles, WAN windows) from shard logs: sends replay before their
+    deliveries because transit times are strictly positive, and per-PE
+    execution brackets replay in recorded order.  Message identities are
+    gone (``seq`` is process-local), so WAN windows pair FIFO per
+    (src, dst) — deterministic given the canonical order.  Returns
+    *aggregator*.
+    """
+    for record in records:
+        now, pe, _index, kind = record[0], record[1], record[2], record[3]
+        rest = record[4:]
+        if kind == BEGIN:
+            chare, entry, obj = rest
+            aggregator.begin_execute(pe, now, chare, entry, obj=obj)
+        elif kind == END:
+            aggregator.end_execute(pe, now)
+        elif kind == SENT:
+            dst_pe, size, tag, crossed_wan, src_obj, dst_obj = rest
+            aggregator.message_sent(now, pe, dst_pe, size, tag, crossed_wan,
+                                    src_obj=src_obj, dst_obj=dst_obj)
+        elif kind == DELIVERED:
+            src_pe, size, tag, crossed_wan, src_obj, dst_obj = rest
+            aggregator.message_delivered(now, src_pe, pe, size, tag,
+                                         crossed_wan, src_obj=src_obj,
+                                         dst_obj=dst_obj)
+        elif kind == DROPPED:
+            dst_pe, size, tag, crossed_wan, src_obj, dst_obj = rest
+            aggregator.message_dropped(now, pe, dst_pe, size, tag,
+                                       crossed_wan, src_obj=src_obj,
+                                       dst_obj=dst_obj)
+    return aggregator

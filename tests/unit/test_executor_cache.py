@@ -96,6 +96,35 @@ def test_collectives_spec_key_varies_by_variant():
     assert config["wan_streams"] == 0
 
 
+def test_classic_kind_keys_unchanged_by_pdes_defaults():
+    # Same stability contract for the ISSUE-10 knobs: the serial engine
+    # and numpy kernels are the defaults, so they stay out of every
+    # pre-existing spec's key material.
+    config = tiny_spec().config()
+    assert "engine_shards" not in config
+    assert "kernel" not in config
+    assert spec_key(tiny_spec()) == \
+        spec_key(tiny_spec(engine_shards=0, kernel="numpy"))
+
+
+def test_spec_key_changes_with_non_default_pdes_knobs():
+    keys = {spec_key(tiny_spec()),
+            spec_key(tiny_spec(engine_shards=4)),
+            spec_key(tiny_spec(kernel="percell")),
+            spec_key(tiny_spec(engine_shards=4, kernel="percell"))}
+    assert len(keys) == 4
+    config = tiny_spec(engine_shards=4, kernel="percell").config()
+    assert config["engine_shards"] == 4
+    assert config["kernel"] == "percell"
+
+
+def test_pdes_knobs_are_stencil_only():
+    with pytest.raises(ValueError):
+        tiny_spec(kind="leanmd", engine_shards=2)
+    with pytest.raises(ValueError):
+        tiny_spec(kind="collectives", kernel="percell")
+
+
 # -- cache -------------------------------------------------------------------
 
 

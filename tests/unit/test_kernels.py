@@ -1,0 +1,117 @@
+"""Unit tests for the numpy block kernels vs their per-cell references."""
+
+import numpy as np
+import pytest
+
+from repro.apps.leanmd.forces import pair_forces, self_forces
+from repro.apps.leanmd.reference import (
+    pair_forces_percell,
+    self_forces_percell,
+)
+from repro.apps.leanmd.system import MdParams
+from repro.apps.stencil.chares import KERNEL_MODES, StencilRunConfig
+from repro.apps.stencil.kernel import (
+    jacobi_step,
+    jacobi_step_into,
+    make_initial_mesh,
+)
+from repro.apps.stencil.reference import (
+    jacobi_step_percell,
+    run_reference,
+    run_reference_percell,
+)
+from repro.errors import ConfigurationError
+
+
+def _padded(rows, cols, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random((rows, cols))
+
+
+# -- stencil: in-place block kernel ----------------------------------------
+
+
+@pytest.mark.parametrize("shape", [(3, 3), (4, 7), (5, 5), (9, 4), (33, 17)])
+def test_jacobi_step_into_bitwise_equals_expression_form(shape):
+    padded = _padded(*shape)
+    out = np.empty((shape[0] - 2, shape[1] - 2))
+    result = jacobi_step_into(padded, out)
+    assert result is out
+    expected = jacobi_step(padded)
+    assert np.array_equal(out, expected)  # bit-equal, not just close
+
+
+def test_jacobi_step_into_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        jacobi_step_into(np.zeros((2, 5)), np.zeros((0, 3)))
+    with pytest.raises(ValueError):
+        jacobi_step_into(np.zeros((5, 5)), np.zeros((4, 4)))
+
+
+def test_jacobi_step_into_does_not_modify_input():
+    padded = _padded(6, 6)
+    before = padded.copy()
+    jacobi_step_into(padded, np.empty((4, 4)))
+    assert np.array_equal(padded, before)
+
+
+# -- stencil: per-cell reference -------------------------------------------
+
+
+@pytest.mark.parametrize("shape", [(3, 3), (5, 8), (7, 7), (12, 5)])
+def test_jacobi_percell_bitwise_equals_numpy(shape):
+    padded = _padded(*shape, seed=3)
+    assert np.array_equal(jacobi_step_percell(padded), jacobi_step(padded))
+
+
+def test_run_reference_percell_bitwise_equals_vectorized():
+    mesh = make_initial_mesh(12, 9, seed=5)
+    assert np.array_equal(run_reference_percell(mesh, 4),
+                          run_reference(mesh, 4))
+
+
+def test_kernel_modes_validated():
+    assert set(KERNEL_MODES) == {"numpy", "percell"}
+    with pytest.raises(ConfigurationError):
+        StencilRunConfig(steps=1, payload="modeled", kernel="fortran")
+
+
+# -- leanmd: pairwise kernels ----------------------------------------------
+
+
+def _atoms(n, seed):
+    rng = np.random.default_rng(seed)
+    box = np.array([6.0, 6.0, 6.0])
+    pos = rng.random((n, 3)) * box
+    q = rng.uniform(-1.0, 1.0, size=n)
+    return pos, q, box
+
+
+def test_pair_forces_percell_matches_vectorized():
+    params = MdParams()
+    pos_a, q_a, box = _atoms(9, seed=1)
+    pos_b, q_b, _ = _atoms(7, seed=2)
+    f_a, f_b, pot = pair_forces(pos_a, pos_b, q_a, q_b, box, params)
+    r_a, r_b, r_pot = pair_forces_percell(pos_a, pos_b, q_a, q_b, box,
+                                          params)
+    np.testing.assert_allclose(r_a, f_a, rtol=1e-12, atol=1e-9)
+    np.testing.assert_allclose(r_b, f_b, rtol=1e-12, atol=1e-9)
+    assert pot == pytest.approx(r_pot, rel=1e-12, abs=1e-12)
+
+
+def test_self_forces_percell_matches_vectorized():
+    params = MdParams()
+    pos, q, box = _atoms(11, seed=4)
+    f, pot = self_forces(pos, q, box, params)
+    r_f, r_pot = self_forces_percell(pos, q, box, params)
+    np.testing.assert_allclose(r_f, f, rtol=1e-12, atol=1e-9)
+    assert pot == pytest.approx(r_pot, rel=1e-12, abs=1e-12)
+
+
+def test_pair_forces_percell_newtons_third_law():
+    params = MdParams()
+    pos_a, q_a, box = _atoms(6, seed=7)
+    pos_b, q_b, _ = _atoms(8, seed=8)
+    f_a, f_b, _ = pair_forces_percell(pos_a, pos_b, q_a, q_b, box, params)
+    np.testing.assert_allclose(f_a.sum(axis=0), -f_b.sum(axis=0),
+                               atol=1e-9)
